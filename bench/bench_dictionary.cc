@@ -1,0 +1,163 @@
+// bench_dictionary - Micro-benchmarks (google-benchmark) for the cost of
+// building and querying the probabilistic fault dictionary: the paper's
+// feasibility question (3) ("Assuming that computing and storing logic
+// information in fault dictionary is not an issue, how well can we do?")
+// has a flip side - what does the *probabilistic* dictionary cost?
+//
+//   BM_BaselineSimulation  - one defect-free dynamic simulation (an M_crt
+//                            column) vs circuit size and MC depth;
+//   BM_SuspectColumn       - one incremental E_crt column (per-suspect,
+//                            per-pattern cost during diagnosis);
+//   BM_TransitionGraph     - sensitization analysis per pattern;
+//   BM_PodemSensitize      - one path sensitization attempt;
+//   BM_InstanceSim         - one chip observation (a behavior-matrix
+//                            column).
+#include <benchmark/benchmark.h>
+
+#include "atpg/pdf_atpg.h"
+#include "logicsim/bitsim.h"
+#include "netlist/iscas_catalog.h"
+#include "netlist/levelize.h"
+#include "paths/path_enum.h"
+#include "paths/transition_graph.h"
+#include "stats/rng.h"
+#include "timing/celllib.h"
+#include "timing/delay_field.h"
+#include "timing/delay_model.h"
+#include "timing/dynamic_sim.h"
+
+namespace {
+
+using namespace sddd;
+
+struct Fixture {
+  netlist::Netlist nl;
+  netlist::Levelization lev;
+  timing::StatisticalCellLibrary lib;
+  timing::ArcDelayModel model;
+  timing::DelayField field;
+  logicsim::BitSimulator sim;
+  timing::DynamicTimingSimulator dyn;
+  logicsim::PatternPair pattern;
+  paths::TransitionGraph tg;
+
+  Fixture(const char* name, double scale, std::size_t samples)
+      : nl(netlist::make_standin(*netlist::find_profile(name), scale, 7)),
+        lev(nl),
+        model(nl, lib),
+        field(model, samples, 0.03, 11),
+        sim(nl, lev),
+        dyn(field, lev),
+        pattern(make_pattern()),
+        tg(sim, lev, pattern) {}
+
+  logicsim::PatternPair make_pattern() {
+    stats::Rng rng(13);
+    logicsim::PatternPair p;
+    p.v1.resize(nl.inputs().size());
+    p.v2.resize(nl.inputs().size());
+    for (std::size_t i = 0; i < p.v1.size(); ++i) {
+      p.v1[i] = rng.bernoulli(0.5);
+      p.v2[i] = !p.v1[i];  // maximize switching: worst case for the sim
+    }
+    return p;
+  }
+};
+
+Fixture& fixture_for(const benchmark::State& state) {
+  // One fixture per (circuit, samples) combination, constructed lazily.
+  static Fixture small("s1196", 1.0, 200);
+  static Fixture small_deep("s1196", 1.0, 800);
+  static Fixture large("s5378", 1.0, 200);
+  switch (state.range(0)) {
+    case 0:
+      return small;
+    case 1:
+      return small_deep;
+    default:
+      return large;
+  }
+}
+
+const char* fixture_name(int idx) {
+  switch (idx) {
+    case 0:
+      return "s1196/200";
+    case 1:
+      return "s1196/800";
+    default:
+      return "s5378/200";
+  }
+}
+
+void BM_BaselineSimulation(benchmark::State& state) {
+  Fixture& f = fixture_for(state);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(f.dyn.simulate(f.tg));
+  }
+  state.SetLabel(fixture_name(static_cast<int>(state.range(0))));
+}
+BENCHMARK(BM_BaselineSimulation)->Arg(0)->Arg(1)->Arg(2);
+
+void BM_SuspectColumn(benchmark::State& state) {
+  Fixture& f = fixture_for(state);
+  const auto baseline = f.dyn.simulate(f.tg);
+  // Pick an active arc mid-circuit as the suspect.
+  netlist::ArcId suspect = 0;
+  for (netlist::ArcId a = f.nl.arc_count() / 2; a < f.nl.arc_count(); ++a) {
+    if (f.tg.is_active(a)) {
+      suspect = a;
+      break;
+    }
+  }
+  timing::InjectedDefect defect;
+  defect.arc = suspect;
+  defect.extra.assign(f.field.sample_count(), 80.0);
+  const double clk = f.dyn.induced_delay(f.tg, baseline).quantile(0.8);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        f.dyn.error_vector_with_defect(f.tg, baseline, defect, clk));
+  }
+  state.SetLabel(fixture_name(static_cast<int>(state.range(0))));
+}
+BENCHMARK(BM_SuspectColumn)->Arg(0)->Arg(1)->Arg(2);
+
+void BM_TransitionGraph(benchmark::State& state) {
+  Fixture& f = fixture_for(state);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        paths::TransitionGraph(f.sim, f.lev, f.pattern));
+  }
+  state.SetLabel(fixture_name(static_cast<int>(state.range(0))));
+}
+BENCHMARK(BM_TransitionGraph)->Arg(0)->Arg(2);
+
+void BM_PodemSensitize(benchmark::State& state) {
+  Fixture& f = fixture_for(state);
+  const atpg::PathDelayAtpg atpg(f.nl, f.lev);
+  const auto paths_through = paths::k_heaviest_paths_through(
+      f.nl, f.lev, f.model.means(), f.nl.arc_count() / 2, 1);
+  if (paths_through.empty()) {
+    state.SkipWithError("no path through the chosen site");
+    return;
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        atpg.sensitize(paths_through[0], true, false, 300));
+  }
+  state.SetLabel(fixture_name(static_cast<int>(state.range(0))));
+}
+BENCHMARK(BM_PodemSensitize)->Arg(0)->Arg(2);
+
+void BM_InstanceSim(benchmark::State& state) {
+  Fixture& f = fixture_for(state);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(f.dyn.simulate_instance(f.tg, 7, std::nullopt));
+  }
+  state.SetLabel(fixture_name(static_cast<int>(state.range(0))));
+}
+BENCHMARK(BM_InstanceSim)->Arg(0)->Arg(2);
+
+}  // namespace
+
+BENCHMARK_MAIN();

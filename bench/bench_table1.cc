@@ -1,0 +1,97 @@
+// bench_table1 - Regenerates the paper's Table I ("Diagnosis Accuracy on
+// Benchmark Examples"): success rate of Alg_sim Methods I/II (plus the
+// text-only Method III) and Alg_rev at the paper's per-circuit K values,
+// over N = 20 statistically injected failing chips per circuit.
+//
+// Circuits are ISCAS-89-class stand-ins (see DESIGN.md substitution table);
+// drop real `.bench` files into a directory and pass --bench-dir to use
+// them instead.
+//
+// Usage:
+//   bench_table1 [--scale S] [--samples N] [--chips N] [--seed N]
+//                [--bench-dir DIR] [--csv FILE] [circuit ...]
+//
+// Defaults favour a laptop-scale run (scale 0.35, 200 Monte-Carlo samples,
+// ~2-4 minutes); --scale 1.0 --samples 400 reproduces the full-size setup.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <string>
+
+#include "eval/table1.h"
+
+namespace {
+
+void usage() {
+  std::fprintf(stderr,
+               "usage: bench_table1 [--scale S] [--samples N] [--chips N]\n"
+               "                    [--seed N] [--bench-dir DIR] [--csv FILE]\n"
+               "                    [circuit ...]\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  sddd::eval::Table1Config config;
+  config.scale = 0.35;
+  config.base.mc_samples = 200;
+  config.base.n_chips = 20;
+  std::string csv_path;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        usage();
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--scale") {
+      config.scale = std::atof(next());
+    } else if (arg == "--samples") {
+      config.base.mc_samples = static_cast<std::size_t>(std::atoi(next()));
+    } else if (arg == "--chips") {
+      config.base.n_chips = static_cast<std::size_t>(std::atoi(next()));
+    } else if (arg == "--seed") {
+      config.base.seed = static_cast<std::uint64_t>(std::atoll(next()));
+    } else if (arg == "--bench-dir") {
+      config.bench_dir = next();
+    } else if (arg == "--csv") {
+      csv_path = next();
+    } else if (arg == "--help" || arg == "-h") {
+      usage();
+      return 0;
+    } else if (!arg.empty() && arg[0] == '-') {
+      usage();
+      return 2;
+    } else {
+      config.circuits.push_back(arg);
+    }
+  }
+
+  std::printf("== Table I reproduction ==\n");
+  std::printf("scale=%.2f samples=%zu chips=%zu seed=%llu\n\n", config.scale,
+              config.base.mc_samples, config.base.n_chips,
+              static_cast<unsigned long long>(config.base.seed));
+
+  const auto result = sddd::eval::run_table1(config);
+  std::printf("%s\n", result.to_string().c_str());
+
+  std::printf("per-circuit experiment statistics:\n");
+  for (const auto& exp : result.experiments) {
+    std::printf(
+        "  %-8s clk=%8.1f tu  diagnosable=%zu/%zu  avg |S|=%5.1f  "
+        "avg injection attempts=%5.1f\n",
+        exp.circuit_name.c_str(), exp.clk, exp.diagnosable_trials(),
+        exp.trials.size(), exp.avg_suspects(), exp.avg_injection_attempts());
+  }
+
+  if (!csv_path.empty()) {
+    std::ofstream out(csv_path);
+    out << result.to_csv();
+    std::printf("\ncsv written to %s\n", csv_path.c_str());
+  }
+  return 0;
+}

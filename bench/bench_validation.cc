@@ -1,0 +1,121 @@
+// bench_validation - Validates the two modeling approximations the
+// reproduction rests on:
+//
+//   V1  Transition-mode dynamic timing vs event-driven reference: per
+//       (pattern, chip), compare the min/max arrival at every toggling
+//       output against the exact transport-delay settle time.  Reports
+//       the glitch-free fraction (where the approximation is exact by
+//       construction), and the error distribution where hazards occur.
+//
+//   V2  Monte-Carlo SSTA vs Clark's analytic moment matching: mean/sigma
+//       of Delta(C) across the benchmark stand-ins.  Clark ignores
+//       reconvergent correlation - the gap measured here is the reason
+//       the paper's framework (and this library's dictionary) uses
+//       Monte-Carlo semantics.
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+#include "logicsim/event_sim.h"
+#include "netlist/iscas_catalog.h"
+#include "netlist/levelize.h"
+#include "paths/transition_graph.h"
+#include "stats/rng.h"
+#include "timing/celllib.h"
+#include "timing/clark_ssta.h"
+#include "timing/delay_field.h"
+#include "timing/delay_model.h"
+#include "timing/dynamic_sim.h"
+#include "timing/ssta.h"
+
+using namespace sddd;
+using logicsim::PatternPair;
+using netlist::GateId;
+
+int main() {
+  std::printf("== Modeling validation ==\n\n");
+
+  // ----- V1: transition-mode vs event-driven -----
+  std::printf("V1: transition-mode arrivals vs event-driven settle times\n");
+  std::printf("%-10s %9s %12s %12s %12s %12s\n", "circuit", "outputs",
+              "glitch-free", "exact(<1e-9)", "mean |err|", "max |err|");
+  for (const char* name : {"s1196", "s1238", "s1488"}) {
+    const auto nl =
+        netlist::make_standin(*netlist::find_profile(name), 0.5, 2003);
+    const netlist::Levelization lev(nl);
+    const timing::StatisticalCellLibrary lib;
+    const timing::ArcDelayModel model(nl, lib);
+    const timing::DelayField field(model, 4, 0.03, 17);
+    const timing::DynamicTimingSimulator dyn(field, lev);
+    const logicsim::TimedEventSimulator timed(nl, lev);
+    const logicsim::BitSimulator logic(nl, lev);
+    std::vector<double> delays(nl.arc_count());
+    for (netlist::ArcId a = 0; a < nl.arc_count(); ++a) {
+      delays[a] = field.delay(a, 0);
+    }
+
+    stats::Rng rng(23);
+    std::size_t outputs_compared = 0;
+    std::size_t glitch_free = 0;
+    std::size_t exact = 0;
+    double err_sum = 0.0;
+    double err_max = 0.0;
+    for (int t = 0; t < 40; ++t) {
+      PatternPair pp;
+      pp.v1.resize(nl.inputs().size());
+      pp.v2.resize(nl.inputs().size());
+      for (std::size_t i = 0; i < pp.v1.size(); ++i) {
+        pp.v1[i] = rng.bernoulli(0.5);
+        pp.v2[i] = rng.bernoulli(0.5);
+      }
+      const paths::TransitionGraph tg(logic, lev, pp);
+      const auto arr = dyn.simulate_instance(tg, 0, std::nullopt);
+      const auto r = timed.simulate(pp, delays);
+      for (const GateId o : nl.outputs()) {
+        if (!tg.toggles(o)) continue;
+        ++outputs_compared;
+        const double err = std::abs(arr[o] - r.settle_time[o]);
+        if (r.event_count[o] <= 1) ++glitch_free;
+        if (err < 1e-9) ++exact;
+        err_sum += err;
+        err_max = std::max(err_max, err);
+      }
+    }
+    std::printf("%-10s %9zu %11.1f%% %11.1f%% %11.2f %12.2f\n", name,
+                outputs_compared,
+                100.0 * glitch_free / std::max<std::size_t>(outputs_compared, 1),
+                100.0 * exact / std::max<std::size_t>(outputs_compared, 1),
+                err_sum / std::max<std::size_t>(outputs_compared, 1), err_max);
+  }
+  std::printf(
+      "=> where no hazard occurs the transition-mode arrival is exact; the\n"
+      "   residual error is confined to glitching outputs (future work #1\n"
+      "   in the paper: more accurate dynamic simulation).\n\n");
+
+  // ----- V2: Monte-Carlo vs Clark SSTA -----
+  std::printf("V2: Monte-Carlo SSTA vs Clark analytic moment matching\n");
+  std::printf("%-10s | %10s %10s | %10s %10s | %9s\n", "circuit", "MC mean",
+              "MC sigma", "Clark mean", "Clark sd", "mean err");
+  for (const char* name : {"s1196", "s1238", "s1423", "s1488"}) {
+    const auto nl =
+        netlist::make_standin(*netlist::find_profile(name), 0.5, 2003);
+    const netlist::Levelization lev(nl);
+    const timing::StatisticalCellLibrary lib;
+    const timing::ArcDelayModel model(nl, lib);
+    const timing::DelayField field(model, 2000, 0.0, 29);
+    const timing::StaticTiming mc(field, lev);
+    const timing::ClarkStaticTiming clark(model, lev);
+    const double mc_mean = mc.circuit_delay().mean();
+    const double clark_mean = clark.circuit_delay().mean;
+    std::printf("%-10s | %10.1f %10.1f | %10.1f %10.1f | %8.2f%%\n", name,
+                mc_mean, mc.circuit_delay().stddev(), clark_mean,
+                clark.circuit_delay().sigma(),
+                100.0 * (clark_mean - mc_mean) / mc_mean);
+  }
+  std::printf(
+      "=> Clark's independence approximation tracks the mean within a few\n"
+      "   percent but distorts the spread under reconvergence; the\n"
+      "   dictionary therefore uses the Monte-Carlo engine.\n");
+  return 0;
+}

@@ -1,0 +1,112 @@
+// error_function_study - A miniature of the paper's central experiment:
+// which diagnosis error function localizes delay defects best?
+//
+// Runs N failing chips on one circuit and prints, for every method, the
+// distribution of the true site's rank and top-K success - the per-chip
+// view behind a Table I row.  Also demonstrates adding a *custom* error
+// function through the DiagnosisErrorFn interface (the paper's future
+// work #5): a "harmonic evidence" function rewarding consistently
+// explained patterns.
+//
+// Usage:  error_function_study [n_chips]
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+#include "eval/experiment.h"
+#include "netlist/iscas_catalog.h"
+
+using namespace sddd;
+using diagnosis::Method;
+
+namespace {
+
+/// Example custom error function: the harmonic mean of per-pattern match
+/// probabilities, computed from the same phi values the built-ins consume.
+/// (Shown here applied offline to recorded phis; to use one inside the
+/// Diagnoser, extend diagnosis::Method - the machinery is the same.)
+class HarmonicEvidence final : public diagnosis::DiagnosisErrorFn {
+ public:
+  double score(std::span<const double> phis) const override {
+    if (phis.empty()) return 0.0;
+    double acc = 0.0;
+    for (const double p : phis) acc += 1.0 / (p + 1e-12);
+    return static_cast<double>(phis.size()) / acc;
+  }
+  bool higher_is_better() const override { return true; }
+  std::string_view name() const override { return "harmonic"; }
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto* profile = netlist::find_profile("s1196");
+  const auto nl = netlist::make_standin(*profile, 0.5, 2003);
+  std::printf("circuit: %s\n\n", nl.summary().c_str());
+
+  eval::ExperimentConfig config;
+  config.n_chips = argc > 1 ? static_cast<std::size_t>(std::atoi(argv[1])) : 16;
+  config.mc_samples = 250;
+  config.seed = 99;
+
+  const auto result = eval::run_diagnosis_experiment(nl, config);
+  std::printf("diagnosable chips: %zu/%zu, clk = %.1f tu\n\n",
+              result.diagnosable_trials(), result.trials.size(), result.clk);
+
+  // Rank distribution per method.
+  std::printf("rank of the true defect site per chip (-1 = not in S):\n");
+  std::printf("%-12s", "chip");
+  for (const auto m : config.methods) {
+    std::printf(" %10s", std::string(method_name(m)).c_str());
+  }
+  std::printf("\n");
+  std::size_t chip_no = 0;
+  for (const auto& t : result.trials) {
+    if (!t.failed_test) continue;
+    std::printf("chip %-7zu", chip_no++);
+    for (const int r : t.rank_of_true) std::printf(" %10d", r);
+    std::printf("\n");
+  }
+
+  std::printf("\ntop-K success rate:\n%4s", "K");
+  for (const auto m : config.methods) {
+    std::printf(" %10s", std::string(method_name(m)).c_str());
+  }
+  std::printf("\n");
+  for (const int k : {1, 2, 3, 5, 7, 10}) {
+    std::printf("%4d", k);
+    for (const auto m : config.methods) {
+      std::printf(" %9.0f%%", 100 * result.success_rate(m, k));
+    }
+    std::printf("\n");
+  }
+
+  // Median rank comparison - a finer lens than top-K.
+  std::printf("\nmedian rank of the true site:\n");
+  for (std::size_t mi = 0; mi < config.methods.size(); ++mi) {
+    std::vector<int> ranks;
+    for (const auto& t : result.trials) {
+      if (t.failed_test && t.rank_of_true[mi] >= 0) {
+        ranks.push_back(t.rank_of_true[mi]);
+      }
+    }
+    std::sort(ranks.begin(), ranks.end());
+    const int median = ranks.empty() ? -1 : ranks[ranks.size() / 2];
+    std::printf("  %-12s %d\n",
+                std::string(method_name(config.methods[mi])).c_str(), median);
+  }
+
+  // The custom function, exercised on a synthetic phi profile.
+  const HarmonicEvidence harmonic;
+  const std::vector<double> steady = {0.4, 0.4, 0.4};
+  const std::vector<double> spiky = {0.9, 0.29, 0.01};
+  std::printf(
+      "\ncustom error function '%s' (DiagnosisErrorFn): steady evidence "
+      "%.3f > spiky evidence %.3f\n",
+      std::string(harmonic.name()).c_str(), harmonic.score(steady),
+      harmonic.score(spiky));
+  std::printf("(same mean phi; the interface admits new functions - the "
+              "paper's future work #5)\n");
+  return 0;
+}

@@ -1,0 +1,140 @@
+// quickstart - The whole flow in one page:
+//
+//   1. get a circuit (here: a seeded synthetic benchmark-class netlist),
+//   2. attach the statistical timing model (Definition D.1),
+//   3. manufacture a failing chip: one delay-configuration sample plus one
+//      random delay defect (Definitions D.2, D.10),
+//   4. generate diagnostic patterns for the fault's longest paths
+//      (Section H-4),
+//   5. observe the behavior matrix B at the rated clock,
+//   6. run the diagnosis algorithms (Alg_sim I/II/III, Alg_rev) and print
+//      the ranked suspects.
+//
+// Build & run:  ./build/examples/quickstart
+#include <cstdio>
+
+#include "atpg/diag_patterns.h"
+#include "defect/defect_model.h"
+#include "defect/injector.h"
+#include "diagnosis/behavior.h"
+#include "diagnosis/diagnoser.h"
+#include "logicsim/bitsim.h"
+#include "netlist/levelize.h"
+#include "netlist/synth.h"
+#include "timing/celllib.h"
+#include "timing/delay_field.h"
+#include "timing/delay_model.h"
+#include "timing/dynamic_sim.h"
+
+using namespace sddd;
+
+int main() {
+  // 1. A 150-gate combinational circuit, deterministic for the seed.
+  netlist::SynthSpec spec;
+  spec.name = "quickstart";
+  spec.n_inputs = 16;
+  spec.n_outputs = 10;
+  spec.n_gates = 150;
+  spec.depth = 12;
+  spec.seed = 42;
+  const auto nl = netlist::synthesize(spec);
+  std::printf("circuit: %s\n", nl.summary().c_str());
+
+  // 2. Statistical timing model: pin-to-pin delay RVs from the cell
+  //    library, realized as two independent Monte-Carlo worlds - the
+  //    dictionary's (the CAD model) and the fab's (actual chips).
+  const netlist::Levelization lev(nl);
+  const timing::StatisticalCellLibrary lib;
+  const timing::ArcDelayModel model(nl, lib);
+  const timing::DelayField dict_field(model, 300, 0.03, /*seed=*/1);
+  const timing::DelayField fab_field(model, 300, 0.03, /*seed=*/2);
+  const timing::DynamicTimingSimulator dict_sim(dict_field, lev);
+  const timing::DynamicTimingSimulator fab_sim(fab_field, lev);
+  const logicsim::BitSimulator logic_sim(nl, lev);
+
+  // 3. Manufacture a defective chip: defect size 50-100% of a cell delay,
+  //    3-sigma = 50% of the mean (the paper's Section I parameters).
+  const auto size_model =
+      defect::DefectSizeModel::paper_default(model.mean_cell_delay(), 7);
+  const auto location = defect::SegmentDefectModel::uniform_single(
+      nl, stats::RandomVariable::Normal(size_model.marginal_mean(),
+                                        size_model.marginal_mean() / 6.0));
+  const defect::DefectInjector injector(location, size_model);
+  stats::Rng rng(2024);
+  auto chip = injector.draw(fab_field.sample_count(), rng);
+
+  // 4+5. Diagnostic patterns (tests for the statistically longest
+  //    sensitizable paths through the defect site plus breadth patterns),
+  //    a rated clock with half a defect of slack on the site's best path,
+  //    and the observed behavior matrix B.  Chips whose defect never
+  //    causes a failure are escapes (Figure 1's point) - redraw those.
+  atpg::DiagnosticPatternConfig pattern_config;
+  std::vector<logicsim::PatternPair> patterns;
+  double clk = 0.0;
+  diagnosis::BehaviorMatrix B(nl.outputs().size(), 0);
+  for (int attempt = 0; attempt < 100; ++attempt) {
+    chip = injector.draw(fab_field.sample_count(), rng);
+    patterns = atpg::generate_diagnostic_patterns(model, lev, chip.defect_arc,
+                                                  pattern_config, rng);
+    const double best =
+        atpg::site_best_nominal_delay(model, lev, patterns, chip.defect_arc);
+    if (best <= 0.0) continue;  // site not testable by any pattern
+    clk = best - 0.5 * size_model.marginal_mean();
+    B = diagnosis::observe_behavior(
+        fab_sim, logic_sim, lev, patterns, chip.sample_index,
+        std::make_pair(chip.defect_arc, chip.defect_size), clk);
+    if (!B.any_failure()) continue;
+    // Require a failure the defect-free chip would not show.
+    const auto B0 = diagnosis::observe_behavior(
+        fab_sim, logic_sim, lev, patterns, chip.sample_index, std::nullopt,
+        clk);
+    bool caused = false;
+    for (std::size_t i = 0; i < B.output_count() && !caused; ++i) {
+      for (std::size_t j = 0; j < B.pattern_count(); ++j) {
+        if (B.at(i, j) && !B0.at(i, j)) {
+          caused = true;
+          break;
+        }
+      }
+    }
+    if (caused) break;
+    B = diagnosis::BehaviorMatrix(nl.outputs().size(), 0);
+  }
+  std::printf(
+      "injected defect: arc %u (%s pin %u), size %.1f tu; chip sample %zu\n",
+      chip.defect_arc, nl.gate(nl.arc(chip.defect_arc).gate).name.c_str(),
+      nl.arc(chip.defect_arc).pin, chip.defect_size, chip.sample_index);
+  std::printf("behavior: %zu failing cells across %zu patterns at clk %.1f\n",
+              B.failure_count(), patterns.size(), clk);
+  if (!B.any_failure()) {
+    std::printf("chip never failed its test (escape) - nothing to diagnose\n");
+    return 0;
+  }
+
+  // 6. Diagnose.
+  const diagnosis::Diagnoser diagnoser(dict_sim, logic_sim, lev, size_model);
+  const std::vector<diagnosis::Method> methods = {
+      diagnosis::Method::kSimI, diagnosis::Method::kSimII,
+      diagnosis::Method::kSimIII, diagnosis::Method::kRev};
+  const auto result = diagnoser.diagnose(patterns, B, methods, clk);
+  std::printf("suspect set |S| = %zu\n\n", result.suspects.size());
+
+  for (const auto m : methods) {
+    const auto ranked = result.ranked(m);
+    int true_rank = -1;
+    for (std::size_t i = 0; i < ranked.size(); ++i) {
+      if (ranked[i].arc == chip.defect_arc) true_rank = static_cast<int>(i);
+    }
+    std::printf("%-12s true site rank %3d   top-5:",
+                std::string(method_name(m)).c_str(), true_rank);
+    for (std::size_t i = 0; i < std::min<std::size_t>(5, ranked.size()); ++i) {
+      const auto& arc = nl.arc(ranked[i].arc);
+      std::printf("  %s.%u%s", nl.gate(arc.gate).name.c_str(), arc.pin,
+                  ranked[i].arc == chip.defect_arc ? "(*)" : "");
+    }
+    std::printf("\n");
+  }
+  std::printf("\n(*) marks the true injected site; rank is 0-based within "
+              "|S| suspects.\n");
+  return 0;
+}

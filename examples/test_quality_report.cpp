@@ -1,0 +1,179 @@
+// test_quality_report - A failure-analysis engineer's pre-silicon report:
+// given a circuit and a candidate test set, how good will delay-defect
+// detection AND diagnosis be?
+//
+//   1. statistical coverage: which defect sizes/sites will the set catch
+//      at the rated clock (eval/coverage.h);
+//   2. criticality: where the circuit's timing risk concentrates
+//      (timing/criticality.h);
+//   3. diagnosis resolution: how many suspects the set can actually tell
+//      apart, in the logic domain and in the timing domain
+//      (diagnosis/resolution.h);
+//   4. pattern selection: the subset of the set that carries the
+//      diagnostic power (diagnosis/pattern_select.h).
+//
+// Usage:  test_quality_report [n_patterns]
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+
+#include "atpg/diag_patterns.h"
+#include "defect/defect_model.h"
+#include "diagnosis/dictionary.h"
+#include "diagnosis/pattern_select.h"
+#include "diagnosis/resolution.h"
+#include "eval/coverage.h"
+#include "logicsim/bitsim.h"
+#include "netlist/iscas_catalog.h"
+#include "netlist/levelize.h"
+#include "stats/rng.h"
+#include "timing/celllib.h"
+#include "timing/criticality.h"
+#include "timing/delay_field.h"
+#include "timing/delay_model.h"
+#include "timing/dynamic_sim.h"
+
+using namespace sddd;
+using netlist::ArcId;
+using netlist::GateId;
+
+int main(int argc, char** argv) {
+  const std::size_t budget =
+      argc > 1 ? static_cast<std::size_t>(std::atoi(argv[1])) : 18;
+
+  const auto nl =
+      netlist::make_standin(*netlist::find_profile("s1196"), 0.5, 2003);
+  const netlist::Levelization lev(nl);
+  const timing::StatisticalCellLibrary lib;
+  const timing::ArcDelayModel model(nl, lib);
+  const timing::DelayField field(model, 250, 0.03, 77);
+  const timing::DynamicTimingSimulator dyn(field, lev);
+  const logicsim::BitSimulator sim(nl, lev);
+  std::printf("== Test quality report: %s ==\n\n", nl.summary().c_str());
+
+  // Candidate test set: per-site diagnostic patterns for a handful of
+  // sites, capped at `budget`.
+  stats::Rng rng(7);
+  std::vector<logicsim::PatternPair> patterns;
+  atpg::DiagnosticPatternConfig pattern_config;
+  pattern_config.max_patterns = 5;
+  while (patterns.size() < budget) {
+    const auto site = static_cast<ArcId>(
+        rng.below(static_cast<std::uint32_t>(nl.arc_count())));
+    for (auto& p : atpg::generate_diagnostic_patterns(model, lev, site,
+                                                      pattern_config, rng)) {
+      if (patterns.size() < budget) patterns.push_back(std::move(p));
+    }
+  }
+  stats::SampleVector delta(field.sample_count(), 0.0);
+  for (const auto& p : patterns) {
+    const paths::TransitionGraph tg(sim, lev, p);
+    delta.max_with(dyn.induced_delay(tg, dyn.simulate(tg)));
+  }
+  const double clk = delta.quantile(0.9);
+  std::printf("test set: %zu patterns; rated clock %.1f tu (q90)\n\n",
+              patterns.size(), clk);
+
+  // --- 1. coverage ---
+  const auto size_model =
+      defect::DefectSizeModel::paper_default(model.mean_cell_delay(), 9);
+  std::vector<ArcId> sample_sites;
+  for (ArcId a = 0; a < nl.arc_count(); a += 11) sample_sites.push_back(a);
+  const auto cov = eval::statistical_coverage(dyn, sim, lev, patterns,
+                                              sample_sites, size_model, clk);
+  std::printf("1. coverage (paper-size defects, %zu sampled sites):\n",
+              sample_sites.size());
+  std::printf("   mean P(detect) %.3f | sites with P>=0.5: %.0f%% | "
+              "good-chip fail prob %.3f\n\n",
+              cov.mean_coverage(), 100.0 * cov.detection_rate(0.5),
+              cov.defect_free_fail);
+
+  // --- 2. criticality ---
+  const timing::CriticalityAnalysis crit(field, lev);
+  const auto ranked = crit.ranked_arcs();
+  double top10 = 0.0;
+  for (std::size_t i = 0; i < 10 && i < ranked.size(); ++i) {
+    top10 += crit.arc_criticality(ranked[i]);
+  }
+  std::printf("2. timing risk: top-10 arcs carry %.1f%% of per-arc "
+              "criticality mass;\n   leader: arc %u (%s) at %.2f\n\n",
+              100.0 * top10 / 10.0, ranked[0],
+              nl.gate(nl.arc(ranked[0]).gate).name.c_str(),
+              crit.arc_criticality(ranked[0]));
+
+  // --- 3. resolution ---
+  // Suspect universe: arcs the set exercises (active under some pattern).
+  std::vector<ArcId> suspects;
+  {
+    const paths::TransitionGraph tg(sim, lev, patterns[0]);
+    for (ArcId a = 0; a < nl.arc_count() && suspects.size() < 60; ++a) {
+      if (tg.is_active(a)) suspects.push_back(a);
+    }
+  }
+  const auto logic_classes =
+      diagnosis::logic_equivalence_classes(sim, lev, patterns, suspects);
+  std::printf("3. resolution over %zu exercised suspects:\n", suspects.size());
+  std::printf(
+      "   logic footprint (ideal):        %3zu classes (largest %2zu), "
+      "resolution %.2f\n",
+      logic_classes.count(), logic_classes.largest(),
+      logic_classes.resolution(suspects.size()));
+  // Timing resolution at a tolerance: suspects whose signatures differ by
+  // less than eps anywhere are practically indistinguishable (eps ~ a few
+  // Monte-Carlo standard errors is the realistic floor).  The paper's
+  // Section C: with statistical timing, "whether a pattern can
+  // differentiate two given faults should be characterized as a
+  // probability value" - resolution is no longer a crisp count but a
+  // function of the separation one insists on.
+  const diagnosis::FaultDictionary dict(dyn, sim, lev, patterns, clk);
+  for (const double eps : {0.0, 0.02, 0.1}) {
+    const auto timing_classes = diagnosis::timing_equivalence_classes(
+        dict, size_model, suspects, eps);
+    std::printf(
+        "   timing @ eps=%.2f:              %3zu classes (largest %2zu), "
+        "resolution %.2f\n",
+        eps, timing_classes.count(), timing_classes.largest(),
+        timing_classes.resolution(suspects.size()));
+  }
+  // How much of the blob is "defect never visible at clk"?
+  std::size_t invisible = 0;
+  for (const ArcId s : suspects) {
+    bool any = false;
+    for (std::size_t j = 0; j < dict.pattern_count() && !any; ++j) {
+      for (const double x : dict.slice(j).signature_column(s, size_model)) {
+        if (x > 0.0) {
+          any = true;
+          break;
+        }
+      }
+    }
+    invisible += any ? 0U : 1U;
+  }
+  std::printf(
+      "   => %zu of %zu suspects have an all-zero signature: at this clock\n"
+      "   their defects never become visible, so they are one\n"
+      "   indistinguishable blob (Figure 1's escapes, seen from the\n"
+      "   diagnosis side).  Resolution concentrates on the near-critical\n"
+      "   suspects; the logic footprint is the ceiling a tighter clock\n"
+      "   could approach.\n\n",
+      invisible, suspects.size());
+
+  // --- 4. pattern selection ---
+  std::vector<ArcId> select_suspects(
+      suspects.begin(),
+      suspects.begin() + std::min<std::size_t>(suspects.size(), 14));
+  diagnosis::PatternSelectConfig select_config;
+  select_config.budget = 6;
+  select_config.epsilon = 0.02;
+  const auto sel = diagnosis::select_diagnostic_patterns(
+      dyn, sim, lev, patterns, select_suspects, size_model, clk,
+      select_config);
+  std::printf("4. diagnostic power: %zu of %zu patterns distinguish %.0f%% "
+              "of suspect pairs\n",
+              sel.chosen.size(), patterns.size(), 100.0 * sel.coverage());
+  for (std::size_t i = 0; i < sel.chosen.size(); ++i) {
+    std::printf("   pick %zu: pattern %2zu -> %zu/%zu pairs\n", i + 1,
+                sel.chosen[i], sel.pairs_covered[i], sel.total_pairs);
+  }
+  return 0;
+}

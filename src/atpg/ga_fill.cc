@@ -1,0 +1,136 @@
+#include "atpg/ga_fill.h"
+
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+
+#include "paths/transition_graph.h"
+#include "timing/dynamic_sim.h"
+
+namespace sddd::atpg {
+
+using logicsim::Pattern;
+using logicsim::PatternPair;
+using logicsim::Tern;
+using netlist::ArcId;
+using netlist::GateId;
+using netlist::Netlist;
+using paths::Path;
+using stats::Rng;
+
+GaFill::GaFill(const timing::ArcDelayModel& model,
+               const netlist::Levelization& lev)
+    : model_(&model), lev_(&lev), sim_(model.netlist(), lev) {}
+
+namespace {
+
+struct Genome {
+  std::vector<bool> bits;  // concatenated fills: v1 X's then v2 X's
+  double fitness = -1.0;
+};
+
+}  // namespace
+
+double GaFill::fitness(const Path& target, const PatternPair& pattern) const {
+  const paths::TransitionGraph tg(sim_, *lev_, pattern);
+  std::size_t active = 0;
+  for (const ArcId a : target.arcs) active += tg.is_active(a) ? 1U : 0U;
+  const bool full = active == target.arcs.size();
+  const GateId sink = paths::path_sink(model_->netlist(), target);
+  const double arrival =
+      std::max(timing::nominal_arrivals(tg, *model_, *lev_)[sink], 0.0);
+  // Activation dominates: each active arc is worth more than any arrival
+  // difference; a fully active path additionally earns the sink arrival.
+  const double arc_unit = model_->mean_cell_delay() *
+                          static_cast<double>(target.arcs.size() + 1) * 10.0;
+  return static_cast<double>(active) * arc_unit + (full ? arrival : 0.0);
+}
+
+GaFill::Result GaFill::fill(const Path& target,
+                            const SensitizedTemplates& templates, Rng& rng,
+                            const GaFillConfig& config) const {
+  const std::size_t n_pi = templates.v1.size();
+  if (templates.v2.size() != n_pi) {
+    throw std::invalid_argument("GaFill: template size mismatch");
+  }
+  // Free positions.
+  std::vector<std::size_t> free1;
+  std::vector<std::size_t> free2;
+  for (std::size_t i = 0; i < n_pi; ++i) {
+    if (templates.v1[i] == Tern::kX) free1.push_back(i);
+    if (templates.v2[i] == Tern::kX) free2.push_back(i);
+  }
+  const std::size_t n_bits = free1.size() + free2.size();
+
+  const auto express = [&](const Genome& g) {
+    PatternPair p;
+    p.v1.resize(n_pi);
+    p.v2.resize(n_pi);
+    for (std::size_t i = 0; i < n_pi; ++i) {
+      p.v1[i] = templates.v1[i] == Tern::k1;
+      p.v2[i] = templates.v2[i] == Tern::k1;
+    }
+    for (std::size_t j = 0; j < free1.size(); ++j) p.v1[free1[j]] = g.bits[j];
+    for (std::size_t j = 0; j < free2.size(); ++j) {
+      p.v2[free2[j]] = g.bits[free1.size() + j];
+    }
+    return p;
+  };
+
+  std::vector<Genome> pop(std::max<std::size_t>(config.population, 2));
+  for (auto& g : pop) {
+    g.bits.resize(n_bits);
+    for (std::size_t b = 0; b < n_bits; ++b) g.bits[b] = rng.bernoulli(0.5);
+    g.fitness = fitness(target, express(g));
+  }
+
+  const auto by_fitness = [](const Genome& a, const Genome& b) {
+    return a.fitness > b.fitness;
+  };
+  std::sort(pop.begin(), pop.end(), by_fitness);
+
+  const std::size_t gens = n_bits == 0 ? 0 : config.generations;
+  for (std::size_t gen = 0; gen < gens; ++gen) {
+    std::vector<Genome> next(pop.begin(),
+                             pop.begin() + std::min(config.elite, pop.size()));
+    const auto tournament_pick = [&]() -> const Genome& {
+      const Genome* best = nullptr;
+      for (std::size_t t = 0; t < std::max<std::size_t>(config.tournament, 1);
+           ++t) {
+        const Genome& cand =
+            pop[rng.below(static_cast<std::uint32_t>(pop.size()))];
+        if (best == nullptr || cand.fitness > best->fitness) best = &cand;
+      }
+      return *best;
+    };
+    while (next.size() < pop.size()) {
+      const Genome& pa = tournament_pick();
+      const Genome& pb = tournament_pick();
+      Genome child;
+      child.bits.resize(n_bits);
+      const std::size_t cut =
+          n_bits == 0 ? 0 : rng.below(static_cast<std::uint32_t>(n_bits));
+      for (std::size_t b = 0; b < n_bits; ++b) {
+        child.bits[b] = (b < cut ? pa.bits[b] : pb.bits[b]);
+        if (rng.bernoulli(config.mutation_rate)) {
+          child.bits[b] = !child.bits[b];
+        }
+      }
+      child.fitness = fitness(target, express(child));
+      next.push_back(std::move(child));
+    }
+    pop = std::move(next);
+    std::sort(pop.begin(), pop.end(), by_fitness);
+  }
+
+  Result result;
+  result.pattern = express(pop.front());
+  result.fitness = pop.front().fitness;
+  const paths::TransitionGraph tg(sim_, *lev_, result.pattern);
+  result.path_activated =
+      std::all_of(target.arcs.begin(), target.arcs.end(),
+                  [&](ArcId a) { return tg.is_active(a); });
+  return result;
+}
+
+}  // namespace sddd::atpg

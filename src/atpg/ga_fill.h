@@ -1,0 +1,62 @@
+// ga_fill.h - Genetic-algorithm pattern fill (Section G, second option).
+//
+// "Another possibility could be to use Genetic Algorithm based ATPG
+// techniques that can generate tests resulting in longer path delays based
+// on a fitness function.  After assigning the mandatory values to sensitize
+// a given path, usually there are still many unspecified values at the
+// primary inputs.  Different assignments of these unspecified values can
+// result in different path delays."
+//
+// This module implements exactly that: starting from the ternary templates
+// of PathDelayAtpg::sensitize(), a GA searches over the unspecified PI bits
+// of both vectors.  Fitness of a candidate fill is the nominal (mean-delay)
+// arrival time at the target path's sink under the transition-mode
+// semantics, plus a dominant bonus for actually activating every arc of the
+// target path - so the GA first fights for activation, then stretches the
+// launched delay.
+#pragma once
+
+#include <cstdint>
+
+#include "atpg/pdf_atpg.h"
+#include "netlist/levelize.h"
+#include "stats/rng.h"
+#include "timing/delay_model.h"
+
+namespace sddd::atpg {
+
+struct GaFillConfig {
+  std::size_t population = 24;
+  std::size_t generations = 30;
+  double mutation_rate = 0.04;
+  std::size_t elite = 2;
+  std::size_t tournament = 3;
+};
+
+class GaFill {
+ public:
+  GaFill(const timing::ArcDelayModel& model, const netlist::Levelization& lev);
+
+  /// Fills the templates' X bits to maximize the fitness described above.
+  /// Deterministic given `rng`'s state.  Returns the best pattern found and
+  /// its fitness.
+  struct Result {
+    logicsim::PatternPair pattern;
+    double fitness = 0.0;
+    bool path_activated = false;
+  };
+  Result fill(const paths::Path& target, const SensitizedTemplates& templates,
+              stats::Rng& rng, const GaFillConfig& config = {}) const;
+
+  /// Fitness of one concrete pattern for `target` (exposed for tests and
+  /// the ablation bench): nominal sink arrival + activation bonus.
+  double fitness(const paths::Path& target,
+                 const logicsim::PatternPair& pattern) const;
+
+ private:
+  const timing::ArcDelayModel* model_;
+  const netlist::Levelization* lev_;
+  logicsim::BitSimulator sim_;
+};
+
+}  // namespace sddd::atpg

@@ -1,0 +1,280 @@
+#include "atpg/podem.h"
+
+#include <stdexcept>
+
+namespace sddd::atpg {
+
+using logicsim::Tern;
+using netlist::CellType;
+using netlist::Gate;
+using netlist::GateId;
+using netlist::Netlist;
+
+Podem::Podem(const Netlist& nl, const netlist::Levelization& lev)
+    : nl_(&nl), lev_(&lev), sim_(nl, lev) {
+  input_index_.assign(nl.gate_count(), -1);
+  for (std::size_t i = 0; i < nl.inputs().size(); ++i) {
+    input_index_[nl.inputs()[i]] = static_cast<std::int32_t>(i);
+  }
+}
+
+namespace {
+
+Tern from_bool(bool b) { return b ? Tern::k1 : Tern::k0; }
+
+/// Status of an objective set under the current simulation values.
+enum class Status { kSatisfied, kConflict, kOpen };
+
+Status check(std::span<const Objective> objectives,
+             const std::vector<Tern>& values, const Objective** first_open) {
+  Status st = Status::kSatisfied;
+  *first_open = nullptr;
+  for (const Objective& obj : objectives) {
+    const Tern v = values[obj.gate];
+    if (v == Tern::kX) {
+      if (*first_open == nullptr) *first_open = &obj;
+      st = Status::kOpen;
+    } else if ((v == Tern::k1) != obj.value) {
+      return Status::kConflict;
+    }
+  }
+  return st;
+}
+
+/// Event-driven incremental implication: assigning one PI re-evaluates only
+/// its affected fan-out cone, in level order, recording every changed gate
+/// on a trail so the assignment can be undone in O(changes).  This is what
+/// makes PODEM affordable on the multi-thousand-gate circuits: the naive
+/// alternative (full resimulation per decision) costs O(|V|) per backtrack.
+class EventSim {
+ public:
+  EventSim(const Netlist& nl, const netlist::Levelization& lev)
+      : nl_(&nl),
+        lev_(&lev),
+        values_(nl.gate_count(), Tern::kX),
+        queued_(nl.gate_count(), false),
+        buckets_(lev.depth() + 1) {}
+
+  const std::vector<Tern>& values() const { return values_; }
+
+  /// Re-initializes all values from a full PI assignment (one full sweep;
+  /// used once per solve call).
+  void reset(const std::vector<Tern>& pi_values) {
+    const Netlist& nl = *nl_;
+    std::fill(values_.begin(), values_.end(), Tern::kX);
+    for (std::size_t i = 0; i < nl.inputs().size(); ++i) {
+      values_[nl.inputs()[i]] = pi_values[i];
+    }
+    std::vector<Tern> fanin_buf;
+    for (const GateId g : lev_->topo_order()) {
+      const Gate& gate = nl.gate(g);
+      if (!is_combinational(gate.type)) continue;
+      fanin_buf.clear();
+      for (const GateId f : gate.fanins) fanin_buf.push_back(values_[f]);
+      values_[g] = eval_gate_tern(gate.type, fanin_buf);
+    }
+  }
+
+  /// One (gate, previous value) undo record.
+  using Trail = std::vector<std::pair<GateId, Tern>>;
+
+  /// Sets PI `pi` to `v` and propagates.  Changed gates (including the PI)
+  /// are appended to `trail`.
+  void assign(GateId pi, Tern v, Trail& trail) {
+    if (values_[pi] == v) return;
+    trail.emplace_back(pi, values_[pi]);
+    values_[pi] = v;
+    schedule_fanouts(pi);
+    propagate(trail);
+  }
+
+  /// Reverts the values recorded after `mark` (in reverse order).
+  void undo(Trail& trail, std::size_t mark) {
+    while (trail.size() > mark) {
+      values_[trail.back().first] = trail.back().second;
+      trail.pop_back();
+    }
+  }
+
+ private:
+  void schedule_fanouts(GateId g) {
+    for (const GateId fo : nl_->gate(g).fanouts) {
+      if (!queued_[fo] && is_combinational(nl_->gate(fo).type)) {
+        queued_[fo] = true;
+        buckets_[lev_->level(fo)].push_back(fo);
+      }
+    }
+  }
+
+  void propagate(Trail& trail) {
+    std::vector<Tern> fanin_buf;
+    for (std::uint32_t lvl = 1; lvl < buckets_.size(); ++lvl) {
+      auto& bucket = buckets_[lvl];
+      for (std::size_t i = 0; i < bucket.size(); ++i) {
+        const GateId g = bucket[i];
+        queued_[g] = false;
+        const Gate& gate = nl_->gate(g);
+        fanin_buf.clear();
+        for (const GateId f : gate.fanins) fanin_buf.push_back(values_[f]);
+        const Tern next = eval_gate_tern(gate.type, fanin_buf);
+        if (next != values_[g]) {
+          trail.emplace_back(g, values_[g]);
+          values_[g] = next;
+          schedule_fanouts(g);
+        }
+      }
+      bucket.clear();
+    }
+  }
+
+  const Netlist* nl_;
+  const netlist::Levelization* lev_;
+  std::vector<Tern> values_;
+  std::vector<bool> queued_;
+  std::vector<std::vector<GateId>> buckets_;
+};
+
+}  // namespace
+
+std::optional<PodemResult> Podem::solve(
+    std::span<const Objective> objectives, std::size_t max_backtracks,
+    std::span<const Tern> pre_assigned) const {
+  const Netlist& nl = *nl_;
+  for (const Objective& obj : objectives) {
+    if (obj.gate >= nl.gate_count()) {
+      throw std::invalid_argument("Podem: objective gate out of range");
+    }
+  }
+  std::vector<Tern> pi(nl.inputs().size(), Tern::kX);
+  if (!pre_assigned.empty()) {
+    if (pre_assigned.size() != pi.size()) {
+      throw std::invalid_argument("Podem: pre_assigned size mismatch");
+    }
+    pi.assign(pre_assigned.begin(), pre_assigned.end());
+  }
+
+  EventSim esim(nl, *lev_);
+  esim.reset(pi);
+  EventSim::Trail trail;
+  std::size_t backtracks = 0;
+
+  // Backtrace an open objective through X-valued gates to an unassigned PI,
+  // returning (pi position, value to try).
+  const auto backtrace = [&](const Objective& obj)
+      -> std::optional<std::pair<std::size_t, bool>> {
+    const auto& values = esim.values();
+    GateId g = obj.gate;
+    bool v = obj.value;
+    for (std::size_t guard = 0; guard <= nl.gate_count(); ++guard) {
+      if (input_index_[g] >= 0) {
+        if (pi[static_cast<std::size_t>(input_index_[g])] != Tern::kX) {
+          return std::nullopt;  // objective hinges on an already-pinned PI
+        }
+        return std::make_pair(static_cast<std::size_t>(input_index_[g]), v);
+      }
+      const Gate& gate = nl.gate(g);
+      if (!is_combinational(gate.type) || gate.fanins.empty()) {
+        return std::nullopt;  // constant or undriven: cannot influence
+      }
+      // Map the required output value to a required input value and pick
+      // an X input to pursue.
+      GateId next = netlist::kInvalidGate;
+      bool next_v = v;
+      switch (gate.type) {
+        case CellType::kBuf:
+          next = gate.fanins[0];
+          next_v = v;
+          break;
+        case CellType::kNot:
+          next = gate.fanins[0];
+          next_v = !v;
+          break;
+        case CellType::kAnd:
+        case CellType::kNand:
+        case CellType::kOr:
+        case CellType::kNor: {
+          const bool ctrl = controlling_value(gate.type);
+          const bool inv = is_inverting(gate.type);
+          // Output value when a controlling input is present:
+          //   AND -> 0, NAND -> 1, OR -> 1, NOR -> 0.
+          const bool out_if_ctrl = inv ? !ctrl : ctrl;
+          const bool need_some_ctrl = (v == out_if_ctrl);
+          const bool want = need_some_ctrl ? ctrl : !ctrl;
+          for (const GateId f : gate.fanins) {
+            if (values[f] == Tern::kX) {
+              next = f;
+              next_v = want;
+              break;
+            }
+          }
+          break;
+        }
+        case CellType::kXor:
+        case CellType::kXnor: {
+          // Choose any X input; aim for the parity completion when all
+          // other inputs are definite, else default to 0.
+          bool parity = (gate.type == CellType::kXnor);
+          bool all_definite = true;
+          GateId x_input = netlist::kInvalidGate;
+          for (const GateId f : gate.fanins) {
+            if (values[f] == Tern::kX) {
+              if (x_input == netlist::kInvalidGate) {
+                x_input = f;
+              } else {
+                all_definite = false;
+              }
+            } else {
+              parity ^= (values[f] == Tern::k1);
+            }
+          }
+          next = x_input;
+          next_v = (all_definite && x_input != netlist::kInvalidGate)
+                       ? (parity ^ v)
+                       : false;
+          break;
+        }
+        default:
+          return std::nullopt;
+      }
+      if (next == netlist::kInvalidGate) return std::nullopt;
+      g = next;
+      v = next_v;
+    }
+    return std::nullopt;
+  };
+
+  // Depth-first decision search on PIs with event-driven implication.
+  const auto search = [&](auto&& self) -> bool {
+    const Objective* open = nullptr;
+    switch (check(objectives, esim.values(), &open)) {
+      case Status::kConflict:
+        return false;
+      case Status::kSatisfied:
+        return true;
+      case Status::kOpen:
+        break;
+    }
+    const auto decision = backtrace(*open);
+    if (!decision) return false;
+    const auto [pos, first_try] = *decision;
+    const GateId pi_gate = nl.inputs()[pos];
+    for (const bool val : {first_try, !first_try}) {
+      const std::size_t mark = trail.size();
+      pi[pos] = from_bool(val);
+      esim.assign(pi_gate, from_bool(val), trail);
+      if (self(self)) return true;
+      esim.undo(trail, mark);
+      pi[pos] = Tern::kX;
+      if (++backtracks > max_backtracks) return false;
+    }
+    return false;
+  };
+
+  if (!search(search)) return std::nullopt;
+  PodemResult result;
+  result.pi_values = std::move(pi);
+  result.backtracks = backtracks;
+  return result;
+}
+
+}  // namespace sddd::atpg

@@ -1,0 +1,55 @@
+// podem.h - PODEM-style single-vector objective satisfaction.
+//
+// The path-delay-fault ATPG (Section G: tests "generated based purely on
+// logic path sensitization conditions") reduces each vector of a two-vector
+// test to a set of (gate, value) objectives - e.g. "every side input of the
+// targeted path holds its non-controlling value".  This module solves such
+// objective sets with the classic PODEM search: decisions are made only on
+// primary inputs, objectives are backtraced through X-paths, and
+// contradictions backtrack with a bounded budget.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "logicsim/ternary.h"
+#include "netlist/levelize.h"
+#include "netlist/netlist.h"
+
+namespace sddd::atpg {
+
+/// A required logic value on a gate's output.
+struct Objective {
+  netlist::GateId gate = netlist::kInvalidGate;
+  bool value = false;
+};
+
+/// Result of a PODEM run: PI values (kX = unconstrained, free for fill).
+struct PodemResult {
+  std::vector<logicsim::Tern> pi_values;  ///< indexed like Netlist::inputs()
+  std::size_t backtracks = 0;
+};
+
+class Podem {
+ public:
+  Podem(const netlist::Netlist& nl, const netlist::Levelization& lev);
+
+  /// Finds PI values satisfying every objective simultaneously, or
+  /// std::nullopt when the budget is exhausted / the objectives are
+  /// unsatisfiable within it.  `pre_assigned` (optional, indexed like
+  /// inputs()) pins some PIs before the search - used to couple the two
+  /// vectors of a delay test.
+  std::optional<PodemResult> solve(
+      std::span<const Objective> objectives, std::size_t max_backtracks = 2000,
+      std::span<const logicsim::Tern> pre_assigned = {}) const;
+
+ private:
+  const netlist::Netlist* nl_;
+  const netlist::Levelization* lev_;
+  logicsim::TernarySimulator sim_;
+  std::vector<std::int32_t> input_index_;  ///< gate id -> PI position or -1
+};
+
+}  // namespace sddd::atpg

@@ -1,0 +1,117 @@
+#include "atpg/scan_modes.h"
+
+#include <stdexcept>
+
+namespace sddd::atpg {
+
+using logicsim::Pattern;
+using logicsim::PatternPair;
+using netlist::GateId;
+using netlist::Netlist;
+
+ScanChain chain_from_transform(const Netlist& core,
+                               std::size_t original_pi_count) {
+  if (original_pi_count > core.inputs().size()) {
+    throw std::invalid_argument("chain_from_transform: PI count too large");
+  }
+  // In a .bench netlist the INPUT() declarations precede every gate, so
+  // full_scan_transform (which preserves gate-id order) lists all original
+  // PIs before any DFF pseudo-PI: the chain is simply the tail of
+  // inputs().  For netlists built differently, construct the struct by
+  // hand from the flop names.
+  ScanChain chain;
+  for (std::size_t i = original_pi_count; i < core.inputs().size(); ++i) {
+    chain.chain_positions.push_back(i);
+  }
+  return chain;
+}
+
+std::vector<GateId> capture_map_from_transform(const Netlist& core,
+                                               std::size_t original_po_count,
+                                               std::size_t n_flops) {
+  if (original_po_count + n_flops > core.outputs().size()) {
+    throw std::invalid_argument("capture_map_from_transform: count mismatch");
+  }
+  std::vector<GateId> map;
+  for (std::size_t i = 0; i < n_flops; ++i) {
+    map.push_back(core.outputs()[original_po_count + i]);
+  }
+  return map;
+}
+
+PatternPair constrained_pattern_pair(const Netlist& core,
+                                     const netlist::Levelization& lev,
+                                     const ScanChain& chain, ScanMode mode,
+                                     stats::Rng& rng,
+                                     std::span<const GateId> capture_map) {
+  const std::size_t n = core.inputs().size();
+  PatternPair pair;
+  pair.v1.resize(n);
+  pair.v2.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    pair.v1[i] = rng.bernoulli(0.5);
+    pair.v2[i] = rng.bernoulli(0.5);
+  }
+  switch (mode) {
+    case ScanMode::kEnhancedScan:
+      break;
+    case ScanMode::kLaunchOnShift: {
+      // v2's chain = v1's chain shifted one position toward scan-out;
+      // the freed scan-in position takes a fresh random bit.
+      for (std::size_t i = chain.chain_positions.size(); i-- > 1;) {
+        pair.v2[chain.chain_positions[i]] =
+            pair.v1[chain.chain_positions[i - 1]];
+      }
+      if (!chain.chain_positions.empty()) {
+        pair.v2[chain.chain_positions.front()] = rng.bernoulli(0.5);
+      }
+      break;
+    }
+    case ScanMode::kLaunchOnCapture: {
+      if (capture_map.size() != chain.chain_positions.size()) {
+        throw std::invalid_argument(
+            "constrained_pattern_pair: capture_map size mismatch");
+      }
+      const logicsim::BitSimulator sim(core, lev);
+      const auto values = sim.simulate_single(pair.v1);
+      for (std::size_t i = 0; i < chain.chain_positions.size(); ++i) {
+        pair.v2[chain.chain_positions[i]] = values[capture_map[i]];
+      }
+      break;
+    }
+  }
+  return pair;
+}
+
+bool pair_obeys_mode(const PatternPair& pair, const Netlist& core,
+                     const netlist::Levelization& lev, const ScanChain& chain,
+                     ScanMode mode, std::span<const GateId> capture_map) {
+  switch (mode) {
+    case ScanMode::kEnhancedScan:
+      return true;
+    case ScanMode::kLaunchOnShift: {
+      for (std::size_t i = 1; i < chain.chain_positions.size(); ++i) {
+        if (pair.v2[chain.chain_positions[i]] !=
+            pair.v1[chain.chain_positions[i - 1]]) {
+          return false;
+        }
+      }
+      return true;
+    }
+    case ScanMode::kLaunchOnCapture: {
+      if (capture_map.size() != chain.chain_positions.size()) return false;
+      const logicsim::BitSimulator sim(core, lev);
+      const auto values = sim.simulate_single(pair.v1);
+      for (std::size_t i = 0; i < chain.chain_positions.size(); ++i) {
+        if (pair.v2[chain.chain_positions[i]] !=
+            static_cast<bool>(values[capture_map[i]])) {
+          return false;
+        }
+      }
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace sddd::atpg

@@ -1,0 +1,78 @@
+// scan_modes.h - Scan-chain application constraints for two-vector tests.
+//
+// The library's PatternPair abstraction assumes both vectors are freely
+// controllable (enhanced scan), which is what the paper's formulation
+// needs.  Real scan chains constrain the launch vector:
+//
+//   - kEnhancedScan: v1 and v2 independent (the default everywhere);
+//   - kLaunchOnShift (LOS): v2 is v1 shifted by one position along the
+//     scan chain with a fresh scan-in bit - so v1 determines all but one
+//     bit of v2;
+//   - kLaunchOnCapture (LOC / broadside): v2's pseudo-PI part is the
+//     circuit's functional response to v1 (v2_ff = comb(v1)); true PIs
+//     remain free.
+//
+// These utilities generate constrained random pairs and check whether an
+// arbitrary pair is applicable under a mode, so experiments can measure
+// how much diagnostic power the cheaper scan styles give up.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "logicsim/bitsim.h"
+#include "netlist/levelize.h"
+#include "stats/rng.h"
+
+namespace sddd::atpg {
+
+enum class ScanMode : std::uint8_t {
+  kEnhancedScan,
+  kLaunchOnShift,
+  kLaunchOnCapture,
+};
+
+/// Describes which inputs of the (full-scan transformed) netlist are
+/// pseudo-PIs fed by the scan chain, in chain order.  Positions index
+/// Netlist::inputs().
+struct ScanChain {
+  std::vector<std::size_t> chain_positions;  ///< scan flops, scan-in first
+};
+
+/// Derives the chain from a full-scan transform done by this library:
+/// pseudo-PIs are the inputs whose gate name matches a DFF of the original
+/// netlist; here we approximate "every input after the original PI count"
+/// which holds for full_scan_transform's construction order.  For custom
+/// netlists, build the struct by hand.
+ScanChain chain_from_transform(const netlist::Netlist& core,
+                               std::size_t original_pi_count);
+
+/// Generates a random pattern pair obeying `mode`.
+/// kEnhancedScan: both vectors random.
+/// kLaunchOnShift: v1 random; v2 = v1 with the chain shifted one position
+///   (scan-in bit random); non-chain PIs may still change.
+/// kLaunchOnCapture: v1 random; v2's chain bits = the functional values
+///   captured from v1 (the D-input values, i.e. the pseudo-PO driving each
+///   flop); requires `capture_map` pairing each chain position with its
+///   pseudo-PO gate - pass the map built by capture_map_from_transform.
+logicsim::PatternPair constrained_pattern_pair(
+    const netlist::Netlist& core, const netlist::Levelization& lev,
+    const ScanChain& chain, ScanMode mode, stats::Rng& rng,
+    std::span<const netlist::GateId> capture_map = {});
+
+/// Pairs chain positions with the pseudo-PO gates that feed the original
+/// flops' D pins, using the same construction-order convention as
+/// chain_from_transform.  `original_po_count` = PO count before the scan
+/// transform.
+std::vector<netlist::GateId> capture_map_from_transform(
+    const netlist::Netlist& core, std::size_t original_po_count,
+    std::size_t n_flops);
+
+/// True when `pair` is applicable under `mode` for the given chain.
+bool pair_obeys_mode(const logicsim::PatternPair& pair,
+                     const netlist::Netlist& core,
+                     const netlist::Levelization& lev, const ScanChain& chain,
+                     ScanMode mode,
+                     std::span<const netlist::GateId> capture_map = {});
+
+}  // namespace sddd::atpg

@@ -1,0 +1,94 @@
+#include "defect/defect_model.h"
+
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+#include "timing/delay_field.h"  // counter_uniform
+
+namespace sddd::defect {
+
+using stats::RandomVariable;
+using stats::Rng;
+
+DefectSizeModel::DefectSizeModel(double unit, double mean_lo_frac,
+                                 double mean_hi_frac, double three_sigma_frac,
+                                 std::uint64_t seed)
+    : unit_(unit),
+      mean_lo_(mean_lo_frac * unit),
+      mean_hi_(mean_hi_frac * unit),
+      three_sigma_frac_(three_sigma_frac),
+      seed_(seed) {
+  if (unit <= 0.0 || mean_lo_frac < 0.0 || mean_hi_frac < mean_lo_frac ||
+      three_sigma_frac < 0.0) {
+    throw std::invalid_argument("DefectSizeModel: bad parameters");
+  }
+}
+
+DefectSizeModel DefectSizeModel::paper_default(double unit,
+                                               std::uint64_t seed) {
+  return DefectSizeModel(unit, 0.5, 1.0, 0.5, seed);
+}
+
+double DefectSizeModel::marginal_mean() const {
+  return 0.5 * (mean_lo_ + mean_hi_);
+}
+
+double DefectSizeModel::sample(std::uint64_t salt, std::size_t k) const {
+  const double u_mean = timing::counter_uniform(seed_, salt * 2 + 1, k);
+  const double mean = mean_lo_ + (mean_hi_ - mean_lo_) * u_mean;
+  const double sigma = mean * three_sigma_frac_ / 3.0;
+  const double u_size = timing::counter_uniform(seed_, salt * 2 + 2, k);
+  const double size = mean + sigma * stats::inverse_normal_cdf(u_size);
+  return size > 0.0 ? size : 0.0;
+}
+
+RandomVariable DefectSizeModel::draw_instance_rv(Rng& rng) const {
+  const double mean = rng.uniform(mean_lo_, mean_hi_);
+  return RandomVariable::NormalThreeSigmaPct(mean, three_sigma_frac_);
+}
+
+SegmentDefectModel::SegmentDefectModel(const netlist::Netlist& nl,
+                                       std::vector<RandomVariable> sizes,
+                                       std::vector<double> occurrence)
+    : nl_(&nl), sizes_(std::move(sizes)), occurrence_(std::move(occurrence)) {
+  if (sizes_.size() != nl.arc_count() || occurrence_.size() != nl.arc_count()) {
+    throw std::invalid_argument("SegmentDefectModel: size mismatch");
+  }
+  for (const double p : occurrence_) {
+    if (p < 0.0 || p > 1.0) {
+      throw std::invalid_argument(
+          "SegmentDefectModel: occurrence probabilities must be in [0, 1]");
+    }
+  }
+}
+
+SegmentDefectModel SegmentDefectModel::uniform_single(
+    const netlist::Netlist& nl, const RandomVariable& size) {
+  const std::size_t m = nl.arc_count();
+  if (m == 0) {
+    throw std::invalid_argument("SegmentDefectModel: netlist has no arcs");
+  }
+  std::vector<RandomVariable> sizes(m, size);
+  std::vector<double> occ(m, 1.0 / static_cast<double>(m));
+  return SegmentDefectModel(nl, std::move(sizes), std::move(occ));
+}
+
+bool SegmentDefectModel::is_single_defect() const {
+  const double sum =
+      std::accumulate(occurrence_.begin(), occurrence_.end(), 0.0);
+  return std::abs(sum - 1.0) < 1e-9;
+}
+
+netlist::ArcId SegmentDefectModel::draw_location(Rng& rng) const {
+  const double sum =
+      std::accumulate(occurrence_.begin(), occurrence_.end(), 0.0);
+  double u = rng.uniform01() * sum;
+  for (netlist::ArcId a = 0; a < occurrence_.size(); ++a) {
+    u -= occurrence_[a];
+    if (u <= 0.0) return a;
+  }
+  return static_cast<netlist::ArcId>(occurrence_.size() - 1);
+}
+
+}  // namespace sddd::defect

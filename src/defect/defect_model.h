@@ -1,0 +1,98 @@
+// defect_model.h - Delay defect distributions (Definitions D.9 / D.10).
+//
+// The segment-oriented defect function D assigns each arc e_i a pair
+// (delta_i, rho_i): a defect-size random variable and an occurrence
+// probability.  The single-defect specialization D_s puts all occurrence
+// mass on one arc - the model under which both the paper's experiments and
+// Algorithm E.1 operate.
+//
+// Defect sizing follows Section I: "the random variable corresponding to
+// the injected defect size has a mean that is in the range of 50% to 100%
+// of a cell delay and we assume 3-sigma is 50% of the mean."  The size
+// model is hierarchical: mean ~ U(lo, hi) x unit, size | mean ~
+// Normal(mean, mean/6).  The diagnosis dictionary knows the *distribution*
+// but not the drawn size (the paper's "defect size is a random variable");
+// the injected chip carries one fixed draw.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "netlist/netlist.h"
+#include "stats/rng.h"
+#include "stats/rv.h"
+
+namespace sddd::defect {
+
+/// Hierarchical defect-size distribution, shared by injection (one draw)
+/// and dictionary construction (per-sample counter-based draws).
+class DefectSizeModel {
+ public:
+  /// @param unit         the "cell delay" unit (library mean cell delay)
+  /// @param mean_lo_frac lower bound of the size mean, as fraction of unit
+  /// @param mean_hi_frac upper bound of the size mean, as fraction of unit
+  /// @param three_sigma_frac  3-sigma of the size, as fraction of its mean
+  /// @param seed         stream for the counter-based dictionary draws
+  DefectSizeModel(double unit, double mean_lo_frac, double mean_hi_frac,
+                  double three_sigma_frac, std::uint64_t seed);
+
+  /// Paper defaults: mean in [0.5, 1.0] x unit, 3-sigma = 50% of mean.
+  static DefectSizeModel paper_default(double unit, std::uint64_t seed);
+
+  double unit() const { return unit_; }
+
+  /// Marginal mean of the defect size (average over the mean's range).
+  double marginal_mean() const;
+
+  /// Counter-based sample of the marginal size distribution, addressed by
+  /// (salt, k).  Used to build E_crt: sample k of the dictionary sees this
+  /// defect size on the suspect arc.  Deterministic; always >= 0.
+  double sample(std::uint64_t salt, std::size_t k) const;
+
+  /// Draws the size RV of one *injected* defect: picks a mean uniformly,
+  /// returns Normal(mean, mean/6) (so callers can also report the drawn
+  /// distribution, not just the value).
+  stats::RandomVariable draw_instance_rv(stats::Rng& rng) const;
+
+ private:
+  double unit_;
+  double mean_lo_;
+  double mean_hi_;
+  double three_sigma_frac_;
+  std::uint64_t seed_;
+};
+
+/// Segment-oriented defect function D (Definition D.9): one
+/// (size RV, occurrence probability) pair per arc.
+class SegmentDefectModel {
+ public:
+  SegmentDefectModel(const netlist::Netlist& nl,
+                     std::vector<stats::RandomVariable> sizes,
+                     std::vector<double> occurrence);
+
+  /// Uniform single-defect prior: every arc equally likely, common size
+  /// model (the experiment default).
+  static SegmentDefectModel uniform_single(const netlist::Netlist& nl,
+                                           const stats::RandomVariable& size);
+
+  const netlist::Netlist& netlist() const { return *nl_; }
+  const stats::RandomVariable& size_rv(netlist::ArcId a) const {
+    return sizes_[a];
+  }
+  double occurrence(netlist::ArcId a) const { return occurrence_[a]; }
+
+  /// True when occurrence probabilities select exactly one arc in every
+  /// draw (sum = 1, interpreting them as a categorical distribution) -
+  /// Definition D.10's single-defect constraint.
+  bool is_single_defect() const;
+
+  /// Draws a defect location from the occurrence distribution.
+  netlist::ArcId draw_location(stats::Rng& rng) const;
+
+ private:
+  const netlist::Netlist* nl_;
+  std::vector<stats::RandomVariable> sizes_;
+  std::vector<double> occurrence_;
+};
+
+}  // namespace sddd::defect

@@ -1,0 +1,22 @@
+#include "defect/injector.h"
+
+#include <stdexcept>
+
+namespace sddd::defect {
+
+InjectedChip DefectInjector::draw(std::size_t n_instances,
+                                  stats::Rng& rng) const {
+  if (n_instances == 0) {
+    throw std::invalid_argument("DefectInjector: n_instances must be > 0");
+  }
+  InjectedChip chip;
+  chip.sample_index = static_cast<std::size_t>(
+      rng.below(static_cast<std::uint32_t>(n_instances)));
+  chip.defect_arc = location_->draw_location(rng);
+  const auto size_rv = size_->draw_instance_rv(rng);
+  chip.size_mean = size_rv.mean();
+  chip.defect_size = size_rv.sample(rng);
+  return chip;
+}
+
+}  // namespace sddd::defect

@@ -1,0 +1,44 @@
+// injector.h - Statistical defect injection (Section H-3 / I).
+//
+// Produces the failing-chip population of the experiments: each injected
+// chip is (a) one joint delay-configuration draw of the circuit model - a
+// sample index of an *instance* DelayField kept separate from the
+// dictionary's field so the diagnosis cannot "recognize" the chip among
+// its own Monte-Carlo samples - plus (b) one defect whose location and
+// size are drawn from a SegmentDefectModel / DefectSizeModel.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "defect/defect_model.h"
+#include "netlist/netlist.h"
+#include "stats/rng.h"
+
+namespace sddd::defect {
+
+/// One injected chip: the ground truth of a diagnosis trial.
+struct InjectedChip {
+  std::size_t sample_index = 0;        ///< which chip of the instance field
+  netlist::ArcId defect_arc = netlist::kInvalidArc;
+  double defect_size = 0.0;            ///< fixed drawn size (time units)
+  double size_mean = 0.0;              ///< mean of the drawn size RV
+};
+
+/// Draws injected chips.  Stateless apart from the RNG the caller owns.
+class DefectInjector {
+ public:
+  DefectInjector(const SegmentDefectModel& location_model,
+                 const DefectSizeModel& size_model)
+      : location_(&location_model), size_(&size_model) {}
+
+  /// Draws one chip: location from the segment model, size from the
+  /// hierarchical size model, sample index uniform in [0, n_instances).
+  InjectedChip draw(std::size_t n_instances, stats::Rng& rng) const;
+
+ private:
+  const SegmentDefectModel* location_;
+  const DefectSizeModel* size_;
+};
+
+}  // namespace sddd::defect

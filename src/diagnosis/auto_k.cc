@@ -1,0 +1,86 @@
+#include "diagnosis/auto_k.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+namespace sddd::diagnosis {
+
+namespace {
+
+/// Ranking keys of the suspects in best-first order for `method`.
+std::vector<double> sorted_keys(const DiagnosisResult& result, Method method) {
+  const auto it =
+      std::find(result.methods.begin(), result.methods.end(), method);
+  if (it == result.methods.end()) {
+    throw std::invalid_argument("select_k: method not computed");
+  }
+  const auto mi = static_cast<std::size_t>(it - result.methods.begin());
+  std::vector<double> keys = result.keys[mi];
+  std::sort(keys.begin(), keys.end(), [&](double a, double b) {
+    return ranks_better(method, a, b);
+  });
+  return keys;
+}
+
+std::size_t gap_cut(const std::vector<double>& keys, std::size_t max_k) {
+  const std::size_t window = std::min(max_k + 1, keys.size());
+  if (window <= 1) return 1;
+  // Largest absolute gap between consecutive keys inside the window; keys
+  // are already ordered best-first, so a big gap marks the end of the
+  // leader cluster.
+  std::size_t best_cut = 1;
+  double best_gap = -1.0;
+  for (std::size_t i = 1; i < window; ++i) {
+    const double gap = std::abs(keys[i] - keys[i - 1]);
+    if (gap > best_gap) {
+      best_gap = gap;
+      best_cut = i;
+    }
+  }
+  return std::max<std::size_t>(best_cut, 1);
+}
+
+std::size_t mass_cut(const std::vector<double>& keys, Method method,
+                     std::size_t max_k, double mass) {
+  const std::size_t window = std::min(max_k, keys.size());
+  if (window <= 1) return 1;
+  // Convert keys into non-negative "explanatory weights", larger = better.
+  std::vector<double> weight(window);
+  if (method == Method::kRev) {
+    // Minimization: invert around the worst key in the window.
+    const double worst = keys[window - 1];
+    for (std::size_t i = 0; i < window; ++i) weight[i] = worst - keys[i];
+  } else {
+    const double floor = keys[window - 1];
+    for (std::size_t i = 0; i < window; ++i) weight[i] = keys[i] - floor;
+  }
+  double total = 0.0;
+  for (const double w : weight) total += w;
+  if (total <= 0.0) return 1;  // flat landscape: no evidence beyond top-1
+  double acc = 0.0;
+  for (std::size_t i = 0; i < window; ++i) {
+    acc += weight[i];
+    if (acc >= mass * total) return i + 1;
+  }
+  return window;
+}
+
+}  // namespace
+
+std::size_t select_k(const DiagnosisResult& result, Method method,
+                     const AutoKConfig& config) {
+  if (result.suspects.empty()) return 1;
+  const auto keys = sorted_keys(result, method);
+  switch (config.policy) {
+    case AutoKPolicy::kGapCut:
+      return std::min(gap_cut(keys, config.max_k), keys.size());
+    case AutoKPolicy::kMassCut:
+      return std::min(mass_cut(keys, method, config.max_k, config.mass),
+                      keys.size());
+  }
+  return 1;
+}
+
+}  // namespace sddd::diagnosis

@@ -1,0 +1,40 @@
+// auto_k.h - Automatic K selection (the paper's future-work item #2:
+// "develop heuristics to select K automatically").
+//
+// Algorithm E.1 leaves K (how many top-ranked candidates to report) to the
+// user.  These heuristics derive K from the score landscape itself:
+//
+//   kGapCut     - cut at the largest relative gap between consecutive
+//                 ranking keys within the first `max_k` candidates: report
+//                 the "cluster of leaders" the error function actually
+//                 separated.
+//   kMassCut    - smallest K whose (method-normalized) score mass covers
+//                 `mass` of the total: report candidates until the tail
+//                 stops adding explanatory power.  For minimize-methods
+//                 (Alg_rev) scores are inverted before normalizing.
+//
+// Both return at least 1 and at most max_k (or |S|).
+#pragma once
+
+#include <cstddef>
+
+#include "diagnosis/diagnoser.h"
+
+namespace sddd::diagnosis {
+
+enum class AutoKPolicy {
+  kGapCut,
+  kMassCut,
+};
+
+struct AutoKConfig {
+  AutoKPolicy policy = AutoKPolicy::kGapCut;
+  std::size_t max_k = 16;   ///< never report more than this many
+  double mass = 0.8;        ///< kMassCut: fraction of score mass to cover
+};
+
+/// Chooses K for `method` from a finished diagnosis result.
+std::size_t select_k(const DiagnosisResult& result, Method method,
+                     const AutoKConfig& config = {});
+
+}  // namespace sddd::diagnosis

@@ -1,0 +1,76 @@
+#include "diagnosis/behavior.h"
+
+#include <numeric>
+
+namespace sddd::diagnosis {
+
+using netlist::GateId;
+
+bool BehaviorMatrix::any_failure() const {
+  for (const std::uint8_t b : bits_) {
+    if (b != 0) return true;
+  }
+  return false;
+}
+
+std::size_t BehaviorMatrix::failure_count() const {
+  return static_cast<std::size_t>(
+      std::accumulate(bits_.begin(), bits_.end(), std::size_t{0}));
+}
+
+std::vector<std::size_t> BehaviorMatrix::failing_patterns() const {
+  std::vector<std::size_t> out;
+  for (std::size_t j = 0; j < n_patterns_; ++j) {
+    for (std::size_t i = 0; i < n_outputs_; ++i) {
+      if (at(i, j)) {
+        out.push_back(j);
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<GateId> BehaviorMatrix::failing_output_gates(
+    const netlist::Netlist& nl, std::size_t pattern) const {
+  std::vector<GateId> out;
+  for (std::size_t i = 0; i < n_outputs_; ++i) {
+    if (at(i, pattern)) out.push_back(nl.outputs()[i]);
+  }
+  return out;
+}
+
+BehaviorMatrix observe_behavior(
+    const timing::DynamicTimingSimulator& instance_sim,
+    const logicsim::BitSimulator& logic_sim, const netlist::Levelization& lev,
+    std::span<const logicsim::PatternPair> patterns, std::size_t sample_index,
+    std::optional<std::pair<netlist::ArcId, double>> defect, double clk) {
+  if (defect) {
+    const std::pair<netlist::ArcId, double> one[] = {*defect};
+    return observe_behavior_multi(instance_sim, logic_sim, lev, patterns,
+                                  sample_index, one, clk);
+  }
+  return observe_behavior_multi(instance_sim, logic_sim, lev, patterns,
+                                sample_index, {}, clk);
+}
+
+BehaviorMatrix observe_behavior_multi(
+    const timing::DynamicTimingSimulator& instance_sim,
+    const logicsim::BitSimulator& logic_sim, const netlist::Levelization& lev,
+    std::span<const logicsim::PatternPair> patterns, std::size_t sample_index,
+    std::span<const std::pair<netlist::ArcId, double>> defects, double clk) {
+  const auto& nl = logic_sim.netlist();
+  BehaviorMatrix B(nl.outputs().size(), patterns.size());
+  for (std::size_t j = 0; j < patterns.size(); ++j) {
+    const paths::TransitionGraph tg(logic_sim, lev, patterns[j]);
+    const auto arrival =
+        instance_sim.simulate_instance_multi(tg, sample_index, defects);
+    for (std::size_t i = 0; i < nl.outputs().size(); ++i) {
+      const GateId o = nl.outputs()[i];
+      B.set(i, j, tg.toggles(o) && arrival[o] > clk);
+    }
+  }
+  return B;
+}
+
+}  // namespace sddd::diagnosis

@@ -1,0 +1,76 @@
+// behavior.h - The observed failing-chip behavior matrix B (Section E).
+//
+// b_ij = 1 iff primary output o_i fails (arrives after the cut-off clk)
+// under test pattern v_j on the chip under diagnosis.  This is the only
+// information the tester gives the diagnosis algorithm about the chip.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "logicsim/bitsim.h"
+#include "netlist/netlist.h"
+#include "paths/transition_graph.h"
+#include "timing/dynamic_sim.h"
+
+namespace sddd::diagnosis {
+
+/// Dense |O| x |TP| 0/1 matrix.
+class BehaviorMatrix {
+ public:
+  BehaviorMatrix(std::size_t n_outputs, std::size_t n_patterns)
+      : n_outputs_(n_outputs),
+        n_patterns_(n_patterns),
+        bits_(n_outputs * n_patterns, 0) {}
+
+  std::size_t output_count() const { return n_outputs_; }
+  std::size_t pattern_count() const { return n_patterns_; }
+
+  bool at(std::size_t output, std::size_t pattern) const {
+    return bits_[output * n_patterns_ + pattern] != 0;
+  }
+  void set(std::size_t output, std::size_t pattern, bool fails) {
+    bits_[output * n_patterns_ + pattern] = fails ? 1 : 0;
+  }
+
+  /// True when at least one (output, pattern) cell fails - i.e. the chip
+  /// is observably bad and diagnosis has something to work with.
+  bool any_failure() const;
+
+  /// Number of failing cells.
+  std::size_t failure_count() const;
+
+  /// Pattern indices with at least one failing output.
+  std::vector<std::size_t> failing_patterns() const;
+
+  /// Output *gate ids* failing under pattern j (for suspect extraction).
+  std::vector<netlist::GateId> failing_output_gates(
+      const netlist::Netlist& nl, std::size_t pattern) const;
+
+ private:
+  std::size_t n_outputs_;
+  std::size_t n_patterns_;
+  std::vector<std::uint8_t> bits_;
+};
+
+/// Simulates the failing chip: instance `sample_index` of `instance_sim`'s
+/// delay field, with a fixed-size defect on `defect_arc`, against every
+/// pattern; fails where the output arrival exceeds clk.  Pass nullopt as
+/// the defect for a defect-free (good-chip) reference.
+BehaviorMatrix observe_behavior(
+    const timing::DynamicTimingSimulator& instance_sim,
+    const logicsim::BitSimulator& logic_sim, const netlist::Levelization& lev,
+    std::span<const logicsim::PatternPair> patterns, std::size_t sample_index,
+    std::optional<std::pair<netlist::ArcId, double>> defect, double clk);
+
+/// Multi-defect variant (relaxed single-defect assumption): all listed
+/// (arc, extra delay) defects are present on the chip simultaneously.
+BehaviorMatrix observe_behavior_multi(
+    const timing::DynamicTimingSimulator& instance_sim,
+    const logicsim::BitSimulator& logic_sim, const netlist::Levelization& lev,
+    std::span<const logicsim::PatternPair> patterns, std::size_t sample_index,
+    std::span<const std::pair<netlist::ArcId, double>> defects, double clk);
+
+}  // namespace sddd::diagnosis

@@ -1,0 +1,132 @@
+#include "diagnosis/diagnoser.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "paths/path_enum.h"
+
+namespace sddd::diagnosis {
+
+using netlist::ArcId;
+using netlist::GateId;
+
+Diagnoser::Diagnoser(const timing::DynamicTimingSimulator& sim,
+                     const logicsim::BitSimulator& logic_sim,
+                     const netlist::Levelization& lev,
+                     const defect::DefectSizeModel& size_model,
+                     DiagnoserConfig config)
+    : sim_(&sim),
+      logic_sim_(&logic_sim),
+      lev_(&lev),
+      size_model_(&size_model),
+      config_(config) {}
+
+std::vector<ArcId> Diagnoser::extract_suspects(
+    std::span<const logicsim::PatternPair> patterns,
+    const BehaviorMatrix& B) const {
+  const auto& nl = logic_sim_->netlist();
+  std::vector<std::uint32_t> support(nl.arc_count(), 0);
+  for (const std::size_t j : B.failing_patterns()) {
+    const paths::TransitionGraph tg(*logic_sim_, *lev_, patterns[j]);
+    for (const GateId o : B.failing_output_gates(nl, j)) {
+      const auto cone = tg.cone_to_output(o);
+      for (ArcId a = 0; a < nl.arc_count(); ++a) {
+        if (cone[a]) ++support[a];
+      }
+    }
+  }
+  std::vector<ArcId> suspects;
+  for (ArcId a = 0; a < nl.arc_count(); ++a) {
+    if (support[a] > 0) suspects.push_back(a);
+  }
+  if (config_.max_suspects > 0 && suspects.size() > config_.max_suspects) {
+    // Keep the best-supported suspects; stable ordering keeps the result
+    // deterministic.
+    std::stable_sort(suspects.begin(), suspects.end(),
+                     [&](ArcId a, ArcId b) { return support[a] > support[b]; });
+    suspects.resize(config_.max_suspects);
+    std::sort(suspects.begin(), suspects.end());
+  }
+  return suspects;
+}
+
+DiagnosisResult Diagnoser::diagnose(
+    std::span<const logicsim::PatternPair> patterns, const BehaviorMatrix& B,
+    std::span<const Method> methods, double clk) const {
+  if (B.pattern_count() != patterns.size()) {
+    throw std::invalid_argument("Diagnoser: behavior/pattern size mismatch");
+  }
+  DiagnosisResult result;
+  result.methods.assign(methods.begin(), methods.end());
+  result.suspects = extract_suspects(patterns, B);
+
+  const std::size_t n_suspects = result.suspects.size();
+  const std::size_t n_patterns = patterns.size();
+  const std::size_t n_outputs = B.output_count();
+
+  // One accumulator per (method, suspect); filled pattern-by-pattern so a
+  // single baseline arrival matrix is alive at a time.
+  std::vector<std::vector<ScoreAccumulator>> acc;
+  acc.reserve(methods.size());
+  for (const Method m : methods) {
+    acc.emplace_back(n_suspects, ScoreAccumulator(m));
+  }
+
+  std::vector<bool> b_col(n_outputs);
+  for (std::size_t j = 0; j < n_patterns; ++j) {
+    const PatternSlice slice(*sim_, *logic_sim_, *lev_, patterns[j], clk);
+    for (std::size_t i = 0; i < n_outputs; ++i) b_col[i] = B.at(i, j);
+    for (std::size_t s = 0; s < n_suspects; ++s) {
+      const auto col =
+          config_.match_on_total_probability
+              ? slice.e_column(result.suspects[s], *size_model_)
+              : slice.signature_column(result.suspects[s], *size_model_);
+      const double phi_j = phi(col, b_col);
+      for (auto& method_acc : acc) method_acc[s].add_phi(phi_j);
+    }
+  }
+
+  result.scores.resize(methods.size());
+  result.keys.resize(methods.size());
+  for (std::size_t m = 0; m < methods.size(); ++m) {
+    result.scores[m].resize(n_suspects);
+    result.keys[m].resize(n_suspects);
+    for (std::size_t s = 0; s < n_suspects; ++s) {
+      result.scores[m][s] = acc[m][s].finish(n_patterns);
+      result.keys[m][s] = acc[m][s].ranking_key(n_patterns);
+    }
+  }
+  return result;
+}
+
+std::vector<RankedSuspect> DiagnosisResult::ranked(Method m) const {
+  const auto it = std::find(methods.begin(), methods.end(), m);
+  if (it == methods.end()) {
+    throw std::invalid_argument("DiagnosisResult: method not computed");
+  }
+  const auto mi = static_cast<std::size_t>(it - methods.begin());
+  const auto& sc = scores[mi];
+  const auto& key = keys[mi];
+  std::vector<std::size_t> order(suspects.size());
+  for (std::size_t s = 0; s < order.size(); ++s) order[s] = s;
+  std::stable_sort(order.begin(), order.end(),
+                   [&](std::size_t a, std::size_t b) {
+                     return ranks_better(m, key[a], key[b]);
+                   });
+  std::vector<RankedSuspect> out(suspects.size());
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    out[i] = RankedSuspect{suspects[order[i]], sc[order[i]]};
+  }
+  return out;
+}
+
+bool DiagnosisResult::hit_within(Method m, ArcId arc, std::size_t k) const {
+  const auto r = ranked(m);
+  const std::size_t limit = std::min(k, r.size());
+  for (std::size_t i = 0; i < limit; ++i) {
+    if (r[i].arc == arc) return true;
+  }
+  return false;
+}
+
+}  // namespace sddd::diagnosis

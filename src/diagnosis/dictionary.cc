@@ -1,0 +1,73 @@
+#include "diagnosis/dictionary.h"
+
+#include <algorithm>
+
+namespace sddd::diagnosis {
+
+PatternSlice::PatternSlice(const timing::DynamicTimingSimulator& sim,
+                           const logicsim::BitSimulator& logic_sim,
+                           const netlist::Levelization& lev,
+                           const logicsim::PatternPair& pattern, double clk)
+    : sim_(&sim), tg_(logic_sim, lev, pattern), clk_(clk) {
+  baseline_ = sim.simulate(tg_);
+  m_col_ = sim.error_vector(tg_, baseline_, clk);
+}
+
+std::vector<double> PatternSlice::e_column(
+    netlist::ArcId suspect, const defect::DefectSizeModel& size_model) const {
+  timing::InjectedDefect defect;
+  defect.arc = suspect;
+  const std::size_t n = sim_->field().sample_count();
+  defect.extra.resize(n);
+  for (std::size_t k = 0; k < n; ++k) {
+    defect.extra[k] = size_model.sample(suspect, k);
+  }
+  return sim_->error_vector_with_defect(tg_, baseline_, defect, clk_);
+}
+
+std::vector<double> PatternSlice::signature_column(
+    netlist::ArcId suspect, const defect::DefectSizeModel& size_model) const {
+  std::vector<double> s = e_column(suspect, size_model);
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    s[i] = std::max(s[i] - m_col_[i], 0.0);
+  }
+  return s;
+}
+
+FaultDictionary::FaultDictionary(
+    const timing::DynamicTimingSimulator& sim,
+    const logicsim::BitSimulator& logic_sim, const netlist::Levelization& lev,
+    std::span<const logicsim::PatternPair> patterns, double clk) {
+  slices_.reserve(patterns.size());
+  for (const auto& p : patterns) {
+    slices_.push_back(
+        std::make_unique<PatternSlice>(sim, logic_sim, lev, p, clk));
+  }
+}
+
+std::vector<std::vector<double>> FaultDictionary::m_matrix() const {
+  if (slices_.empty()) return {};
+  const std::size_t n_out = slices_.front()->m_column().size();
+  std::vector<std::vector<double>> m(n_out,
+                                     std::vector<double>(slices_.size(), 0.0));
+  for (std::size_t j = 0; j < slices_.size(); ++j) {
+    const auto& col = slices_[j]->m_column();
+    for (std::size_t i = 0; i < n_out; ++i) m[i][j] = col[i];
+  }
+  return m;
+}
+
+std::vector<std::vector<double>> FaultDictionary::e_matrix(
+    netlist::ArcId suspect, const defect::DefectSizeModel& size_model) const {
+  if (slices_.empty()) return {};
+  const std::size_t n_out = slices_.front()->m_column().size();
+  std::vector<std::vector<double>> e(n_out,
+                                     std::vector<double>(slices_.size(), 0.0));
+  for (std::size_t j = 0; j < slices_.size(); ++j) {
+    const auto col = slices_[j]->e_column(suspect, size_model);
+    for (std::size_t i = 0; i < n_out; ++i) e[i][j] = col[i];
+  }
+  return e;
+}
+
+}  // namespace sddd::diagnosis

@@ -1,0 +1,92 @@
+// dictionary.h - The probabilistic fault dictionary (Sections C-1, E).
+//
+// For a pattern set TP and cut-off clk the dictionary holds, per pattern v:
+//   - M_crt column: Err(C, v, clk), the defect-free critical probabilities
+//     per output (Definition D.7), and
+//   - on demand, E_crt columns: Err(D_s(C), v, clk) for a candidate single
+//     defect D_s on a suspect arc, with the defect size drawn per
+//     Monte-Carlo sample from the (known) defect-size model - the paper's
+//     "delay defect size is a random variable".
+// The signature column is their difference S = E - M (Definition E.1),
+// guaranteed >= 0 because every timing quantity is monotone in every arc
+// delay under the transition-mode semantics.
+//
+// Construction cost note (the paper's feasibility question (3)): M columns
+// require one full dynamic simulation per pattern; each E column only
+// re-simulates the suspect's active fan-out cone against the cached
+// baseline.  Memory holds one pattern's baseline arrival matrix at a time
+// when used through PatternSlice, so dictionaries for large circuits never
+// materialize |E| x |TP| probability matrices unless asked to.
+#pragma once
+
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "defect/defect_model.h"
+#include "logicsim/bitsim.h"
+#include "netlist/levelize.h"
+#include "paths/transition_graph.h"
+#include "timing/dynamic_sim.h"
+
+namespace sddd::diagnosis {
+
+/// Everything the dictionary needs about one pattern: the induced circuit,
+/// the baseline (defect-free) arrivals and the M_crt column.
+class PatternSlice {
+ public:
+  PatternSlice(const timing::DynamicTimingSimulator& sim,
+               const logicsim::BitSimulator& logic_sim,
+               const netlist::Levelization& lev,
+               const logicsim::PatternPair& pattern, double clk);
+
+  const paths::TransitionGraph& transition_graph() const { return tg_; }
+
+  /// M_crt column: defect-free critical probability per output.
+  const std::vector<double>& m_column() const { return m_col_; }
+
+  /// E_crt column for a defect on `suspect` whose per-sample sizes come
+  /// from `size_model` (addressed by the suspect arc id, so the same chip
+  /// sample sees the same defect size across patterns).
+  std::vector<double> e_column(netlist::ArcId suspect,
+                               const defect::DefectSizeModel& size_model) const;
+
+  /// Signature column S = max(E - M, 0) (Definition E.1).
+  std::vector<double> signature_column(
+      netlist::ArcId suspect, const defect::DefectSizeModel& size_model) const;
+
+  double clk() const { return clk_; }
+
+ private:
+  const timing::DynamicTimingSimulator* sim_;
+  paths::TransitionGraph tg_;
+  timing::ArrivalMatrix baseline_;
+  std::vector<double> m_col_;
+  double clk_;
+};
+
+/// Full-dictionary convenience: owns slices for every pattern.  Fine for
+/// the benchmark-scale circuits of the paper; memory-conscious callers
+/// (the Table I harness) construct PatternSlices one at a time instead.
+class FaultDictionary {
+ public:
+  FaultDictionary(const timing::DynamicTimingSimulator& sim,
+                  const logicsim::BitSimulator& logic_sim,
+                  const netlist::Levelization& lev,
+                  std::span<const logicsim::PatternPair> patterns, double clk);
+
+  std::size_t pattern_count() const { return slices_.size(); }
+  const PatternSlice& slice(std::size_t j) const { return *slices_[j]; }
+
+  /// Full M_crt matrix, output-major: [output][pattern].
+  std::vector<std::vector<double>> m_matrix() const;
+
+  /// Full E_crt matrix for one suspect, output-major.
+  std::vector<std::vector<double>> e_matrix(
+      netlist::ArcId suspect, const defect::DefectSizeModel& size_model) const;
+
+ private:
+  std::vector<std::unique_ptr<PatternSlice>> slices_;
+};
+
+}  // namespace sddd::diagnosis

@@ -1,0 +1,85 @@
+#include "diagnosis/dictionary_io.h"
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace sddd::diagnosis {
+
+void write_dictionary_csv(const FaultDictionary& dict,
+                          std::span<const netlist::ArcId> suspects,
+                          const defect::DefectSizeModel& size_model,
+                          std::ostream& out) {
+  out << "suspect_arc,pattern,output,m,e,s\n";
+  for (const netlist::ArcId arc : suspects) {
+    for (std::size_t j = 0; j < dict.pattern_count(); ++j) {
+      const auto& m = dict.slice(j).m_column();
+      const auto e = dict.slice(j).e_column(arc, size_model);
+      for (std::size_t i = 0; i < m.size(); ++i) {
+        const double s = std::max(e[i] - m[i], 0.0);
+        out << arc << ',' << j << ',' << i << ',' << m[i] << ',' << e[i]
+            << ',' << s << '\n';
+      }
+    }
+  }
+}
+
+void write_behavior_csv(const BehaviorMatrix& b, std::ostream& out) {
+  out << b.output_count() << ',' << b.pattern_count() << '\n';
+  for (std::size_t i = 0; i < b.output_count(); ++i) {
+    for (std::size_t j = 0; j < b.pattern_count(); ++j) {
+      if (j != 0) out << ',';
+      out << (b.at(i, j) ? '1' : '0');
+    }
+    out << '\n';
+  }
+}
+
+BehaviorMatrix read_behavior_csv(std::istream& in) {
+  std::string line;
+  if (!std::getline(in, line)) {
+    throw std::runtime_error("behavior csv: missing header");
+  }
+  const auto comma = line.find(',');
+  if (comma == std::string::npos) {
+    throw std::runtime_error("behavior csv: malformed header");
+  }
+  std::size_t n_outputs = 0;
+  std::size_t n_patterns = 0;
+  try {
+    n_outputs = std::stoul(line.substr(0, comma));
+    n_patterns = std::stoul(line.substr(comma + 1));
+  } catch (const std::exception&) {
+    throw std::runtime_error("behavior csv: malformed header");
+  }
+  BehaviorMatrix b(n_outputs, n_patterns);
+  for (std::size_t i = 0; i < n_outputs; ++i) {
+    if (!std::getline(in, line)) {
+      throw std::runtime_error("behavior csv: truncated matrix");
+    }
+    std::size_t j = 0;
+    for (const char c : line) {
+      if (c == ',') continue;
+      if (c != '0' && c != '1') {
+        throw std::runtime_error("behavior csv: bad cell value");
+      }
+      if (j >= n_patterns) {
+        throw std::runtime_error("behavior csv: row too long");
+      }
+      b.set(i, j++, c == '1');
+    }
+    if (j != n_patterns) {
+      throw std::runtime_error("behavior csv: row too short");
+    }
+  }
+  return b;
+}
+
+std::uint64_t dense_dictionary_bytes(std::size_t n_suspects,
+                                     std::size_t n_patterns,
+                                     std::size_t n_outputs) {
+  return static_cast<std::uint64_t>(n_suspects) * n_patterns * n_outputs *
+         sizeof(double);
+}
+
+}  // namespace sddd::diagnosis

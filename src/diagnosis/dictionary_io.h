@@ -1,0 +1,45 @@
+// dictionary_io.h - Persisting the probabilistic fault dictionary.
+//
+// The paper's future work #4 asks how to "reduce the expense of computing
+// and storing the probabilistic fault dictionary".  This module provides
+// the storage half: CSV export/import of dictionary matrices and behavior
+// matrices (for offline analysis and interchange with the failure-analysis
+// flow), plus an exact accounting of what a dense dictionary would cost -
+// the number the paper's feasibility question weighs against recomputing
+// columns on demand (which is what the Diagnoser does).
+#pragma once
+
+#include <cstdint>
+#include <istream>
+#include <ostream>
+#include <span>
+
+#include "defect/defect_model.h"
+#include "diagnosis/behavior.h"
+#include "diagnosis/dictionary.h"
+
+namespace sddd::diagnosis {
+
+/// Writes one row per (suspect, pattern, output) with the M / E / S
+/// probabilities.  Header: suspect_arc,pattern,output,m,e,s.
+void write_dictionary_csv(const FaultDictionary& dict,
+                          std::span<const netlist::ArcId> suspects,
+                          const defect::DefectSizeModel& size_model,
+                          std::ostream& out);
+
+/// Behavior matrix as CSV: header "outputs,patterns" then one row per
+/// output of 0/1 cells.
+void write_behavior_csv(const BehaviorMatrix& b, std::ostream& out);
+
+/// Inverse of write_behavior_csv.  Throws std::runtime_error on malformed
+/// input.
+BehaviorMatrix read_behavior_csv(std::istream& in);
+
+/// Bytes a dense double-precision dictionary would occupy for
+/// |suspects| x |patterns| x |outputs| entries (the paper's storage
+/// question, made concrete).
+std::uint64_t dense_dictionary_bytes(std::size_t n_suspects,
+                                     std::size_t n_patterns,
+                                     std::size_t n_outputs);
+
+}  // namespace sddd::diagnosis

@@ -1,0 +1,63 @@
+#include "diagnosis/logic_baseline.h"
+
+#include <algorithm>
+
+#include "paths/path_enum.h"
+#include "paths/transition_graph.h"
+
+namespace sddd::diagnosis {
+
+using netlist::ArcId;
+using netlist::GateId;
+
+std::vector<std::vector<bool>> LogicBaselineDiagnoser::signature(
+    std::span<const logicsim::PatternPair> patterns, ArcId suspect) const {
+  const auto& nl = logic_sim_->netlist();
+  std::vector<std::vector<bool>> sig(
+      nl.outputs().size(), std::vector<bool>(patterns.size(), false));
+  for (std::size_t j = 0; j < patterns.size(); ++j) {
+    const paths::TransitionGraph tg(*logic_sim_, *lev_, patterns[j]);
+    for (std::size_t i = 0; i < nl.outputs().size(); ++i) {
+      const auto cone = tg.cone_to_output(nl.outputs()[i]);
+      sig[i][j] = cone[suspect];
+    }
+  }
+  return sig;
+}
+
+std::vector<LogicRankedSuspect> LogicBaselineDiagnoser::diagnose(
+    std::span<const logicsim::PatternPair> patterns,
+    const BehaviorMatrix& B) const {
+  const auto& nl = logic_sim_->netlist();
+  const std::size_t n_out = nl.outputs().size();
+
+  // One pass per pattern: cones for every output, accumulating each
+  // suspect's Hamming distance incrementally (and the suspect universe
+  // from the failing cells).
+  std::vector<std::uint32_t> mismatch(nl.arc_count(), 0);
+  std::vector<bool> is_suspect(nl.arc_count(), false);
+  for (std::size_t j = 0; j < patterns.size(); ++j) {
+    const paths::TransitionGraph tg(*logic_sim_, *lev_, patterns[j]);
+    for (std::size_t i = 0; i < n_out; ++i) {
+      const bool observed = B.at(i, j);
+      const auto cone = tg.cone_to_output(nl.outputs()[i]);
+      for (ArcId a = 0; a < nl.arc_count(); ++a) {
+        // Gross-delay prediction: fails iff in the cone.
+        if (cone[a] != observed) ++mismatch[a];
+        if (observed && cone[a]) is_suspect[a] = true;
+      }
+    }
+  }
+
+  std::vector<LogicRankedSuspect> ranked;
+  for (ArcId a = 0; a < nl.arc_count(); ++a) {
+    if (is_suspect[a]) ranked.push_back(LogicRankedSuspect{a, mismatch[a]});
+  }
+  std::stable_sort(ranked.begin(), ranked.end(),
+                   [](const LogicRankedSuspect& x, const LogicRankedSuspect& y) {
+                     return x.hamming < y.hamming;
+                   });
+  return ranked;
+}
+
+}  // namespace sddd::diagnosis

@@ -1,0 +1,65 @@
+// logic_baseline.h - Traditional logic-domain diagnosis baseline.
+//
+// The paper's Sections A-C motivate the statistical approach by contrast
+// with classic effect-cause dictionary diagnosis, which "is done purely on
+// the logic domain" and cannot account for delay configurations or defect
+// sizes.  To make that contrast measurable, this module implements the
+// strongest logic-only competitor available for delay defects: a
+// *gross-delay* fault dictionary.
+//
+// Under the gross-delay assumption a defect on arc e makes every
+// transition through e arrive too late, so pattern v flags output o iff e
+// lies on an active path to o - a deterministic 0/1 signature computable
+// from sensitization alone (exactly the cone information Algorithm E.1's
+// step 1 uses, with no timing).  Diagnosis then ranks suspects by Hamming
+// distance between their 0/1 signature and the observed behavior matrix.
+//
+// The Table I-style comparison (bench_ablation A7) shows where this
+// breaks: real defects are finite-size, so short-path cells predicted "1"
+// by the gross dictionary actually pass, and the logic baseline
+// mis-ranks - the gap is the value of the probabilistic dictionary.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "diagnosis/behavior.h"
+#include "logicsim/bitsim.h"
+#include "netlist/levelize.h"
+
+namespace sddd::diagnosis {
+
+/// One suspect's ranking under the logic baseline.
+struct LogicRankedSuspect {
+  netlist::ArcId arc = netlist::kInvalidArc;
+  std::size_t hamming = 0;  ///< mismatched cells vs B (lower = better)
+};
+
+/// Gross-delay 0/1 dictionary diagnosis.  Suspect extraction is the same
+/// cause-effect cone union as the statistical Diagnoser; ranking is
+/// Hamming distance over all (output, pattern) cells.
+class LogicBaselineDiagnoser {
+ public:
+  LogicBaselineDiagnoser(const logicsim::BitSimulator& logic_sim,
+                         const netlist::Levelization& lev)
+      : logic_sim_(&logic_sim), lev_(&lev) {}
+
+  /// 0/1 signature of one suspect: cell (i, j) = 1 iff the suspect arc is
+  /// on an active path to output i under pattern j.
+  std::vector<std::vector<bool>> signature(
+      std::span<const logicsim::PatternPair> patterns,
+      netlist::ArcId suspect) const;
+
+  /// Ranked diagnosis, best (smallest Hamming distance) first.  Ties keep
+  /// arc-id order.  The suspect set is extracted from B exactly as in
+  /// Algorithm E.1 step 1.
+  std::vector<LogicRankedSuspect> diagnose(
+      std::span<const logicsim::PatternPair> patterns,
+      const BehaviorMatrix& B) const;
+
+ private:
+  const logicsim::BitSimulator* logic_sim_;
+  const netlist::Levelization* lev_;
+};
+
+}  // namespace sddd::diagnosis

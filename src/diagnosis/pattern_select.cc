@@ -1,0 +1,82 @@
+#include "diagnosis/pattern_select.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "diagnosis/dictionary.h"
+
+namespace sddd::diagnosis {
+
+using netlist::ArcId;
+
+PatternSelectResult select_diagnostic_patterns(
+    const timing::DynamicTimingSimulator& sim,
+    const logicsim::BitSimulator& logic_sim, const netlist::Levelization& lev,
+    std::span<const logicsim::PatternPair> candidates,
+    std::span<const ArcId> suspects,
+    const defect::DefectSizeModel& size_model, double clk,
+    const PatternSelectConfig& config) {
+  const std::size_t n_cand = candidates.size();
+  const std::size_t n_susp = suspects.size();
+
+  PatternSelectResult result;
+  result.total_pairs = n_susp < 2 ? 0 : n_susp * (n_susp - 1) / 2;
+  if (n_cand == 0 || result.total_pairs == 0) return result;
+
+  // Per candidate: which suspect pairs it distinguishes.  Signatures are
+  // computed once per (candidate, suspect).
+  std::vector<std::vector<bool>> distinguishes(
+      n_cand, std::vector<bool>(result.total_pairs, false));
+  for (std::size_t c = 0; c < n_cand; ++c) {
+    const PatternSlice slice(sim, logic_sim, lev, candidates[c], clk);
+    std::vector<std::vector<double>> sig(n_susp);
+    for (std::size_t s = 0; s < n_susp; ++s) {
+      sig[s] = slice.signature_column(suspects[s], size_model);
+    }
+    std::size_t pair = 0;
+    for (std::size_t a = 0; a < n_susp; ++a) {
+      for (std::size_t b = a + 1; b < n_susp; ++b, ++pair) {
+        for (std::size_t i = 0; i < sig[a].size(); ++i) {
+          if (std::abs(sig[a][i] - sig[b][i]) >= config.epsilon) {
+            distinguishes[c][pair] = true;
+            break;
+          }
+        }
+      }
+    }
+  }
+
+  // Greedy set cover over pairs.
+  std::vector<bool> covered(result.total_pairs, false);
+  std::vector<bool> used(n_cand, false);
+  std::size_t covered_count = 0;
+  for (std::size_t round = 0;
+       round < std::min(config.budget, n_cand); ++round) {
+    std::size_t best = n_cand;
+    std::size_t best_gain = 0;
+    for (std::size_t c = 0; c < n_cand; ++c) {
+      if (used[c]) continue;
+      std::size_t gain = 0;
+      for (std::size_t p = 0; p < result.total_pairs; ++p) {
+        gain += (!covered[p] && distinguishes[c][p]) ? 1U : 0U;
+      }
+      if (gain > best_gain) {
+        best_gain = gain;
+        best = c;
+      }
+    }
+    if (best == n_cand || best_gain == 0) break;  // no further progress
+    used[best] = true;
+    for (std::size_t p = 0; p < result.total_pairs; ++p) {
+      if (distinguishes[best][p] && !covered[p]) {
+        covered[p] = true;
+        ++covered_count;
+      }
+    }
+    result.chosen.push_back(best);
+    result.pairs_covered.push_back(covered_count);
+  }
+  return result;
+}
+
+}  // namespace sddd::diagnosis

@@ -1,0 +1,64 @@
+// pattern_select.h - Dictionary-driven diagnostic pattern selection.
+//
+// The paper's question (2): given patterns that are good in the logic
+// domain, what remains for the timing domain?  Its Section C-1 answer: a
+// test set optimal under logic conditions "may not be optimal for delay
+// defect diagnosis" - what matters is how well the patterns' probabilistic
+// signatures *separate* the suspects.
+//
+// This module turns that into an algorithm: from a candidate pattern pool,
+// greedily select the subset that distinguishes the most suspect pairs,
+// where pattern v distinguishes suspects (a, b) when their signature
+// columns under v differ by at least epsilon somewhere (i.e. some output's
+// failure probability differs observably).  This is the classic greedy
+// set-cover heuristic on the pairwise-distinction matrix, now over
+// probabilistic signatures instead of 0/1 dictionary entries.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "defect/defect_model.h"
+#include "logicsim/bitsim.h"
+#include "netlist/levelize.h"
+#include "timing/dynamic_sim.h"
+
+namespace sddd::diagnosis {
+
+struct PatternSelectConfig {
+  std::size_t budget = 12;   ///< max patterns to pick
+  double epsilon = 0.05;     ///< min signature difference that counts
+};
+
+struct PatternSelectResult {
+  /// Indices into the candidate span, in pick order.
+  std::vector<std::size_t> chosen;
+  /// Suspect pairs distinguished after each pick (monotone).
+  std::vector<std::size_t> pairs_covered;
+  /// Total suspect pairs.
+  std::size_t total_pairs = 0;
+
+  /// Fraction of pairs the chosen set distinguishes - the "diagnostic
+  /// power" of the selection.
+  double coverage() const {
+    return total_pairs == 0
+               ? 1.0
+               : static_cast<double>(
+                     pairs_covered.empty() ? 0 : pairs_covered.back()) /
+                     static_cast<double>(total_pairs);
+  }
+};
+
+/// Greedy selection (see header).  Cost: |candidates| dictionary slices
+/// plus |candidates| x |suspects| signature columns up front; keep the
+/// suspect set modest (<~100) since pair counting is quadratic.
+PatternSelectResult select_diagnostic_patterns(
+    const timing::DynamicTimingSimulator& sim,
+    const logicsim::BitSimulator& logic_sim, const netlist::Levelization& lev,
+    std::span<const logicsim::PatternPair> candidates,
+    std::span<const netlist::ArcId> suspects,
+    const defect::DefectSizeModel& size_model, double clk,
+    const PatternSelectConfig& config = {});
+
+}  // namespace sddd::diagnosis

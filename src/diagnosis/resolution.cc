@@ -1,0 +1,151 @@
+#include "diagnosis/resolution.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <stdexcept>
+
+#include "paths/transition_graph.h"
+
+namespace sddd::diagnosis {
+
+using netlist::ArcId;
+using netlist::GateId;
+
+std::size_t EquivalenceClasses::largest() const {
+  std::size_t best = 0;
+  for (const auto& c : classes) best = std::max(best, c.size());
+  return best;
+}
+
+double EquivalenceClasses::resolution(std::size_t n_faults) const {
+  if (n_faults == 0) return 1.0;
+  return static_cast<double>(classes.size()) / static_cast<double>(n_faults);
+}
+
+EquivalenceClasses logic_equivalence_classes(
+    const logicsim::BitSimulator& logic_sim, const netlist::Levelization& lev,
+    std::span<const logicsim::PatternPair> patterns,
+    std::span<const ArcId> suspects) {
+  const auto& nl = logic_sim.netlist();
+  // Footprint per suspect: for every (pattern, output), one bit saying
+  // whether the suspect arc lies on an active path into that output.
+  const std::size_t n_out = nl.outputs().size();
+  std::vector<std::vector<bool>> footprint(
+      suspects.size(), std::vector<bool>(patterns.size() * n_out, false));
+
+  for (std::size_t j = 0; j < patterns.size(); ++j) {
+    const paths::TransitionGraph tg(logic_sim, lev, patterns[j]);
+    for (std::size_t i = 0; i < n_out; ++i) {
+      const auto cone = tg.cone_to_output(nl.outputs()[i]);
+      for (std::size_t s = 0; s < suspects.size(); ++s) {
+        if (cone[suspects[s]]) footprint[s][j * n_out + i] = true;
+      }
+    }
+  }
+
+  EquivalenceClasses result;
+  result.class_of.assign(suspects.size(), 0);
+  std::map<std::vector<bool>, std::size_t> index;
+  for (std::size_t s = 0; s < suspects.size(); ++s) {
+    const auto [it, inserted] =
+        index.emplace(footprint[s], result.classes.size());
+    if (inserted) result.classes.emplace_back();
+    result.classes[it->second].push_back(suspects[s]);
+    result.class_of[s] = it->second;
+  }
+  return result;
+}
+
+double signature_distance(const FaultDictionary& dict,
+                          const defect::DefectSizeModel& size_model,
+                          ArcId a, ArcId b) {
+  double dist = 0.0;
+  for (std::size_t j = 0; j < dict.pattern_count(); ++j) {
+    const auto sa = dict.slice(j).signature_column(a, size_model);
+    const auto sb = dict.slice(j).signature_column(b, size_model);
+    for (std::size_t i = 0; i < sa.size(); ++i) {
+      dist = std::max(dist, std::abs(sa[i] - sb[i]));
+    }
+  }
+  return dist;
+}
+
+EquivalenceClasses timing_equivalence_classes(
+    const FaultDictionary& dict, const defect::DefectSizeModel& size_model,
+    std::span<const ArcId> suspects, double tolerance) {
+  // Union-find over the "within tolerance" predicate (single linkage).
+  std::vector<std::size_t> parent(suspects.size());
+  for (std::size_t i = 0; i < parent.size(); ++i) parent[i] = i;
+  const auto find = [&](std::size_t x) {
+    while (parent[x] != x) {
+      parent[x] = parent[parent[x]];
+      x = parent[x];
+    }
+    return x;
+  };
+  // Cache each suspect's concatenated signature to avoid recomputing
+  // columns O(n^2) times.
+  std::vector<std::vector<double>> sig(suspects.size());
+  for (std::size_t s = 0; s < suspects.size(); ++s) {
+    for (std::size_t j = 0; j < dict.pattern_count(); ++j) {
+      const auto col = dict.slice(j).signature_column(suspects[s], size_model);
+      sig[s].insert(sig[s].end(), col.begin(), col.end());
+    }
+  }
+  for (std::size_t i = 0; i < suspects.size(); ++i) {
+    for (std::size_t j = i + 1; j < suspects.size(); ++j) {
+      double dist = 0.0;
+      for (std::size_t k = 0; k < sig[i].size() && dist <= tolerance; ++k) {
+        dist = std::max(dist, std::abs(sig[i][k] - sig[j][k]));
+      }
+      if (dist <= tolerance) parent[find(i)] = find(j);
+    }
+  }
+  EquivalenceClasses result;
+  result.class_of.assign(suspects.size(), 0);
+  std::map<std::size_t, std::size_t> index;
+  for (std::size_t s = 0; s < suspects.size(); ++s) {
+    const std::size_t root = find(s);
+    const auto [it, inserted] = index.emplace(root, result.classes.size());
+    if (inserted) result.classes.emplace_back();
+    result.classes[it->second].push_back(suspects[s]);
+    result.class_of[s] = it->second;
+  }
+  return result;
+}
+
+int class_rank(const EquivalenceClasses& classes,
+               std::span<const ArcId> suspects,
+               std::span<const ArcId> ranked_arcs, ArcId true_arc) {
+  // Class of the true arc.
+  std::size_t true_class = classes.count();
+  for (std::size_t s = 0; s < suspects.size(); ++s) {
+    if (suspects[s] == true_arc) {
+      true_class = classes.class_of[s];
+      break;
+    }
+  }
+  if (true_class == classes.count()) return -1;
+  // Walk the ranked list, counting distinct classes until the true one.
+  std::vector<bool> seen(classes.count(), false);
+  int distinct = 0;
+  for (const ArcId arc : ranked_arcs) {
+    std::size_t cls = classes.count();
+    for (std::size_t s = 0; s < suspects.size(); ++s) {
+      if (suspects[s] == arc) {
+        cls = classes.class_of[s];
+        break;
+      }
+    }
+    if (cls == classes.count()) continue;  // not a suspect
+    if (cls == true_class) return distinct;
+    if (!seen[cls]) {
+      seen[cls] = true;
+      ++distinct;
+    }
+  }
+  return -1;
+}
+
+}  // namespace sddd::diagnosis

@@ -1,0 +1,88 @@
+// resolution.h - Diagnosis resolution analysis (Section C of the paper).
+//
+// In logic diagnosis, "the resolution of the diagnosis is the same as the
+// fault resolution": two faults no pattern distinguishes are one
+// equivalence class, and the best any algorithm can do is name the class.
+// The paper's core observation is that with statistical timing the notion
+// blurs: whether a pattern distinguishes two faults becomes a probability
+// that depends on clk.
+//
+// This module makes both notions measurable:
+//
+//   - logic_equivalence_classes(): faults with identical *activation
+//     footprints* across the pattern set (the same active (pattern,
+//     output-cone) incidence) - indistinguishable in the logic domain no
+//     matter the delays;
+//   - signature_distance() / timing_equivalence_classes(): faults whose
+//     probabilistic signatures differ by less than a tolerance across the
+//     dictionary - indistinguishable *at this clk and Monte-Carlo depth*;
+//   - class_rank(): the rank metric the paper's Table I success criterion
+//     implicitly uses, lifted to classes: a diagnosis that names any
+//     member of the true fault's class is as good as naming the fault.
+//
+// The gap between logic classes and timing classes quantifies the paper's
+// claim that timing information *refines* logic resolution (Figure 1 case
+// 2: a pattern that cannot distinguish two faults logically may do so
+// timing-wise).
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "defect/defect_model.h"
+#include "diagnosis/dictionary.h"
+#include "netlist/netlist.h"
+
+namespace sddd::diagnosis {
+
+/// Partition of a suspect set into equivalence classes.  Classes are
+/// vectors of arc ids; every input arc appears in exactly one class.
+struct EquivalenceClasses {
+  std::vector<std::vector<netlist::ArcId>> classes;
+  /// class_of[i] = index of the class containing suspects[i] (parallel to
+  /// the suspect span passed in).
+  std::vector<std::size_t> class_of;
+
+  std::size_t count() const { return classes.size(); }
+
+  /// Largest class size: the worst-case ambiguity.
+  std::size_t largest() const;
+
+  /// Diagnostic resolution = #classes / #faults in [1/n, 1]; 1 means every
+  /// fault is distinguishable.
+  double resolution(std::size_t n_faults) const;
+};
+
+/// Groups suspects by their logic-domain activation footprint: for every
+/// pattern, the set of outputs whose active cone contains the arc.  Two
+/// arcs with identical footprints cannot be told apart by any 0/1
+/// observation of this pattern set.
+EquivalenceClasses logic_equivalence_classes(
+    const logicsim::BitSimulator& logic_sim, const netlist::Levelization& lev,
+    std::span<const logicsim::PatternPair> patterns,
+    std::span<const netlist::ArcId> suspects);
+
+/// Max-norm distance between two suspects' dictionary signatures across
+/// all patterns and outputs (columns computed on demand).
+double signature_distance(const FaultDictionary& dict,
+                          const defect::DefectSizeModel& size_model,
+                          netlist::ArcId a, netlist::ArcId b);
+
+/// Groups suspects whose signatures are within `tolerance` (max-norm) of
+/// each other (single-linkage over the pairwise predicate).  With
+/// tolerance ~ a few Monte-Carlo standard errors this is "what the timing
+/// dictionary can actually resolve".
+EquivalenceClasses timing_equivalence_classes(
+    const FaultDictionary& dict, const defect::DefectSizeModel& size_model,
+    std::span<const netlist::ArcId> suspects, double tolerance);
+
+/// Class-level rank: position of the true arc's class in the best-first
+/// class order induced by a per-suspect ranking (classes ranked by their
+/// best member).  -1 when the arc is not among the suspects.
+int class_rank(const EquivalenceClasses& classes,
+               std::span<const netlist::ArcId> suspects,
+               std::span<const netlist::ArcId> ranked_arcs,
+               netlist::ArcId true_arc);
+
+}  // namespace sddd::diagnosis

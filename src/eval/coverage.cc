@@ -1,0 +1,69 @@
+#include "eval/coverage.h"
+
+#include <numeric>
+
+#include "paths/transition_graph.h"
+
+namespace sddd::eval {
+
+double CoverageResult::mean_coverage() const {
+  if (site_coverage.empty()) return 0.0;
+  return std::accumulate(site_coverage.begin(), site_coverage.end(), 0.0) /
+         static_cast<double>(site_coverage.size());
+}
+
+double CoverageResult::detection_rate(double threshold) const {
+  if (site_coverage.empty()) return 0.0;
+  std::size_t hits = 0;
+  for (const double c : site_coverage) hits += (c >= threshold) ? 1U : 0U;
+  return static_cast<double>(hits) /
+         static_cast<double>(site_coverage.size());
+}
+
+CoverageResult statistical_coverage(
+    const timing::DynamicTimingSimulator& sim,
+    const logicsim::BitSimulator& logic_sim, const netlist::Levelization& lev,
+    std::span<const logicsim::PatternPair> patterns,
+    std::span<const netlist::ArcId> sites,
+    const defect::DefectSizeModel& size_model, double clk) {
+  const std::size_t n = sim.field().sample_count();
+
+  // Per-sample failure mask accumulated over patterns, per site (plus the
+  // defect-free baseline).  The union must be taken jointly per sample:
+  // marginal per-pattern probabilities would overstate independent tests.
+  std::vector<std::vector<std::uint8_t>> site_mask(
+      sites.size(), std::vector<std::uint8_t>(n, 0));
+  std::vector<std::uint8_t> base_mask(n, 0);
+
+  for (const auto& pattern : patterns) {
+    const paths::TransitionGraph tg(logic_sim, lev, pattern);
+    const auto baseline = sim.simulate(tg);
+    const auto base = sim.late_mask(tg, baseline, clk);
+    for (std::size_t k = 0; k < n; ++k) base_mask[k] |= base[k];
+    for (std::size_t s = 0; s < sites.size(); ++s) {
+      timing::InjectedDefect defect;
+      defect.arc = sites[s];
+      defect.extra.resize(n);
+      for (std::size_t k = 0; k < n; ++k) {
+        defect.extra[k] = size_model.sample(sites[s], k);
+      }
+      const auto mask = sim.late_mask_with_defect(tg, baseline, defect, clk);
+      for (std::size_t k = 0; k < n; ++k) site_mask[s][k] |= mask[k];
+    }
+  }
+
+  CoverageResult result;
+  result.site_coverage.resize(sites.size());
+  for (std::size_t s = 0; s < sites.size(); ++s) {
+    std::size_t hits = 0;
+    for (const std::uint8_t m : site_mask[s]) hits += m;
+    result.site_coverage[s] = static_cast<double>(hits) / static_cast<double>(n);
+  }
+  std::size_t base_hits = 0;
+  for (const std::uint8_t m : base_mask) base_hits += m;
+  result.defect_free_fail =
+      static_cast<double>(base_hits) / static_cast<double>(n);
+  return result;
+}
+
+}  // namespace sddd::eval

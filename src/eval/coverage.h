@@ -1,0 +1,51 @@
+// coverage.h - Statistical delay-fault coverage of a pattern set.
+//
+// The paper contrasts its diagnosis approach with Sivaraman & Strojwas's
+// path-delay-fault coverage metric [10].  This module provides the
+// statistical coverage view for the segment-oriented defect model: for a
+// fault site e and a defect-size random variable delta,
+//
+//     cov(e) = P( chip with defect (e, delta) fails TP at clk )
+//
+// estimated over the joint (process, defect-size) Monte-Carlo space, and
+// the set-level aggregate (mean coverage, fraction of sites above a
+// threshold).  This measures what the diagnosis experiment's injection
+// gate sees from the other side: which defects the test would catch at
+// all (Figure 1's escapes are exactly the cov ~ 0 sites).
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "defect/defect_model.h"
+#include "logicsim/bitsim.h"
+#include "netlist/levelize.h"
+#include "timing/dynamic_sim.h"
+
+namespace sddd::eval {
+
+struct CoverageResult {
+  /// Per requested site: probability at least one (output, pattern) cell
+  /// fails given the defect (union over the pattern set, computed exactly
+  /// per Monte-Carlo sample).
+  std::vector<double> site_coverage;
+  /// Defect-free reference: probability a good chip fails TP at clk
+  /// (test overkill / baseline yield loss).
+  double defect_free_fail = 0.0;
+
+  double mean_coverage() const;
+  /// Fraction of sites with coverage >= threshold.
+  double detection_rate(double threshold) const;
+};
+
+/// Computes statistical coverage of `patterns` for every site in `sites`.
+/// Cost: one baseline dynamic simulation per pattern plus one incremental
+/// cone re-simulation per (site, pattern).
+CoverageResult statistical_coverage(
+    const timing::DynamicTimingSimulator& sim,
+    const logicsim::BitSimulator& logic_sim, const netlist::Levelization& lev,
+    std::span<const logicsim::PatternPair> patterns,
+    std::span<const netlist::ArcId> sites,
+    const defect::DefectSizeModel& size_model, double clk);
+
+}  // namespace sddd::eval

@@ -1,0 +1,279 @@
+#include "eval/experiment.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "diagnosis/behavior.h"
+#include "diagnosis/logic_baseline.h"
+#include "netlist/levelize.h"
+#include "timing/delay_field.h"
+#include "timing/delay_model.h"
+#include "stats/sample_vector.h"
+
+namespace sddd::eval {
+
+using defect::DefectInjector;
+using defect::DefectSizeModel;
+using defect::InjectedChip;
+using defect::SegmentDefectModel;
+using diagnosis::BehaviorMatrix;
+using diagnosis::Diagnoser;
+using diagnosis::Method;
+using netlist::Netlist;
+using stats::Rng;
+
+double ExperimentResult::success_rate(Method m, int k) const {
+  const auto it = std::find(config.methods.begin(), config.methods.end(), m);
+  if (it == config.methods.end()) {
+    throw std::invalid_argument("success_rate: method not measured");
+  }
+  const auto mi = static_cast<std::size_t>(it - config.methods.begin());
+  std::size_t total = 0;
+  std::size_t hits = 0;
+  for (const TrialRecord& t : trials) {
+    if (!t.failed_test) continue;
+    ++total;
+    const int rank = t.rank_of_true[mi];
+    if (rank >= 0 && rank < k) ++hits;
+  }
+  return total == 0 ? 0.0
+                    : static_cast<double>(hits) / static_cast<double>(total);
+}
+
+double ExperimentResult::avg_suspects() const {
+  std::size_t total = 0;
+  std::size_t sum = 0;
+  for (const TrialRecord& t : trials) {
+    if (!t.failed_test) continue;
+    ++total;
+    sum += t.n_suspects;
+  }
+  return total == 0 ? 0.0
+                    : static_cast<double>(sum) / static_cast<double>(total);
+}
+
+double ExperimentResult::avg_injection_attempts() const {
+  std::size_t total = 0;
+  std::size_t sum = 0;
+  for (const TrialRecord& t : trials) {
+    if (!t.failed_test) continue;
+    ++total;
+    sum += t.injection_attempts;
+  }
+  return total == 0 ? 0.0
+                    : static_cast<double>(sum) / static_cast<double>(total);
+}
+
+double ExperimentResult::logic_baseline_success_rate(int k) const {
+  std::size_t total = 0;
+  std::size_t hits = 0;
+  for (const TrialRecord& t : trials) {
+    if (!t.failed_test) continue;
+    ++total;
+    if (t.logic_baseline_rank >= 0 && t.logic_baseline_rank < k) ++hits;
+  }
+  return total == 0 ? 0.0
+                    : static_cast<double>(hits) / static_cast<double>(total);
+}
+
+std::size_t ExperimentResult::diagnosable_trials() const {
+  std::size_t total = 0;
+  for (const TrialRecord& t : trials) total += t.failed_test ? 1U : 0U;
+  return total;
+}
+
+namespace {
+
+/// Rank (0-based position in the best-first order) of `arc` in the result
+/// under method `m`; -1 when absent from the suspect set.
+int rank_of(const diagnosis::DiagnosisResult& result, Method m,
+            netlist::ArcId arc) {
+  const auto ranked = result.ranked(m);
+  for (std::size_t i = 0; i < ranked.size(); ++i) {
+    if (ranked[i].arc == arc) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+}  // namespace
+
+ExperimentResult run_diagnosis_experiment(const Netlist& nl,
+                                          const ExperimentConfig& config) {
+  if (nl.dff_count() != 0) {
+    throw std::invalid_argument(
+        "run_diagnosis_experiment: run full_scan_transform first");
+  }
+  const netlist::Levelization lev(nl);
+  const timing::StatisticalCellLibrary lib(config.library);
+  const timing::ArcDelayModel model(nl, lib);
+  const logicsim::BitSimulator logic_sim(nl, lev);
+
+  // Two disjoint Monte-Carlo worlds: the dictionary field is the CAD
+  // model's predictor; the instance field manufactures the actual chips.
+  const std::size_t instance_samples =
+      config.instance_samples != 0 ? config.instance_samples
+                                   : config.mc_samples;
+  const timing::DelayField dict_field(model, config.mc_samples,
+                                      config.global_weight,
+                                      config.seed ^ 0xd1c7ULL);
+  const timing::DelayField inst_field(model, instance_samples,
+                                      config.global_weight,
+                                      config.seed ^ 0xc41bULL);
+  const timing::DynamicTimingSimulator dict_sim(dict_field, lev);
+  const timing::DynamicTimingSimulator inst_sim(inst_field, lev);
+
+  // clk calibration: per-site achievable delays (see header).
+  Rng cal_rng(config.seed, 0xca1bULL);
+  std::vector<double> site_delays;
+  for (std::size_t s = 0; s < config.calibration_sites; ++s) {
+    const auto site = static_cast<netlist::ArcId>(
+        cal_rng.below(static_cast<std::uint32_t>(nl.arc_count())));
+    const auto cal_patterns = atpg::generate_diagnostic_patterns(
+        model, lev, site, config.pattern_config, cal_rng);
+    const double d = atpg::site_best_nominal_delay(model, lev, cal_patterns, site);
+    if (d > 0.0) site_delays.push_back(d);
+  }
+  if (site_delays.empty()) {
+    throw std::runtime_error(
+        "run_diagnosis_experiment: no calibration site was testable");
+  }
+  const double clk =
+      stats::SampleVector(std::move(site_delays))
+          .quantile(config.clk_site_quantile);
+
+  const DefectSizeModel size_model(model.mean_cell_delay(),
+                                   config.defect_mean_lo,
+                                   config.defect_mean_hi,
+                                   config.defect_three_sigma,
+                                   config.seed ^ 0x5e1fULL);
+  const auto size_rv = stats::RandomVariable::Normal(
+      size_model.marginal_mean(), size_model.marginal_mean() / 6.0);
+  const auto location_model = SegmentDefectModel::uniform_single(nl, size_rv);
+  const DefectInjector injector(location_model, size_model);
+
+  // Detectability window for the injection gate (kDetectable).
+  const double detect_lo =
+      clk - config.detectable_lambda_lo * size_model.marginal_mean();
+  const double detect_hi =
+      clk + config.detectable_lambda_hi * size_model.marginal_mean();
+
+  diagnosis::DiagnoserConfig diag_config;
+  diag_config.max_suspects = config.max_suspects;
+  diag_config.match_on_total_probability = !config.match_on_signature;
+  const Diagnoser diagnoser(dict_sim, logic_sim, lev, size_model, diag_config);
+  const diagnosis::LogicBaselineDiagnoser logic_baseline(logic_sim, lev);
+
+  ExperimentResult result;
+  result.config = config;
+  result.circuit_name = nl.name();
+  result.clk = clk;
+
+  Rng master(config.seed, 0xe4a1ULL);
+  for (std::size_t trial = 0; trial < config.n_chips; ++trial) {
+    Rng trial_rng = master.split(trial + 1);
+    TrialRecord record;
+    record.rank_of_true.assign(config.methods.size(), -1);
+
+    // Redraw (site, size, chip) until the chip observably fails.
+    std::vector<logicsim::PatternPair> patterns;
+    BehaviorMatrix B(nl.outputs().size(), 0);
+    for (std::size_t attempt = 0; attempt < config.max_injection_retries;
+         ++attempt) {
+      ++record.injection_attempts;
+      record.chip = injector.draw(instance_samples, trial_rng);
+      patterns = atpg::generate_diagnostic_patterns(
+          model, lev, record.chip.defect_arc, config.pattern_config,
+          trial_rng);
+      if (patterns.empty()) continue;
+      if (config.site_bias == SiteBias::kDetectable) {
+        const double d = atpg::site_best_nominal_delay(
+            model, lev, patterns, record.chip.defect_arc);
+        if (d < detect_lo || d > detect_hi) continue;
+      }
+      // Assemble the chip's defect list: the primary (pattern-targeted)
+      // one, plus extras when the single-defect assumption is relaxed.
+      record.extra_defects.clear();
+      std::vector<std::pair<netlist::ArcId, double>> defects = {
+          {record.chip.defect_arc, record.chip.defect_size}};
+      for (std::size_t extra = 1; extra < config.n_defects; ++extra) {
+        const auto other = injector.draw(instance_samples, trial_rng);
+        record.extra_defects.emplace_back(other.defect_arc,
+                                          other.defect_size);
+        defects.emplace_back(other.defect_arc, other.defect_size);
+      }
+      B = diagnosis::observe_behavior_multi(inst_sim, logic_sim, lev,
+                                            patterns,
+                                            record.chip.sample_index,
+                                            defects, clk);
+      if (!B.any_failure()) continue;
+      // The chip must fail *because of* the defect: a slow-but-defect-free
+      // instance that fails anyway is a process outlier, not a delay
+      // defect, and its behavior carries no information about the injected
+      // site.  Require at least one failing cell that passes without the
+      // defect.
+      const BehaviorMatrix B0 = diagnosis::observe_behavior(
+          inst_sim, logic_sim, lev, patterns, record.chip.sample_index,
+          std::nullopt, clk);
+      bool defect_contributes = false;
+      for (std::size_t i = 0;
+           i < B.output_count() && !defect_contributes; ++i) {
+        for (std::size_t jj = 0; jj < B.pattern_count(); ++jj) {
+          if (B.at(i, jj) && !B0.at(i, jj)) {
+            defect_contributes = true;
+            break;
+          }
+        }
+      }
+      if (defect_contributes) {
+        record.failed_test = true;
+        break;
+      }
+    }
+    if (!record.failed_test) {
+      result.trials.push_back(std::move(record));
+      continue;
+    }
+
+    record.n_patterns = patterns.size();
+    record.n_failing_cells = B.failure_count();
+    const auto diag =
+        diagnoser.diagnose(patterns, B, config.methods, clk);
+    record.n_suspects = diag.suspects.size();
+    // Under multi-defect injection a hit on ANY injected site counts
+    // (locating one real defect is actionable for failure analysis).
+    std::vector<netlist::ArcId> true_arcs = {record.chip.defect_arc};
+    for (const auto& [arc, size] : record.extra_defects) {
+      true_arcs.push_back(arc);
+    }
+    record.true_arc_in_suspects = false;
+    for (const netlist::ArcId arc : true_arcs) {
+      record.true_arc_in_suspects |=
+          std::find(diag.suspects.begin(), diag.suspects.end(), arc) !=
+          diag.suspects.end();
+    }
+    for (std::size_t m = 0; m < config.methods.size(); ++m) {
+      int best = -1;
+      for (const netlist::ArcId arc : true_arcs) {
+        const int r = rank_of(diag, config.methods[m], arc);
+        if (r >= 0 && (best < 0 || r < best)) best = r;
+      }
+      record.rank_of_true[m] = best;
+    }
+    if (config.include_logic_baseline) {
+      const auto ranked = logic_baseline.diagnose(patterns, B);
+      for (std::size_t i = 0; i < ranked.size(); ++i) {
+        for (const netlist::ArcId arc : true_arcs) {
+          if (ranked[i].arc == arc &&
+              (record.logic_baseline_rank < 0 ||
+               static_cast<int>(i) < record.logic_baseline_rank)) {
+            record.logic_baseline_rank = static_cast<int>(i);
+          }
+        }
+      }
+    }
+    result.trials.push_back(std::move(record));
+  }
+  return result;
+}
+
+}  // namespace sddd::eval

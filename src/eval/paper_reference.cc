@@ -1,0 +1,38 @@
+#include "eval/paper_reference.h"
+
+namespace sddd::eval {
+
+namespace {
+
+constexpr std::array<PaperTable1Row, 24> kTable1 = {{
+    {"s1196", 1, 0, 5, 10},    {"s1196", 3, 0, 30, 30},
+    {"s1196", 7, 5, 35, 60},   {"s1238", 1, 0, 15, 20},
+    {"s1238", 2, 5, 25, 25},   {"s1238", 7, 25, 65, 65},
+    {"s1423", 1, 10, 15, 10},  {"s1423", 2, 30, 35, 35},
+    {"s1423", 9, 50, 60, 65},  {"s1488", 1, 5, 5, 5},
+    {"s1488", 3, 35, 30, 30},  {"s1488", 5, 55, 60, 65},
+    {"s5378", 1, 15, 25, 25},  {"s5378", 2, 30, 40, 45},
+    {"s5378", 7, 80, 85, 90},  {"s9234", 2, 25, 30, 30},
+    {"s9234", 5, 40, 50, 50},  {"s9234", 11, 60, 75, 70},
+    {"s13207", 1, 10, 20, 20}, {"s13207", 5, 30, 50, 60},
+    {"s13207", 13, 70, 70, 80}, {"s15850", 1, 10, 10, 10},
+    {"s15850", 2, 30, 30, 30}, {"s15850", 9, 40, 35, 45},
+}};
+
+}  // namespace
+
+std::span<const PaperTable1Row> paper_table1() { return kTable1; }
+
+std::span<const PaperTable1Row> paper_table1_for(std::string_view circuit) {
+  std::size_t first = kTable1.size();
+  std::size_t count = 0;
+  for (std::size_t i = 0; i < kTable1.size(); ++i) {
+    if (kTable1[i].circuit == circuit) {
+      if (count == 0) first = i;
+      ++count;
+    }
+  }
+  return {kTable1.data() + first, count};
+}
+
+}  // namespace sddd::eval

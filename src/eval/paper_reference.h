@@ -1,0 +1,30 @@
+// paper_reference.h - The numbers the paper reports, embedded for
+// side-by-side comparison in EXPERIMENTS.md and the Table I bench.
+//
+// Source: Table I, "Diagnosis Accuracy on Benchmark Examples" (DATE 2003).
+// Values are success-rate percentages for Alg_sim Method I, Method II and
+// Alg_rev at the circuit's three K values.  (Method III is discussed only
+// in the text: "too restrictive ... otherwise score = 0"; no column.)
+#pragma once
+
+#include <array>
+#include <span>
+#include <string_view>
+
+namespace sddd::eval {
+
+struct PaperTable1Row {
+  std::string_view circuit;
+  int k;
+  double sim1_pct;
+  double sim2_pct;
+  double rev_pct;
+};
+
+/// All 24 rows of Table I in the paper's order.
+std::span<const PaperTable1Row> paper_table1();
+
+/// Rows of one circuit (three of them), empty span when unknown.
+std::span<const PaperTable1Row> paper_table1_for(std::string_view circuit);
+
+}  // namespace sddd::eval

@@ -1,0 +1,102 @@
+#include "eval/table1.h"
+
+#include <cstdio>
+#include <sstream>
+#include <stdexcept>
+
+#include "eval/paper_reference.h"
+#include "netlist/bench_io.h"
+#include "netlist/iscas_catalog.h"
+#include "netlist/scan.h"
+
+namespace sddd::eval {
+
+using diagnosis::Method;
+using netlist::IscasProfile;
+using netlist::Netlist;
+
+namespace {
+
+Netlist load_circuit(const IscasProfile& profile, const Table1Config& config) {
+  if (config.bench_dir) {
+    const auto path = *config.bench_dir /
+                      (std::string(profile.name) + ".bench");
+    if (std::filesystem::exists(path)) {
+      return netlist::full_scan_transform(netlist::parse_bench_file(path));
+    }
+  }
+  return netlist::make_standin(profile, config.scale, config.base.seed);
+}
+
+}  // namespace
+
+Table1Result run_table1(const Table1Config& config) {
+  Table1Result result;
+  for (const IscasProfile& profile : netlist::table1_circuits()) {
+    if (!config.circuits.empty()) {
+      bool wanted = false;
+      for (const auto& name : config.circuits) wanted |= (name == profile.name);
+      if (!wanted) continue;
+    }
+    const Netlist nl = load_circuit(profile, config);
+
+    ExperimentConfig exp_config = config.base;
+    exp_config.methods = {Method::kSimI, Method::kSimII, Method::kSimIII,
+                          Method::kRev};
+    auto experiment = run_diagnosis_experiment(nl, exp_config);
+
+    const auto paper_rows = paper_table1_for(profile.name);
+    for (const int k : profile.table1_k) {
+      Table1Cell cell;
+      cell.circuit = std::string(profile.name);
+      cell.k = k;
+      cell.sim1_pct = 100.0 * experiment.success_rate(Method::kSimI, k);
+      cell.sim2_pct = 100.0 * experiment.success_rate(Method::kSimII, k);
+      cell.sim3_pct = 100.0 * experiment.success_rate(Method::kSimIII, k);
+      cell.rev_pct = 100.0 * experiment.success_rate(Method::kRev, k);
+      cell.logic_pct = 100.0 * experiment.logic_baseline_success_rate(k);
+      for (const auto& row : paper_rows) {
+        if (row.k == k) {
+          cell.paper_sim1 = row.sim1_pct;
+          cell.paper_sim2 = row.sim2_pct;
+          cell.paper_rev = row.rev_pct;
+        }
+      }
+      result.cells.push_back(std::move(cell));
+    }
+    result.experiments.push_back(std::move(experiment));
+  }
+  return result;
+}
+
+std::string Table1Result::to_string() const {
+  std::ostringstream os;
+  os << "circuit    K | logic  sim-I  sim-II sim-III rev    | paper: I    II   rev\n";
+  os << "-------------+---------------------------------------+---------------------\n";
+  char buf[160];
+  for (const auto& c : cells) {
+    std::snprintf(buf, sizeof(buf),
+                  "%-9s %3d | %5.0f%% %5.0f%% %5.0f%% %6.0f%% %5.0f%% |      "
+                  "%4.0f %5.0f %5.0f\n",
+                  c.circuit.c_str(), c.k, c.logic_pct, c.sim1_pct, c.sim2_pct,
+                  c.sim3_pct, c.rev_pct, c.paper_sim1.value_or(-1),
+                  c.paper_sim2.value_or(-1), c.paper_rev.value_or(-1));
+    os << buf;
+  }
+  return os.str();
+}
+
+std::string Table1Result::to_csv() const {
+  std::ostringstream os;
+  os << "circuit,k,logic,sim1,sim2,sim3,rev,paper_sim1,paper_sim2,paper_rev\n";
+  for (const auto& c : cells) {
+    os << c.circuit << ',' << c.k << ',' << c.logic_pct << ',' << c.sim1_pct << ',' << c.sim2_pct
+       << ',' << c.sim3_pct << ',' << c.rev_pct << ','
+       << (c.paper_sim1 ? std::to_string(*c.paper_sim1) : "") << ','
+       << (c.paper_sim2 ? std::to_string(*c.paper_sim2) : "") << ','
+       << (c.paper_rev ? std::to_string(*c.paper_rev) : "") << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace sddd::eval

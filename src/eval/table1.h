@@ -1,0 +1,60 @@
+// table1.h - Driver regenerating the paper's Table I.
+//
+// For each of the eight benchmark circuits (or a subset), builds the
+// circuit (ISCAS stand-in via the synthetic generator, or a real .bench
+// file when provided), runs the injection + diagnosis experiment, and
+// formats the measured success rates next to the paper's reported numbers.
+#pragma once
+
+#include <filesystem>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "eval/experiment.h"
+
+namespace sddd::eval {
+
+struct Table1Config {
+  /// Circuits to run; empty = all eight of the paper.
+  std::vector<std::string> circuits;
+  /// Gate-count scale of the synthetic stand-ins (1.0 = published size).
+  double scale = 1.0;
+  /// Directory with real ISCAS .bench files; when a file named
+  /// "<circuit>.bench" exists there it is used instead of the stand-in.
+  std::optional<std::filesystem::path> bench_dir;
+  /// Base experiment configuration (per-circuit K values come from the
+  /// catalog; methods default to I/II/III/rev).
+  ExperimentConfig base;
+};
+
+struct Table1Cell {
+  std::string circuit;
+  int k = 0;
+  double sim1_pct = 0.0;
+  double sim2_pct = 0.0;
+  double sim3_pct = 0.0;
+  double rev_pct = 0.0;
+  /// Traditional logic-domain baseline (gross-delay dictionary).
+  double logic_pct = 0.0;
+  /// Paper reference, when this (circuit, K) row exists in Table I.
+  std::optional<double> paper_sim1;
+  std::optional<double> paper_sim2;
+  std::optional<double> paper_rev;
+};
+
+struct Table1Result {
+  std::vector<Table1Cell> cells;
+  std::vector<ExperimentResult> experiments;  ///< one per circuit
+
+  /// Formats the measured-vs-paper table as fixed-width ASCII.
+  std::string to_string() const;
+
+  /// CSV (one row per cell) for EXPERIMENTS.md post-processing.
+  std::string to_csv() const;
+};
+
+/// Runs the Table I reproduction.
+Table1Result run_table1(const Table1Config& config);
+
+}  // namespace sddd::eval

@@ -1,0 +1,120 @@
+#include "logicsim/bitsim.h"
+
+#include <stdexcept>
+
+namespace sddd::logicsim {
+
+using netlist::CellType;
+using netlist::Gate;
+using netlist::GateId;
+
+std::uint64_t eval_gate_words(CellType type,
+                              std::span<const std::uint64_t> fanin_words) {
+  switch (type) {
+    case CellType::kBuf:
+      return fanin_words[0];
+    case CellType::kNot:
+      return ~fanin_words[0];
+    case CellType::kAnd:
+    case CellType::kNand: {
+      std::uint64_t acc = ~0ULL;
+      for (const std::uint64_t w : fanin_words) acc &= w;
+      return type == CellType::kAnd ? acc : ~acc;
+    }
+    case CellType::kOr:
+    case CellType::kNor: {
+      std::uint64_t acc = 0ULL;
+      for (const std::uint64_t w : fanin_words) acc |= w;
+      return type == CellType::kOr ? acc : ~acc;
+    }
+    case CellType::kXor:
+    case CellType::kXnor: {
+      std::uint64_t acc = 0ULL;
+      for (const std::uint64_t w : fanin_words) acc ^= w;
+      return type == CellType::kXor ? acc : ~acc;
+    }
+    case CellType::kConst0:
+      return 0ULL;
+    case CellType::kConst1:
+      return ~0ULL;
+    case CellType::kInput:
+    case CellType::kDff:
+      throw std::logic_error("eval_gate_words: non-combinational gate");
+  }
+  return 0ULL;
+}
+
+BitSimulator::BitSimulator(const netlist::Netlist& nl,
+                           const netlist::Levelization& lev)
+    : nl_(&nl), lev_(&lev) {
+  if (!nl.frozen()) throw std::logic_error("BitSimulator: netlist not frozen");
+  if (nl.dff_count() != 0) {
+    throw std::invalid_argument(
+        "BitSimulator: sequential netlist - run full_scan_transform first");
+  }
+}
+
+std::vector<std::uint64_t> BitSimulator::simulate(
+    std::span<const std::uint64_t> pi_words) const {
+  if (pi_words.size() != nl_->inputs().size()) {
+    throw std::invalid_argument("BitSimulator: pi_words size mismatch");
+  }
+  std::vector<std::uint64_t> value(nl_->gate_count(), 0);
+  for (std::size_t i = 0; i < pi_words.size(); ++i) {
+    value[nl_->inputs()[i]] = pi_words[i];
+  }
+  std::vector<std::uint64_t> fanin_buf;
+  for (const GateId g : lev_->topo_order()) {
+    const Gate& gate = nl_->gate(g);
+    if (!is_combinational(gate.type)) continue;
+    fanin_buf.clear();
+    for (const GateId f : gate.fanins) fanin_buf.push_back(value[f]);
+    value[g] = eval_gate_words(gate.type, fanin_buf);
+  }
+  return value;
+}
+
+std::vector<bool> BitSimulator::simulate_single(const Pattern& pattern) const {
+  std::vector<std::uint64_t> words(nl_->inputs().size(), 0);
+  if (pattern.size() != words.size()) {
+    throw std::invalid_argument("BitSimulator: pattern size mismatch");
+  }
+  for (std::size_t i = 0; i < pattern.size(); ++i) {
+    words[i] = pattern[i] ? 1ULL : 0ULL;
+  }
+  const auto gate_words = simulate(words);
+  std::vector<bool> out(gate_words.size());
+  for (std::size_t g = 0; g < gate_words.size(); ++g) {
+    out[g] = (gate_words[g] & 1ULL) != 0;
+  }
+  return out;
+}
+
+std::vector<std::uint64_t> BitSimulator::pack(
+    std::span<const Pattern> patterns) const {
+  if (patterns.size() > 64) {
+    throw std::invalid_argument("BitSimulator: more than 64 patterns");
+  }
+  std::vector<std::uint64_t> words(nl_->inputs().size(), 0);
+  for (std::size_t k = 0; k < patterns.size(); ++k) {
+    if (patterns[k].size() != words.size()) {
+      throw std::invalid_argument("BitSimulator: pattern size mismatch");
+    }
+    for (std::size_t i = 0; i < words.size(); ++i) {
+      if (patterns[k][i]) words[i] |= (1ULL << k);
+    }
+  }
+  return words;
+}
+
+std::vector<bool> BitSimulator::output_values(
+    std::span<const std::uint64_t> gate_words, unsigned bit) const {
+  std::vector<bool> out;
+  out.reserve(nl_->outputs().size());
+  for (const GateId o : nl_->outputs()) {
+    out.push_back((gate_words[o] >> bit) & 1ULL);
+  }
+  return out;
+}
+
+}  // namespace sddd::logicsim

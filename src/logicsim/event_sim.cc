@@ -1,0 +1,122 @@
+#include "logicsim/event_sim.h"
+
+#include <queue>
+#include <stdexcept>
+
+namespace sddd::logicsim {
+
+using netlist::ArcId;
+using netlist::Gate;
+using netlist::GateId;
+using netlist::Netlist;
+
+TimedEventSimulator::TimedEventSimulator(const Netlist& nl,
+                                         const netlist::Levelization& lev)
+    : nl_(&nl), lev_(&lev), logic_(nl, lev) {}
+
+namespace {
+
+/// A value change arriving at one fanin pin (timing arc) of a gate.
+struct PinEvent {
+  double time = 0.0;
+  ArcId arc = netlist::kInvalidArc;
+  bool value = false;
+  std::uint64_t seq = 0;  ///< FIFO tie-break for equal times
+
+  bool operator>(const PinEvent& other) const {
+    if (time != other.time) return time > other.time;
+    return seq > other.seq;
+  }
+};
+
+bool eval_bool(netlist::CellType type, const std::vector<bool>& fanins) {
+  std::vector<std::uint64_t> words(fanins.size());
+  for (std::size_t i = 0; i < fanins.size(); ++i) {
+    words[i] = fanins[i] ? ~0ULL : 0ULL;
+  }
+  return (eval_gate_words(type, words) & 1ULL) != 0;
+}
+
+}  // namespace
+
+TimedSimResult TimedEventSimulator::simulate(
+    const PatternPair& pattern, std::span<const double> arc_delay,
+    std::size_t max_events) const {
+  const Netlist& nl = *nl_;
+  if (arc_delay.size() != nl.arc_count()) {
+    throw std::invalid_argument("TimedEventSimulator: arc_delay size mismatch");
+  }
+
+  // Settled pre-launch state under v1.
+  const auto v1_values = logic_.simulate_single(pattern.v1);
+
+  TimedSimResult result;
+  result.settle_time.assign(nl.gate_count(), 0.0);
+  result.final_value = v1_values;
+  result.event_count.assign(nl.gate_count(), 0);
+
+  // State: the output waveform value of every net, and the *pin view* per
+  // timing arc - what the receiving gate currently sees on that pin, i.e.
+  // the driver value delayed by the pin's transport delay.  Evaluating a
+  // gate on its pin views (not on instantaneous driver values) is what
+  // keeps the final state exact under unequal pin delays.
+  std::vector<bool> value = v1_values;
+  std::vector<bool> pin_view(nl.arc_count());
+  for (ArcId a = 0; a < nl.arc_count(); ++a) {
+    const auto& arc = nl.arc(a);
+    pin_view[a] = v1_values[nl.gate(arc.gate).fanins[arc.pin]];
+  }
+
+  std::priority_queue<PinEvent, std::vector<PinEvent>, std::greater<>> queue;
+  std::uint64_t seq = 0;
+
+  // Emits a net change at `time`: updates bookkeeping and schedules the
+  // delayed pin events on every fanout arc.
+  std::vector<bool> fanin_buf;
+  const auto emit_output = [&](GateId g, bool v, double time) {
+    value[g] = v;
+    result.final_value[g] = v;
+    result.settle_time[g] = time;
+    ++result.event_count[g];
+    for (const GateId fo : nl.gate(g).fanouts) {
+      const Gate& gate = nl.gate(fo);
+      if (!is_combinational(gate.type)) continue;
+      for (std::uint32_t p = 0; p < gate.fanins.size(); ++p) {
+        if (gate.fanins[p] != g) continue;
+        const ArcId a = nl.arc_of(fo, p);
+        queue.push(PinEvent{time + arc_delay[a], a, v, seq++});
+      }
+    }
+  };
+
+  // Launch: PI nets switch at t = 0.
+  for (std::size_t i = 0; i < nl.inputs().size(); ++i) {
+    const GateId pi = nl.inputs()[i];
+    if (pattern.v2[i] != v1_values[pi]) {
+      emit_output(pi, pattern.v2[i], 0.0);
+    }
+  }
+
+  while (!queue.empty()) {
+    const PinEvent ev = queue.top();
+    queue.pop();
+    if (pin_view[ev.arc] == ev.value) continue;  // redundant arrival
+    if (++result.total_events > max_events) {
+      throw std::runtime_error(
+          "TimedEventSimulator: event budget exceeded (oscillation?)");
+    }
+    pin_view[ev.arc] = ev.value;
+    const GateId g = nl.arc(ev.arc).gate;
+    const Gate& gate = nl.gate(g);
+    fanin_buf.assign(gate.fanins.size(), false);
+    for (std::uint32_t p = 0; p < gate.fanins.size(); ++p) {
+      fanin_buf[p] = pin_view[nl.arc_of(g, p)];
+    }
+    const bool out = eval_bool(gate.type, fanin_buf);
+    if (out != value[g]) emit_output(g, out, ev.time);
+  }
+
+  return result;
+}
+
+}  // namespace sddd::logicsim

@@ -1,0 +1,60 @@
+// event_sim.h - Event-driven timed logic simulation (transport delays).
+//
+// The statistical dynamic timing engine (timing/dynamic_sim.h) uses the
+// transition-mode min/max approximation: one arrival number per toggling
+// net, hazards ignored.  This module provides the reference semantics it
+// approximates: a full event-driven simulation of one two-vector test on
+// one fixed-delay chip, with per-pin transport delays, multiple events per
+// net (glitches) and exact settle times.
+//
+// It exists for validation (tests and the ablation bench compare settle
+// times against the approximation and count where hazards make them
+// diverge) and as the substrate a future hazard-aware diagnosis could
+// build on (the paper's future work #1: "improve the dynamic statistical
+// timing simulator for more accurate delay fault simulation").
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "logicsim/bitsim.h"
+#include "netlist/levelize.h"
+#include "netlist/netlist.h"
+
+namespace sddd::logicsim {
+
+/// Outcome of one timed simulation.
+struct TimedSimResult {
+  /// Time of the last value change per gate; 0 for nets whose final value
+  /// was already settled at launch (including non-toggling nets).
+  std::vector<double> settle_time;
+  /// Final (settled) value per gate; must equal the v2 logic value.
+  std::vector<bool> final_value;
+  /// Number of output events per gate (>= 2 transitions = glitching).
+  std::vector<std::uint32_t> event_count;
+  /// Total events processed (simulation effort / hazard activity).
+  std::size_t total_events = 0;
+};
+
+class TimedEventSimulator {
+ public:
+  TimedEventSimulator(const netlist::Netlist& nl,
+                      const netlist::Levelization& lev);
+
+  /// Simulates the launch of v2 after the circuit settled under v1.
+  /// `arc_delay[a]` is the fixed transport delay of timing arc a (e.g. one
+  /// sample of a DelayField).  `max_events` bounds hazard cascades (throws
+  /// std::runtime_error when exceeded).
+  TimedSimResult simulate(const PatternPair& pattern,
+                          std::span<const double> arc_delay,
+                          std::size_t max_events = 1U << 22U) const;
+
+ private:
+  const netlist::Netlist* nl_;
+  const netlist::Levelization* lev_;
+  BitSimulator logic_;
+};
+
+}  // namespace sddd::logicsim

@@ -1,0 +1,49 @@
+// ternary.h - Three-valued (0/1/X) logic for test generation.
+//
+// The PODEM-style path-sensitizing ATPG (atpg/) works on partial input
+// assignments; unassigned inputs carry X.  This module provides the value
+// algebra and a forward-implication simulator over a frozen combinational
+// netlist.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "netlist/levelize.h"
+#include "netlist/netlist.h"
+
+namespace sddd::logicsim {
+
+/// Ternary logic value.
+enum class Tern : std::uint8_t { k0 = 0, k1 = 1, kX = 2 };
+
+/// Ternary negation (X stays X).
+Tern tern_not(Tern a);
+
+/// Evaluates a gate function over ternary fanin values with standard
+/// controlled-gate shortcuts (a controlling input forces the output even if
+/// other inputs are X).
+Tern eval_gate_tern(netlist::CellType type, std::span<const Tern> fanins);
+
+/// Forward-implication simulator: given PI values (possibly X), computes
+/// every net's ternary value in one topological sweep.
+class TernarySimulator {
+ public:
+  TernarySimulator(const netlist::Netlist& nl,
+                   const netlist::Levelization& lev);
+
+  /// `pi_values` indexed like Netlist::inputs().  Returns one value per
+  /// gate (indexed by GateId).
+  std::vector<Tern> simulate(std::span<const Tern> pi_values) const;
+
+  /// In-place variant reusing a caller-owned buffer of size gate_count().
+  void simulate_into(std::span<const Tern> pi_values,
+                     std::vector<Tern>& values) const;
+
+ private:
+  const netlist::Netlist* nl_;
+  const netlist::Levelization* lev_;
+};
+
+}  // namespace sddd::logicsim

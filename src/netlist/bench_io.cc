@@ -1,0 +1,195 @@
+#include "netlist/bench_io.h"
+
+#include <cctype>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace sddd::netlist {
+
+namespace {
+
+[[noreturn]] void fail(std::size_t line_no, const std::string& msg) {
+  throw std::runtime_error("bench parse error at line " +
+                           std::to_string(line_no) + ": " + msg);
+}
+
+std::string_view trim(std::string_view s) {
+  while (!s.empty() && std::isspace(static_cast<unsigned char>(s.front()))) {
+    s.remove_prefix(1);
+  }
+  while (!s.empty() && std::isspace(static_cast<unsigned char>(s.back()))) {
+    s.remove_suffix(1);
+  }
+  return s;
+}
+
+bool is_name_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_' ||
+         c == '[' || c == ']' || c == '.' || c == '-' || c == '$' || c == '/';
+}
+
+/// Splits "NAND(G10, G11)" into keyword and argument names.
+struct Call {
+  std::string keyword;
+  std::vector<std::string> args;
+};
+
+Call parse_call(std::string_view rhs, std::size_t line_no) {
+  Call call;
+  const auto open = rhs.find('(');
+  const auto close = rhs.rfind(')');
+  if (open == std::string_view::npos || close == std::string_view::npos ||
+      close < open) {
+    fail(line_no, "expected KEYWORD(args)");
+  }
+  call.keyword = std::string(trim(rhs.substr(0, open)));
+  const std::string_view args = rhs.substr(open + 1, close - open - 1);
+  std::string current;
+  for (const char c : args) {
+    if (c == ',') {
+      const auto name = trim(current);
+      if (name.empty()) fail(line_no, "empty argument");
+      call.args.emplace_back(name);
+      current.clear();
+    } else {
+      current.push_back(c);
+    }
+  }
+  const auto last = trim(current);
+  if (!last.empty()) call.args.emplace_back(last);
+  for (const auto& a : call.args) {
+    for (const char c : a) {
+      if (!is_name_char(c)) fail(line_no, "bad signal name: " + a);
+    }
+  }
+  return call;
+}
+
+}  // namespace
+
+Netlist parse_bench(std::istream& in, std::string name) {
+  Netlist nl(std::move(name));
+  std::unordered_map<std::string, GateId> ids;
+  std::vector<std::string> output_names;
+  std::vector<std::size_t> output_lines;
+
+  const auto get_or_declare = [&](const std::string& sig) {
+    const auto it = ids.find(sig);
+    if (it != ids.end()) return it->second;
+    const GateId id = nl.declare(sig);
+    ids.emplace(sig, id);
+    return id;
+  };
+
+  std::string line;
+  std::size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    // Strip comments.
+    const auto hash = line.find('#');
+    if (hash != std::string::npos) line.resize(hash);
+    const std::string_view body = trim(line);
+    if (body.empty()) continue;
+
+    const auto eq = body.find('=');
+    if (eq == std::string_view::npos) {
+      // INPUT(x) or OUTPUT(x)
+      const Call call = parse_call(body, line_no);
+      std::string kw = call.keyword;
+      for (auto& c : kw) c = static_cast<char>(std::toupper(static_cast<unsigned char>(c)));
+      if (call.args.size() != 1) fail(line_no, "expected one argument");
+      if (kw == "INPUT") {
+        const GateId id = get_or_declare(call.args[0]);
+        nl.define(id, CellType::kInput, {});
+      } else if (kw == "OUTPUT") {
+        output_names.push_back(call.args[0]);
+        output_lines.push_back(line_no);
+      } else {
+        fail(line_no, "unknown directive: " + call.keyword);
+      }
+      continue;
+    }
+
+    // name = GATE(a, b, ...)
+    const auto lhs = trim(body.substr(0, eq));
+    if (lhs.empty()) fail(line_no, "missing signal name before '='");
+    for (const char c : lhs) {
+      if (!is_name_char(c)) fail(line_no, std::string("bad signal name: ") + std::string(lhs));
+    }
+    const Call call = parse_call(body.substr(eq + 1), line_no);
+    const auto type = parse_cell_type(call.keyword);
+    if (!type) fail(line_no, "unknown gate type: " + call.keyword);
+    std::vector<GateId> fanins;
+    fanins.reserve(call.args.size());
+    for (const auto& a : call.args) fanins.push_back(get_or_declare(a));
+    const GateId id = get_or_declare(std::string(lhs));
+    try {
+      nl.define(id, *type, std::move(fanins));
+    } catch (const std::exception& e) {
+      fail(line_no, e.what());
+    }
+  }
+
+  for (std::size_t i = 0; i < output_names.size(); ++i) {
+    const auto it = ids.find(output_names[i]);
+    if (it == ids.end()) {
+      fail(output_lines[i], "OUTPUT of undefined signal: " + output_names[i]);
+    }
+    nl.add_output(it->second);
+  }
+
+  try {
+    nl.freeze();
+  } catch (const std::exception& e) {
+    throw std::runtime_error(std::string("bench parse error: ") + e.what());
+  }
+  return nl;
+}
+
+Netlist parse_bench_string(std::string_view text, std::string name) {
+  std::istringstream in{std::string(text)};
+  return parse_bench(in, std::move(name));
+}
+
+Netlist parse_bench_file(const std::filesystem::path& path) {
+  std::ifstream in(path);
+  if (!in) {
+    throw std::runtime_error("cannot open bench file: " + path.string());
+  }
+  return parse_bench(in, path.stem().string());
+}
+
+void write_bench(const Netlist& nl, std::ostream& out) {
+  out << "# " << nl.name() << " - written by sddd\n";
+  for (const GateId g : nl.inputs()) {
+    out << "INPUT(" << nl.gate(g).name << ")\n";
+  }
+  for (const GateId g : nl.outputs()) {
+    out << "OUTPUT(" << nl.gate(g).name << ")\n";
+  }
+  out << "\n";
+  for (GateId g = 0; g < nl.gate_count(); ++g) {
+    const Gate& gate = nl.gate(g);
+    if (gate.type == CellType::kInput) continue;
+    std::string kw(cell_type_name(gate.type));
+    for (auto& c : kw) c = static_cast<char>(std::toupper(static_cast<unsigned char>(c)));
+    out << gate.name << " = " << kw << "(";
+    for (std::size_t i = 0; i < gate.fanins.size(); ++i) {
+      if (i != 0) out << ", ";
+      out << nl.gate(gate.fanins[i]).name;
+    }
+    out << ")\n";
+  }
+}
+
+std::string to_bench_string(const Netlist& nl) {
+  std::ostringstream os;
+  write_bench(nl, os);
+  return os.str();
+}
+
+}  // namespace sddd::netlist

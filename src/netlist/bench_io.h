@@ -1,0 +1,44 @@
+// bench_io.h - Reader/writer for the ISCAS-85/89 `.bench` netlist format.
+//
+// The paper evaluates on ISCAS-89 benchmark circuits (s1196 ... s15850).
+// Those netlists are publicly distributed in the `.bench` format:
+//
+//     # comment
+//     INPUT(G0)
+//     OUTPUT(G17)
+//     G10 = DFF(G14)
+//     G17 = NAND(G10, G11)
+//
+// The parser accepts the common dialect: case-insensitive keywords, BUFF as
+// alias of BUF, blank/comment lines, forward references, and multi-line
+// whitespace.  The writer emits canonical form so round-tripping is exact
+// up to formatting.
+#pragma once
+
+#include <filesystem>
+#include <istream>
+#include <ostream>
+#include <string_view>
+
+#include "netlist/netlist.h"
+
+namespace sddd::netlist {
+
+/// Parses `.bench` text.  Throws std::runtime_error with a line number on
+/// malformed input.  The returned netlist is frozen.
+Netlist parse_bench(std::istream& in, std::string name = "bench");
+
+/// Parses `.bench` from a string (convenience for tests and the embedded
+/// ISCAS catalog).
+Netlist parse_bench_string(std::string_view text, std::string name = "bench");
+
+/// Parses a `.bench` file; the netlist name defaults to the file stem.
+Netlist parse_bench_file(const std::filesystem::path& path);
+
+/// Writes canonical `.bench` text for a frozen netlist.
+void write_bench(const Netlist& nl, std::ostream& out);
+
+/// Convenience string form of write_bench.
+std::string to_bench_string(const Netlist& nl);
+
+}  // namespace sddd::netlist

@@ -1,0 +1,113 @@
+#include "netlist/cell.h"
+
+#include <algorithm>
+#include <array>
+#include <cctype>
+
+namespace sddd::netlist {
+
+std::string_view cell_type_name(CellType type) {
+  switch (type) {
+    case CellType::kInput:
+      return "input";
+    case CellType::kBuf:
+      return "buf";
+    case CellType::kNot:
+      return "not";
+    case CellType::kAnd:
+      return "and";
+    case CellType::kNand:
+      return "nand";
+    case CellType::kOr:
+      return "or";
+    case CellType::kNor:
+      return "nor";
+    case CellType::kXor:
+      return "xor";
+    case CellType::kXnor:
+      return "xnor";
+    case CellType::kDff:
+      return "dff";
+    case CellType::kConst0:
+      return "const0";
+    case CellType::kConst1:
+      return "const1";
+  }
+  return "?";
+}
+
+std::optional<CellType> parse_cell_type(std::string_view name) {
+  std::string lower(name);
+  std::transform(lower.begin(), lower.end(), lower.begin(),
+                 [](unsigned char c) { return std::tolower(c); });
+  if (lower == "buf" || lower == "buff") return CellType::kBuf;
+  if (lower == "not" || lower == "inv") return CellType::kNot;
+  if (lower == "and") return CellType::kAnd;
+  if (lower == "nand") return CellType::kNand;
+  if (lower == "or") return CellType::kOr;
+  if (lower == "nor") return CellType::kNor;
+  if (lower == "xor") return CellType::kXor;
+  if (lower == "xnor") return CellType::kXnor;
+  if (lower == "dff") return CellType::kDff;
+  if (lower == "const0" || lower == "gnd") return CellType::kConst0;
+  if (lower == "const1" || lower == "vdd") return CellType::kConst1;
+  return std::nullopt;
+}
+
+bool has_controlling_value(CellType type) {
+  switch (type) {
+    case CellType::kAnd:
+    case CellType::kNand:
+    case CellType::kOr:
+    case CellType::kNor:
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool controlling_value(CellType type) {
+  // AND/NAND are controlled by 0; OR/NOR by 1.
+  return type == CellType::kOr || type == CellType::kNor;
+}
+
+bool is_inverting(CellType type) {
+  switch (type) {
+    case CellType::kNot:
+    case CellType::kNand:
+    case CellType::kNor:
+    case CellType::kXnor:
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool is_combinational(CellType type) {
+  switch (type) {
+    case CellType::kInput:
+    case CellType::kDff:
+    case CellType::kConst0:
+    case CellType::kConst1:
+      return false;
+    default:
+      return true;
+  }
+}
+
+int min_fanin(CellType type) {
+  switch (type) {
+    case CellType::kInput:
+    case CellType::kConst0:
+    case CellType::kConst1:
+      return 0;
+    case CellType::kBuf:
+    case CellType::kNot:
+    case CellType::kDff:
+      return 1;
+    default:
+      return 2;
+  }
+}
+
+}  // namespace sddd::netlist

@@ -1,0 +1,62 @@
+// cell.h - Cell (gate) types of the structural netlist.
+//
+// The circuit model of Definition D.1 is a DAG whose vertices are cells and
+// whose arcs carry pin-to-pin delay random variables.  This header defines
+// the cell vocabulary; it matches the ISCAS-85/89 `.bench` format gate set
+// so that public benchmark netlists parse without translation.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace sddd::netlist {
+
+/// Gate/cell function.  kInput is a primary-input pseudo-cell; kDff is a
+/// D-flip-flop which the full-scan transform (scan.h) converts into a
+/// pseudo-input/pseudo-output pair before any timing analysis.
+enum class CellType : std::uint8_t {
+  kInput,
+  kBuf,
+  kNot,
+  kAnd,
+  kNand,
+  kOr,
+  kNor,
+  kXor,
+  kXnor,
+  kDff,
+  kConst0,
+  kConst1,
+};
+
+/// Lower-case `.bench` keyword for the type ("and", "nand", ...).
+std::string_view cell_type_name(CellType type);
+
+/// Parses a `.bench` gate keyword (case-insensitive).  Returns nullopt for
+/// unknown keywords.
+std::optional<CellType> parse_cell_type(std::string_view name);
+
+/// True for the two-state controlled gates (AND/NAND/OR/NOR) that have a
+/// controlling input value; XOR/XNOR/NOT/BUF have none.
+bool has_controlling_value(CellType type);
+
+/// Controlling input value of a controlled gate (0 for AND/NAND, 1 for
+/// OR/NOR).  Precondition: has_controlling_value(type).
+bool controlling_value(CellType type);
+
+/// True when the gate's output inverts relative to its (non-controlling)
+/// inputs: NOT, NAND, NOR, XNOR.
+bool is_inverting(CellType type);
+
+/// True when the cell computes a logic function of its fanins (everything
+/// except kInput/kDff/kConst*).
+bool is_combinational(CellType type);
+
+/// Fanin arity constraints: minimum number of inputs for a valid gate of
+/// this type (e.g. 1 for NOT/BUF, 2 for AND...).  kInput/kConst* take 0,
+/// kDff takes exactly 1.
+int min_fanin(CellType type);
+
+}  // namespace sddd::netlist

@@ -1,0 +1,87 @@
+#include "netlist/iscas_catalog.h"
+
+#include <algorithm>
+
+namespace sddd::netlist {
+
+namespace {
+
+// Published ISCAS-89 profiles (PI, PO, FF, combinational gates, depth) and
+// the K triples the paper reports per circuit in Table I.
+constexpr std::array<IscasProfile, 8> kTable1 = {{
+    {"s1196", 14, 14, 18, 529, 24, {1, 3, 7}},
+    {"s1238", 14, 14, 18, 508, 22, {1, 2, 7}},
+    {"s1423", 17, 5, 74, 657, 59, {1, 2, 9}},
+    {"s1488", 8, 19, 6, 653, 17, {1, 3, 5}},
+    {"s5378", 35, 49, 179, 2779, 25, {1, 2, 7}},
+    {"s9234", 36, 39, 211, 5597, 58, {2, 5, 11}},
+    {"s13207", 62, 152, 638, 7951, 59, {1, 5, 13}},
+    {"s15850", 77, 150, 534, 9772, 82, {1, 2, 9}},
+}};
+
+}  // namespace
+
+std::span<const IscasProfile> table1_circuits() { return kTable1; }
+
+const IscasProfile* find_profile(std::string_view name) {
+  const auto it = std::find_if(kTable1.begin(), kTable1.end(),
+                               [&](const IscasProfile& p) { return p.name == name; });
+  return it == kTable1.end() ? nullptr : &*it;
+}
+
+Netlist make_standin(const IscasProfile& profile, double scale,
+                     std::uint64_t seed) {
+  SynthSpec spec;
+  spec.name = std::string(profile.name);
+  spec.n_inputs = profile.n_pi + profile.n_ff;
+  spec.n_outputs = profile.n_po + profile.n_ff;
+  spec.n_gates = std::max<std::uint32_t>(
+      static_cast<std::uint32_t>(static_cast<double>(profile.n_gates) * scale),
+      spec.n_outputs);
+  spec.depth = std::min<std::uint32_t>(profile.depth, spec.n_gates);
+  spec.seed = seed;
+  return synthesize(spec);
+}
+
+std::string_view c17_bench_text() {
+  return R"(# c17 - ISCAS-85
+INPUT(1)
+INPUT(2)
+INPUT(3)
+INPUT(6)
+INPUT(7)
+OUTPUT(22)
+OUTPUT(23)
+10 = NAND(1, 3)
+11 = NAND(3, 6)
+16 = NAND(2, 11)
+19 = NAND(11, 7)
+22 = NAND(10, 16)
+23 = NAND(16, 19)
+)";
+}
+
+std::string_view s27_bench_text() {
+  return R"(# s27 - ISCAS-89
+INPUT(G0)
+INPUT(G1)
+INPUT(G2)
+INPUT(G3)
+OUTPUT(G17)
+G5 = DFF(G10)
+G6 = DFF(G11)
+G7 = DFF(G13)
+G14 = NOT(G0)
+G17 = NOT(G11)
+G8 = AND(G14, G6)
+G15 = OR(G12, G8)
+G16 = OR(G3, G8)
+G9 = NAND(G16, G15)
+G10 = NOR(G14, G11)
+G11 = NOR(G5, G9)
+G12 = NOR(G1, G7)
+G13 = NOR(G2, G12)
+)";
+}
+
+}  // namespace sddd::netlist

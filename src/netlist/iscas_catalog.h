@@ -1,0 +1,58 @@
+// iscas_catalog.h - Profiles of the ISCAS-89 circuits used in the paper,
+// plus tiny embedded reference netlists.
+//
+// Table I of the paper reports diagnosis accuracy on eight ISCAS-89
+// benchmarks.  This catalog records their published structural profiles
+// (PI / PO / FF / gate counts, logic depth) together with the K values the
+// paper used per circuit, and provides a factory that synthesizes an
+// ISCAS-class stand-in circuit matched to the profile (see synth.h for the
+// substitution rationale).  If the real `.bench` files are available on
+// disk, load them with parse_bench_file + full_scan_transform instead; the
+// experiment harness accepts either source.
+//
+// Two genuinely tiny public-domain reference netlists (c17, s27) are
+// embedded verbatim for parser and end-to-end tests.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+#include <string_view>
+
+#include "netlist/netlist.h"
+#include "netlist/synth.h"
+
+namespace sddd::netlist {
+
+/// Published structural profile of one ISCAS-89 benchmark plus the K values
+/// used for it in the paper's Table I.
+struct IscasProfile {
+  std::string_view name;
+  std::uint32_t n_pi = 0;     ///< primary inputs
+  std::uint32_t n_po = 0;     ///< primary outputs
+  std::uint32_t n_ff = 0;     ///< D flip-flops
+  std::uint32_t n_gates = 0;  ///< combinational gates
+  std::uint32_t depth = 0;    ///< logic depth (levels)
+  std::array<int, 3> table1_k{};  ///< the three K values of Table I rows
+};
+
+/// The eight circuits of Table I, in the paper's order.
+std::span<const IscasProfile> table1_circuits();
+
+/// Profile lookup by name; nullptr when unknown.
+const IscasProfile* find_profile(std::string_view name);
+
+/// Synthesizes the full-scan combinational stand-in for `profile`:
+/// inputs = PI + FF, outputs = PO + FF, gates ~= n_gates * scale,
+/// depth = profile depth (capped so depth <= gate count).  `scale` in
+/// (0, 1] shrinks the circuit proportionally for quick runs.
+Netlist make_standin(const IscasProfile& profile, double scale = 1.0,
+                     std::uint64_t seed = 2003);
+
+/// The ISCAS-85 c17 netlist (6 NAND gates), embedded verbatim.
+std::string_view c17_bench_text();
+
+/// The ISCAS-89 s27 netlist (10 gates, 3 DFFs), embedded verbatim.
+std::string_view s27_bench_text();
+
+}  // namespace sddd::netlist

@@ -1,0 +1,59 @@
+#include "netlist/levelize.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace sddd::netlist {
+
+Levelization::Levelization(const Netlist& nl) {
+  if (!nl.frozen()) {
+    throw std::logic_error("Levelization: netlist must be frozen");
+  }
+  const std::size_t n = nl.gate_count();
+  level_.assign(n, 0);
+  order_.reserve(n);
+
+  // Kahn's algorithm over combinational dependencies only: DFF data inputs
+  // are cut, so DFFs are sources together with PIs and constants.
+  std::vector<std::uint32_t> pending(n, 0);
+  std::vector<GateId> queue;
+  queue.reserve(n);
+  for (GateId g = 0; g < n; ++g) {
+    const Gate& gate = nl.gate(g);
+    if (is_combinational(gate.type)) {
+      pending[g] = static_cast<std::uint32_t>(gate.fanins.size());
+      if (pending[g] == 0) queue.push_back(g);  // degenerate, e.g. none
+    } else {
+      pending[g] = 0;
+      queue.push_back(g);
+    }
+  }
+
+  std::size_t head = 0;
+  while (head < queue.size()) {
+    const GateId g = queue[head++];
+    order_.push_back(g);
+    for (const GateId fo : nl.gate(g).fanouts) {
+      if (!is_combinational(nl.gate(fo).type)) continue;  // DFF input is cut
+      // fanouts lists one entry per connected pin, so decrementing once per
+      // visit matches the per-pin pending count.
+      if (--pending[fo] == 0) {
+        std::uint32_t lvl = 0;
+        for (const GateId fi : nl.gate(fo).fanins) {
+          lvl = std::max(lvl, level_[fi] + 1);
+        }
+        level_[fo] = lvl;
+        depth_ = std::max(depth_, lvl);
+        queue.push_back(fo);
+      }
+    }
+  }
+
+  if (order_.size() != n) {
+    throw std::invalid_argument(
+        "Levelization: combinational cycle detected (a cycle not broken by "
+        "a DFF)");
+  }
+}
+
+}  // namespace sddd::netlist

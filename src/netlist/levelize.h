@@ -1,0 +1,44 @@
+// levelize.h - Topological ordering and level assignment of a netlist.
+//
+// Every downstream analysis (logic simulation, statistical timing, path
+// enumeration) walks the circuit in topological order.  Sequential netlists
+// are legal only insofar as every cycle passes through a DFF; the DFF's
+// data-input dependency is cut for ordering purposes (the flop's output is
+// treated as a level-0 source, the standard full-scan view).  A purely
+// combinational cycle is a modeling error and throws.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "netlist/netlist.h"
+
+namespace sddd::netlist {
+
+/// Result of levelizing a frozen netlist.
+class Levelization {
+ public:
+  /// Computes topological order and levels.  Throws std::invalid_argument
+  /// on a combinational cycle.  The netlist must be frozen.
+  explicit Levelization(const Netlist& nl);
+
+  /// Gates in a valid evaluation order: all combinational fanins of a gate
+  /// precede it.  kInput/kDff/kConst* gates come first.
+  const std::vector<GateId>& topo_order() const { return order_; }
+
+  /// Level of each gate: sources are level 0; a combinational gate is
+  /// 1 + max(level of fanins).  (DFF data inputs do not constrain levels.)
+  const std::vector<std::uint32_t>& levels() const { return level_; }
+
+  std::uint32_t level(GateId g) const { return level_[g]; }
+
+  /// Maximum level over all gates = combinational depth of the circuit.
+  std::uint32_t depth() const { return depth_; }
+
+ private:
+  std::vector<GateId> order_;
+  std::vector<std::uint32_t> level_;
+  std::uint32_t depth_ = 0;
+};
+
+}  // namespace sddd::netlist

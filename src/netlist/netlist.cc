@@ -1,0 +1,150 @@
+#include "netlist/netlist.h"
+
+#include <algorithm>
+#include <sstream>
+#include <stdexcept>
+
+namespace sddd::netlist {
+
+void Netlist::require_frozen(bool expect) const {
+  if (frozen_ != expect) {
+    throw std::logic_error(expect ? "Netlist: operation requires freeze()"
+                                  : "Netlist: netlist is frozen");
+  }
+}
+
+GateId Netlist::add_input(std::string name) {
+  require_frozen(false);
+  const auto id = static_cast<GateId>(gates_.size());
+  if (!by_name_.emplace(name, id).second) {
+    throw std::invalid_argument("Netlist: duplicate signal name: " + name);
+  }
+  gates_.push_back(Gate{CellType::kInput, std::move(name), {}, {}});
+  inputs_.push_back(id);
+  return id;
+}
+
+namespace {
+
+void check_arity(CellType type, std::size_t fanin_count,
+                 const std::string& name) {
+  if (static_cast<int>(fanin_count) < min_fanin(type)) {
+    throw std::invalid_argument("Netlist: too few fanins for gate " + name);
+  }
+  if ((type == CellType::kBuf || type == CellType::kNot ||
+       type == CellType::kDff) &&
+      fanin_count != 1) {
+    throw std::invalid_argument("Netlist: unary gate with multiple fanins: " +
+                                name);
+  }
+}
+
+}  // namespace
+
+GateId Netlist::add_gate(CellType type, std::string name,
+                         std::vector<GateId> fanins) {
+  require_frozen(false);
+  if (type == CellType::kInput) {
+    throw std::invalid_argument("Netlist: use add_input for primary inputs");
+  }
+  check_arity(type, fanins.size(), name);
+  const auto id = static_cast<GateId>(gates_.size());
+  if (!by_name_.emplace(name, id).second) {
+    throw std::invalid_argument("Netlist: duplicate signal name: " + name);
+  }
+  gates_.push_back(Gate{type, std::move(name), std::move(fanins), {}});
+  return id;
+}
+
+GateId Netlist::declare(std::string name) {
+  require_frozen(false);
+  const auto id = static_cast<GateId>(gates_.size());
+  if (!by_name_.emplace(name, id).second) {
+    throw std::invalid_argument("Netlist: duplicate signal name: " + name);
+  }
+  gates_.push_back(Gate{CellType::kBuf, std::move(name), {}, {}});
+  undefined_.push_back(id);
+  return id;
+}
+
+void Netlist::define(GateId id, CellType type, std::vector<GateId> fanins) {
+  require_frozen(false);
+  if (id >= gates_.size()) {
+    throw std::invalid_argument("Netlist: define of unknown gate id");
+  }
+  const auto it = std::find(undefined_.begin(), undefined_.end(), id);
+  if (it == undefined_.end()) {
+    throw std::logic_error("Netlist: define of a gate that was not declared: " +
+                           gates_[id].name);
+  }
+  undefined_.erase(it);
+  if (type == CellType::kInput) {
+    gates_[id].type = CellType::kInput;
+    inputs_.push_back(id);
+    return;
+  }
+  check_arity(type, fanins.size(), gates_[id].name);
+  gates_[id].type = type;
+  gates_[id].fanins = std::move(fanins);
+}
+
+void Netlist::add_output(GateId driver) {
+  require_frozen(false);
+  if (driver >= gates_.size()) {
+    throw std::invalid_argument("Netlist: output driver out of range");
+  }
+  output_index_.emplace(driver, static_cast<int>(outputs_.size()));
+  outputs_.push_back(driver);
+}
+
+void Netlist::freeze() {
+  require_frozen(false);
+  if (!undefined_.empty()) {
+    throw std::logic_error("Netlist: freeze with undefined signal: " +
+                           gates_[undefined_.front()].name);
+  }
+  for (const Gate& g : gates_) {
+    for (const GateId f : g.fanins) {
+      if (f >= gates_.size()) {
+        throw std::logic_error("Netlist: fanin id out of range in gate " +
+                               g.name);
+      }
+    }
+  }
+  arcs_.clear();
+  arc_base_.assign(gates_.size(), kInvalidArc);
+  for (GateId g = 0; g < gates_.size(); ++g) {
+    arc_base_[g] = static_cast<ArcId>(arcs_.size());
+    for (std::uint32_t pin = 0; pin < gates_[g].fanins.size(); ++pin) {
+      arcs_.push_back(Arc{g, pin});
+      gates_[gates_[g].fanins[pin]].fanouts.push_back(g);
+    }
+  }
+  frozen_ = true;
+}
+
+int Netlist::output_index(GateId id) const {
+  const auto it = output_index_.find(id);
+  return it == output_index_.end() ? -1 : it->second;
+}
+
+GateId Netlist::find(std::string_view name) const {
+  const auto it = by_name_.find(std::string(name));
+  return it == by_name_.end() ? kInvalidGate : it->second;
+}
+
+std::size_t Netlist::dff_count() const {
+  std::size_t n = 0;
+  for (const Gate& g : gates_) n += (g.type == CellType::kDff) ? 1U : 0U;
+  return n;
+}
+
+std::string Netlist::summary() const {
+  std::ostringstream os;
+  os << name_ << ": " << inputs_.size() << " PI, " << outputs_.size()
+     << " PO, " << gates_.size() - inputs_.size() << " gates, " << dff_count()
+     << " DFF, " << arcs_.size() << " arcs";
+  return os.str();
+}
+
+}  // namespace sddd::netlist

@@ -1,0 +1,143 @@
+// netlist.h - Structural gate-level circuit (Definition D.1's (V, E, I, O)).
+//
+// Representation decisions:
+//   - Every signal has exactly one driver gate; primary inputs are pseudo-
+//     gates of type kInput.  A gate id therefore doubles as a net id.
+//   - Primary outputs are references to driver gates (bench-style named
+//     outputs).  A gate may drive several POs and internal fanouts.
+//   - The timing arcs E of Definition D.1 are the (gate, fanin-pin) pairs:
+//     arc a = (g, i) is the pin-to-pin edge from g's i-th fanin net into
+//     g's output.  Interconnect delay is lumped into the receiving pin arc
+//     (Section H-1 pre-characterizes interconnect once RCs are extracted;
+//     the lumping preserves every path-delay sum).  Arcs are densely
+//     numbered so per-arc data (delays, defect sites) are plain vectors.
+//
+// The class is a plain container: analyses (levelization, simulation,
+// timing) live in their own modules and treat the netlist as immutable.
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "netlist/cell.h"
+
+namespace sddd::netlist {
+
+using GateId = std::uint32_t;
+using ArcId = std::uint32_t;
+
+inline constexpr GateId kInvalidGate = std::numeric_limits<GateId>::max();
+inline constexpr ArcId kInvalidArc = std::numeric_limits<ArcId>::max();
+
+/// One vertex of the circuit DAG.
+struct Gate {
+  CellType type = CellType::kBuf;
+  std::string name;
+  std::vector<GateId> fanins;   ///< driver gate of each input pin, in pin order
+  std::vector<GateId> fanouts;  ///< gates with this gate among their fanins
+};
+
+/// A timing arc: input pin `pin` of gate `gate`.
+struct Arc {
+  GateId gate = kInvalidGate;
+  std::uint32_t pin = 0;
+};
+
+/// Structural netlist.  Build with add_* calls, then freeze() to compute
+/// fanouts and arc numbering.  All queries require a frozen netlist.
+class Netlist {
+ public:
+  Netlist() = default;
+  explicit Netlist(std::string name) : name_(std::move(name)) {}
+
+  const std::string& name() const { return name_; }
+  void set_name(std::string name) { name_ = std::move(name); }
+
+  // --- Construction ---
+
+  /// Adds a primary input; returns its gate id.
+  GateId add_input(std::string name);
+
+  /// Adds a gate of the given combinational type (or kDff/kConst*).
+  /// Fanins may be placeholder ids from declare() that are defined later.
+  GateId add_gate(CellType type, std::string name, std::vector<GateId> fanins);
+
+  /// Declares a signal name without a definition yet; returns its gate id.
+  /// Used by parsers for forward references (e.g. DFF feedback in .bench
+  /// files).  Every declared gate must be completed with define() before
+  /// freeze().
+  GateId declare(std::string name);
+
+  /// Completes a previously declared gate.
+  void define(GateId id, CellType type, std::vector<GateId> fanins);
+
+  /// Marks an existing gate's output as a primary output.
+  void add_output(GateId driver);
+
+  /// Computes fanout lists and arc numbering; validates fanin arities and
+  /// gate-id ranges.  Must be called once after construction; mutating
+  /// calls afterwards throw.
+  void freeze();
+
+  bool frozen() const { return frozen_; }
+
+  // --- Topology queries (frozen only for arcs/fanouts) ---
+
+  std::size_t gate_count() const { return gates_.size(); }
+  const Gate& gate(GateId id) const { return gates_[id]; }
+  const std::vector<Gate>& gates() const { return gates_; }
+
+  const std::vector<GateId>& inputs() const { return inputs_; }
+  const std::vector<GateId>& outputs() const { return outputs_; }
+
+  /// Index of `id` in outputs(), or -1 when the gate drives no PO.
+  int output_index(GateId id) const;
+
+  /// Gate lookup by name; kInvalidGate when absent.
+  GateId find(std::string_view name) const;
+
+  // --- Arc numbering ---
+
+  std::size_t arc_count() const { return arcs_.size(); }
+  const Arc& arc(ArcId id) const { return arcs_[id]; }
+
+  /// Arc id of (gate, pin).  Valid only after freeze().
+  ArcId arc_of(GateId gate, std::uint32_t pin) const {
+    assert(frozen_ && "arc numbering exists only after freeze()");
+    return arc_base_[gate] + pin;
+  }
+
+  /// First arc id of `gate`; arcs of a gate are contiguous.  Valid only
+  /// after freeze().
+  ArcId arc_base(GateId gate) const {
+    assert(frozen_ && "arc numbering exists only after freeze()");
+    return arc_base_[gate];
+  }
+
+  /// Number of DFFs still present (0 after full-scan transform).
+  std::size_t dff_count() const;
+
+  /// Human-readable one-line summary ("name: 14 PI, 14 PO, 529 gates, ...").
+  std::string summary() const;
+
+ private:
+  void require_frozen(bool expect) const;
+
+  std::string name_;
+  std::vector<Gate> gates_;
+  std::vector<GateId> inputs_;
+  std::vector<GateId> outputs_;
+  std::unordered_map<std::string, GateId> by_name_;
+  std::unordered_map<GateId, int> output_index_;
+  std::vector<Arc> arcs_;
+  std::vector<ArcId> arc_base_;
+  std::vector<GateId> undefined_;  ///< declared but not yet defined
+  bool frozen_ = false;
+};
+
+}  // namespace sddd::netlist

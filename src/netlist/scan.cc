@@ -1,0 +1,40 @@
+#include "netlist/scan.h"
+
+#include <stdexcept>
+
+namespace sddd::netlist {
+
+Netlist full_scan_transform(const Netlist& nl) {
+  if (!nl.frozen()) {
+    throw std::logic_error("full_scan_transform: netlist must be frozen");
+  }
+  Netlist out(nl.name());
+  // Gate ids are preserved 1:1, so fanin lists can be copied directly.
+  for (GateId g = 0; g < nl.gate_count(); ++g) {
+    const Gate& gate = nl.gate(g);
+    switch (gate.type) {
+      case CellType::kInput:
+        out.add_input(gate.name);
+        break;
+      case CellType::kDff:
+        // The flop's Q pin is a controllable pseudo-input of the core.
+        out.add_input(gate.name);
+        break;
+      default:
+        out.add_gate(gate.type, gate.name, gate.fanins);
+        break;
+    }
+  }
+  for (const GateId o : nl.outputs()) out.add_output(o);
+  for (GateId g = 0; g < nl.gate_count(); ++g) {
+    const Gate& gate = nl.gate(g);
+    if (gate.type == CellType::kDff) {
+      // The flop's D pin is an observable pseudo-output of the core.
+      out.add_output(gate.fanins.at(0));
+    }
+  }
+  out.freeze();
+  return out;
+}
+
+}  // namespace sddd::netlist

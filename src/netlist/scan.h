@@ -1,0 +1,25 @@
+// scan.h - Full-scan transformation of sequential netlists.
+//
+// The ISCAS-89 circuits used in the paper's Table I are sequential.  Delay
+// test and diagnosis flows (including the paper's) treat them as full-scan
+// designs: every flip-flop is directly controllable and observable through
+// the scan chain, so the timing-relevant circuit is the combinational core
+// where
+//   - each DFF output becomes a pseudo primary input, and
+//   - each DFF data input becomes a pseudo primary output.
+// Test patterns are then two-vector pairs applied to PIs+pseudo-PIs and
+// captured at POs+pseudo-POs (launch-on-capture/launch-on-shift details are
+// below the abstraction level of the paper and of this library).
+#pragma once
+
+#include "netlist/netlist.h"
+
+namespace sddd::netlist {
+
+/// Returns the full-scan combinational core of `nl`: DFFs replaced by
+/// pseudo-PI / pseudo-PO pairs.  Gate names and relative order are
+/// preserved; the result is frozen and contains no DFFs.  A combinational
+/// netlist is returned unchanged (copied).
+Netlist full_scan_transform(const Netlist& nl);
+
+}  // namespace sddd::netlist

@@ -1,0 +1,47 @@
+// synth.h - Seeded synthetic benchmark-circuit generator.
+//
+// The paper's Table I evaluates on ISCAS-89 circuits.  Those netlists are
+// public but cannot be redistributed inside this repository, so the
+// experiment harness synthesizes *ISCAS-class* circuits: random
+// combinational DAGs matched to each benchmark's published profile (PI/PO
+// count, gate count, logic depth, typical gate mix).  Table I measures
+// relative accuracy of diagnosis error functions, which depends on circuit
+// scale, reconvergent fanout and path-length spread - all reproduced here by
+// construction.  Real `.bench` files can be substituted at any time via
+// bench_io.h; everything downstream is agnostic to the netlist's origin.
+//
+// Generation is fully deterministic given the spec's seed.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "netlist/netlist.h"
+
+namespace sddd::netlist {
+
+/// Profile of the synthetic circuit to generate.  All counts refer to the
+/// combinational core (run full_scan_transform first when matching a
+/// sequential benchmark: inputs = PI + FF, outputs = PO + FF).
+struct SynthSpec {
+  std::string name = "synth";
+  std::uint32_t n_inputs = 8;
+  std::uint32_t n_outputs = 8;
+  std::uint32_t n_gates = 100;   ///< combinational gates (excl. PIs)
+  std::uint32_t depth = 12;      ///< target logic depth (levels)
+  double fanin3_fraction = 0.15; ///< fraction of 3-input gates
+  double inverter_fraction = 0.15; ///< fraction of NOT/BUF gates
+  double xor_fraction = 0.08;    ///< fraction of XOR/XNOR among 2-input gates
+  std::uint64_t seed = 1;
+};
+
+/// Generates a frozen combinational netlist matching `spec`.
+/// Guarantees:
+///   - exactly spec.n_inputs PIs, spec.n_outputs POs, spec.n_gates gates;
+///   - every gate lies on some PI -> PO path (no dangling logic);
+///   - logic depth is close to spec.depth (within rounding of the level
+///     schedule); at least 1;
+///   - deterministic for a fixed spec.
+Netlist synthesize(const SynthSpec& spec);
+
+}  // namespace sddd::netlist

@@ -1,0 +1,283 @@
+#include "netlist/verilog_io.h"
+
+#include <cctype>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace sddd::netlist {
+
+namespace {
+
+struct Token {
+  std::string text;
+  std::size_t line = 0;
+};
+
+[[noreturn]] void fail(std::size_t line, const std::string& msg) {
+  throw std::runtime_error("verilog parse error at line " +
+                           std::to_string(line) + ": " + msg);
+}
+
+bool is_ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_' ||
+         c == '$' || c == '[' || c == ']' || c == '.';
+}
+
+/// Lexer: identifiers/keywords and single-char punctuation; strips both
+/// comment styles.
+std::vector<Token> tokenize(std::istream& in) {
+  std::vector<Token> tokens;
+  std::string line;
+  std::size_t line_no = 0;
+  bool in_block_comment = false;
+  while (std::getline(in, line)) {
+    ++line_no;
+    std::size_t i = 0;
+    while (i < line.size()) {
+      if (in_block_comment) {
+        const auto end = line.find("*/", i);
+        if (end == std::string::npos) {
+          i = line.size();
+        } else {
+          in_block_comment = false;
+          i = end + 2;
+        }
+        continue;
+      }
+      const char c = line[i];
+      if (std::isspace(static_cast<unsigned char>(c))) {
+        ++i;
+        continue;
+      }
+      if (c == '/' && i + 1 < line.size()) {
+        if (line[i + 1] == '/') break;  // line comment
+        if (line[i + 1] == '*') {
+          in_block_comment = true;
+          i += 2;
+          continue;
+        }
+      }
+      if (is_ident_char(c)) {
+        std::size_t j = i;
+        while (j < line.size() && is_ident_char(line[j])) ++j;
+        tokens.push_back(Token{line.substr(i, j - i), line_no});
+        i = j;
+        continue;
+      }
+      if (c == '(' || c == ')' || c == ',' || c == ';') {
+        tokens.push_back(Token{std::string(1, c), line_no});
+        ++i;
+        continue;
+      }
+      fail(line_no, std::string("unexpected character '") + c + "'");
+    }
+  }
+  if (in_block_comment) fail(line_no, "unterminated block comment");
+  return tokens;
+}
+
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  Netlist run() {
+    expect_keyword("module");
+    const Token& name = next("module name");
+    nl_.set_name(name.text);
+    // Port list (names only; direction comes from input/output statements).
+    if (peek_is("(")) {
+      skip();  // (
+      while (!peek_is(")")) {
+        (void)next("port name");
+        if (peek_is(",")) skip();
+      }
+      skip();  // )
+    }
+    expect(";");
+
+    while (!peek_is("endmodule")) {
+      const Token& head = next("statement");
+      if (head.text == "input") {
+        for (const auto& sig : name_list(head.line)) {
+          nl_.define(get_or_declare(sig), CellType::kInput, {});
+        }
+      } else if (head.text == "output") {
+        for (const auto& sig : name_list(head.line)) {
+          outputs_.push_back(sig);
+          output_lines_.push_back(head.line);
+          (void)get_or_declare(sig);
+        }
+      } else if (head.text == "wire") {
+        for (const auto& sig : name_list(head.line)) {
+          (void)get_or_declare(sig);
+        }
+      } else if (const auto type = parse_cell_type(head.text)) {
+        parse_instance(*type, head.line);
+      } else {
+        fail(head.line, "unsupported construct: " + head.text);
+      }
+    }
+    skip();  // endmodule
+
+    for (std::size_t i = 0; i < outputs_.size(); ++i) {
+      const auto it = ids_.find(outputs_[i]);
+      if (it == ids_.end()) {
+        fail(output_lines_[i], "output of undefined net: " + outputs_[i]);
+      }
+      nl_.add_output(it->second);
+    }
+    try {
+      nl_.freeze();
+    } catch (const std::exception& e) {
+      throw std::runtime_error(std::string("verilog parse error: ") +
+                               e.what());
+    }
+    return std::move(nl_);
+  }
+
+ private:
+  // --- token helpers ---
+  const Token& next(const char* what) {
+    if (pos_ >= tokens_.size()) {
+      throw std::runtime_error(std::string("verilog parse error: expected ") +
+                               what + " but reached end of file");
+    }
+    return tokens_[pos_++];
+  }
+  bool peek_is(std::string_view text) const {
+    return pos_ < tokens_.size() && tokens_[pos_].text == text;
+  }
+  void skip() { ++pos_; }
+  void expect(std::string_view text) {
+    const Token& t = next(std::string(text).c_str());
+    if (t.text != text) {
+      fail(t.line, "expected '" + std::string(text) + "', got '" + t.text + "'");
+    }
+  }
+  void expect_keyword(std::string_view kw) { expect(kw); }
+
+  /// Parses "a, b, c ;" after input/output/wire.
+  std::vector<std::string> name_list(std::size_t line) {
+    std::vector<std::string> names;
+    for (;;) {
+      const Token& t = next("net name");
+      if (!is_ident_char(t.text.front())) fail(line, "bad net name: " + t.text);
+      names.push_back(t.text);
+      const Token& sep = next("',' or ';'");
+      if (sep.text == ";") break;
+      if (sep.text != ",") fail(sep.line, "expected ',' or ';'");
+    }
+    return names;
+  }
+
+  /// Parses "[instance_name] ( out, in... ) ;" for a primitive.
+  void parse_instance(CellType type, std::size_t line) {
+    if (!peek_is("(")) {
+      (void)next("instance name");  // optional label
+    }
+    expect("(");
+    std::vector<std::string> terminals;
+    while (!peek_is(")")) {
+      const Token& t = next("terminal");
+      if (t.text == ",") continue;
+      terminals.push_back(t.text);
+    }
+    skip();  // )
+    expect(";");
+    if (terminals.size() < 2) {
+      fail(line, "primitive needs an output and at least one input");
+    }
+    const GateId out = get_or_declare(terminals.front());
+    std::vector<GateId> fanins;
+    for (std::size_t i = 1; i < terminals.size(); ++i) {
+      fanins.push_back(get_or_declare(terminals[i]));
+    }
+    try {
+      nl_.define(out, type, std::move(fanins));
+    } catch (const std::exception& e) {
+      fail(line, e.what());
+    }
+  }
+
+  GateId get_or_declare(const std::string& sig) {
+    const auto it = ids_.find(sig);
+    if (it != ids_.end()) return it->second;
+    const GateId id = nl_.declare(sig);
+    ids_.emplace(sig, id);
+    return id;
+  }
+
+  std::vector<Token> tokens_;
+  std::size_t pos_ = 0;
+  Netlist nl_;
+  std::unordered_map<std::string, GateId> ids_;
+  std::vector<std::string> outputs_;
+  std::vector<std::size_t> output_lines_;
+};
+
+}  // namespace
+
+Netlist parse_verilog(std::istream& in) {
+  return Parser(tokenize(in)).run();
+}
+
+Netlist parse_verilog_string(std::string_view text) {
+  std::istringstream in{std::string(text)};
+  return parse_verilog(in);
+}
+
+Netlist parse_verilog_file(const std::filesystem::path& path) {
+  std::ifstream in(path);
+  if (!in) {
+    throw std::runtime_error("cannot open verilog file: " + path.string());
+  }
+  return parse_verilog(in);
+}
+
+void write_verilog(const Netlist& nl, std::ostream& out) {
+  out << "// " << nl.name() << " - written by sddd\n";
+  out << "module " << nl.name() << " (";
+  bool first = true;
+  for (const GateId g : nl.inputs()) {
+    out << (first ? "" : ", ") << nl.gate(g).name;
+    first = false;
+  }
+  for (const GateId g : nl.outputs()) {
+    out << (first ? "" : ", ") << nl.gate(g).name;
+    first = false;
+  }
+  out << ");\n";
+  for (const GateId g : nl.inputs()) {
+    out << "  input " << nl.gate(g).name << ";\n";
+  }
+  for (const GateId g : nl.outputs()) {
+    out << "  output " << nl.gate(g).name << ";\n";
+  }
+  for (GateId g = 0; g < nl.gate_count(); ++g) {
+    if (nl.gate(g).type == CellType::kInput) continue;
+    if (nl.output_index(g) >= 0) continue;  // already declared as output
+    out << "  wire " << nl.gate(g).name << ";\n";
+  }
+  std::size_t instance = 0;
+  for (GateId g = 0; g < nl.gate_count(); ++g) {
+    const Gate& gate = nl.gate(g);
+    if (gate.type == CellType::kInput) continue;
+    out << "  " << cell_type_name(gate.type) << " u" << instance++ << " ("
+        << gate.name;
+    for (const GateId f : gate.fanins) out << ", " << nl.gate(f).name;
+    out << ");\n";
+  }
+  out << "endmodule\n";
+}
+
+std::string to_verilog_string(const Netlist& nl) {
+  std::ostringstream os;
+  write_verilog(nl, os);
+  return os.str();
+}
+
+}  // namespace sddd::netlist

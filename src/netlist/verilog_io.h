@@ -1,0 +1,47 @@
+// verilog_io.h - Reader/writer for a structural Verilog subset.
+//
+// Many benchmark distributions (including ISCAS-85/89 conversions) ship as
+// gate-level structural Verilog rather than `.bench`.  This module accepts
+// the common subset those files use:
+//
+//     module c17 (N1, N2, N3, N6, N7, N22, N23);
+//       input N1, N2, N3, N6, N7;
+//       output N22, N23;
+//       wire N10, N11, N16, N19;
+//       nand g1 (N10, N1, N3);      // first terminal = output
+//       nand (N11, N3, N6);         // instance name optional
+//       dff  q1 (Q, D);             // flip-flops as a primitive
+//     endmodule
+//
+// Supported: one module per file, scalar nets, primitive gates (and, or,
+// nand, nor, xor, xnor, not, buf, dff), `//` and `/* */` comments,
+// multi-declaration statements, forward references.  Unsupported
+// constructs fail with a line-numbered error rather than misparse.
+#pragma once
+
+#include <filesystem>
+#include <istream>
+#include <ostream>
+#include <string_view>
+
+#include "netlist/netlist.h"
+
+namespace sddd::netlist {
+
+/// Parses the structural Verilog subset.  The returned netlist is frozen;
+/// its name is the module name.
+Netlist parse_verilog(std::istream& in);
+
+/// String convenience.
+Netlist parse_verilog_string(std::string_view text);
+
+/// File convenience.
+Netlist parse_verilog_file(const std::filesystem::path& path);
+
+/// Writes a frozen netlist as structural Verilog (the same subset).
+void write_verilog(const Netlist& nl, std::ostream& out);
+
+/// String convenience for write_verilog.
+std::string to_verilog_string(const Netlist& nl);
+
+}  // namespace sddd::netlist

@@ -1,0 +1,53 @@
+#include "paths/path.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace sddd::paths {
+
+using netlist::ArcId;
+using netlist::GateId;
+using netlist::Netlist;
+
+GateId path_source(const Netlist& nl, const Path& p) {
+  if (p.empty()) return netlist::kInvalidGate;
+  const auto& first = nl.arc(p.arcs.front());
+  return nl.gate(first.gate).fanins[first.pin];
+}
+
+GateId path_sink(const Netlist& nl, const Path& p) {
+  if (p.empty()) return netlist::kInvalidGate;
+  return nl.arc(p.arcs.back()).gate;
+}
+
+bool is_valid_path(const Netlist& nl, const Path& p) {
+  if (p.empty()) return false;
+  for (std::size_t i = 0; i + 1 < p.arcs.size(); ++i) {
+    const auto& cur = nl.arc(p.arcs[i]);
+    const auto& nxt = nl.arc(p.arcs[i + 1]);
+    if (nl.gate(nxt.gate).fanins[nxt.pin] != cur.gate) return false;
+  }
+  return nl.output_index(path_sink(nl, p)) >= 0;
+}
+
+bool path_contains(const Path& p, ArcId a) {
+  return std::find(p.arcs.begin(), p.arcs.end(), a) != p.arcs.end();
+}
+
+std::string path_to_string(const Netlist& nl, const Path& p) {
+  if (p.empty()) return "<empty>";
+  std::ostringstream os;
+  os << nl.gate(path_source(nl, p)).name;
+  for (const ArcId a : p.arcs) {
+    os << " -> " << nl.gate(nl.arc(a).gate).name;
+  }
+  return os.str();
+}
+
+double path_weight(const Path& p, std::span<const double> arc_weight) {
+  double acc = 0.0;
+  for (const ArcId a : p.arcs) acc += arc_weight[a];
+  return acc;
+}
+
+}  // namespace sddd::paths

@@ -1,0 +1,51 @@
+// path.h - Structural paths through the circuit DAG.
+//
+// A path (Section D-1) runs from a primary input to a primary output along
+// timing arcs.  Paths are stored as arc-id sequences; the gate sequence is
+// derivable from the arcs.  Paths are the currency between the statistical
+// timing engine (timing length TL(p)), the ATPG (path delay fault targets)
+// and the diagnosis experiments (longest paths through a defect site,
+// Section H-4).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "netlist/netlist.h"
+
+namespace sddd::paths {
+
+/// An input-to-output path: consecutive timing arcs where arc i+1's fanin
+/// gate equals arc i's gate.
+struct Path {
+  std::vector<netlist::ArcId> arcs;
+
+  bool empty() const { return arcs.empty(); }
+  std::size_t length() const { return arcs.size(); }
+
+  bool operator==(const Path&) const = default;
+};
+
+/// First gate of the path (the PI or source gate feeding the first arc).
+netlist::GateId path_source(const netlist::Netlist& nl, const Path& p);
+
+/// Last gate of the path (drives the PO).
+netlist::GateId path_sink(const netlist::Netlist& nl, const Path& p);
+
+/// True when `p` is structurally consistent in `nl`: arcs chain head-to-
+/// tail and the sink drives a primary output.
+bool is_valid_path(const netlist::Netlist& nl, const Path& p);
+
+/// True when arc `a` lies on `p`.
+bool path_contains(const Path& p, netlist::ArcId a);
+
+/// "I3 -> N12 -> N40 -> PO N77" rendering for logs.
+std::string path_to_string(const netlist::Netlist& nl, const Path& p);
+
+/// Sum of per-arc weights along the path (e.g. mean delays): the nominal
+/// timing length used by longest-path selection.
+double path_weight(const Path& p, std::span<const double> arc_weight);
+
+}  // namespace sddd::paths

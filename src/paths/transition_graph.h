@@ -1,0 +1,97 @@
+// transition_graph.h - Per-pattern sensitization analysis.
+//
+// Given a two-vector test (v1, v2), this module computes which nets toggle
+// and which timing arcs are *active*, i.e. carry a transition that
+// contributes to the output settling time.  The active subgraph is exactly
+// the paper's induced circuit Induced(Path_v) (Definitions D.3-D.5): the
+// statistical dynamic timing simulator propagates arrival-time random
+// variables only along active arcs.
+//
+// Arrival semantics per gate ("transition mode" timing):
+//   - the gate's output must toggle between v1 and v2 to carry an arrival;
+//   - if the final (v2) output value is *controlled* (some input sits at
+//     the controlling value), the output switched when the FIRST input
+//     arrived at the controlling value: arrival = MIN over inputs that
+//     toggled to the controlling value;
+//   - otherwise the output switched when the LAST toggling input settled:
+//     arrival = MAX over toggling inputs (this covers XOR/NOT/BUF too).
+//
+// This is the standard gate-level approximation of the waveforms a
+// Monte-Carlo SPICE dynamic simulation would produce (Section H-2); it
+// keeps every quantity a pure min/max/plus network over arc-delay samples,
+// which makes all timing quantities monotone in every arc delay - the
+// property that guarantees S_crt = E_crt - M_crt >= 0 (Definition E.1).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "logicsim/bitsim.h"
+#include "netlist/levelize.h"
+#include "netlist/netlist.h"
+
+namespace sddd::paths {
+
+/// How a toggling gate's arrival time combines its active fanin arrivals.
+enum class ArrivalRule : std::uint8_t {
+  kMaxOverActive,  ///< final value non-controlled: latest active input
+  kMinOverActive,  ///< final value controlled: earliest controlling input
+};
+
+/// Sensitization result for one pattern pair on one netlist.
+class TransitionGraph {
+ public:
+  /// Simulates v1/v2 with `sim` and derives toggles, active arcs and
+  /// per-gate arrival rules.
+  TransitionGraph(const logicsim::BitSimulator& sim,
+                  const netlist::Levelization& lev,
+                  const logicsim::PatternPair& pattern);
+
+  const netlist::Netlist& netlist() const { return *nl_; }
+
+  /// True when the net toggles between the two vectors.
+  bool toggles(netlist::GateId g) const { return toggles_[g]; }
+
+  /// True when the arc carries a contributing transition (see header).
+  bool is_active(netlist::ArcId a) const { return active_[a]; }
+
+  ArrivalRule rule(netlist::GateId g) const { return rule_[g]; }
+
+  /// Active fanin arcs of gate g (subset of its pins), empty when the gate
+  /// does not toggle or is a source.
+  const std::vector<netlist::ArcId>& active_fanins(netlist::GateId g) const {
+    return active_fanins_[g];
+  }
+
+  /// Final (v2) logic value of each gate; used by tests and the ATPG.
+  bool final_value(netlist::GateId g) const { return v2_value_[g]; }
+  /// Initial (v1) logic value of each gate.
+  bool initial_value(netlist::GateId g) const { return v1_value_[g]; }
+
+  /// True when at least one primary output toggles (the pattern exercises
+  /// some path; otherwise the induced circuit is empty).
+  bool any_output_toggles() const;
+
+  /// Arcs lying on some active path that terminates at output gate `o`:
+  /// the backward cone over active arcs.  Returns one flag per arc.
+  /// These are the arcs whose delay can influence Ar(o) - the suspect
+  /// universe of Algorithm E.1 step 1 for a failing (o, v) pair.
+  std::vector<bool> cone_to_output(netlist::GateId o) const;
+
+  /// Gates downstream of gate `g` (inclusive) reachable over active arcs:
+  /// the forward cone a defect at g can influence, in topological order.
+  /// Used for incremental dictionary simulation.
+  std::vector<netlist::GateId> forward_cone(netlist::GateId g) const;
+
+ private:
+  const netlist::Netlist* nl_;
+  const netlist::Levelization* lev_;
+  std::vector<bool> toggles_;
+  std::vector<bool> active_;
+  std::vector<bool> v1_value_;
+  std::vector<bool> v2_value_;
+  std::vector<ArrivalRule> rule_;
+  std::vector<std::vector<netlist::ArcId>> active_fanins_;
+};
+
+}  // namespace sddd::paths

@@ -1,0 +1,84 @@
+#include "stats/correlation.h"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "stats/rv.h"
+
+namespace sddd::stats {
+
+ProcessVariation::ProcessVariation(double global_weight, double local_weight)
+    : global_weight_(global_weight), local_weight_(local_weight) {
+  if (global_weight < 0.0 || local_weight < 0.0) {
+    throw std::invalid_argument("ProcessVariation: weights must be >= 0");
+  }
+}
+
+double ProcessVariation::pairwise_correlation() const {
+  const double g2 = global_weight_ * global_weight_;
+  const double l2 = local_weight_ * local_weight_;
+  if (g2 + l2 == 0.0) return 0.0;
+  return g2 / (g2 + l2);
+}
+
+SampleVector ProcessVariation::draw_global_factors(std::size_t n,
+                                                   Rng& rng) const {
+  std::vector<double> g(n);
+  for (auto& x : g) x = inverse_normal_cdf(rng.uniform01());
+  return SampleVector(std::move(g));
+}
+
+SampleVector ProcessVariation::draw_multipliers(
+    const SampleVector& global_factors, Rng& rng) const {
+  std::vector<double> m(global_factors.size());
+  for (std::size_t k = 0; k < m.size(); ++k) {
+    const double local = inverse_normal_cdf(rng.uniform01());
+    const double mult =
+        1.0 + global_weight_ * global_factors[k] + local_weight_ * local;
+    m[k] = mult > 0.0 ? mult : 0.0;
+  }
+  return SampleVector(std::move(m));
+}
+
+std::vector<double> cholesky_lower(const std::vector<double>& matrix,
+                                   std::size_t dim) {
+  if (matrix.size() != dim * dim) {
+    throw std::invalid_argument("cholesky_lower: size mismatch");
+  }
+  std::vector<double> L(dim * dim, 0.0);
+  for (std::size_t i = 0; i < dim; ++i) {
+    for (std::size_t j = 0; j <= i; ++j) {
+      double sum = matrix[i * dim + j];
+      for (std::size_t k = 0; k < j; ++k) sum -= L[i * dim + k] * L[j * dim + k];
+      if (i == j) {
+        if (sum <= 0.0) {
+          throw std::invalid_argument(
+              "cholesky_lower: matrix is not positive definite");
+        }
+        L[i * dim + i] = std::sqrt(sum);
+      } else {
+        L[i * dim + j] = sum / L[j * dim + j];
+      }
+    }
+  }
+  return L;
+}
+
+std::vector<double> sample_mvn(const std::vector<double>& means,
+                               const std::vector<double>& chol_lower,
+                               std::size_t dim, Rng& rng) {
+  if (means.size() != dim || chol_lower.size() != dim * dim) {
+    throw std::invalid_argument("sample_mvn: size mismatch");
+  }
+  std::vector<double> z(dim);
+  for (auto& x : z) x = inverse_normal_cdf(rng.uniform01());
+  std::vector<double> out(dim);
+  for (std::size_t i = 0; i < dim; ++i) {
+    double acc = means[i];
+    for (std::size_t j = 0; j <= i; ++j) acc += chol_lower[i * dim + j] * z[j];
+    out[i] = acc;
+  }
+  return out;
+}
+
+}  // namespace sddd::stats

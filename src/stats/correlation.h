@@ -1,0 +1,69 @@
+// correlation.h - Correlated process-variation sampling.
+//
+// Definition D.1 allows arc delays f(e_i), f(e_j) to be correlated.  In a
+// real flow the correlation comes from shared process parameters; the paper
+// pre-characterizes cells with a Monte-Carlo SPICE run on a 0.25um process.
+// We model the standard decomposition used in statistical timing:
+//
+//     delay(e, k) = nominal(e) * (1 + w_g * G_k + w_l * L_{e,k})
+//
+// where G_k is a per-instance (inter-die) standard-normal factor shared by
+// every arc of sample k, L_{e,k} is an independent per-arc (intra-die)
+// standard-normal factor, and w_g / w_l are the global/local variation
+// weights.  The resulting pairwise correlation between any two arc delays is
+// rho = w_g^2 / (w_g^2 + w_l^2).
+//
+// A generic Cholesky-based multivariate-normal sampler is also provided for
+// tests and for users who want an arbitrary correlation matrix.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "stats/rng.h"
+#include "stats/sample_vector.h"
+
+namespace sddd::stats {
+
+/// Per-analysis process-variation context: one global factor per Monte-Carlo
+/// sample, shared across all arcs.
+class ProcessVariation {
+ public:
+  /// @param global_weight  w_g: relative sigma of the shared inter-die factor.
+  /// @param local_weight   w_l: relative sigma of the per-arc factor.
+  ProcessVariation(double global_weight, double local_weight);
+
+  double global_weight() const { return global_weight_; }
+  double local_weight() const { return local_weight_; }
+
+  /// Theoretical pairwise correlation between two distinct arc delays.
+  double pairwise_correlation() const;
+
+  /// Draws the shared inter-die factors for `n` Monte-Carlo samples.
+  SampleVector draw_global_factors(std::size_t n, Rng& rng) const;
+
+  /// Produces n correlated relative-variation multipliers for one arc:
+  ///   m_k = max(0, 1 + w_g * G_k + w_l * L_k)
+  /// where `global_factors` must come from draw_global_factors of the same
+  /// analysis (same n, same rng lineage).
+  SampleVector draw_multipliers(const SampleVector& global_factors,
+                                Rng& rng) const;
+
+ private:
+  double global_weight_;
+  double local_weight_;
+};
+
+/// Lower-triangular Cholesky factor of a symmetric positive-definite matrix
+/// given in row-major order.  Throws std::invalid_argument when the matrix
+/// is not positive definite.
+std::vector<double> cholesky_lower(const std::vector<double>& matrix,
+                                   std::size_t dim);
+
+/// Draws one multivariate-normal vector with the given means and
+/// lower-triangular Cholesky factor (row-major, dim x dim).
+std::vector<double> sample_mvn(const std::vector<double>& means,
+                               const std::vector<double>& chol_lower,
+                               std::size_t dim, Rng& rng);
+
+}  // namespace sddd::stats

@@ -1,0 +1,89 @@
+#include "stats/histogram.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <sstream>
+#include <stdexcept>
+
+namespace sddd::stats {
+
+Histogram::Histogram(const SampleVector& data, std::size_t bins, double lo,
+                     double hi) {
+  if (bins == 0) throw std::invalid_argument("Histogram: bins must be >= 1");
+  if (!(hi > lo)) throw std::invalid_argument("Histogram: need hi > lo");
+  lo_ = lo;
+  hi_ = hi;
+  width_ = (hi - lo) / static_cast<double>(bins);
+  counts_.assign(bins, 0);
+  for (const double x : data.samples()) {
+    double pos = (x - lo) / width_;
+    pos = std::clamp(pos, 0.0, static_cast<double>(bins) - 0.5);
+    ++counts_[static_cast<std::size_t>(pos)];
+  }
+  total_ = data.size();
+}
+
+namespace {
+
+std::pair<double, double> auto_range(const SampleVector& data) {
+  double lo = data.min();
+  double hi = data.max_value();
+  if (!(hi > lo)) {
+    // Degenerate (constant) data: pad to a unit-wide window around it.
+    lo -= 0.5;
+    hi += 0.5;
+  }
+  return {lo, hi};
+}
+
+}  // namespace
+
+Histogram::Histogram(const SampleVector& data, std::size_t bins)
+    : Histogram(data, bins, auto_range(data).first, auto_range(data).second) {}
+
+double Histogram::mass(std::size_t i) const {
+  if (total_ == 0) return 0.0;
+  return static_cast<double>(counts_.at(i)) / static_cast<double>(total_);
+}
+
+double Histogram::center(std::size_t i) const {
+  return lo_ + (static_cast<double>(i) + 0.5) * width_;
+}
+
+double Histogram::mass_above(double x) const {
+  double acc = 0.0;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    if (center(i) >= x) acc += mass(i);
+  }
+  return acc;
+}
+
+std::string Histogram::ascii(std::size_t width, double marker) const {
+  std::ostringstream os;
+  double max_mass = 0.0;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    max_mass = std::max(max_mass, mass(i));
+  }
+  const bool has_marker = std::isfinite(marker);
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    const double m = mass(i);
+    const auto bar =
+        max_mass > 0.0
+            ? static_cast<std::size_t>(std::lround(
+                  m / max_mass * static_cast<double>(width)))
+            : 0U;
+    char lead = ' ';
+    if (has_marker && marker >= lo_ + static_cast<double>(i) * width_ &&
+        marker < lo_ + static_cast<double>(i + 1) * width_) {
+      lead = '|';
+    }
+    os << lead;
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%10.3f ", center(i));
+    os << buf << std::string(bar, '#') << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace sddd::stats

@@ -1,0 +1,63 @@
+// histogram.h - Fixed-bin histograms for reporting empirical pdfs.
+//
+// The reporting layer (EXPERIMENTS.md tables, Figure 1/2 reproductions)
+// renders arrival-time pdfs as text histograms.  This class converts a
+// SampleVector into bins and offers an ASCII rendering similar to the pdf
+// sketches in the paper's Figure 1.
+#pragma once
+
+#include <cstddef>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "stats/sample_vector.h"
+
+namespace sddd::stats {
+
+/// Equal-width binned histogram over a closed range.
+class Histogram {
+ public:
+  /// Bins `data` into `bins` equal-width buckets over [lo, hi].  Samples
+  /// outside the range are clamped into the first/last bin.  Requires
+  /// bins >= 1 and hi > lo.
+  Histogram(const SampleVector& data, std::size_t bins, double lo, double hi);
+
+  /// Convenience: range auto-derived from the data (min..max, padded when
+  /// degenerate).
+  Histogram(const SampleVector& data, std::size_t bins);
+
+  std::size_t bin_count() const { return counts_.size(); }
+  double lo() const { return lo_; }
+  double hi() const { return hi_; }
+  double bin_width() const { return width_; }
+
+  /// Raw count in bin i.
+  std::size_t count(std::size_t i) const { return counts_.at(i); }
+
+  /// Probability mass in bin i (count / total).
+  double mass(std::size_t i) const;
+
+  /// Center x-coordinate of bin i.
+  double center(std::size_t i) const;
+
+  /// Probability mass at or beyond x (sum of bins whose center >= x), an
+  /// approximation of the survival function used for quick visual checks.
+  double mass_above(double x) const;
+
+  /// Multi-line ASCII rendering: one row per bin, bar length proportional
+  /// to mass, `width` characters for a full bar.  `marker` (if finite)
+  /// draws a '|' row at that x position - used to show the clk cut-off in
+  /// Figure 1 style plots.
+  std::string ascii(std::size_t width = 50,
+                    double marker = std::numeric_limits<double>::quiet_NaN()) const;
+
+ private:
+  std::vector<std::size_t> counts_;
+  std::size_t total_ = 0;
+  double lo_ = 0.0;
+  double hi_ = 1.0;
+  double width_ = 1.0;
+};
+
+}  // namespace sddd::stats

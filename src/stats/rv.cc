@@ -1,0 +1,245 @@
+#include "stats/rv.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+namespace sddd::stats {
+
+namespace {
+
+void require(bool cond, const char* msg) {
+  if (!cond) throw std::invalid_argument(msg);
+}
+
+}  // namespace
+
+RandomVariable RandomVariable::PointMass(double value) {
+  require(value >= 0.0, "PointMass: value must be >= 0");
+  return RandomVariable(RvKind::kPointMass, value, 0.0, 0.0);
+}
+
+RandomVariable RandomVariable::Normal(double mean, double sigma) {
+  require(sigma >= 0.0, "Normal: sigma must be >= 0");
+  if (sigma == 0.0) return PointMass(std::max(mean, 0.0));
+  return RandomVariable(RvKind::kNormal, mean, sigma, 0.0);
+}
+
+RandomVariable RandomVariable::NormalThreeSigmaPct(double nominal,
+                                                   double three_sigma_pct) {
+  require(nominal >= 0.0, "NormalThreeSigmaPct: nominal must be >= 0");
+  require(three_sigma_pct >= 0.0, "NormalThreeSigmaPct: pct must be >= 0");
+  return Normal(nominal, nominal * three_sigma_pct / 3.0);
+}
+
+RandomVariable RandomVariable::LogNormalMeanSigma(double mean, double sigma) {
+  require(mean > 0.0, "LogNormalMeanSigma: mean must be > 0");
+  require(sigma >= 0.0, "LogNormalMeanSigma: sigma must be >= 0");
+  if (sigma == 0.0) return PointMass(mean);
+  // Moment matching: if X = exp(N(mu, s^2)) then
+  //   E[X]   = exp(mu + s^2/2)
+  //   Var[X] = (exp(s^2) - 1) exp(2mu + s^2)
+  const double cv2 = (sigma / mean) * (sigma / mean);
+  const double s2 = std::log1p(cv2);
+  const double mu = std::log(mean) - 0.5 * s2;
+  return RandomVariable(RvKind::kLogNormal, mu, std::sqrt(s2), 0.0);
+}
+
+RandomVariable RandomVariable::Uniform(double lo, double hi) {
+  require(lo >= 0.0 && hi >= lo, "Uniform: need 0 <= lo <= hi");
+  if (lo == hi) return PointMass(lo);
+  return RandomVariable(RvKind::kUniform, lo, hi, 0.0);
+}
+
+RandomVariable RandomVariable::Triangular(double lo, double mode, double hi) {
+  require(lo >= 0.0 && lo <= mode && mode <= hi,
+          "Triangular: need 0 <= lo <= mode <= hi");
+  if (lo == hi) return PointMass(lo);
+  return RandomVariable(RvKind::kTriangular, lo, hi, mode);
+}
+
+double RandomVariable::mean() const {
+  switch (kind_) {
+    case RvKind::kPointMass:
+      return a_;
+    case RvKind::kNormal:
+      return a_;
+    case RvKind::kLogNormal:
+      return std::exp(a_ + 0.5 * b_ * b_);
+    case RvKind::kUniform:
+      return 0.5 * (a_ + b_);
+    case RvKind::kTriangular:
+      return (a_ + b_ + c_) / 3.0;
+  }
+  return 0.0;
+}
+
+double RandomVariable::stddev() const {
+  switch (kind_) {
+    case RvKind::kPointMass:
+      return 0.0;
+    case RvKind::kNormal:
+      return b_;
+    case RvKind::kLogNormal: {
+      const double ex = std::exp(a_ + 0.5 * b_ * b_);
+      return ex * std::sqrt(std::expm1(b_ * b_));
+    }
+    case RvKind::kUniform:
+      return (b_ - a_) / std::sqrt(12.0);
+    case RvKind::kTriangular: {
+      const double v = (a_ * a_ + b_ * b_ + c_ * c_ - a_ * b_ - a_ * c_ - b_ * c_) / 18.0;
+      return std::sqrt(v);
+    }
+  }
+  return 0.0;
+}
+
+double RandomVariable::sample(Rng& rng) const {
+  switch (kind_) {
+    case RvKind::kPointMass:
+      return a_;
+    case RvKind::kNormal: {
+      // Inverse-CDF sampling; truncate to [0, +inf) by rejection so that
+      // Definition D.1's support constraint holds exactly.
+      for (int attempt = 0; attempt < 64; ++attempt) {
+        const double z = inverse_normal_cdf(rng.uniform01());
+        const double x = a_ + b_ * z;
+        if (x >= 0.0) return x;
+      }
+      return 0.0;  // mean far below 0 relative to sigma; clamp
+    }
+    case RvKind::kLogNormal: {
+      const double z = inverse_normal_cdf(rng.uniform01());
+      return std::exp(a_ + b_ * z);
+    }
+    case RvKind::kUniform:
+      return rng.uniform(a_, b_);
+    case RvKind::kTriangular: {
+      const double u = rng.uniform01();
+      const double f = (c_ - a_) / (b_ - a_);
+      if (u < f) return a_ + std::sqrt(u * (b_ - a_) * (c_ - a_));
+      return b_ - std::sqrt((1.0 - u) * (b_ - a_) * (b_ - c_));
+    }
+  }
+  return 0.0;
+}
+
+double RandomVariable::quantile(double u) const {
+  u = std::clamp(u, 1e-12, 1.0 - 1e-12);
+  switch (kind_) {
+    case RvKind::kPointMass:
+      return a_;
+    case RvKind::kNormal:
+      return std::max(0.0, a_ + b_ * inverse_normal_cdf(u));
+    case RvKind::kLogNormal:
+      return std::exp(a_ + b_ * inverse_normal_cdf(u));
+    case RvKind::kUniform:
+      return a_ + (b_ - a_) * u;
+    case RvKind::kTriangular: {
+      const double f = (c_ - a_) / (b_ - a_);
+      if (u < f) return a_ + std::sqrt(u * (b_ - a_) * (c_ - a_));
+      return b_ - std::sqrt((1.0 - u) * (b_ - a_) * (b_ - c_));
+    }
+  }
+  return 0.0;
+}
+
+RandomVariable RandomVariable::shifted(double delta) const {
+  switch (kind_) {
+    case RvKind::kPointMass:
+      return PointMass(std::max(a_ + delta, 0.0));
+    case RvKind::kNormal:
+      return Normal(a_ + delta, b_);
+    case RvKind::kLogNormal: {
+      // Shift by moment matching (keeps sigma of the value, moves the mean).
+      const double m = mean() + delta;
+      const double s = stddev();
+      if (m <= 0.0) return PointMass(0.0);
+      return LogNormalMeanSigma(m, s);
+    }
+    case RvKind::kUniform:
+      return Uniform(std::max(a_ + delta, 0.0), std::max(b_ + delta, 0.0));
+    case RvKind::kTriangular:
+      return Triangular(std::max(a_ + delta, 0.0), std::max(c_ + delta, 0.0),
+                        std::max(b_ + delta, 0.0));
+  }
+  return *this;
+}
+
+RandomVariable RandomVariable::scaled(double factor) const {
+  require(factor > 0.0, "scaled: factor must be > 0");
+  switch (kind_) {
+    case RvKind::kPointMass:
+      return PointMass(a_ * factor);
+    case RvKind::kNormal:
+      return Normal(a_ * factor, b_ * factor);
+    case RvKind::kLogNormal:
+      return RandomVariable(RvKind::kLogNormal, a_ + std::log(factor), b_, 0.0);
+    case RvKind::kUniform:
+      return Uniform(a_ * factor, b_ * factor);
+    case RvKind::kTriangular:
+      return Triangular(a_ * factor, c_ * factor, b_ * factor);
+  }
+  return *this;
+}
+
+std::string RandomVariable::to_string() const {
+  std::ostringstream os;
+  switch (kind_) {
+    case RvKind::kPointMass:
+      os << "PointMass(" << a_ << ")";
+      break;
+    case RvKind::kNormal:
+      os << "Normal(mu=" << a_ << ", sigma=" << b_ << ")";
+      break;
+    case RvKind::kLogNormal:
+      os << "LogNormal(mean=" << mean() << ", sigma=" << stddev() << ")";
+      break;
+    case RvKind::kUniform:
+      os << "Uniform[" << a_ << ", " << b_ << "]";
+      break;
+    case RvKind::kTriangular:
+      os << "Triangular(" << a_ << ", " << c_ << ", " << b_ << ")";
+      break;
+  }
+  return os.str();
+}
+
+double inverse_normal_cdf(double p) {
+  // Acklam's algorithm.  Valid for p in (0, 1).
+  if (p <= 0.0) return -8.0;
+  if (p >= 1.0) return 8.0;
+  static const double a[] = {-3.969683028665376e+01, 2.209460984245205e+02,
+                             -2.759285104469687e+02, 1.383577518672690e+02,
+                             -3.066479806614716e+01, 2.506628277459239e+00};
+  static const double b[] = {-5.447609879822406e+01, 1.615858368580409e+02,
+                             -1.556989798598866e+02, 6.680131188771972e+01,
+                             -1.328068155288572e+01};
+  static const double c[] = {-7.784894002430293e-03, -3.223964580411365e-01,
+                             -2.400758277161838e+00, -2.549732539343734e+00,
+                             4.374664141464968e+00,  2.938163982698783e+00};
+  static const double d[] = {7.784695709041462e-03, 3.224671290700398e-01,
+                             2.445134137142996e+00, 3.754408661907416e+00};
+  const double p_low = 0.02425;
+  const double p_high = 1.0 - p_low;
+  double q = 0.0;
+  double r = 0.0;
+  if (p < p_low) {
+    q = std::sqrt(-2.0 * std::log(p));
+    return (((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q + c[5]) /
+           ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1.0);
+  }
+  if (p <= p_high) {
+    q = p - 0.5;
+    r = q * q;
+    return (((((a[0] * r + a[1]) * r + a[2]) * r + a[3]) * r + a[4]) * r + a[5]) * q /
+           (((((b[0] * r + b[1]) * r + b[2]) * r + b[3]) * r + b[4]) * r + 1.0);
+  }
+  q = std::sqrt(-2.0 * std::log(1.0 - p));
+  return -(((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q + c[5]) /
+         ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1.0);
+}
+
+double normal_cdf(double z) { return 0.5 * std::erfc(-z / std::sqrt(2.0)); }
+
+}  // namespace sddd::stats

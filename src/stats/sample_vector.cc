@@ -1,0 +1,123 @@
+#include "stats/sample_vector.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+#include "stats/rng.h"
+#include "stats/rv.h"
+
+namespace sddd::stats {
+
+namespace {
+
+void require_same_size(std::size_t a, std::size_t b) {
+  if (a != b) {
+    throw std::invalid_argument(
+        "SampleVector: operands must have the same sample count");
+  }
+}
+
+}  // namespace
+
+SampleVector SampleVector::draw(const RandomVariable& rv, std::size_t n,
+                                Rng& rng) {
+  std::vector<double> s(n);
+  for (auto& x : s) x = rv.sample(rng);
+  return SampleVector(std::move(s));
+}
+
+SampleVector& SampleVector::operator+=(const SampleVector& other) {
+  require_same_size(size(), other.size());
+  const double* __restrict b = other.samples_.data();
+  double* __restrict a = samples_.data();
+  const std::size_t n = samples_.size();
+  for (std::size_t i = 0; i < n; ++i) a[i] += b[i];
+  return *this;
+}
+
+SampleVector& SampleVector::max_with(const SampleVector& other) {
+  require_same_size(size(), other.size());
+  const double* __restrict b = other.samples_.data();
+  double* __restrict a = samples_.data();
+  const std::size_t n = samples_.size();
+  for (std::size_t i = 0; i < n; ++i) a[i] = a[i] > b[i] ? a[i] : b[i];
+  return *this;
+}
+
+SampleVector& SampleVector::operator+=(double delta) {
+  for (auto& x : samples_) x += delta;
+  return *this;
+}
+
+SampleVector& SampleVector::operator*=(double factor) {
+  for (auto& x : samples_) x *= factor;
+  return *this;
+}
+
+double SampleVector::mean() const {
+  if (samples_.empty()) return 0.0;
+  return std::accumulate(samples_.begin(), samples_.end(), 0.0) /
+         static_cast<double>(samples_.size());
+}
+
+double SampleVector::stddev() const {
+  if (samples_.size() < 2) return 0.0;
+  const double m = mean();
+  double acc = 0.0;
+  for (const double x : samples_) acc += (x - m) * (x - m);
+  return std::sqrt(acc / static_cast<double>(samples_.size() - 1));
+}
+
+double SampleVector::min() const {
+  if (samples_.empty()) return 0.0;
+  return *std::min_element(samples_.begin(), samples_.end());
+}
+
+double SampleVector::max_value() const {
+  if (samples_.empty()) return 0.0;
+  return *std::max_element(samples_.begin(), samples_.end());
+}
+
+double SampleVector::quantile(double q) const {
+  if (samples_.empty()) return 0.0;
+  if (q < 0.0 || q > 1.0) {
+    throw std::invalid_argument("quantile: q must be in [0, 1]");
+  }
+  std::vector<double> sorted = samples_;
+  std::sort(sorted.begin(), sorted.end());
+  const double pos = q * static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+}
+
+double SampleVector::critical_probability(double clk) const {
+  if (samples_.empty()) return 0.0;
+  std::size_t count = 0;
+  for (const double x : samples_) count += (x > clk) ? 1U : 0U;
+  return static_cast<double>(count) / static_cast<double>(samples_.size());
+}
+
+double SampleVector::correlation(const SampleVector& other) const {
+  require_same_size(size(), other.size());
+  if (samples_.size() < 2) return 0.0;
+  const double ma = mean();
+  const double mb = other.mean();
+  double sab = 0.0;
+  double saa = 0.0;
+  double sbb = 0.0;
+  for (std::size_t i = 0; i < samples_.size(); ++i) {
+    const double da = samples_[i] - ma;
+    const double db = other.samples_[i] - mb;
+    sab += da * db;
+    saa += da * da;
+    sbb += db * db;
+  }
+  if (saa == 0.0 || sbb == 0.0) return 0.0;
+  return sab / std::sqrt(saa * sbb);
+}
+
+}  // namespace sddd::stats

@@ -1,0 +1,98 @@
+// sample_vector.h - Empirical (Monte-Carlo) random variables.
+//
+// All statistical timing quantities in the library - timing lengths TL(p),
+// arrival times Ar(o), circuit delay Delta(C) (Section D-1 of the paper) -
+// are represented as vectors of joint Monte-Carlo samples.  Sample index k
+// of *every* SampleVector in one analysis refers to the *same* underlying
+// circuit-instance draw, so:
+//
+//   - Sum and Max of arrival times are computed exactly per sample, which
+//     realizes the paper's "joint distribution" semantics (Definition D.1's
+//     correlated delay variables) with no analytic approximation;
+//   - a single sample index k *is* a circuit instance (Definition D.2): the
+//     k-th coordinates of all edge-delay vectors form one fixed-delay chip.
+//
+// The vector length (sample count) is fixed per analysis context and checked
+// on every binary operation.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace sddd::stats {
+
+class Rng;
+class RandomVariable;
+
+/// Empirical random variable: a fixed-length vector of equally likely
+/// samples.  Value type with cheap moves.
+class SampleVector {
+ public:
+  SampleVector() = default;
+
+  /// n samples, all equal to `fill` (default 0).
+  explicit SampleVector(std::size_t n, double fill = 0.0)
+      : samples_(n, fill) {}
+
+  /// Takes ownership of precomputed samples.
+  explicit SampleVector(std::vector<double> samples)
+      : samples_(std::move(samples)) {}
+
+  /// Draws n independent samples of `rv`.
+  static SampleVector draw(const RandomVariable& rv, std::size_t n, Rng& rng);
+
+  std::size_t size() const { return samples_.size(); }
+  bool empty() const { return samples_.empty(); }
+
+  double operator[](std::size_t i) const { return samples_[i]; }
+  double& operator[](std::size_t i) { return samples_[i]; }
+
+  std::span<const double> samples() const { return samples_; }
+  std::span<double> mutable_samples() { return samples_; }
+
+  // --- Per-sample (joint) arithmetic.  Sizes must match. ---
+
+  /// this += other (per sample).  The Sum operator of Definition D-1.
+  SampleVector& operator+=(const SampleVector& other);
+  /// this = max(this, other) (per sample).  The Max operator of Def. D-1.
+  SampleVector& max_with(const SampleVector& other);
+  /// this += constant.
+  SampleVector& operator+=(double delta);
+  /// this *= constant.
+  SampleVector& operator*=(double factor);
+
+  friend SampleVector operator+(SampleVector lhs, const SampleVector& rhs) {
+    lhs += rhs;
+    return lhs;
+  }
+  friend SampleVector max(SampleVector lhs, const SampleVector& rhs) {
+    lhs.max_with(rhs);
+    return lhs;
+  }
+
+  // --- Statistics over the empirical distribution. ---
+
+  double mean() const;
+  double stddev() const;
+  double min() const;
+  double max_value() const;
+
+  /// Empirical q-quantile, q in [0, 1], by linear interpolation on the
+  /// sorted samples.  Does not modify the vector.
+  double quantile(double q) const;
+
+  /// Critical probability Prob(X > clk) (Definition D.6): the fraction of
+  /// samples strictly exceeding the cut-off period.
+  double critical_probability(double clk) const;
+
+  /// Pearson correlation with another vector of the same length.
+  double correlation(const SampleVector& other) const;
+
+  bool operator==(const SampleVector& other) const = default;
+
+ private:
+  std::vector<double> samples_;
+};
+
+}  // namespace sddd::stats

@@ -1,0 +1,75 @@
+#include "timing/celllib.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace sddd::timing {
+
+using netlist::ArcId;
+using netlist::CellType;
+using netlist::Netlist;
+
+StatisticalCellLibrary::StatisticalCellLibrary(const CellLibraryConfig& config)
+    : config_(config) {
+  if (config.three_sigma_pct < 0.0 || config.arity_factor <= 0.0) {
+    throw std::invalid_argument("StatisticalCellLibrary: bad config");
+  }
+}
+
+double StatisticalCellLibrary::base_delay(CellType type) const {
+  switch (type) {
+    case CellType::kBuf:
+      return config_.buf_delay;
+    case CellType::kNot:
+      return config_.not_delay;
+    case CellType::kAnd:
+      return config_.and_delay;
+    case CellType::kNand:
+      return config_.nand_delay;
+    case CellType::kOr:
+      return config_.or_delay;
+    case CellType::kNor:
+      return config_.nor_delay;
+    case CellType::kXor:
+      return config_.xor_delay;
+    case CellType::kXnor:
+      return config_.xnor_delay;
+    case CellType::kInput:
+    case CellType::kDff:
+    case CellType::kConst0:
+    case CellType::kConst1:
+      throw std::invalid_argument(
+          "StatisticalCellLibrary: no delay for non-combinational cell");
+  }
+  return 0.0;
+}
+
+double StatisticalCellLibrary::nominal_delay(const Netlist& nl,
+                                             ArcId a) const {
+  const auto& arc = nl.arc(a);
+  const auto& gate = nl.gate(arc.gate);
+  double d = base_delay(gate.type);
+  const auto fanins = gate.fanins.size();
+  if (fanins > 2) {
+    d *= std::pow(config_.arity_factor, static_cast<double>(fanins - 2));
+  }
+  const auto fanouts = gate.fanouts.size();
+  if (fanouts > 1) {
+    d *= 1.0 + config_.load_slope * static_cast<double>(fanouts - 1);
+  }
+  return d;
+}
+
+stats::RandomVariable StatisticalCellLibrary::arc_delay(const Netlist& nl,
+                                                        ArcId a) const {
+  return stats::RandomVariable::NormalThreeSigmaPct(nominal_delay(nl, a),
+                                                    config_.three_sigma_pct);
+}
+
+double StatisticalCellLibrary::mean_cell_delay() const {
+  return (config_.nand_delay + config_.nor_delay + config_.and_delay +
+          config_.or_delay) /
+         4.0;
+}
+
+}  // namespace sddd::timing

@@ -1,0 +1,71 @@
+// celllib.h - Statistical cell library (Section H-1 substitute).
+//
+// The paper pre-characterizes a 0.25um / 2.5V CMOS standard-cell library
+// with a Monte-Carlo SPICE (ELDO) run: each cell's pin-to-pin delay is a
+// random variable indexed by input transition time and output load.  We
+// substitute a parametric library with the same interface to the rest of
+// the system: a pin-to-pin delay random variable per (cell type, fanin
+// count, fanout load).  The diagnosis algorithms only ever consume samples
+// of these variables, so the silicon provenance of the pdf is immaterial to
+// algorithm behaviour (DESIGN.md, substitution table).
+//
+// The derating model is the classic linear one:
+//     delay = base(type) * arity_factor^(fanins-2) * (1 + load_slope*(fanouts-1))
+// with the result expressed as a Normal random variable whose 3-sigma
+// spread is a configurable percentage of the nominal (process variation).
+#pragma once
+
+#include <cstdint>
+
+#include "netlist/netlist.h"
+#include "stats/rv.h"
+
+namespace sddd::timing {
+
+/// Parametric statistical cell library.  Values are in arbitrary time units
+/// ("tu"); only ratios matter to the diagnosis flow.
+struct CellLibraryConfig {
+  double buf_delay = 60.0;
+  double not_delay = 50.0;
+  double nand_delay = 90.0;
+  double nor_delay = 110.0;
+  double and_delay = 120.0;   ///< NAND + internal inverter
+  double or_delay = 140.0;
+  double xor_delay = 160.0;
+  double xnor_delay = 170.0;
+  /// Multiplier per fanin beyond 2 (series-stack slowdown).
+  double arity_factor = 1.25;
+  /// Additional relative delay per fanout beyond the first (output load).
+  double load_slope = 0.08;
+  /// Process spread: 3-sigma as a fraction of the nominal delay.
+  double three_sigma_pct = 0.15;
+};
+
+/// Maps (cell type, structural context) to pin-to-pin delay random
+/// variables.  Stateless apart from its configuration; cheap to copy.
+class StatisticalCellLibrary {
+ public:
+  StatisticalCellLibrary() : StatisticalCellLibrary(CellLibraryConfig{}) {}
+  explicit StatisticalCellLibrary(const CellLibraryConfig& config);
+
+  const CellLibraryConfig& config() const { return config_; }
+
+  /// Nominal (mean) pin-to-pin delay for one arc of `nl`.
+  double nominal_delay(const netlist::Netlist& nl, netlist::ArcId a) const;
+
+  /// Full delay random variable for one arc of `nl`.
+  stats::RandomVariable arc_delay(const netlist::Netlist& nl,
+                                  netlist::ArcId a) const;
+
+  /// Mean cell delay across the library's 2-input gates; the paper sizes
+  /// defect magnitudes relative to "a cell delay" (Section I), and the
+  /// defect model uses this as its unit.
+  double mean_cell_delay() const;
+
+ private:
+  double base_delay(netlist::CellType type) const;
+
+  CellLibraryConfig config_;
+};
+
+}  // namespace sddd::timing

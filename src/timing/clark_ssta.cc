@@ -1,0 +1,94 @@
+#include "timing/clark_ssta.h"
+
+#include <cmath>
+
+#include "stats/rv.h"
+
+namespace sddd::timing {
+
+using netlist::Gate;
+using netlist::GateId;
+using netlist::Netlist;
+
+namespace {
+
+double normal_pdf(double z) {
+  static const double kInvSqrt2Pi = 0.3989422804014327;
+  return kInvSqrt2Pi * std::exp(-0.5 * z * z);
+}
+
+}  // namespace
+
+double GaussianArrival::sigma() const { return std::sqrt(std::max(var, 0.0)); }
+
+double GaussianArrival::critical_probability(double clk) const {
+  const double s = sigma();
+  if (s <= 0.0) return mean > clk ? 1.0 : 0.0;
+  return 1.0 - stats::normal_cdf((clk - mean) / s);
+}
+
+double GaussianArrival::quantile(double q) const {
+  return mean + sigma() * stats::inverse_normal_cdf(q);
+}
+
+GaussianArrival clark_max(const GaussianArrival& x, const GaussianArrival& y,
+                          double rho) {
+  // Clark (1961), "The greatest of a finite set of random variables".
+  const double a2 =
+      std::max(x.var + y.var - 2.0 * rho * x.sigma() * y.sigma(), 0.0);
+  const double a = std::sqrt(a2);
+  if (a < 1e-12) {
+    // (Nearly) perfectly tracking inputs: max is whichever mean is larger.
+    return x.mean >= y.mean ? x : y;
+  }
+  const double alpha = (x.mean - y.mean) / a;
+  const double cdf = stats::normal_cdf(alpha);
+  const double cdf_n = stats::normal_cdf(-alpha);
+  const double pdf = normal_pdf(alpha);
+
+  GaussianArrival out;
+  out.mean = x.mean * cdf + y.mean * cdf_n + a * pdf;
+  const double second = (x.mean * x.mean + x.var) * cdf +
+                        (y.mean * y.mean + y.var) * cdf_n +
+                        (x.mean + y.mean) * a * pdf;
+  out.var = std::max(second - out.mean * out.mean, 0.0);
+  return out;
+}
+
+ClarkStaticTiming::ClarkStaticTiming(const ArcDelayModel& model,
+                                     const netlist::Levelization& lev) {
+  const Netlist& nl = model.netlist();
+  arrival_.assign(nl.gate_count(), GaussianArrival{});
+
+  for (const GateId g : lev.topo_order()) {
+    const Gate& gate = nl.gate(g);
+    if (!is_combinational(gate.type)) continue;  // sources arrive at 0
+    bool first = true;
+    GaussianArrival acc;
+    for (std::uint32_t pin = 0; pin < gate.fanins.size(); ++pin) {
+      const auto& rv = model.arc_rv(nl.arc_of(g, pin));
+      GaussianArrival in = arrival_[gate.fanins[pin]];
+      in.mean += rv.mean();
+      in.var += rv.stddev() * rv.stddev();
+      if (first) {
+        acc = in;
+        first = false;
+      } else {
+        acc = clark_max(acc, in);
+      }
+    }
+    arrival_[g] = acc;
+  }
+
+  bool first = true;
+  for (const GateId o : nl.outputs()) {
+    if (first) {
+      delta_ = arrival_[o];
+      first = false;
+    } else {
+      delta_ = clark_max(delta_, arrival_[o]);
+    }
+  }
+}
+
+}  // namespace sddd::timing

@@ -1,0 +1,59 @@
+// clark_ssta.h - Analytic statistical static timing via Clark's moment
+// matching.
+//
+// The Monte-Carlo SSTA (ssta.h) is the reference engine: exact joint
+// semantics at O(samples) cost per node.  This module provides the classic
+// closed-form alternative used throughout the SSTA literature (and by the
+// block-based tools the paper's framework [5][17] compares against): every
+// arrival time is approximated as a Normal, sums add moments, and MAX is
+// propagated with Clark's 1961 first/second-moment formulas.
+//
+// The implementation makes the standard independence approximation at
+// merge points (correlation from reconvergent fanout is ignored), which is
+// exactly the error source the paper's Monte-Carlo approach avoids - the
+// comparison bench and tests quantify the gap on reconvergent circuits.
+#pragma once
+
+#include <vector>
+
+#include "netlist/levelize.h"
+#include "timing/delay_model.h"
+
+namespace sddd::timing {
+
+/// A Normal arrival-time approximation.
+struct GaussianArrival {
+  double mean = 0.0;
+  double var = 0.0;
+
+  double sigma() const;
+  /// P(X > clk) under the Normal approximation.
+  double critical_probability(double clk) const;
+  /// mean + z * sigma.
+  double quantile(double q) const;
+};
+
+/// Clark's E[max(X, Y)] / Var[max(X, Y)] for two Normals with correlation
+/// rho.  Exposed for tests.
+GaussianArrival clark_max(const GaussianArrival& x, const GaussianArrival& y,
+                          double rho = 0.0);
+
+/// Block-based analytic SSTA: one topological sweep, Normal arrivals.
+class ClarkStaticTiming {
+ public:
+  ClarkStaticTiming(const ArcDelayModel& model,
+                    const netlist::Levelization& lev);
+
+  const GaussianArrival& arrival(netlist::GateId g) const {
+    return arrival_[g];
+  }
+
+  /// Delta(C) approximation: Clark-max over the primary outputs.
+  const GaussianArrival& circuit_delay() const { return delta_; }
+
+ private:
+  std::vector<GaussianArrival> arrival_;
+  GaussianArrival delta_;
+};
+
+}  // namespace sddd::timing

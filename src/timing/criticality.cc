@@ -1,0 +1,74 @@
+#include "timing/criticality.h"
+
+#include <algorithm>
+
+namespace sddd::timing {
+
+using netlist::ArcId;
+using netlist::Gate;
+using netlist::GateId;
+using netlist::Netlist;
+
+CriticalityAnalysis::CriticalityAnalysis(const DelayField& field,
+                                         const netlist::Levelization& lev) {
+  const Netlist& nl = field.model().netlist();
+  const std::size_t n = field.sample_count();
+  arc_crit_.assign(nl.arc_count(), 0.0);
+  output_crit_.assign(nl.gate_count(), 0.0);
+
+  // Forward arrivals plus, per gate, the argmax fanin pin for each sample.
+  // Memory: one double + one pin index per (gate, sample).
+  std::vector<std::vector<double>> arrival(nl.gate_count());
+  std::vector<std::vector<std::uint32_t>> argmax(nl.gate_count());
+  for (const GateId g : lev.topo_order()) {
+    const Gate& gate = nl.gate(g);
+    if (!is_combinational(gate.type)) {
+      arrival[g].assign(n, 0.0);
+      continue;
+    }
+    arrival[g].assign(n, 0.0);
+    argmax[g].assign(n, 0);
+    for (std::uint32_t pin = 0; pin < gate.fanins.size(); ++pin) {
+      const ArcId a = nl.arc_of(g, pin);
+      const auto& in = arrival[gate.fanins[pin]];
+      auto& out = arrival[g];
+      auto& arg = argmax[g];
+      for (std::size_t k = 0; k < n; ++k) {
+        const double cand = in[k] + field.delay(a, k);
+        if (pin == 0 || cand > out[k]) {
+          out[k] = cand;
+          arg[k] = pin;
+        }
+      }
+    }
+  }
+
+  // Backtrace the critical path of every sample.
+  const double w = 1.0 / static_cast<double>(n);
+  for (std::size_t k = 0; k < n; ++k) {
+    GateId best_o = nl.outputs().empty() ? netlist::kInvalidGate
+                                         : nl.outputs().front();
+    for (const GateId o : nl.outputs()) {
+      if (arrival[o][k] > arrival[best_o][k]) best_o = o;
+    }
+    if (best_o == netlist::kInvalidGate) break;
+    output_crit_[best_o] += w;
+    GateId g = best_o;
+    while (is_combinational(nl.gate(g).type) && !nl.gate(g).fanins.empty()) {
+      const std::uint32_t pin = argmax[g][k];
+      arc_crit_[nl.arc_of(g, pin)] += w;
+      g = nl.gate(g).fanins[pin];
+    }
+  }
+}
+
+std::vector<ArcId> CriticalityAnalysis::ranked_arcs() const {
+  std::vector<ArcId> order(arc_crit_.size());
+  for (ArcId a = 0; a < order.size(); ++a) order[a] = a;
+  std::stable_sort(order.begin(), order.end(), [&](ArcId a, ArcId b) {
+    return arc_crit_[a] > arc_crit_[b];
+  });
+  return order;
+}
+
+}  // namespace sddd::timing

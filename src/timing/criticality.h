@@ -1,0 +1,48 @@
+// criticality.h - Statistical criticality analysis.
+//
+// The criticality of a timing arc is the probability (over the process
+// space) that it lies on the circuit's critical path - the quantity the
+// paper's companion work ([5], [16]: "statistical performance sensitivity
+// analysis") uses to select paths for delay testing.  With the Monte-Carlo
+// delay field the computation is exact per sample: trace the argmax
+// arrival backwards from the latest output and tally which arcs carried
+// it.
+//
+// Uses: ranking fault sites by how observable a small extra delay is,
+// choosing calibration sites, and reporting which part of a circuit
+// dominates its timing distribution.
+#pragma once
+
+#include <vector>
+
+#include "netlist/levelize.h"
+#include "timing/delay_field.h"
+
+namespace sddd::timing {
+
+/// Per-arc and per-gate criticality over a delay field.
+class CriticalityAnalysis {
+ public:
+  /// Runs static (all-paths) analysis: one forward sweep plus one argmax
+  /// backtrace per Monte-Carlo sample.
+  CriticalityAnalysis(const DelayField& field,
+                      const netlist::Levelization& lev);
+
+  /// Probability that arc `a` lies on the critical path.
+  double arc_criticality(netlist::ArcId a) const { return arc_crit_[a]; }
+
+  /// Probability that the critical path ends at output `o` (sums to 1
+  /// over outputs up to ties, which are resolved to the first maximum).
+  double output_criticality(netlist::GateId o) const {
+    return output_crit_[o];
+  }
+
+  /// Arcs sorted by descending criticality (ties by arc id).
+  std::vector<netlist::ArcId> ranked_arcs() const;
+
+ private:
+  std::vector<double> arc_crit_;
+  std::vector<double> output_crit_;
+};
+
+}  // namespace sddd::timing

@@ -1,0 +1,50 @@
+#include "timing/delay_field.h"
+
+#include <stdexcept>
+
+#include "stats/rv.h"
+
+namespace sddd::timing {
+
+namespace {
+
+std::uint64_t splitmix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30U)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27U)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31U);
+}
+
+}  // namespace
+
+double counter_uniform(std::uint64_t seed, std::uint64_t salt,
+                       std::uint64_t index) {
+  const std::uint64_t h =
+      splitmix64(splitmix64(seed ^ (salt * 0xd1342543de82ef95ULL)) ^
+                 (index * 0x2545f4914f6cdd1dULL));
+  // Map to (0, 1) using the top 53 bits, offset by half a ulp so the
+  // endpoints are excluded (quantile() requires an open interval).
+  return (static_cast<double>(h >> 11U) + 0.5) * 0x1.0p-53;
+}
+
+DelayField::DelayField(const ArcDelayModel& model, std::size_t n_samples,
+                       double global_weight, std::uint64_t seed)
+    : model_(&model), global_weight_(global_weight), seed_(seed) {
+  if (n_samples == 0) {
+    throw std::invalid_argument("DelayField: need at least one sample");
+  }
+  if (global_weight < 0.0) {
+    throw std::invalid_argument("DelayField: global_weight must be >= 0");
+  }
+  global_factor_.resize(n_samples);
+  for (std::size_t k = 0; k < n_samples; ++k) {
+    global_factor_[k] =
+        stats::inverse_normal_cdf(counter_uniform(seed, 0x61b0a1ULL, k));
+  }
+}
+
+double DelayField::local_uniform(netlist::ArcId a, std::size_t k) const {
+  return counter_uniform(seed_, 0x10ca1ULL + a, k);
+}
+
+}  // namespace sddd::timing

@@ -1,0 +1,72 @@
+// delay_field.h - Joint Monte-Carlo realization of all arc delays.
+//
+// A DelayField is the bridge between the circuit *model* (arc delay random
+// variables, Definition D.1) and circuit *instances* (fixed delay
+// configurations, Definition D.2): sample index k of the field is one
+// manufactured chip; delay(a, k) is that chip's pin-to-pin delay on arc a.
+//
+// Storage is O(samples), not O(arcs x samples): delays are generated
+// counter-based.  A SplitMix64 hash of (seed, arc, sample) produces the
+// arc's local uniform, pushed through the arc RV's closed-form inverse CDF;
+// a per-sample shared normal factor G_k adds inter-die correlation:
+//
+//     delay(a, k) = max(0, rv_a.quantile(u(a, k)) * (1 + w_g * G_k))
+//
+// Determinism: the same (model, seed, sample count, w_g) always yields the
+// same field, with no sequential RNG state to keep in sync - the dictionary
+// simulation can visit arcs in any order or subset (incremental cone
+// updates) and still see the same chip.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "stats/correlation.h"
+#include "timing/delay_model.h"
+
+namespace sddd::timing {
+
+class DelayField {
+ public:
+  /// @param model          per-arc delay RVs
+  /// @param n_samples      Monte-Carlo population size
+  /// @param global_weight  w_g: relative sigma of the shared inter-die
+  ///                       factor (0 = fully independent arc delays)
+  /// @param seed           field seed; different seeds = independent chips
+  DelayField(const ArcDelayModel& model, std::size_t n_samples,
+             double global_weight, std::uint64_t seed);
+
+  const ArcDelayModel& model() const { return *model_; }
+  std::size_t sample_count() const { return global_factor_.size(); }
+  double global_weight() const { return global_weight_; }
+  std::uint64_t seed() const { return seed_; }
+
+  /// Delay of arc `a` in chip (sample) `k`.  Pure function of
+  /// (seed, a, k); thread-safe.
+  double delay(netlist::ArcId a, std::size_t k) const {
+    const double u = local_uniform(a, k);
+    const double base = model_->arc_rv(a).quantile(u);
+    const double mult = 1.0 + global_weight_ * global_factor_[k];
+    const double d = base * (mult > 0.0 ? mult : 0.0);
+    return d;
+  }
+
+  /// The shared inter-die factor of sample k (standard normal).
+  double global_factor(std::size_t k) const { return global_factor_[k]; }
+
+ private:
+  double local_uniform(netlist::ArcId a, std::size_t k) const;
+
+  const ArcDelayModel* model_;
+  double global_weight_;
+  std::uint64_t seed_;
+  std::vector<double> global_factor_;
+};
+
+/// Counter-based uniform in (0,1): SplitMix64 finalizer over a combined
+/// key.  Exposed for the defect-size sampler which needs the same
+/// "deterministic stream addressed by (salt, k)" property.
+double counter_uniform(std::uint64_t seed, std::uint64_t salt,
+                       std::uint64_t index);
+
+}  // namespace sddd::timing

@@ -1,0 +1,19 @@
+#include "timing/delay_model.h"
+
+#include <stdexcept>
+
+namespace sddd::timing {
+
+ArcDelayModel::ArcDelayModel(const netlist::Netlist& nl,
+                             const StatisticalCellLibrary& lib)
+    : nl_(&nl), mean_cell_delay_(lib.mean_cell_delay()) {
+  if (!nl.frozen()) throw std::logic_error("ArcDelayModel: netlist not frozen");
+  rvs_.reserve(nl.arc_count());
+  means_.reserve(nl.arc_count());
+  for (netlist::ArcId a = 0; a < nl.arc_count(); ++a) {
+    rvs_.push_back(lib.arc_delay(nl, a));
+    means_.push_back(rvs_.back().mean());
+  }
+}
+
+}  // namespace sddd::timing

@@ -1,0 +1,45 @@
+// delay_model.h - Materialized per-arc delay random variables.
+//
+// Binds a netlist to a statistical cell library, producing the f function
+// of Definition D.1: one delay random variable per timing arc.  Also keeps
+// the vector of nominal (mean) delays that path selection and the GA fill
+// use as arc weights.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "netlist/netlist.h"
+#include "stats/rv.h"
+#include "timing/celllib.h"
+
+namespace sddd::timing {
+
+/// The statistical circuit model C = (V, E, I, O, f): netlist + f.
+class ArcDelayModel {
+ public:
+  ArcDelayModel(const netlist::Netlist& nl,
+                const StatisticalCellLibrary& lib);
+
+  const netlist::Netlist& netlist() const { return *nl_; }
+
+  const stats::RandomVariable& arc_rv(netlist::ArcId a) const {
+    return rvs_[a];
+  }
+
+  /// Nominal (mean) delay per arc; usable as path-selection weights.
+  std::span<const double> means() const { return means_; }
+
+  double mean(netlist::ArcId a) const { return means_[a]; }
+
+  /// The library's mean 2-input cell delay (defect sizing unit).
+  double mean_cell_delay() const { return mean_cell_delay_; }
+
+ private:
+  const netlist::Netlist* nl_;
+  std::vector<stats::RandomVariable> rvs_;
+  std::vector<double> means_;
+  double mean_cell_delay_ = 0.0;
+};
+
+}  // namespace sddd::timing

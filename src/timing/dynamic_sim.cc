@@ -1,0 +1,315 @@
+#include "timing/dynamic_sim.h"
+
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+
+namespace sddd::timing {
+
+using netlist::ArcId;
+using netlist::GateId;
+using netlist::Netlist;
+using paths::ArrivalRule;
+using paths::TransitionGraph;
+
+DynamicTimingSimulator::DynamicTimingSimulator(
+    const DelayField& field, const netlist::Levelization& lev)
+    : field_(&field), lev_(&lev) {
+  delay_cache_.resize(field.model().netlist().arc_count());
+}
+
+const std::vector<double>& DynamicTimingSimulator::arc_delays(ArcId a) const {
+  auto& row = delay_cache_[a];
+  if (row.empty()) {
+    const std::size_t n = field_->sample_count();
+    row.resize(n);
+    for (std::size_t k = 0; k < n; ++k) row[k] = field_->delay(a, k);
+  }
+  return row;
+}
+
+namespace {
+
+/// Computes one gate's arrival row from its active fanins.  `lookup` maps a
+/// gate id to its arrival row (baseline or scratch); `delays` maps an arc
+/// id to its memoized delay samples.
+template <typename Lookup, typename Delays>
+void compute_row(const Netlist& nl, std::size_t n, const TransitionGraph& tg,
+                 GateId g, const Lookup& lookup, const Delays& delays,
+                 const InjectedDefect* defect, std::vector<double>& out) {
+  const auto& act = tg.active_fanins(g);
+  const bool use_min = tg.rule(g) == ArrivalRule::kMinOverActive;
+  out.assign(n, use_min ? std::numeric_limits<double>::infinity() : 0.0);
+  for (const ArcId a : act) {
+    const auto& arc = nl.arc(a);
+    const GateId f = nl.gate(arc.gate).fanins[arc.pin];
+    const std::vector<double>& in = lookup(f);
+    const std::vector<double>& d = delays(a);
+    const bool defective = defect != nullptr && defect->arc == a;
+    if (use_min) {
+      if (defective) {
+        for (std::size_t k = 0; k < n; ++k) {
+          const double cand = in[k] + d[k] + defect->extra[k];
+          if (cand < out[k]) out[k] = cand;
+        }
+      } else {
+        for (std::size_t k = 0; k < n; ++k) {
+          const double cand = in[k] + d[k];
+          if (cand < out[k]) out[k] = cand;
+        }
+      }
+    } else {
+      if (defective) {
+        for (std::size_t k = 0; k < n; ++k) {
+          const double cand = in[k] + d[k] + defect->extra[k];
+          if (cand > out[k]) out[k] = cand;
+        }
+      } else {
+        for (std::size_t k = 0; k < n; ++k) {
+          const double cand = in[k] + d[k];
+          if (cand > out[k]) out[k] = cand;
+        }
+      }
+    }
+  }
+}
+
+}  // namespace
+
+ArrivalMatrix DynamicTimingSimulator::simulate(const TransitionGraph& tg) const {
+  const Netlist& nl = field_->model().netlist();
+  const std::size_t n = field_->sample_count();
+  ArrivalMatrix m;
+  m.rows.assign(nl.gate_count(), {});
+  const auto lookup = [&](GateId f) -> const std::vector<double>& {
+    return m.rows[f];
+  };
+  const auto delays = [&](ArcId a) -> const std::vector<double>& {
+    return arc_delays(a);
+  };
+  for (const GateId g : lev_->topo_order()) {
+    if (!tg.toggles(g)) continue;
+    if (!is_combinational(nl.gate(g).type)) {
+      // A toggling PI launches its transition at time 0.
+      m.rows[g].assign(n, 0.0);
+      continue;
+    }
+    compute_row(nl, n, tg, g, lookup, delays, nullptr, m.rows[g]);
+  }
+  return m;
+}
+
+std::vector<double> DynamicTimingSimulator::error_vector(
+    const TransitionGraph& tg, const ArrivalMatrix& arrivals,
+    double clk) const {
+  const Netlist& nl = field_->model().netlist();
+  const std::size_t n = field_->sample_count();
+  std::vector<double> err;
+  err.reserve(nl.outputs().size());
+  for (const GateId o : nl.outputs()) {
+    if (!tg.toggles(o) || arrivals.rows[o].empty()) {
+      err.push_back(0.0);
+      continue;
+    }
+    std::size_t count = 0;
+    for (const double x : arrivals.rows[o]) count += (x > clk) ? 1U : 0U;
+    err.push_back(static_cast<double>(count) / static_cast<double>(n));
+  }
+  return err;
+}
+
+DynamicTimingSimulator::ConeRows DynamicTimingSimulator::recompute_cone(
+    const TransitionGraph& tg, const ArrivalMatrix& baseline,
+    const InjectedDefect& defect) const {
+  const Netlist& nl = field_->model().netlist();
+  const std::size_t n = field_->sample_count();
+  if (defect.extra.size() != n) {
+    throw std::invalid_argument(
+        "recompute_cone: defect extra-delay size mismatch");
+  }
+  const GateId defect_gate = nl.arc(defect.arc).gate;
+  const auto cone = tg.forward_cone(defect_gate);
+
+  // Scratch rows for cone gates only; everything upstream/off-cone reads
+  // from the baseline.
+  ConeRows rows;
+  rows.scratch.resize(cone.size());
+  rows.cone_index.assign(nl.gate_count(), -1);
+  for (std::size_t i = 0; i < cone.size(); ++i) {
+    rows.cone_index[cone[i]] = static_cast<std::int32_t>(i);
+  }
+  const auto lookup = [&](GateId f) -> const std::vector<double>& {
+    const std::int32_t idx = rows.cone_index[f];
+    return idx >= 0 ? rows.scratch[static_cast<std::size_t>(idx)]
+                    : baseline.rows[f];
+  };
+  const auto delays = [&](ArcId a) -> const std::vector<double>& {
+    return arc_delays(a);
+  };
+  for (std::size_t i = 0; i < cone.size(); ++i) {
+    compute_row(nl, n, tg, cone[i], lookup, delays, &defect, rows.scratch[i]);
+  }
+  return rows;
+}
+
+std::vector<double> DynamicTimingSimulator::error_vector_with_defect(
+    const TransitionGraph& tg, const ArrivalMatrix& baseline,
+    const InjectedDefect& defect, double clk) const {
+  const Netlist& nl = field_->model().netlist();
+  const std::size_t n = field_->sample_count();
+  if (!tg.is_active(defect.arc)) {
+    // No transition flows through the defective pin under this pattern:
+    // the induced circuit is unchanged (fixed-sensitization semantics).
+    if (defect.extra.size() != n) {
+      throw std::invalid_argument(
+          "error_vector_with_defect: defect extra-delay size mismatch");
+    }
+    return error_vector(tg, baseline, clk);
+  }
+  const ConeRows rows = recompute_cone(tg, baseline, defect);
+
+  std::vector<double> err;
+  err.reserve(nl.outputs().size());
+  for (const GateId o : nl.outputs()) {
+    const std::int32_t idx = rows.cone_index[o];
+    const std::vector<double>* row =
+        idx >= 0 ? &rows.scratch[static_cast<std::size_t>(idx)]
+                 : &baseline.rows[o];
+    if (!tg.toggles(o) || row->empty()) {
+      err.push_back(0.0);
+      continue;
+    }
+    std::size_t count = 0;
+    for (const double x : *row) count += (x > clk) ? 1U : 0U;
+    err.push_back(static_cast<double>(count) / static_cast<double>(n));
+  }
+  return err;
+}
+
+std::vector<std::uint8_t> DynamicTimingSimulator::late_mask(
+    const TransitionGraph& tg, const ArrivalMatrix& arrivals,
+    double clk) const {
+  const Netlist& nl = field_->model().netlist();
+  std::vector<std::uint8_t> mask(field_->sample_count(), 0);
+  for (const GateId o : nl.outputs()) {
+    if (!tg.toggles(o) || arrivals.rows[o].empty()) continue;
+    const auto& row = arrivals.rows[o];
+    for (std::size_t k = 0; k < mask.size(); ++k) {
+      mask[k] |= (row[k] > clk) ? 1U : 0U;
+    }
+  }
+  return mask;
+}
+
+std::vector<std::uint8_t> DynamicTimingSimulator::late_mask_with_defect(
+    const TransitionGraph& tg, const ArrivalMatrix& baseline,
+    const InjectedDefect& defect, double clk) const {
+  const Netlist& nl = field_->model().netlist();
+  const std::size_t n = field_->sample_count();
+  if (!tg.is_active(defect.arc)) {
+    if (defect.extra.size() != n) {
+      throw std::invalid_argument(
+          "late_mask_with_defect: defect extra-delay size mismatch");
+    }
+    return late_mask(tg, baseline, clk);
+  }
+  const ConeRows rows = recompute_cone(tg, baseline, defect);
+  std::vector<std::uint8_t> mask(n, 0);
+  for (const GateId o : nl.outputs()) {
+    if (!tg.toggles(o)) continue;
+    const std::int32_t idx = rows.cone_index[o];
+    const std::vector<double>& row =
+        idx >= 0 ? rows.scratch[static_cast<std::size_t>(idx)]
+                 : baseline.rows[o];
+    if (row.empty()) continue;
+    for (std::size_t k = 0; k < n; ++k) {
+      mask[k] |= (row[k] > clk) ? 1U : 0U;
+    }
+  }
+  return mask;
+}
+
+std::vector<double> DynamicTimingSimulator::simulate_instance(
+    const TransitionGraph& tg, std::size_t k,
+    std::optional<std::pair<ArcId, double>> defect) const {
+  if (defect) {
+    const std::pair<ArcId, double> one[] = {*defect};
+    return simulate_instance_multi(tg, k, one);
+  }
+  return simulate_instance_multi(tg, k, {});
+}
+
+std::vector<double> DynamicTimingSimulator::simulate_instance_multi(
+    const TransitionGraph& tg, std::size_t k,
+    std::span<const std::pair<ArcId, double>> defects) const {
+  const Netlist& nl = field_->model().netlist();
+  if (k >= field_->sample_count()) {
+    throw std::invalid_argument("simulate_instance: sample index out of range");
+  }
+  std::vector<double> arr(nl.gate_count(), -1.0);
+  const auto extra_on = [&](ArcId a) {
+    double extra = 0.0;
+    for (const auto& [site, delta] : defects) {
+      if (site == a) extra += delta;
+    }
+    return extra;
+  };
+  for (const GateId g : lev_->topo_order()) {
+    if (!tg.toggles(g)) continue;
+    if (!is_combinational(nl.gate(g).type)) {
+      arr[g] = 0.0;
+      continue;
+    }
+    const auto& act = tg.active_fanins(g);
+    const bool use_min = tg.rule(g) == ArrivalRule::kMinOverActive;
+    double best = use_min ? std::numeric_limits<double>::infinity() : 0.0;
+    for (const ArcId a : act) {
+      const auto& arc = nl.arc(a);
+      const GateId f = nl.gate(arc.gate).fanins[arc.pin];
+      double cand = arr[f] + field_->delay(a, k);
+      if (!defects.empty()) cand += extra_on(a);
+      if (use_min ? (cand < best) : (cand > best)) best = cand;
+    }
+    arr[g] = best;
+  }
+  return arr;
+}
+
+std::vector<double> nominal_arrivals(const TransitionGraph& tg,
+                                     const ArcDelayModel& model,
+                                     const netlist::Levelization& lev) {
+  const Netlist& nl = model.netlist();
+  std::vector<double> arr(nl.gate_count(), -1.0);
+  for (const GateId g : lev.topo_order()) {
+    if (!tg.toggles(g)) continue;
+    if (!is_combinational(nl.gate(g).type)) {
+      arr[g] = 0.0;
+      continue;
+    }
+    const auto& act = tg.active_fanins(g);
+    const bool use_min = tg.rule(g) == ArrivalRule::kMinOverActive;
+    double best = use_min ? std::numeric_limits<double>::infinity() : 0.0;
+    for (const ArcId a : act) {
+      const auto& arc = nl.arc(a);
+      const double cand = arr[nl.gate(arc.gate).fanins[arc.pin]] + model.mean(a);
+      if (use_min ? (cand < best) : (cand > best)) best = cand;
+    }
+    arr[g] = best;
+  }
+  return arr;
+}
+
+stats::SampleVector DynamicTimingSimulator::induced_delay(
+    const TransitionGraph& tg, const ArrivalMatrix& arrivals) const {
+  const Netlist& nl = field_->model().netlist();
+  stats::SampleVector delta(field_->sample_count(), 0.0);
+  for (const GateId o : nl.outputs()) {
+    if (!tg.toggles(o) || arrivals.rows[o].empty()) continue;
+    for (std::size_t s = 0; s < delta.size(); ++s) {
+      delta[s] = std::max(delta[s], arrivals.rows[o][s]);
+    }
+  }
+  return delta;
+}
+
+}  // namespace sddd::timing

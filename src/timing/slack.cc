@@ -1,0 +1,92 @@
+#include "timing/slack.h"
+
+#include <algorithm>
+#include <limits>
+
+namespace sddd::timing {
+
+using netlist::ArcId;
+using netlist::Gate;
+using netlist::GateId;
+using netlist::Netlist;
+using stats::SampleVector;
+
+SlackAnalysis::SlackAnalysis(const DelayField& field,
+                             const netlist::Levelization& lev, double clk)
+    : field_(&field), lev_(&lev), clk_(clk) {
+  const Netlist& nl = field.model().netlist();
+  const std::size_t n = field.sample_count();
+
+  // Forward: latest arrivals (as in StaticTiming; recomputed here so the
+  // two sweeps share one delay field without cross-module coupling).
+  arrival_.assign(nl.gate_count(), SampleVector(n, 0.0));
+  for (const GateId g : lev.topo_order()) {
+    const Gate& gate = nl.gate(g);
+    if (!is_combinational(gate.type)) continue;
+    SampleVector& out = arrival_[g];
+    for (std::uint32_t pin = 0; pin < gate.fanins.size(); ++pin) {
+      const ArcId a = nl.arc_of(g, pin);
+      const SampleVector& in = arrival_[gate.fanins[pin]];
+      for (std::size_t k = 0; k < n; ++k) {
+        const double cand = in[k] + field.delay(a, k);
+        if (pin == 0 || cand > out[k]) out[k] = cand;
+      }
+    }
+  }
+
+  // Backward: required times.  A primary output must settle by clk; an
+  // internal net must settle early enough for every fanout arc.  Nets with
+  // no combinational fanout and no output obligation keep +inf (they
+  // cannot cause a violation).
+  required_.assign(nl.gate_count(),
+                   SampleVector(n, std::numeric_limits<double>::infinity()));
+  for (const GateId o : nl.outputs()) {
+    for (std::size_t k = 0; k < n; ++k) {
+      required_[o][k] = std::min(required_[o][k], clk);
+    }
+  }
+  const auto& order = lev.topo_order();
+  for (auto it = order.rbegin(); it != order.rend(); ++it) {
+    const GateId g = *it;
+    const Gate& gate = nl.gate(g);
+    if (!is_combinational(gate.type)) continue;
+    for (std::uint32_t pin = 0; pin < gate.fanins.size(); ++pin) {
+      const ArcId a = nl.arc_of(g, pin);
+      const GateId f = gate.fanins[pin];
+      SampleVector& req = required_[f];
+      const SampleVector& out_req = required_[g];
+      for (std::size_t k = 0; k < n; ++k) {
+        const double cand = out_req[k] - field.delay(a, k);
+        if (cand < req[k]) req[k] = cand;
+      }
+    }
+  }
+}
+
+SampleVector SlackAnalysis::arc_slack(ArcId a) const {
+  const Netlist& nl = field_->model().netlist();
+  const auto& arc = nl.arc(a);
+  const GateId tail = nl.gate(arc.gate).fanins[arc.pin];
+  const std::size_t n = field_->sample_count();
+  SampleVector slack(n, 0.0);
+  for (std::size_t k = 0; k < n; ++k) {
+    slack[k] = required_[arc.gate][k] - arrival_[tail][k] -
+               field_->delay(a, k);
+  }
+  return slack;
+}
+
+double SlackAnalysis::violation_probability(ArcId a) const {
+  return slack_below_probability(a, 0.0);
+}
+
+double SlackAnalysis::slack_below_probability(ArcId a, double margin) const {
+  const auto slack = arc_slack(a);
+  std::size_t count = 0;
+  for (std::size_t k = 0; k < slack.size(); ++k) {
+    count += (slack[k] < margin) ? 1U : 0U;
+  }
+  return static_cast<double>(count) / static_cast<double>(slack.size());
+}
+
+}  // namespace sddd::timing

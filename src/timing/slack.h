@@ -1,0 +1,68 @@
+// slack.h - Statistical slack analysis.
+//
+// Completes the classic STA pair: arrival times forward (ssta.h), required
+// times backward from the cut-off period, slack = required - arrival.
+// Everything is computed per Monte-Carlo sample over a DelayField, so
+// slack(a) is an empirical random variable and the probability of an arc
+// being "critical at clk" (negative slack) falls out directly.
+//
+// Relation to the rest of the library: an arc's statistical slack at clk
+// is the margin a delay defect must consume before the *static* paths
+// through it violate the period - the structural upper bound on
+// detectability that the dynamic (pattern-induced) analysis refines.  The
+// experiment harness's detectability gate and the coverage module measure
+// the pattern-dependent reality; slack explains which sites could ever be
+// at risk.
+#pragma once
+
+#include <vector>
+
+#include "netlist/levelize.h"
+#include "stats/sample_vector.h"
+#include "timing/delay_field.h"
+
+namespace sddd::timing {
+
+/// Forward arrivals, backward required times and per-arc slacks at a given
+/// cut-off period, all per Monte-Carlo sample.
+class SlackAnalysis {
+ public:
+  SlackAnalysis(const DelayField& field, const netlist::Levelization& lev,
+                double clk);
+
+  double clk() const { return clk_; }
+
+  /// Latest arrival at gate g's output (all topological paths), per sample.
+  const stats::SampleVector& arrival(netlist::GateId g) const {
+    return arrival_[g];
+  }
+
+  /// Latest time gate g's output may settle without violating clk at any
+  /// reachable output, per sample.
+  const stats::SampleVector& required(netlist::GateId g) const {
+    return required_[g];
+  }
+
+  /// Slack of arc a = required(head) - arrival(tail) - delay(a), per
+  /// sample: how much extra delay the arc tolerates in that chip before
+  /// some topological path through it misses clk.
+  stats::SampleVector arc_slack(netlist::ArcId a) const;
+
+  /// P(arc slack < 0): the arc lies on a violating path in that fraction
+  /// of chips.
+  double violation_probability(netlist::ArcId a) const;
+
+  /// P(arc slack < margin): the detectability bound for a defect of size
+  /// `margin` on the arc (a defect smaller than every chip's slack can
+  /// never be seen at clk, under any pattern).
+  double slack_below_probability(netlist::ArcId a, double margin) const;
+
+ private:
+  const DelayField* field_;
+  const netlist::Levelization* lev_;
+  double clk_;
+  std::vector<stats::SampleVector> arrival_;
+  std::vector<stats::SampleVector> required_;
+};
+
+}  // namespace sddd::timing

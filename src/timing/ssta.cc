@@ -1,0 +1,49 @@
+#include "timing/ssta.h"
+
+#include <stdexcept>
+
+namespace sddd::timing {
+
+using netlist::Gate;
+using netlist::GateId;
+using netlist::Netlist;
+using stats::SampleVector;
+
+StaticTiming::StaticTiming(const DelayField& field,
+                           const netlist::Levelization& lev) {
+  const Netlist& nl = field.model().netlist();
+  const std::size_t n = field.sample_count();
+  arrival_.assign(nl.gate_count(), SampleVector(n, 0.0));
+
+  for (const GateId g : lev.topo_order()) {
+    const Gate& gate = nl.gate(g);
+    if (!is_combinational(gate.type)) continue;  // sources arrive at 0
+    SampleVector& out = arrival_[g];
+    for (std::uint32_t pin = 0; pin < gate.fanins.size(); ++pin) {
+      const netlist::ArcId a = nl.arc_of(g, pin);
+      const SampleVector& in = arrival_[gate.fanins[pin]];
+      if (pin == 0) {
+        for (std::size_t k = 0; k < n; ++k) out[k] = in[k] + field.delay(a, k);
+      } else {
+        for (std::size_t k = 0; k < n; ++k) {
+          const double cand = in[k] + field.delay(a, k);
+          if (cand > out[k]) out[k] = cand;
+        }
+      }
+    }
+  }
+
+  delta_ = SampleVector(n, 0.0);
+  for (const GateId o : nl.outputs()) delta_.max_with(arrival_[o]);
+}
+
+SampleVector timing_length(const DelayField& field, const paths::Path& p) {
+  const std::size_t n = field.sample_count();
+  SampleVector tl(n, 0.0);
+  for (const netlist::ArcId a : p.arcs) {
+    for (std::size_t k = 0; k < n; ++k) tl[k] += field.delay(a, k);
+  }
+  return tl;
+}
+
+}  // namespace sddd::timing

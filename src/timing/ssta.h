@@ -1,0 +1,53 @@
+// ssta.h - Static statistical timing analysis (Definition D.5, static part).
+//
+// Computes the arrival-time random variables Ar(o) of every primary output
+// and the circuit delay Delta(C) = max_o Ar(o) over *all* topological paths
+// (no pattern, hence potentially including false paths - the classic
+// pessimism the paper's dynamic simulation removes).  Quantities come back
+// as SampleVectors over a DelayField, so sample k of Delta(C) is the true
+// critical delay of chip k.
+//
+// Uses: choosing the cut-off period clk for an experiment (a quantile of
+// Delta(C)), arc criticality statistics, and the statistical path-length
+// comparisons in the Figure 1 reproduction.
+#pragma once
+
+#include <vector>
+
+#include "netlist/levelize.h"
+#include "paths/path.h"
+#include "stats/sample_vector.h"
+#include "timing/delay_field.h"
+
+namespace sddd::timing {
+
+/// Result of one static SSTA run over a delay field.
+class StaticTiming {
+ public:
+  /// Runs the analysis (one topological max/plus sweep per sample set).
+  StaticTiming(const DelayField& field, const netlist::Levelization& lev);
+
+  /// Ar(g): latest arrival at gate g's output over all topological paths,
+  /// per sample.  PIs arrive at 0.
+  const stats::SampleVector& arrival(netlist::GateId g) const {
+    return arrival_[g];
+  }
+
+  /// Delta(C) = max over primary outputs, per sample.
+  const stats::SampleVector& circuit_delay() const { return delta_; }
+
+  /// Suggested cut-off period: the q-quantile of Delta(C).  Definition D.6
+  /// then gives Prob(Delta(C) > clk) ~ 1-q for a defect-free chip.
+  double clk_at_quantile(double q) const { return delta_.quantile(q); }
+
+ private:
+  std::vector<stats::SampleVector> arrival_;
+  stats::SampleVector delta_;
+};
+
+/// Timing length TL(p) of a structural path (Section D-1): per-sample sum
+/// of the path's arc delays.
+stats::SampleVector timing_length(const DelayField& field,
+                                  const paths::Path& p);
+
+}  // namespace sddd::timing

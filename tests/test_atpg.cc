@@ -1,0 +1,317 @@
+// Unit tests for the ATPG substrate: PODEM objective satisfaction, path
+// sensitization (non-robust and robust), GA fill and the diagnostic
+// pattern-set generator.
+#include <gtest/gtest.h>
+
+#include "atpg/diag_patterns.h"
+#include "atpg/ga_fill.h"
+#include "atpg/pdf_atpg.h"
+#include "atpg/podem.h"
+#include "logicsim/bitsim.h"
+#include "logicsim/ternary.h"
+#include "netlist/bench_io.h"
+#include "netlist/iscas_catalog.h"
+#include "netlist/levelize.h"
+#include "netlist/synth.h"
+#include "paths/path_enum.h"
+#include "paths/transition_graph.h"
+#include "timing/celllib.h"
+#include "timing/delay_model.h"
+
+namespace sddd::atpg {
+namespace {
+
+using logicsim::BitSimulator;
+using logicsim::Tern;
+using logicsim::TernarySimulator;
+using netlist::ArcId;
+using netlist::CellType;
+using netlist::GateId;
+using netlist::Levelization;
+using netlist::Netlist;
+using paths::Path;
+
+Netlist c17() {
+  return netlist::parse_bench_string(netlist::c17_bench_text(), "c17");
+}
+
+TEST(Podem, SatisfiesSimpleObjectives) {
+  const auto nl = c17();
+  const Levelization lev(nl);
+  const Podem podem(nl, lev);
+  const TernarySimulator sim(nl, lev);
+  for (const char* name : {"10", "11", "16", "19", "22", "23"}) {
+    for (const bool v : {false, true}) {
+      const std::vector<Objective> obj = {{nl.find(name), v}};
+      const auto result = podem.solve(obj);
+      ASSERT_TRUE(result.has_value()) << name << "=" << v;
+      const auto values = sim.simulate(result->pi_values);
+      EXPECT_EQ(values[nl.find(name)], v ? Tern::k1 : Tern::k0);
+    }
+  }
+}
+
+TEST(Podem, SatisfiesJointObjectives) {
+  const auto nl = c17();
+  const Levelization lev(nl);
+  const Podem podem(nl, lev);
+  const TernarySimulator sim(nl, lev);
+  const std::vector<Objective> obj = {{nl.find("22"), false},
+                                      {nl.find("23"), true}};
+  const auto result = podem.solve(obj);
+  ASSERT_TRUE(result.has_value());
+  const auto values = sim.simulate(result->pi_values);
+  EXPECT_EQ(values[nl.find("22")], Tern::k0);
+  EXPECT_EQ(values[nl.find("23")], Tern::k1);
+}
+
+TEST(Podem, DetectsUnsatisfiable) {
+  // y = AND(a, b); objectives y=1 and a=0 conflict.
+  Netlist nl("conflict");
+  const auto a = nl.add_input("a");
+  const auto b = nl.add_input("b");
+  const auto y = nl.add_gate(CellType::kAnd, "y", {a, b});
+  nl.add_output(y);
+  nl.freeze();
+  const Levelization lev(nl);
+  const Podem podem(nl, lev);
+  const std::vector<Objective> obj = {{y, true}, {a, false}};
+  EXPECT_FALSE(podem.solve(obj).has_value());
+}
+
+TEST(Podem, RespectsPreAssignment) {
+  const auto nl = c17();
+  const Levelization lev(nl);
+  const Podem podem(nl, lev);
+  // Pin input "1" to 0 and require 10 = 0: needs 1=1 AND 3=1, conflict.
+  std::vector<Tern> pre(nl.inputs().size(), Tern::kX);
+  pre[0] = Tern::k0;  // input "1"
+  const std::vector<Objective> obj = {{nl.find("10"), false}};
+  EXPECT_FALSE(podem.solve(obj, 2000, pre).has_value());
+  // With 1 pinned to 1 it is satisfiable.
+  pre[0] = Tern::k1;
+  EXPECT_TRUE(podem.solve(obj, 2000, pre).has_value());
+}
+
+TEST(Podem, ObjectiveOutOfRangeThrows) {
+  const auto nl = c17();
+  const Levelization lev(nl);
+  const Podem podem(nl, lev);
+  const std::vector<Objective> obj = {{static_cast<GateId>(9999), true}};
+  EXPECT_THROW((void)podem.solve(obj), std::invalid_argument);
+}
+
+struct AtpgFixture {
+  Netlist nl;
+  Levelization lev;
+  timing::StatisticalCellLibrary lib;
+  timing::ArcDelayModel model;
+  AtpgFixture()
+      : nl([] {
+          netlist::SynthSpec spec;
+          spec.n_inputs = 16;
+          spec.n_outputs = 10;
+          spec.n_gates = 120;
+          spec.depth = 10;
+          spec.seed = 103;
+          return netlist::synthesize(spec);
+        }()),
+        lev(nl),
+        model(nl, lib) {}
+};
+
+TEST(PathDelayAtpg, GeneratedTestsLaunchTransitions) {
+  AtpgFixture f;
+  const PathDelayAtpg atpg(f.nl, f.lev);
+  const BitSimulator sim(f.nl, f.lev);
+  stats::Rng rng(15);
+  std::size_t generated = 0;
+  std::size_t activated = 0;
+  for (ArcId site = 0; site < f.nl.arc_count(); site += 9) {
+    const auto candidates = paths::k_heaviest_paths_through(
+        f.nl, f.lev, f.model.means(), site, 6);
+    for (const auto& path : candidates) {
+      const auto test = atpg.generate(path, true, false, rng);
+      if (!test) continue;
+      ++generated;
+      // The origin must toggle in every generated test.
+      const paths::TransitionGraph tg(sim, f.lev, test->pattern);
+      EXPECT_TRUE(tg.toggles(paths::path_source(f.nl, path)));
+      if (atpg.activates(path, test->pattern)) ++activated;
+    }
+  }
+  EXPECT_GT(generated, 10u);
+  // A decent fraction of sensitizable targets must truly activate.
+  EXPECT_GT(activated * 4, generated);
+}
+
+TEST(PathDelayAtpg, RobustTestsKeepSideInputsQuiet) {
+  AtpgFixture f;
+  const PathDelayAtpg atpg(f.nl, f.lev);
+  const BitSimulator sim(f.nl, f.lev);
+  stats::Rng rng(16);
+  std::size_t checked = 0;
+  for (ArcId site = 0; site < f.nl.arc_count() && checked < 12; site += 5) {
+    const auto candidates = paths::k_heaviest_paths_through(
+        f.nl, f.lev, f.model.means(), site, 4);
+    for (const auto& path : candidates) {
+      const auto test = atpg.generate(path, false, /*robust=*/true, rng);
+      if (!test || !atpg.activates(path, test->pattern)) continue;
+      ++checked;
+      // Robust criterion: wherever the on-path input settles
+      // non-controlling, side inputs hold steady non-controlling.
+      const paths::TransitionGraph tg(sim, f.lev, test->pattern);
+      for (const ArcId a : path.arcs) {
+        const auto& arc = f.nl.arc(a);
+        const auto& gate = f.nl.gate(arc.gate);
+        if (!has_controlling_value(gate.type)) continue;
+        const bool ctrl = controlling_value(gate.type);
+        const GateId on_input = gate.fanins[arc.pin];
+        if (tg.final_value(on_input) == ctrl) continue;
+        for (std::uint32_t p = 0; p < gate.fanins.size(); ++p) {
+          if (p == arc.pin) continue;
+          const GateId side = gate.fanins[p];
+          EXPECT_EQ(tg.final_value(side), !ctrl);
+          EXPECT_EQ(tg.initial_value(side), !ctrl);
+          EXPECT_FALSE(tg.toggles(side));
+        }
+      }
+    }
+  }
+  EXPECT_GT(checked, 0u);
+}
+
+TEST(PathDelayAtpg, SensitizeExposesTemplates) {
+  AtpgFixture f;
+  const PathDelayAtpg atpg(f.nl, f.lev);
+  stats::Rng rng(17);
+  for (ArcId site = 3; site < f.nl.arc_count(); site += 31) {
+    const auto candidates = paths::k_heaviest_paths_through(
+        f.nl, f.lev, f.model.means(), site, 2);
+    for (const auto& path : candidates) {
+      const auto templates = atpg.sensitize(path, true, false);
+      if (!templates) continue;
+      EXPECT_EQ(templates->v1.size(), f.nl.inputs().size());
+      EXPECT_EQ(templates->v2.size(), f.nl.inputs().size());
+      // The origin is pinned opposite in the two vectors.
+      const GateId origin = paths::path_source(f.nl, path);
+      for (std::size_t i = 0; i < f.nl.inputs().size(); ++i) {
+        if (f.nl.inputs()[i] == origin) {
+          EXPECT_EQ(templates->v1[i], Tern::k0);
+          EXPECT_EQ(templates->v2[i], Tern::k1);
+        }
+      }
+      return;  // one checked template is enough
+    }
+  }
+}
+
+TEST(GaFill, FitnessRewardsActivation) {
+  AtpgFixture f;
+  const PathDelayAtpg atpg(f.nl, f.lev);
+  const GaFill ga(f.model, f.lev);
+  stats::Rng rng(18);
+  for (ArcId site = 0; site < f.nl.arc_count(); site += 11) {
+    const auto candidates = paths::k_heaviest_paths_through(
+        f.nl, f.lev, f.model.means(), site, 3);
+    for (const auto& path : candidates) {
+      const auto templates = atpg.sensitize(path, true, false);
+      if (!templates) continue;
+      GaFillConfig config;
+      config.population = 12;
+      config.generations = 8;
+      const auto result = ga.fill(path, *templates, rng, config);
+      EXPECT_GE(result.fitness, 0.0);
+      if (result.path_activated) {
+        // An activating fill must outscore a non-activating one.
+        logicsim::PatternPair same = result.pattern;
+        same.v1 = same.v2;  // no transitions at all
+        EXPECT_GT(result.fitness, ga.fitness(path, same));
+        return;
+      }
+    }
+  }
+}
+
+TEST(GaFill, DeterministicForSeed) {
+  AtpgFixture f;
+  const PathDelayAtpg atpg(f.nl, f.lev);
+  const GaFill ga(f.model, f.lev);
+  for (ArcId site = 0; site < f.nl.arc_count(); site += 17) {
+    const auto candidates = paths::k_heaviest_paths_through(
+        f.nl, f.lev, f.model.means(), site, 2);
+    for (const auto& path : candidates) {
+      const auto templates = atpg.sensitize(path, false, false);
+      if (!templates) continue;
+      stats::Rng rng_a(77);
+      stats::Rng rng_b(77);
+      const auto ra = ga.fill(path, *templates, rng_a);
+      const auto rb = ga.fill(path, *templates, rng_b);
+      EXPECT_EQ(ra.pattern.v1, rb.pattern.v1);
+      EXPECT_EQ(ra.pattern.v2, rb.pattern.v2);
+      EXPECT_DOUBLE_EQ(ra.fitness, rb.fitness);
+      return;
+    }
+  }
+}
+
+TEST(DiagPatterns, ProducesBoundedUniqueSet) {
+  AtpgFixture f;
+  stats::Rng rng(19);
+  DiagnosticPatternConfig config;
+  config.max_patterns = 10;
+  for (ArcId site = 0; site < f.nl.arc_count(); site += 23) {
+    const auto set = generate_diagnostic_patterns(f.model, f.lev, site,
+                                                  config, rng);
+    EXPECT_LE(set.size(), 10u);
+    EXPECT_GE(set.size(), 1u);
+    for (std::size_t i = 0; i < set.size(); ++i) {
+      EXPECT_EQ(set[i].v1.size(), f.nl.inputs().size());
+      for (std::size_t j = i + 1; j < set.size(); ++j) {
+        EXPECT_FALSE(set[i].v1 == set[j].v1 && set[i].v2 == set[j].v2);
+      }
+    }
+  }
+}
+
+TEST(DiagPatterns, SiteSearchPatternsActivateSite) {
+  AtpgFixture f;
+  stats::Rng rng(20);
+  const BitSimulator sim(f.nl, f.lev);
+  std::size_t sites_with_hits = 0;
+  for (ArcId site = 0; site < f.nl.arc_count(); site += 19) {
+    const auto pats =
+        site_activating_patterns(f.model, f.lev, site, 3, 120, rng);
+    if (!pats.empty()) ++sites_with_hits;
+    for (const auto& p : pats) {
+      const paths::TransitionGraph tg(sim, f.lev, p);
+      EXPECT_TRUE(tg.is_active(site));
+    }
+  }
+  EXPECT_GT(sites_with_hits, 0u);
+}
+
+TEST(DiagPatterns, BestNominalDelayConsistent) {
+  AtpgFixture f;
+  stats::Rng rng(21);
+  const DiagnosticPatternConfig config;
+  for (ArcId site = 7; site < f.nl.arc_count(); site += 37) {
+    const auto set =
+        generate_diagnostic_patterns(f.model, f.lev, site, config, rng);
+    const double d = site_best_nominal_delay(f.model, f.lev, set, site);
+    EXPECT_GE(d, 0.0);
+    // The empty set reports zero.
+    EXPECT_DOUBLE_EQ(
+        site_best_nominal_delay(f.model, f.lev, {}, site), 0.0);
+  }
+}
+
+TEST(RandomPatternPair, CorrectWidth) {
+  stats::Rng rng(22);
+  const auto p = random_pattern_pair(9, rng);
+  EXPECT_EQ(p.v1.size(), 9u);
+  EXPECT_EQ(p.v2.size(), 9u);
+}
+
+}  // namespace
+}  // namespace sddd::atpg

@@ -1,0 +1,135 @@
+// Tests for the automatic-K selection heuristics (paper future work #2)
+// and the multi-defect experiment extension (future work #3).
+#include <gtest/gtest.h>
+
+#include "diagnosis/auto_k.h"
+#include "eval/experiment.h"
+#include "netlist/synth.h"
+
+namespace sddd::diagnosis {
+namespace {
+
+/// Builds a synthetic DiagnosisResult with the given ranking keys for one
+/// method (keys are also used as scores - adequate for these tests).
+DiagnosisResult fake_result(Method m, std::vector<double> keys) {
+  DiagnosisResult r;
+  r.methods = {m};
+  r.suspects.resize(keys.size());
+  for (std::size_t i = 0; i < keys.size(); ++i) {
+    r.suspects[i] = static_cast<netlist::ArcId>(i);
+  }
+  r.scores = {keys};
+  r.keys = {std::move(keys)};
+  return r;
+}
+
+TEST(AutoK, GapCutFindsLeaderCluster) {
+  // Three clear leaders, then a cliff.
+  const auto r = fake_result(Method::kSimII,
+                             {0.9, 0.85, 0.8, 0.1, 0.09, 0.08, 0.07});
+  AutoKConfig config;
+  config.policy = AutoKPolicy::kGapCut;
+  EXPECT_EQ(select_k(r, Method::kSimII, config), 3u);
+}
+
+TEST(AutoK, GapCutOnMinimizeMethod) {
+  // Alg_rev: smaller is better; two leaders, then a cliff upward.
+  const auto r = fake_result(Method::kRev, {0.1, 0.12, 0.9, 0.95, 1.0});
+  AutoKConfig config;
+  config.policy = AutoKPolicy::kGapCut;
+  EXPECT_EQ(select_k(r, Method::kRev, config), 2u);
+}
+
+TEST(AutoK, GapCutRespectsMaxK) {
+  // Strictly uniform decay far beyond max_k: the largest gap within the
+  // window decides, and the answer stays within max_k.
+  std::vector<double> keys;
+  for (int i = 0; i < 100; ++i) keys.push_back(1.0 - 0.01 * i);
+  const auto r = fake_result(Method::kSimII, std::move(keys));
+  AutoKConfig config;
+  config.policy = AutoKPolicy::kGapCut;
+  config.max_k = 5;
+  EXPECT_LE(select_k(r, Method::kSimII, config), 5u);
+  EXPECT_GE(select_k(r, Method::kSimII, config), 1u);
+}
+
+TEST(AutoK, MassCutCoversRequestedMass) {
+  // One dominant candidate -> K = 1 at 80% mass.
+  const auto dominant =
+      fake_result(Method::kSimII, {10.0, 0.5, 0.4, 0.3, 0.2});
+  AutoKConfig config;
+  config.policy = AutoKPolicy::kMassCut;
+  config.mass = 0.8;
+  EXPECT_EQ(select_k(dominant, Method::kSimII, config), 1u);
+  // Uniform leaders -> K grows.
+  const auto flat_top =
+      fake_result(Method::kSimII, {1.0, 1.0, 1.0, 1.0, 0.0, 0.0});
+  EXPECT_GE(select_k(flat_top, Method::kSimII, config), 3u);
+}
+
+TEST(AutoK, MassCutInvertsForRev) {
+  const auto r = fake_result(Method::kRev, {0.0, 0.1, 5.0, 5.0, 5.0});
+  AutoKConfig config;
+  config.policy = AutoKPolicy::kMassCut;
+  config.mass = 0.8;
+  const auto k = select_k(r, Method::kRev, config);
+  EXPECT_GE(k, 1u);
+  EXPECT_LE(k, 2u);
+}
+
+TEST(AutoK, DegenerateInputs) {
+  const auto empty = fake_result(Method::kSimII, {});
+  EXPECT_EQ(select_k(empty, Method::kSimII), 1u);
+  const auto single = fake_result(Method::kSimII, {0.4});
+  EXPECT_EQ(select_k(single, Method::kSimII), 1u);
+  const auto flat = fake_result(Method::kSimII, {0.4, 0.4, 0.4});
+  EXPECT_GE(select_k(flat, Method::kSimII), 1u);
+  EXPECT_THROW((void)select_k(flat, Method::kRev), std::invalid_argument);
+}
+
+TEST(MultiDefect, ExperimentRunsAndRecordsExtras) {
+  netlist::SynthSpec spec;
+  spec.name = "multi";
+  spec.n_inputs = 16;
+  spec.n_outputs = 10;
+  spec.n_gates = 120;
+  spec.depth = 10;
+  spec.seed = 73;
+  const auto nl = netlist::synthesize(spec);
+
+  eval::ExperimentConfig config;
+  config.mc_samples = 80;
+  config.n_chips = 5;
+  config.n_defects = 2;
+  config.seed = 21;
+  const auto r = eval::run_diagnosis_experiment(nl, config);
+  EXPECT_EQ(r.trials.size(), 5u);
+  for (const auto& t : r.trials) {
+    if (!t.failed_test) continue;
+    EXPECT_EQ(t.extra_defects.size(), 1u);
+    EXPECT_LT(t.extra_defects[0].first, nl.arc_count());
+    EXPECT_GT(t.extra_defects[0].second, 0.0);
+  }
+}
+
+TEST(MultiDefect, SingleDefectConfigHasNoExtras) {
+  netlist::SynthSpec spec;
+  spec.name = "single";
+  spec.n_inputs = 14;
+  spec.n_outputs = 8;
+  spec.n_gates = 100;
+  spec.depth = 9;
+  spec.seed = 74;
+  const auto nl = netlist::synthesize(spec);
+  eval::ExperimentConfig config;
+  config.mc_samples = 80;
+  config.n_chips = 3;
+  config.seed = 22;
+  const auto r = eval::run_diagnosis_experiment(nl, config);
+  for (const auto& t : r.trials) {
+    EXPECT_TRUE(t.extra_defects.empty());
+  }
+}
+
+}  // namespace
+}  // namespace sddd::diagnosis

@@ -1,0 +1,145 @@
+// Unit tests for defect models and injection: hierarchical size model
+// (paper Section I parameters), segment-oriented occurrence distributions,
+// the single-defect constraint, and injector determinism.
+#include <gtest/gtest.h>
+
+#include "defect/defect_model.h"
+#include "defect/injector.h"
+#include "netlist/bench_io.h"
+#include "netlist/iscas_catalog.h"
+#include "stats/rng.h"
+#include "stats/sample_vector.h"
+
+namespace sddd::defect {
+namespace {
+
+using netlist::ArcId;
+using stats::RandomVariable;
+using stats::Rng;
+
+TEST(DefectSizeModel, PaperDefaultRanges) {
+  const auto model = DefectSizeModel::paper_default(100.0, 1);
+  EXPECT_DOUBLE_EQ(model.unit(), 100.0);
+  EXPECT_DOUBLE_EQ(model.marginal_mean(), 75.0);  // (50 + 100) / 2
+}
+
+TEST(DefectSizeModel, SamplesNonNegativeAndInRange) {
+  const auto model = DefectSizeModel::paper_default(100.0, 2);
+  double lo = 1e9;
+  double hi = -1e9;
+  double sum = 0.0;
+  const int n = 20000;
+  for (int k = 0; k < n; ++k) {
+    const double s = model.sample(7, k);
+    EXPECT_GE(s, 0.0);
+    lo = std::min(lo, s);
+    hi = std::max(hi, s);
+    sum += s;
+  }
+  // Mean ~ 75; sizes concentrate in [50*(1-0.5), 100*(1+0.5)].
+  EXPECT_NEAR(sum / n, 75.0, 2.0);
+  EXPECT_GT(lo, 10.0);
+  EXPECT_LT(hi, 180.0);
+}
+
+TEST(DefectSizeModel, CounterBasedDeterminism) {
+  const auto model = DefectSizeModel::paper_default(100.0, 3);
+  for (int k = 0; k < 100; ++k) {
+    EXPECT_DOUBLE_EQ(model.sample(5, k), model.sample(5, k));
+  }
+  // Different salts (suspect arcs) give different streams.
+  int diff = 0;
+  for (int k = 0; k < 100; ++k) {
+    diff += (model.sample(5, k) != model.sample(6, k)) ? 1 : 0;
+  }
+  EXPECT_GT(diff, 95);
+}
+
+TEST(DefectSizeModel, InstanceRvRespectsThreeSigma) {
+  const auto model = DefectSizeModel::paper_default(100.0, 4);
+  Rng rng(5);
+  for (int i = 0; i < 50; ++i) {
+    const auto rv = model.draw_instance_rv(rng);
+    EXPECT_GE(rv.mean(), 50.0 - 1e-9);
+    EXPECT_LE(rv.mean(), 100.0 + 1e-9);
+    // 3 sigma = 50% of the drawn mean.
+    EXPECT_NEAR(rv.stddev() * 3.0, rv.mean() * 0.5, 1e-9);
+  }
+}
+
+TEST(DefectSizeModel, BadParametersThrow) {
+  EXPECT_THROW(DefectSizeModel(0.0, 0.5, 1.0, 0.5, 1), std::invalid_argument);
+  EXPECT_THROW(DefectSizeModel(1.0, 0.9, 0.5, 0.5, 1), std::invalid_argument);
+  EXPECT_THROW(DefectSizeModel(1.0, 0.5, 1.0, -0.1, 1), std::invalid_argument);
+}
+
+TEST(SegmentDefectModel, UniformSingleIsSingleDefect) {
+  const auto nl = netlist::parse_bench_string(netlist::c17_bench_text());
+  const auto model = SegmentDefectModel::uniform_single(
+      nl, RandomVariable::PointMass(10.0));
+  EXPECT_TRUE(model.is_single_defect());
+  for (ArcId a = 0; a < nl.arc_count(); ++a) {
+    EXPECT_DOUBLE_EQ(model.occurrence(a), 1.0 / nl.arc_count());
+    EXPECT_DOUBLE_EQ(model.size_rv(a).mean(), 10.0);
+  }
+}
+
+TEST(SegmentDefectModel, DrawLocationFollowsOccurrence) {
+  const auto nl = netlist::parse_bench_string(netlist::c17_bench_text());
+  std::vector<RandomVariable> sizes(nl.arc_count(),
+                                    RandomVariable::PointMass(1.0));
+  std::vector<double> occ(nl.arc_count(), 0.0);
+  occ[3] = 0.75;
+  occ[7] = 0.25;
+  const SegmentDefectModel model(nl, std::move(sizes), std::move(occ));
+  EXPECT_TRUE(model.is_single_defect());
+  Rng rng(6);
+  int hits3 = 0;
+  int hits7 = 0;
+  for (int i = 0; i < 10000; ++i) {
+    const ArcId a = model.draw_location(rng);
+    ASSERT_TRUE(a == 3 || a == 7);
+    (a == 3 ? hits3 : hits7) += 1;
+  }
+  EXPECT_NEAR(hits3 / 10000.0, 0.75, 0.02);
+  EXPECT_NEAR(hits7 / 10000.0, 0.25, 0.02);
+}
+
+TEST(SegmentDefectModel, ValidationErrors) {
+  const auto nl = netlist::parse_bench_string(netlist::c17_bench_text());
+  std::vector<RandomVariable> sizes(3, RandomVariable::PointMass(1.0));
+  std::vector<double> occ(3, 0.1);
+  EXPECT_THROW(SegmentDefectModel(nl, std::move(sizes), std::move(occ)),
+               std::invalid_argument);
+  std::vector<RandomVariable> sizes2(nl.arc_count(),
+                                     RandomVariable::PointMass(1.0));
+  std::vector<double> occ2(nl.arc_count(), 1.5);
+  EXPECT_THROW(SegmentDefectModel(nl, std::move(sizes2), std::move(occ2)),
+               std::invalid_argument);
+}
+
+TEST(Injector, DrawsWithinRangesAndDeterministic) {
+  const auto nl = netlist::parse_bench_string(netlist::c17_bench_text());
+  const auto size_model = DefectSizeModel::paper_default(100.0, 9);
+  const auto loc = SegmentDefectModel::uniform_single(
+      nl, RandomVariable::PointMass(1.0));
+  const DefectInjector injector(loc, size_model);
+  Rng rng_a(42);
+  Rng rng_b(42);
+  for (int i = 0; i < 50; ++i) {
+    const auto chip_a = injector.draw(128, rng_a);
+    const auto chip_b = injector.draw(128, rng_b);
+    EXPECT_EQ(chip_a.defect_arc, chip_b.defect_arc);
+    EXPECT_DOUBLE_EQ(chip_a.defect_size, chip_b.defect_size);
+    EXPECT_EQ(chip_a.sample_index, chip_b.sample_index);
+    EXPECT_LT(chip_a.sample_index, 128u);
+    EXPECT_LT(chip_a.defect_arc, nl.arc_count());
+    EXPECT_GE(chip_a.defect_size, 0.0);
+    EXPECT_GE(chip_a.size_mean, 50.0 - 1e-9);
+    EXPECT_LE(chip_a.size_mean, 100.0 + 1e-9);
+  }
+  EXPECT_THROW((void)injector.draw(0, rng_a), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace sddd::defect

@@ -1,0 +1,113 @@
+// Tests for dictionary/behavior serialization (paper future work #4).
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "atpg/pdf_atpg.h"
+#include "defect/defect_model.h"
+#include "diagnosis/dictionary_io.h"
+#include "logicsim/bitsim.h"
+#include "netlist/levelize.h"
+#include "netlist/synth.h"
+#include "stats/rng.h"
+#include "timing/celllib.h"
+#include "timing/delay_field.h"
+#include "timing/delay_model.h"
+#include "timing/dynamic_sim.h"
+
+namespace sddd::diagnosis {
+namespace {
+
+TEST(BehaviorCsv, RoundTrip) {
+  BehaviorMatrix b(3, 4);
+  b.set(0, 1, true);
+  b.set(2, 3, true);
+  b.set(1, 0, true);
+  std::ostringstream os;
+  write_behavior_csv(b, os);
+  std::istringstream is(os.str());
+  const auto b2 = read_behavior_csv(is);
+  ASSERT_EQ(b2.output_count(), 3u);
+  ASSERT_EQ(b2.pattern_count(), 4u);
+  for (std::size_t i = 0; i < 3; ++i) {
+    for (std::size_t j = 0; j < 4; ++j) {
+      EXPECT_EQ(b2.at(i, j), b.at(i, j)) << i << "," << j;
+    }
+  }
+}
+
+TEST(BehaviorCsv, RejectsMalformed) {
+  {
+    std::istringstream is("");
+    EXPECT_THROW((void)read_behavior_csv(is), std::runtime_error);
+  }
+  {
+    std::istringstream is("nonsense\n");
+    EXPECT_THROW((void)read_behavior_csv(is), std::runtime_error);
+  }
+  {
+    std::istringstream is("2,2\n0,1\n");  // truncated
+    EXPECT_THROW((void)read_behavior_csv(is), std::runtime_error);
+  }
+  {
+    std::istringstream is("1,2\n0,7\n");  // bad cell
+    EXPECT_THROW((void)read_behavior_csv(is), std::runtime_error);
+  }
+  {
+    std::istringstream is("1,2\n0,1,1\n");  // too long
+    EXPECT_THROW((void)read_behavior_csv(is), std::runtime_error);
+  }
+}
+
+TEST(DictionaryCsv, EmitsConsistentRows) {
+  netlist::SynthSpec spec;
+  spec.n_inputs = 10;
+  spec.n_outputs = 5;
+  spec.n_gates = 60;
+  spec.depth = 8;
+  spec.seed = 701;
+  const auto nl = netlist::synthesize(spec);
+  const netlist::Levelization lev(nl);
+  const timing::StatisticalCellLibrary lib;
+  const timing::ArcDelayModel model(nl, lib);
+  const timing::DelayField field(model, 60, 0.0, 5);
+  const timing::DynamicTimingSimulator dyn(field, lev);
+  const logicsim::BitSimulator sim(nl, lev);
+  stats::Rng rng(6);
+  std::vector<logicsim::PatternPair> patterns;
+  for (int i = 0; i < 3; ++i) {
+    patterns.push_back(atpg::random_pattern_pair(nl.inputs().size(), rng));
+  }
+  const FaultDictionary dict(dyn, sim, lev, patterns, /*clk=*/500.0);
+  const defect::DefectSizeModel size_model(model.mean_cell_delay(), 0.5, 1.0,
+                                           0.5, 7);
+  const std::vector<netlist::ArcId> suspects = {0, 5, 9};
+  std::ostringstream os;
+  write_dictionary_csv(dict, suspects, size_model, os);
+  const std::string text = os.str();
+  // Header + |suspects| * |patterns| * |outputs| rows.
+  const auto rows = std::count(text.begin(), text.end(), '\n');
+  EXPECT_EQ(rows, 1 + 3 * 3 * 5);
+  EXPECT_NE(text.find("suspect_arc,pattern,output,m,e,s"), std::string::npos);
+  // Spot-check: every s field is non-negative (scan last column).
+  std::istringstream is(text);
+  std::string line;
+  std::getline(is, line);  // header
+  while (std::getline(is, line)) {
+    const auto pos = line.rfind(',');
+    ASSERT_NE(pos, std::string::npos);
+    EXPECT_GE(std::stod(line.substr(pos + 1)), 0.0);
+  }
+}
+
+TEST(DenseDictionaryBytes, MatchesArithmetic) {
+  EXPECT_EQ(dense_dictionary_bytes(100, 20, 30), 100ull * 20 * 30 * 8);
+  EXPECT_EQ(dense_dictionary_bytes(0, 20, 30), 0ull);
+  // The paper-scale worst case (600 suspects, 20 patterns, 150 outputs)
+  // still fits easily in memory - the real cost is computing E, not
+  // storing it.
+  EXPECT_LT(dense_dictionary_bytes(600, 20, 150), 20ull << 20);
+}
+
+}  // namespace
+}  // namespace sddd::diagnosis

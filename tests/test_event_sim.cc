@@ -1,0 +1,186 @@
+// Tests for the event-driven timed simulator: exact settle times on
+// chains, correct final values under unequal pin delays, glitch counting,
+// and agreement with the transition-mode approximation on hazard-free
+// circuits.
+#include <gtest/gtest.h>
+
+#include "logicsim/event_sim.h"
+#include "netlist/levelize.h"
+#include "netlist/synth.h"
+#include "paths/transition_graph.h"
+#include "stats/rng.h"
+#include "timing/celllib.h"
+#include "timing/delay_field.h"
+#include "timing/delay_model.h"
+#include "timing/dynamic_sim.h"
+
+namespace sddd::logicsim {
+namespace {
+
+using netlist::CellType;
+using netlist::GateId;
+using netlist::Levelization;
+using netlist::Netlist;
+
+TEST(EventSim, ChainSettleTimesAreExact) {
+  Netlist nl("chain");
+  const auto a = nl.add_input("a");
+  const auto g1 = nl.add_gate(CellType::kNot, "g1", {a});
+  const auto g2 = nl.add_gate(CellType::kBuf, "g2", {g1});
+  nl.add_output(g2);
+  nl.freeze();
+  const Levelization lev(nl);
+  const TimedEventSimulator sim(nl, lev);
+  const std::vector<double> delays = {10.0, 7.0};
+
+  const PatternPair pp{{false}, {true}};
+  const auto r = sim.simulate(pp, delays);
+  EXPECT_DOUBLE_EQ(r.settle_time[a], 0.0);
+  EXPECT_DOUBLE_EQ(r.settle_time[g1], 10.0);
+  EXPECT_DOUBLE_EQ(r.settle_time[g2], 17.0);
+  EXPECT_EQ(r.event_count[g1], 1u);
+  EXPECT_EQ(r.event_count[g2], 1u);
+  EXPECT_FALSE(r.final_value[g1]);  // NOT of 1
+  EXPECT_TRUE(r.final_value[g2] == r.final_value[g1]);
+}
+
+TEST(EventSim, NoLaunchNoEvents) {
+  Netlist nl("quiet");
+  const auto a = nl.add_input("a");
+  const auto g = nl.add_gate(CellType::kNot, "g", {a});
+  nl.add_output(g);
+  nl.freeze();
+  const Levelization lev(nl);
+  const TimedEventSimulator sim(nl, lev);
+  const std::vector<double> delays = {5.0};
+  const PatternPair pp{{true}, {true}};
+  const auto r = sim.simulate(pp, delays);
+  EXPECT_EQ(r.total_events, 0u);
+  EXPECT_DOUBLE_EQ(r.settle_time[g], 0.0);
+}
+
+TEST(EventSim, DetectsStaticHazardGlitch) {
+  // Classic static-1 hazard: y = OR(a, NOT(a)) with a slow inverter.  On
+  // a falling a, the OR sees 0/0 briefly -> glitch to 0 and back to 1.
+  Netlist nl("hazard");
+  const auto a = nl.add_input("a");
+  const auto inv = nl.add_gate(CellType::kNot, "inv", {a});
+  const auto y = nl.add_gate(CellType::kOr, "y", {a, inv});
+  nl.add_output(y);
+  nl.freeze();
+  const Levelization lev(nl);
+  const TimedEventSimulator sim(nl, lev);
+  // arcs: inv.0 (a->inv), y.0 (a->y), y.1 (inv->y)
+  std::vector<double> delays(nl.arc_count(), 0.0);
+  delays[nl.arc_of(inv, 0)] = 20.0;  // slow inverter
+  delays[nl.arc_of(y, 0)] = 2.0;
+  delays[nl.arc_of(y, 1)] = 2.0;
+
+  const PatternPair pp{{true}, {false}};  // a falls
+  const auto r = sim.simulate(pp, delays);
+  // y: starts 1, drops at t=2 (a's fall arrives first), recovers at t=22.
+  EXPECT_TRUE(r.final_value[y]);
+  EXPECT_EQ(r.event_count[y], 2u);  // glitch = two output changes
+  EXPECT_DOUBLE_EQ(r.settle_time[y], 22.0);
+}
+
+TEST(EventSim, FinalValuesMatchLogicSimulation) {
+  netlist::SynthSpec spec;
+  spec.n_inputs = 12;
+  spec.n_outputs = 8;
+  spec.n_gates = 140;
+  spec.depth = 12;
+  spec.seed = 401;
+  const auto nl = netlist::synthesize(spec);
+  const Levelization lev(nl);
+  const TimedEventSimulator sim(nl, lev);
+  const BitSimulator logic(nl, lev);
+  stats::Rng rng(31);
+  std::vector<double> delays(nl.arc_count());
+  for (auto& d : delays) d = rng.uniform(5.0, 50.0);
+  for (int t = 0; t < 20; ++t) {
+    PatternPair pp;
+    pp.v1.resize(12);
+    pp.v2.resize(12);
+    for (std::size_t i = 0; i < 12; ++i) {
+      pp.v1[i] = rng.bernoulli(0.5);
+      pp.v2[i] = rng.bernoulli(0.5);
+    }
+    const auto r = sim.simulate(pp, delays);
+    const auto expect = logic.simulate_single(pp.v2);
+    for (GateId g = 0; g < nl.gate_count(); ++g) {
+      EXPECT_EQ(r.final_value[g], expect[g]) << "gate " << g;
+    }
+  }
+}
+
+TEST(EventSim, TransitionModeExactOnGlitchFreeRuns) {
+  // On a run where NO net glitches (every waveform has at most one
+  // transition) the transition-mode min/max arrival is not an
+  // approximation but the exact settle time.  Single-PI launches keep
+  // most runs glitch-free; runs with any multi-event net are skipped
+  // (those are exactly where the approximation is allowed to deviate).
+  netlist::SynthSpec spec;
+  spec.n_inputs = 10;
+  spec.n_outputs = 6;
+  spec.n_gates = 90;
+  spec.depth = 10;
+  spec.seed = 402;
+  const auto nl = netlist::synthesize(spec);
+  const Levelization lev(nl);
+  const timing::StatisticalCellLibrary lib;
+  const timing::ArcDelayModel model(nl, lib);
+  const timing::DelayField field(model, 4, 0.0, 77);
+  const timing::DynamicTimingSimulator dyn(field, lev);
+  const TimedEventSimulator timed(nl, lev);
+  const BitSimulator logic(nl, lev);
+  std::vector<double> delays(nl.arc_count());
+  for (netlist::ArcId a = 0; a < nl.arc_count(); ++a) {
+    delays[a] = field.delay(a, 0);
+  }
+  stats::Rng rng(32);
+  std::size_t compared = 0;
+  for (int t = 0; t < 60; ++t) {
+    // Launch a single PI transition from a random base vector.
+    PatternPair pp;
+    pp.v1.resize(10);
+    for (std::size_t i = 0; i < 10; ++i) pp.v1[i] = rng.bernoulli(0.5);
+    pp.v2 = pp.v1;
+    const std::size_t flip = rng.below(10);
+    pp.v2[flip] = !pp.v2[flip];
+
+    const auto r = timed.simulate(pp, delays);
+    bool glitch_free = true;
+    for (const auto c : r.event_count) glitch_free &= (c <= 1);
+    if (!glitch_free) continue;
+
+    const paths::TransitionGraph tg(logic, lev, pp);
+    const auto arr = dyn.simulate_instance(tg, 0, std::nullopt);
+    for (GateId g = 0; g < nl.gate_count(); ++g) {
+      if (!tg.toggles(g)) continue;
+      ASSERT_EQ(r.event_count[g], 1u);
+      ++compared;
+      EXPECT_NEAR(arr[g], r.settle_time[g], 1e-9) << "gate " << g;
+    }
+  }
+  EXPECT_GT(compared, 50u);
+}
+
+TEST(EventSim, SizeValidationAndBudget) {
+  Netlist nl("tiny");
+  const auto a = nl.add_input("a");
+  const auto g = nl.add_gate(CellType::kNot, "g", {a});
+  nl.add_output(g);
+  nl.freeze();
+  const Levelization lev(nl);
+  const TimedEventSimulator sim(nl, lev);
+  const PatternPair pp{{false}, {true}};
+  const std::vector<double> wrong_size = {1.0, 2.0};
+  EXPECT_THROW((void)sim.simulate(pp, wrong_size), std::invalid_argument);
+  const std::vector<double> ok = {1.0};
+  EXPECT_THROW((void)sim.simulate(pp, ok, /*max_events=*/0),
+               std::runtime_error);
+}
+
+}  // namespace
+}  // namespace sddd::logicsim

@@ -1,0 +1,167 @@
+// Edge-case and small-surface tests that round out coverage of the public
+// API: string renderings, operator overloads, error paths and degenerate
+// inputs that the mainline tests do not reach.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "defect/defect_model.h"
+#include "diagnosis/behavior.h"
+#include "logicsim/ternary.h"
+#include "netlist/bench_io.h"
+#include "netlist/iscas_catalog.h"
+#include "netlist/levelize.h"
+#include "netlist/scan.h"
+#include "stats/histogram.h"
+#include "stats/rng.h"
+#include "stats/rv.h"
+#include "stats/sample_vector.h"
+#include "timing/celllib.h"
+#include "timing/delay_field.h"
+#include "timing/delay_model.h"
+
+namespace sddd {
+namespace {
+
+TEST(RvToString, MentionsFamilyAndParameters) {
+  EXPECT_NE(stats::RandomVariable::PointMass(3.0).to_string().find("PointMass"),
+            std::string::npos);
+  EXPECT_NE(stats::RandomVariable::Normal(10, 2).to_string().find("Normal"),
+            std::string::npos);
+  EXPECT_NE(stats::RandomVariable::Uniform(1, 2).to_string().find("Uniform"),
+            std::string::npos);
+  EXPECT_NE(stats::RandomVariable::Triangular(1, 2, 3).to_string().find(
+                "Triangular"),
+            std::string::npos);
+  EXPECT_NE(stats::RandomVariable::LogNormalMeanSigma(5, 1).to_string().find(
+                "LogNormal"),
+            std::string::npos);
+}
+
+TEST(RvDegenerate, ZeroSpreadCollapsesToPointMass) {
+  const auto n = stats::RandomVariable::Normal(5.0, 0.0);
+  EXPECT_EQ(n.kind(), stats::RvKind::kPointMass);
+  const auto u = stats::RandomVariable::Uniform(4.0, 4.0);
+  EXPECT_EQ(u.kind(), stats::RvKind::kPointMass);
+  const auto ln = stats::RandomVariable::LogNormalMeanSigma(4.0, 0.0);
+  EXPECT_EQ(ln.kind(), stats::RvKind::kPointMass);
+}
+
+TEST(RvShift, ClampsAtZero) {
+  const auto rv = stats::RandomVariable::PointMass(2.0).shifted(-5.0);
+  EXPECT_DOUBLE_EQ(rv.mean(), 0.0);
+  const auto u = stats::RandomVariable::Uniform(1.0, 2.0).shifted(-10.0);
+  EXPECT_DOUBLE_EQ(u.mean(), 0.0);
+}
+
+TEST(SampleVector, ScaleAndShiftOperators) {
+  stats::SampleVector v(std::vector<double>{1.0, 2.0, 3.0});
+  v *= 2.0;
+  v += 1.0;
+  EXPECT_DOUBLE_EQ(v[0], 3.0);
+  EXPECT_DOUBLE_EQ(v[2], 7.0);
+  EXPECT_DOUBLE_EQ(v.min(), 3.0);
+  EXPECT_DOUBLE_EQ(v.max_value(), 7.0);
+}
+
+TEST(SampleVector, EmptyBehaviors) {
+  const stats::SampleVector v;
+  EXPECT_TRUE(v.empty());
+  EXPECT_DOUBLE_EQ(v.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(v.stddev(), 0.0);
+  EXPECT_DOUBLE_EQ(v.critical_probability(1.0), 0.0);
+}
+
+TEST(Histogram, MassAboveMatchesManualSum) {
+  const stats::SampleVector v(std::vector<double>{1, 2, 3, 4, 5, 6, 7, 8});
+  const stats::Histogram h(v, 8, 0.5, 8.5);
+  EXPECT_NEAR(h.mass_above(4.0), 5.0 / 8.0, 1e-9);
+  EXPECT_NEAR(h.mass_above(0.0), 1.0, 1e-9);
+  EXPECT_NEAR(h.mass_above(9.0), 0.0, 1e-9);
+  EXPECT_THROW((stats::Histogram{v, 0, 0.0, 1.0}), std::invalid_argument);
+  EXPECT_THROW((stats::Histogram{v, 4, 2.0, 1.0}), std::invalid_argument);
+}
+
+TEST(NetlistSummary, MentionsCounts) {
+  const auto nl = netlist::parse_bench_string(netlist::s27_bench_text(), "s27");
+  const auto s = nl.summary();
+  EXPECT_NE(s.find("s27"), std::string::npos);
+  EXPECT_NE(s.find("4 PI"), std::string::npos);
+  EXPECT_NE(s.find("3 DFF"), std::string::npos);
+}
+
+TEST(NetlistDefine, Errors) {
+  netlist::Netlist nl;
+  const auto a = nl.add_input("a");
+  EXPECT_THROW(nl.define(a, netlist::CellType::kNot, {a}), std::logic_error);
+  EXPECT_THROW(nl.define(99, netlist::CellType::kNot, {a}),
+               std::invalid_argument);
+  const auto d = nl.declare("d");
+  EXPECT_THROW(nl.define(d, netlist::CellType::kAnd, {a}),
+               std::invalid_argument);  // arity
+}
+
+TEST(Scan, DuplicatePseudoOutputsAllowed) {
+  // A DFF whose D input also drives a PO: the net appears twice in the
+  // output list after the transform; both observations are legitimate.
+  netlist::Netlist nl("dup");
+  const auto a = nl.add_input("a");
+  const auto g = nl.add_gate(netlist::CellType::kNot, "g", {a});
+  const auto ff = nl.add_gate(netlist::CellType::kDff, "ff", {g});
+  nl.add_output(g);
+  nl.add_output(ff);
+  nl.freeze();
+  const auto core = netlist::full_scan_transform(nl);
+  EXPECT_EQ(core.outputs().size(), 3u);  // g (PO), ff->pseudo..., g again
+  EXPECT_EQ(core.dff_count(), 0u);
+}
+
+TEST(CellLibrary, ConfigValidation) {
+  timing::CellLibraryConfig config;
+  config.three_sigma_pct = -0.1;
+  EXPECT_THROW((timing::StatisticalCellLibrary{config}), std::invalid_argument);
+  config = timing::CellLibraryConfig{};
+  config.arity_factor = 0.0;
+  EXPECT_THROW((timing::StatisticalCellLibrary{config}), std::invalid_argument);
+}
+
+TEST(DelayField, ConstructorValidation) {
+  const auto nl = netlist::parse_bench_string(netlist::c17_bench_text());
+  const timing::StatisticalCellLibrary lib;
+  const timing::ArcDelayModel model(nl, lib);
+  EXPECT_THROW((timing::DelayField{model, 0, 0.0, 1}), std::invalid_argument);
+  EXPECT_THROW((timing::DelayField{model, 10, -0.5, 1}),
+               std::invalid_argument);
+}
+
+TEST(BehaviorMatrix, FailingOutputGates) {
+  const auto nl = netlist::parse_bench_string(netlist::c17_bench_text());
+  diagnosis::BehaviorMatrix B(nl.outputs().size(), 2);
+  B.set(1, 0, true);
+  const auto gates = B.failing_output_gates(nl, 0);
+  ASSERT_EQ(gates.size(), 1u);
+  EXPECT_EQ(gates[0], nl.outputs()[1]);
+  EXPECT_TRUE(B.failing_output_gates(nl, 1).empty());
+}
+
+TEST(DefectModel, SegmentAccessors) {
+  const auto nl = netlist::parse_bench_string(netlist::c17_bench_text());
+  const auto model = defect::SegmentDefectModel::uniform_single(
+      nl, stats::RandomVariable::PointMass(5.0));
+  EXPECT_EQ(&model.netlist(), &nl);
+  EXPECT_DOUBLE_EQ(model.size_rv(0).mean(), 5.0);
+}
+
+TEST(Ternary, SimulatorRejectsSequential) {
+  const auto nl = netlist::parse_bench_string(netlist::s27_bench_text());
+  const netlist::Levelization lev(nl);
+  EXPECT_THROW((logicsim::TernarySimulator{nl, lev}), std::invalid_argument);
+}
+
+TEST(IscasCatalog, EmbeddedTextsParse) {
+  EXPECT_NO_THROW(netlist::parse_bench_string(netlist::c17_bench_text()));
+  EXPECT_NO_THROW(netlist::parse_bench_string(netlist::s27_bench_text()));
+}
+
+}  // namespace
+}  // namespace sddd

@@ -1,0 +1,376 @@
+// Unit tests for the netlist core: cell metadata, construction rules,
+// freeze validation, arc numbering, levelization, bench I/O round-trips,
+// the full-scan transform, the synthetic generator and the ISCAS catalog.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "netlist/bench_io.h"
+#include "netlist/cell.h"
+#include "netlist/iscas_catalog.h"
+#include "netlist/levelize.h"
+#include "netlist/netlist.h"
+#include "netlist/scan.h"
+#include "netlist/synth.h"
+
+namespace sddd::netlist {
+namespace {
+
+TEST(Cell, TypeNamesRoundTrip) {
+  for (const CellType t :
+       {CellType::kBuf, CellType::kNot, CellType::kAnd, CellType::kNand,
+        CellType::kOr, CellType::kNor, CellType::kXor, CellType::kXnor,
+        CellType::kDff}) {
+    const auto parsed = parse_cell_type(cell_type_name(t));
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_EQ(*parsed, t);
+  }
+}
+
+TEST(Cell, ParserAcceptsAliasesAndCase) {
+  EXPECT_EQ(parse_cell_type("BUFF"), CellType::kBuf);
+  EXPECT_EQ(parse_cell_type("INV"), CellType::kNot);
+  EXPECT_EQ(parse_cell_type("NaNd"), CellType::kNand);
+  EXPECT_FALSE(parse_cell_type("mux").has_value());
+}
+
+TEST(Cell, ControllingValues) {
+  EXPECT_TRUE(has_controlling_value(CellType::kAnd));
+  EXPECT_FALSE(controlling_value(CellType::kAnd));   // AND controlled by 0
+  EXPECT_FALSE(controlling_value(CellType::kNand));
+  EXPECT_TRUE(controlling_value(CellType::kOr));     // OR controlled by 1
+  EXPECT_TRUE(controlling_value(CellType::kNor));
+  EXPECT_FALSE(has_controlling_value(CellType::kXor));
+  EXPECT_FALSE(has_controlling_value(CellType::kNot));
+}
+
+TEST(Cell, InversionFlags) {
+  EXPECT_TRUE(is_inverting(CellType::kNot));
+  EXPECT_TRUE(is_inverting(CellType::kNand));
+  EXPECT_TRUE(is_inverting(CellType::kNor));
+  EXPECT_TRUE(is_inverting(CellType::kXnor));
+  EXPECT_FALSE(is_inverting(CellType::kAnd));
+  EXPECT_FALSE(is_inverting(CellType::kBuf));
+}
+
+Netlist tiny() {
+  Netlist nl("tiny");
+  const auto a = nl.add_input("a");
+  const auto b = nl.add_input("b");
+  const auto g1 = nl.add_gate(CellType::kNand, "g1", {a, b});
+  const auto g2 = nl.add_gate(CellType::kNot, "g2", {g1});
+  nl.add_output(g2);
+  nl.freeze();
+  return nl;
+}
+
+TEST(Netlist, BasicConstruction) {
+  const auto nl = tiny();
+  EXPECT_EQ(nl.gate_count(), 4u);
+  EXPECT_EQ(nl.inputs().size(), 2u);
+  EXPECT_EQ(nl.outputs().size(), 1u);
+  EXPECT_EQ(nl.arc_count(), 3u);  // 2 into g1, 1 into g2
+  EXPECT_EQ(nl.find("g1"), 2u);
+  EXPECT_EQ(nl.find("nope"), kInvalidGate);
+  EXPECT_EQ(nl.dff_count(), 0u);
+}
+
+TEST(Netlist, ArcNumberingIsDenseAndContiguous) {
+  const auto nl = tiny();
+  const GateId g1 = nl.find("g1");
+  EXPECT_EQ(nl.arc_of(g1, 0), nl.arc_base(g1));
+  EXPECT_EQ(nl.arc_of(g1, 1), nl.arc_base(g1) + 1);
+  const auto& arc = nl.arc(nl.arc_of(g1, 1));
+  EXPECT_EQ(arc.gate, g1);
+  EXPECT_EQ(arc.pin, 1u);
+}
+
+TEST(Netlist, FanoutsComputedOnFreeze) {
+  const auto nl = tiny();
+  EXPECT_EQ(nl.gate(nl.find("g1")).fanouts.size(), 1u);
+  EXPECT_EQ(nl.gate(nl.find("a")).fanouts.size(), 1u);
+}
+
+TEST(Netlist, DuplicateNameThrows) {
+  Netlist nl;
+  nl.add_input("x");
+  EXPECT_THROW(nl.add_input("x"), std::invalid_argument);
+}
+
+TEST(Netlist, ArityViolationsThrow) {
+  Netlist nl;
+  const auto a = nl.add_input("a");
+  EXPECT_THROW(nl.add_gate(CellType::kAnd, "g", {a}), std::invalid_argument);
+  EXPECT_THROW(nl.add_gate(CellType::kNot, "g", {a, a}),
+               std::invalid_argument);
+}
+
+TEST(Netlist, FreezeRejectsUndefinedDeclarations) {
+  Netlist nl;
+  nl.declare("pending");
+  EXPECT_THROW(nl.freeze(), std::logic_error);
+}
+
+TEST(Netlist, DeclareDefineSupportsForwardReferences) {
+  Netlist nl;
+  const auto out = nl.declare("out");
+  const auto a = nl.add_input("a");
+  nl.define(out, CellType::kNot, {a});
+  nl.add_output(out);
+  nl.freeze();
+  EXPECT_EQ(nl.gate(out).type, CellType::kNot);
+}
+
+TEST(Netlist, MutationAfterFreezeThrows) {
+  auto nl = tiny();
+  EXPECT_THROW(nl.add_input("z"), std::logic_error);
+}
+
+TEST(Levelize, LevelsAndDepth) {
+  const auto nl = tiny();
+  const Levelization lev(nl);
+  EXPECT_EQ(lev.level(nl.find("a")), 0u);
+  EXPECT_EQ(lev.level(nl.find("g1")), 1u);
+  EXPECT_EQ(lev.level(nl.find("g2")), 2u);
+  EXPECT_EQ(lev.depth(), 2u);
+  EXPECT_EQ(lev.topo_order().size(), nl.gate_count());
+}
+
+TEST(Levelize, TopoOrderRespectsDependencies) {
+  SynthSpec spec;
+  spec.n_inputs = 12;
+  spec.n_outputs = 8;
+  spec.n_gates = 150;
+  spec.depth = 14;
+  spec.seed = 5;
+  const auto nl = synthesize(spec);
+  const Levelization lev(nl);
+  std::vector<int> pos(nl.gate_count(), -1);
+  for (std::size_t i = 0; i < lev.topo_order().size(); ++i) {
+    pos[lev.topo_order()[i]] = static_cast<int>(i);
+  }
+  for (GateId g = 0; g < nl.gate_count(); ++g) {
+    for (const GateId f : nl.gate(g).fanins) {
+      EXPECT_LT(pos[f], pos[g]);
+    }
+  }
+}
+
+TEST(Levelize, CombinationalCycleThrows) {
+  Netlist nl;
+  const auto a = nl.add_input("a");
+  const auto x = nl.declare("x");
+  const auto y = nl.add_gate(CellType::kAnd, "y", {a, x});
+  nl.define(x, CellType::kNot, {y});
+  nl.add_output(y);
+  nl.freeze();
+  EXPECT_THROW(Levelization{nl}, std::invalid_argument);
+}
+
+TEST(Levelize, DffBreaksCycle) {
+  const auto nl = parse_bench_string(s27_bench_text(), "s27");
+  EXPECT_NO_THROW(Levelization{nl});
+}
+
+TEST(BenchIo, ParsesC17) {
+  const auto nl = parse_bench_string(c17_bench_text(), "c17");
+  EXPECT_EQ(nl.inputs().size(), 5u);
+  EXPECT_EQ(nl.outputs().size(), 2u);
+  EXPECT_EQ(nl.gate_count(), 11u);  // 5 PI + 6 NAND
+  EXPECT_EQ(nl.dff_count(), 0u);
+  for (GateId g = 0; g < nl.gate_count(); ++g) {
+    if (nl.gate(g).type != CellType::kInput) {
+      EXPECT_EQ(nl.gate(g).type, CellType::kNand);
+      EXPECT_EQ(nl.gate(g).fanins.size(), 2u);
+    }
+  }
+}
+
+TEST(BenchIo, ParsesS27WithDffsAndForwardRefs) {
+  const auto nl = parse_bench_string(s27_bench_text(), "s27");
+  EXPECT_EQ(nl.inputs().size(), 4u);
+  EXPECT_EQ(nl.outputs().size(), 1u);
+  EXPECT_EQ(nl.dff_count(), 3u);
+}
+
+TEST(BenchIo, RoundTripPreservesStructure) {
+  const auto nl = parse_bench_string(s27_bench_text(), "s27");
+  const auto text = to_bench_string(nl);
+  const auto nl2 = parse_bench_string(text, "s27rt");
+  EXPECT_EQ(nl2.gate_count(), nl.gate_count());
+  EXPECT_EQ(nl2.inputs().size(), nl.inputs().size());
+  EXPECT_EQ(nl2.outputs().size(), nl.outputs().size());
+  EXPECT_EQ(nl2.dff_count(), nl.dff_count());
+  EXPECT_EQ(nl2.arc_count(), nl.arc_count());
+  for (GateId g = 0; g < nl.gate_count(); ++g) {
+    const GateId h = nl2.find(nl.gate(g).name);
+    ASSERT_NE(h, kInvalidGate);
+    EXPECT_EQ(nl2.gate(h).type, nl.gate(g).type);
+    EXPECT_EQ(nl2.gate(h).fanins.size(), nl.gate(g).fanins.size());
+  }
+}
+
+TEST(BenchIo, ErrorsCarryLineNumbers) {
+  try {
+    parse_bench_string("INPUT(a)\ng = FROB(a)\n", "bad");
+    FAIL() << "expected parse error";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("line 2"), std::string::npos);
+  }
+}
+
+TEST(BenchIo, RejectsMalformedLines) {
+  EXPECT_THROW(parse_bench_string("INPUT a\n"), std::runtime_error);
+  EXPECT_THROW(parse_bench_string("OUTPUT(zzz)\n"), std::runtime_error);
+  EXPECT_THROW(parse_bench_string("= AND(a, b)\n"), std::runtime_error);
+  EXPECT_THROW(parse_bench_string("INPUT(a)\nx = AND(a, )\n"),
+               std::runtime_error);
+}
+
+TEST(BenchIo, IgnoresCommentsAndBlanks) {
+  const auto nl = parse_bench_string(
+      "# header\n\nINPUT(a)  # trailing\nOUTPUT(b)\nb = NOT(a)\n");
+  EXPECT_EQ(nl.gate_count(), 2u);
+}
+
+TEST(Scan, S27FullScanShape) {
+  const auto seq = parse_bench_string(s27_bench_text(), "s27");
+  const auto core = full_scan_transform(seq);
+  EXPECT_EQ(core.dff_count(), 0u);
+  EXPECT_EQ(core.inputs().size(), 4u + 3u);   // PI + pseudo-PI
+  EXPECT_EQ(core.outputs().size(), 1u + 3u);  // PO + pseudo-PO
+  EXPECT_EQ(core.gate_count(), seq.gate_count());
+  // Gate ids preserved 1:1.
+  for (GateId g = 0; g < seq.gate_count(); ++g) {
+    EXPECT_EQ(core.gate(g).name, seq.gate(g).name);
+  }
+}
+
+TEST(Scan, CombinationalCircuitUnchanged) {
+  const auto c17 = parse_bench_string(c17_bench_text(), "c17");
+  const auto core = full_scan_transform(c17);
+  EXPECT_EQ(core.gate_count(), c17.gate_count());
+  EXPECT_EQ(core.inputs().size(), c17.inputs().size());
+  EXPECT_EQ(core.outputs().size(), c17.outputs().size());
+}
+
+TEST(Synth, MatchesSpecCounts) {
+  SynthSpec spec;
+  spec.name = "syn";
+  spec.n_inputs = 10;
+  spec.n_outputs = 7;
+  spec.n_gates = 90;
+  spec.depth = 11;
+  spec.seed = 17;
+  const auto nl = synthesize(spec);
+  EXPECT_EQ(nl.inputs().size(), 10u);
+  EXPECT_EQ(nl.outputs().size(), 7u);
+  EXPECT_EQ(nl.gate_count(), 10u + 90u);
+  const Levelization lev(nl);
+  EXPECT_GE(lev.depth(), 8u);
+  EXPECT_LE(lev.depth(), 11u);
+}
+
+TEST(Synth, DeterministicForSeed) {
+  SynthSpec spec;
+  spec.n_inputs = 8;
+  spec.n_outputs = 5;
+  spec.n_gates = 60;
+  spec.depth = 8;
+  spec.seed = 23;
+  const auto a = synthesize(spec);
+  const auto b = synthesize(spec);
+  EXPECT_EQ(to_bench_string(a), to_bench_string(b));
+  spec.seed = 24;
+  const auto c = synthesize(spec);
+  EXPECT_NE(to_bench_string(a), to_bench_string(c));
+}
+
+TEST(Synth, NoDanglingLogic) {
+  SynthSpec spec;
+  spec.n_inputs = 14;
+  spec.n_outputs = 9;
+  spec.n_gates = 200;
+  spec.depth = 16;
+  spec.seed = 31;
+  const auto nl = synthesize(spec);
+  for (GateId g = 0; g < nl.gate_count(); ++g) {
+    const bool used = !nl.gate(g).fanouts.empty() || nl.output_index(g) >= 0;
+    EXPECT_TRUE(used) << "dangling gate " << nl.gate(g).name;
+  }
+}
+
+TEST(Synth, NoTriviallyRedundantFanins) {
+  SynthSpec spec;
+  spec.n_inputs = 12;
+  spec.n_outputs = 8;
+  spec.n_gates = 150;
+  spec.depth = 12;
+  spec.seed = 37;
+  const auto nl = synthesize(spec);
+  // No gate may see both x and NOT(x) (or x twice) among its fanins -
+  // the generator promises non-degenerate logic.
+  std::size_t violations = 0;
+  const auto source = [&](GateId x) {
+    const auto& g = nl.gate(x);
+    if ((g.type == CellType::kNot || g.type == CellType::kBuf) &&
+        !g.fanins.empty()) {
+      return g.fanins[0];
+    }
+    return x;
+  };
+  for (GateId g = 0; g < nl.gate_count(); ++g) {
+    const auto& fi = nl.gate(g).fanins;
+    for (std::size_t i = 0; i < fi.size(); ++i) {
+      for (std::size_t j = i + 1; j < fi.size(); ++j) {
+        if (fi[i] == fi[j] || source(fi[i]) == source(fi[j])) ++violations;
+      }
+    }
+  }
+  EXPECT_EQ(violations, 0u);
+}
+
+TEST(Synth, RejectsBadSpecs) {
+  SynthSpec spec;
+  spec.n_gates = 5;
+  spec.n_outputs = 9;
+  EXPECT_THROW(synthesize(spec), std::invalid_argument);
+  spec = SynthSpec{};
+  spec.depth = 0;
+  EXPECT_THROW(synthesize(spec), std::invalid_argument);
+  spec = SynthSpec{};
+  spec.n_gates = 4;
+  spec.depth = 9;
+  spec.n_outputs = 2;
+  EXPECT_THROW(synthesize(spec), std::invalid_argument);
+}
+
+TEST(Catalog, HasAllEightTable1Circuits) {
+  EXPECT_EQ(table1_circuits().size(), 8u);
+  for (const char* name : {"s1196", "s1238", "s1423", "s1488", "s5378",
+                           "s9234", "s13207", "s15850"}) {
+    EXPECT_NE(find_profile(name), nullptr) << name;
+  }
+  EXPECT_EQ(find_profile("s9999"), nullptr);
+}
+
+TEST(Catalog, StandinMatchesProfile) {
+  const auto* p = find_profile("s1238");
+  ASSERT_NE(p, nullptr);
+  const auto nl = make_standin(*p, 1.0, 7);
+  EXPECT_EQ(nl.inputs().size(), p->n_pi + p->n_ff);
+  EXPECT_EQ(nl.outputs().size(), p->n_po + p->n_ff);
+  EXPECT_EQ(nl.gate_count() - nl.inputs().size(), p->n_gates);
+  EXPECT_EQ(nl.dff_count(), 0u);
+}
+
+TEST(Catalog, ScaleShrinksGateCount) {
+  const auto* p = find_profile("s5378");
+  const auto nl = make_standin(*p, 0.25, 7);
+  const auto gates = nl.gate_count() - nl.inputs().size();
+  EXPECT_NEAR(static_cast<double>(gates), 0.25 * p->n_gates,
+              0.01 * p->n_gates + 1.0);
+}
+
+}  // namespace
+}  // namespace sddd::netlist

@@ -1,0 +1,306 @@
+// Property-based tests: invariants checked across a parameterized sweep of
+// synthetic circuits (TEST_P over generator seeds) and random stimuli.
+// Each property encodes a theorem the design relies on, not an example.
+#include <gtest/gtest.h>
+
+#include "atpg/podem.h"
+#include "logicsim/bitsim.h"
+#include "logicsim/ternary.h"
+#include "netlist/bench_io.h"
+#include "netlist/levelize.h"
+#include "netlist/synth.h"
+#include "paths/path_enum.h"
+#include "paths/transition_graph.h"
+#include "stats/rng.h"
+#include "timing/celllib.h"
+#include "timing/delay_field.h"
+#include "timing/delay_model.h"
+#include "timing/dynamic_sim.h"
+#include "timing/ssta.h"
+
+namespace sddd {
+namespace {
+
+using logicsim::BitSimulator;
+using logicsim::PatternPair;
+using logicsim::Tern;
+using netlist::ArcId;
+using netlist::GateId;
+using netlist::Levelization;
+using netlist::Netlist;
+using paths::TransitionGraph;
+
+struct CircuitParam {
+  std::uint64_t seed;
+  std::uint32_t n_inputs;
+  std::uint32_t n_outputs;
+  std::uint32_t n_gates;
+  std::uint32_t depth;
+};
+
+class CircuitProperty : public ::testing::TestWithParam<CircuitParam> {
+ protected:
+  Netlist make_circuit() const {
+    const auto& p = GetParam();
+    netlist::SynthSpec spec;
+    spec.name = "prop" + std::to_string(p.seed);
+    spec.n_inputs = p.n_inputs;
+    spec.n_outputs = p.n_outputs;
+    spec.n_gates = p.n_gates;
+    spec.depth = p.depth;
+    spec.seed = p.seed;
+    return netlist::synthesize(spec);
+  }
+
+  PatternPair random_pair(const Netlist& nl, stats::Rng& rng) const {
+    PatternPair pp;
+    pp.v1.resize(nl.inputs().size());
+    pp.v2.resize(nl.inputs().size());
+    for (std::size_t i = 0; i < pp.v1.size(); ++i) {
+      pp.v1[i] = rng.bernoulli(0.5);
+      pp.v2[i] = rng.bernoulli(0.5);
+    }
+    return pp;
+  }
+};
+
+TEST_P(CircuitProperty, FanoutListsMirrorFanins) {
+  const auto nl = make_circuit();
+  // Count pin connections in both directions; they must agree exactly.
+  std::vector<std::size_t> as_fanin(nl.gate_count(), 0);
+  for (GateId g = 0; g < nl.gate_count(); ++g) {
+    for (const GateId f : nl.gate(g).fanins) ++as_fanin[f];
+  }
+  for (GateId g = 0; g < nl.gate_count(); ++g) {
+    EXPECT_EQ(nl.gate(g).fanouts.size(), as_fanin[g]) << "gate " << g;
+  }
+}
+
+TEST_P(CircuitProperty, ArcNumberingIsABijection) {
+  const auto nl = make_circuit();
+  std::vector<bool> seen(nl.arc_count(), false);
+  for (GateId g = 0; g < nl.gate_count(); ++g) {
+    for (std::uint32_t pin = 0; pin < nl.gate(g).fanins.size(); ++pin) {
+      const ArcId a = nl.arc_of(g, pin);
+      ASSERT_LT(a, nl.arc_count());
+      EXPECT_FALSE(seen[a]);
+      seen[a] = true;
+      EXPECT_EQ(nl.arc(a).gate, g);
+      EXPECT_EQ(nl.arc(a).pin, pin);
+    }
+  }
+  for (const bool s : seen) EXPECT_TRUE(s);
+}
+
+TEST_P(CircuitProperty, BenchRoundTripIsStructurePreserving) {
+  const auto nl = make_circuit();
+  const auto nl2 =
+      netlist::parse_bench_string(netlist::to_bench_string(nl), nl.name());
+  ASSERT_EQ(nl2.gate_count(), nl.gate_count());
+  ASSERT_EQ(nl2.arc_count(), nl.arc_count());
+  for (GateId g = 0; g < nl.gate_count(); ++g) {
+    const GateId h = nl2.find(nl.gate(g).name);
+    ASSERT_NE(h, netlist::kInvalidGate);
+    EXPECT_EQ(nl2.gate(h).type, nl.gate(g).type);
+    ASSERT_EQ(nl2.gate(h).fanins.size(), nl.gate(g).fanins.size());
+    for (std::size_t i = 0; i < nl.gate(g).fanins.size(); ++i) {
+      EXPECT_EQ(nl2.gate(nl2.gate(h).fanins[i]).name,
+                nl.gate(nl.gate(g).fanins[i]).name);
+    }
+  }
+}
+
+TEST_P(CircuitProperty, ActiveArcsConnectTogglingNets) {
+  const auto nl = make_circuit();
+  const Levelization lev(nl);
+  const BitSimulator sim(nl, lev);
+  stats::Rng rng(GetParam().seed ^ 0xAB);
+  for (int t = 0; t < 12; ++t) {
+    const TransitionGraph tg(sim, lev, random_pair(nl, rng));
+    for (ArcId a = 0; a < nl.arc_count(); ++a) {
+      if (!tg.is_active(a)) continue;
+      const auto& arc = nl.arc(a);
+      EXPECT_TRUE(tg.toggles(arc.gate));
+      EXPECT_TRUE(tg.toggles(nl.gate(arc.gate).fanins[arc.pin]));
+    }
+  }
+}
+
+TEST_P(CircuitProperty, MinRuleImpliesControlledFinalValue) {
+  const auto nl = make_circuit();
+  const Levelization lev(nl);
+  const BitSimulator sim(nl, lev);
+  stats::Rng rng(GetParam().seed ^ 0xCD);
+  for (int t = 0; t < 12; ++t) {
+    const TransitionGraph tg(sim, lev, random_pair(nl, rng));
+    for (GateId g = 0; g < nl.gate_count(); ++g) {
+      if (!tg.toggles(g) || !is_combinational(nl.gate(g).type)) continue;
+      if (tg.rule(g) == paths::ArrivalRule::kMinOverActive) {
+        const auto& gate = nl.gate(g);
+        ASSERT_TRUE(has_controlling_value(gate.type));
+        const bool ctrl = controlling_value(gate.type);
+        bool some_ctrl = false;
+        for (const GateId f : gate.fanins) {
+          some_ctrl |= (tg.final_value(f) == ctrl);
+        }
+        EXPECT_TRUE(some_ctrl) << "gate " << g;
+      }
+    }
+  }
+}
+
+TEST_P(CircuitProperty, InducedDelayNeverExceedsStaticDelay) {
+  // Induced(Path_v) is a subcircuit of C, and min <= max: per sample, the
+  // dynamic output arrival cannot exceed the static (all-paths) arrival.
+  const auto nl = make_circuit();
+  const Levelization lev(nl);
+  const timing::StatisticalCellLibrary lib;
+  const timing::ArcDelayModel model(nl, lib);
+  const timing::DelayField field(model, 60, 0.03, GetParam().seed);
+  const timing::StaticTiming ssta(field, lev);
+  const timing::DynamicTimingSimulator dyn(field, lev);
+  const BitSimulator sim(nl, lev);
+  stats::Rng rng(GetParam().seed ^ 0xEF);
+  for (int t = 0; t < 6; ++t) {
+    const TransitionGraph tg(sim, lev, random_pair(nl, rng));
+    const auto arrivals = dyn.simulate(tg);
+    for (const GateId o : nl.outputs()) {
+      if (!tg.toggles(o)) continue;
+      for (std::size_t k = 0; k < 60; ++k) {
+        EXPECT_LE(arrivals.rows[o][k], ssta.arrival(o)[k] + 1e-9);
+      }
+    }
+  }
+}
+
+TEST_P(CircuitProperty, CriticalProbabilityMonotoneInClk) {
+  const auto nl = make_circuit();
+  const Levelization lev(nl);
+  const timing::StatisticalCellLibrary lib;
+  const timing::ArcDelayModel model(nl, lib);
+  const timing::DelayField field(model, 80, 0.03, GetParam().seed + 1);
+  const timing::DynamicTimingSimulator dyn(field, lev);
+  const BitSimulator sim(nl, lev);
+  stats::Rng rng(GetParam().seed ^ 0x11);
+  const TransitionGraph tg(sim, lev, random_pair(nl, rng));
+  const auto arrivals = dyn.simulate(tg);
+  const auto delta = dyn.induced_delay(tg, arrivals);
+  const double lo_clk = delta.quantile(0.3);
+  const double hi_clk = delta.quantile(0.9);
+  const auto err_lo = dyn.error_vector(tg, arrivals, lo_clk);
+  const auto err_hi = dyn.error_vector(tg, arrivals, hi_clk);
+  for (std::size_t i = 0; i < err_lo.size(); ++i) {
+    EXPECT_GE(err_lo[i], err_hi[i]);
+  }
+}
+
+TEST_P(CircuitProperty, HeaviestPathAttainsDistanceBound) {
+  const auto nl = make_circuit();
+  const Levelization lev(nl);
+  const timing::StatisticalCellLibrary lib;
+  const timing::ArcDelayModel model(nl, lib);
+  const paths::PathDistances dist(nl, lev, model.means());
+  stats::Rng rng(GetParam().seed ^ 0x22);
+  for (int t = 0; t < 10; ++t) {
+    const ArcId site = rng.below(static_cast<std::uint32_t>(nl.arc_count()));
+    const auto ps =
+        paths::k_heaviest_paths_through(nl, lev, model.means(), site, 3);
+    ASSERT_FALSE(ps.empty());
+    EXPECT_NEAR(paths::path_weight(ps[0], model.means()),
+                dist.through_arc(site), 1e-9);
+    for (const auto& p : ps) {
+      EXPECT_TRUE(paths::is_valid_path(nl, p));
+      EXPECT_TRUE(paths::path_contains(p, site));
+      // No path can outweigh the circuit critical weight.
+      EXPECT_LE(paths::path_weight(p, model.means()),
+                dist.critical_weight() + 1e-9);
+    }
+  }
+}
+
+TEST_P(CircuitProperty, PodemSolutionsSatisfyObjectives) {
+  const auto nl = make_circuit();
+  const Levelization lev(nl);
+  const atpg::Podem podem(nl, lev);
+  const logicsim::TernarySimulator tsim(nl, lev);
+  stats::Rng rng(GetParam().seed ^ 0x33);
+  std::size_t solved = 0;
+  for (int t = 0; t < 20; ++t) {
+    // Random 1-3 joint objectives on internal gates.
+    std::vector<atpg::Objective> obj;
+    const std::size_t count = 1 + rng.below(3);
+    for (std::size_t i = 0; i < count; ++i) {
+      GateId g = rng.below(static_cast<std::uint32_t>(nl.gate_count()));
+      if (!is_combinational(nl.gate(g).type)) g = nl.outputs()[0];
+      obj.push_back({g, rng.bernoulli(0.5)});
+    }
+    const auto result = podem.solve(obj, 500);
+    if (!result) continue;
+    ++solved;
+    const auto values = tsim.simulate(result->pi_values);
+    for (const auto& o : obj) {
+      EXPECT_EQ(values[o.gate], o.value ? Tern::k1 : Tern::k0)
+          << "objective on gate " << o.gate;
+    }
+  }
+  EXPECT_GT(solved, 0u);
+}
+
+TEST_P(CircuitProperty, DefectMonotonicityAcrossRandomPatterns) {
+  // E >= M cellwise for arbitrary (pattern, suspect, size) - the
+  // Definition E.1 invariant the whole dictionary rests on.
+  const auto nl = make_circuit();
+  const Levelization lev(nl);
+  const timing::StatisticalCellLibrary lib;
+  const timing::ArcDelayModel model(nl, lib);
+  const timing::DelayField field(model, 50, 0.05, GetParam().seed + 2);
+  const timing::DynamicTimingSimulator dyn(field, lev);
+  const BitSimulator sim(nl, lev);
+  stats::Rng rng(GetParam().seed ^ 0x44);
+  for (int t = 0; t < 6; ++t) {
+    const TransitionGraph tg(sim, lev, random_pair(nl, rng));
+    const auto arrivals = dyn.simulate(tg);
+    const double clk = dyn.induced_delay(tg, arrivals).quantile(0.75);
+    const auto m = dyn.error_vector(tg, arrivals, clk);
+    for (int s = 0; s < 5; ++s) {
+      timing::InjectedDefect defect;
+      defect.arc = rng.below(static_cast<std::uint32_t>(nl.arc_count()));
+      defect.extra.assign(50, rng.uniform(5.0, 400.0));
+      const auto e = dyn.error_vector_with_defect(tg, arrivals, defect, clk);
+      for (std::size_t i = 0; i < m.size(); ++i) {
+        EXPECT_GE(e[i], m[i] - 1e-12);
+      }
+    }
+  }
+}
+
+TEST_P(CircuitProperty, DelayFieldMatchesModelStatistics) {
+  const auto nl = make_circuit();
+  const timing::StatisticalCellLibrary lib;
+  const timing::ArcDelayModel model(nl, lib);
+  const timing::DelayField field(model, 3000, 0.0, GetParam().seed + 3);
+  stats::Rng rng(GetParam().seed ^ 0x55);
+  for (int t = 0; t < 8; ++t) {
+    const ArcId a = rng.below(static_cast<std::uint32_t>(nl.arc_count()));
+    double sum = 0.0;
+    for (std::size_t k = 0; k < field.sample_count(); ++k) {
+      sum += field.delay(a, k);
+    }
+    const double mean = sum / static_cast<double>(field.sample_count());
+    EXPECT_NEAR(mean, model.mean(a), 0.02 * model.mean(a)) << "arc " << a;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SeededCircuits, CircuitProperty,
+    ::testing::Values(CircuitParam{301, 10, 6, 70, 8},
+                      CircuitParam{302, 14, 9, 120, 12},
+                      CircuitParam{303, 18, 12, 200, 15},
+                      CircuitParam{304, 24, 16, 320, 18},
+                      CircuitParam{305, 12, 20, 150, 10}),
+    [](const ::testing::TestParamInfo<CircuitParam>& param_info) {
+      return "seed" + std::to_string(param_info.param.seed);
+    });
+
+}  // namespace
+}  // namespace sddd

@@ -1,0 +1,163 @@
+// Tests for scan application modes (enhanced / launch-on-shift /
+// launch-on-capture) plus an exhaustive brute-force verification of the
+// sensitization machinery on c17 (all 1024 pattern pairs).
+#include <gtest/gtest.h>
+
+#include "atpg/scan_modes.h"
+#include "logicsim/bitsim.h"
+#include "netlist/bench_io.h"
+#include "netlist/iscas_catalog.h"
+#include "netlist/levelize.h"
+#include "netlist/scan.h"
+#include "paths/path_enum.h"
+#include "paths/transition_graph.h"
+#include "stats/rng.h"
+
+namespace sddd::atpg {
+namespace {
+
+using logicsim::BitSimulator;
+using logicsim::Pattern;
+using logicsim::PatternPair;
+using netlist::GateId;
+using netlist::Levelization;
+using netlist::Netlist;
+
+struct S27Fixture {
+  Netlist seq = netlist::parse_bench_string(netlist::s27_bench_text(), "s27");
+  Netlist core = netlist::full_scan_transform(seq);
+  Levelization lev{core};
+  ScanChain chain = chain_from_transform(core, seq.inputs().size());
+  std::vector<GateId> capture =
+      capture_map_from_transform(core, seq.outputs().size(), 3);
+};
+
+TEST(ScanModes, ChainAndCaptureShapes) {
+  S27Fixture f;
+  EXPECT_EQ(f.chain.chain_positions.size(), 3u);  // 3 flops
+  EXPECT_EQ(f.capture.size(), 3u);
+  // Chain positions index pseudo-PIs (after the 4 original PIs).
+  for (const std::size_t pos : f.chain.chain_positions) {
+    EXPECT_GE(pos, 4u);
+    EXPECT_LT(pos, f.core.inputs().size());
+  }
+  EXPECT_THROW(chain_from_transform(f.core, 99), std::invalid_argument);
+  EXPECT_THROW(capture_map_from_transform(f.core, 99, 3),
+               std::invalid_argument);
+}
+
+TEST(ScanModes, GeneratedPairsObeyTheirMode) {
+  S27Fixture f;
+  stats::Rng rng(61);
+  for (int t = 0; t < 50; ++t) {
+    const auto enhanced = constrained_pattern_pair(
+        f.core, f.lev, f.chain, ScanMode::kEnhancedScan, rng);
+    EXPECT_TRUE(pair_obeys_mode(enhanced, f.core, f.lev, f.chain,
+                                ScanMode::kEnhancedScan));
+    const auto los = constrained_pattern_pair(
+        f.core, f.lev, f.chain, ScanMode::kLaunchOnShift, rng);
+    EXPECT_TRUE(pair_obeys_mode(los, f.core, f.lev, f.chain,
+                                ScanMode::kLaunchOnShift));
+    const auto loc = constrained_pattern_pair(
+        f.core, f.lev, f.chain, ScanMode::kLaunchOnCapture, rng, f.capture);
+    EXPECT_TRUE(pair_obeys_mode(loc, f.core, f.lev, f.chain,
+                                ScanMode::kLaunchOnCapture, f.capture));
+  }
+}
+
+TEST(ScanModes, LosShiftStructure) {
+  S27Fixture f;
+  stats::Rng rng(62);
+  const auto pair = constrained_pattern_pair(
+      f.core, f.lev, f.chain, ScanMode::kLaunchOnShift, rng);
+  // Every chain bit except the scan-in equals its predecessor's v1 value.
+  for (std::size_t i = 1; i < f.chain.chain_positions.size(); ++i) {
+    EXPECT_EQ(pair.v2[f.chain.chain_positions[i]],
+              pair.v1[f.chain.chain_positions[i - 1]]);
+  }
+}
+
+TEST(ScanModes, LocMatchesFunctionalCapture) {
+  S27Fixture f;
+  stats::Rng rng(63);
+  const BitSimulator sim(f.core, f.lev);
+  const auto pair = constrained_pattern_pair(
+      f.core, f.lev, f.chain, ScanMode::kLaunchOnCapture, rng, f.capture);
+  const auto values = sim.simulate_single(pair.v1);
+  for (std::size_t i = 0; i < f.chain.chain_positions.size(); ++i) {
+    EXPECT_EQ(pair.v2[f.chain.chain_positions[i]],
+              static_cast<bool>(values[f.capture[i]]));
+  }
+  // Violating pairs are rejected.
+  auto bad = pair;
+  bad.v2[f.chain.chain_positions[0]] = !bad.v2[f.chain.chain_positions[0]];
+  EXPECT_FALSE(pair_obeys_mode(bad, f.core, f.lev, f.chain,
+                               ScanMode::kLaunchOnCapture, f.capture));
+  EXPECT_THROW((void)constrained_pattern_pair(f.core, f.lev, f.chain,
+                                              ScanMode::kLaunchOnCapture, rng),
+               std::invalid_argument);  // missing capture map
+}
+
+// ---------------------------------------------------------------------------
+// Exhaustive verification on c17: for every one of the 32x32 pattern
+// pairs, the transition graph's claims are checked against brute force.
+TEST(ExhaustiveC17, TransitionGraphMatchesBruteForce) {
+  const auto nl = netlist::parse_bench_string(netlist::c17_bench_text(), "c17");
+  const Levelization lev(nl);
+  const BitSimulator sim(nl, lev);
+
+  std::size_t active_arcs_total = 0;
+  for (unsigned m1 = 0; m1 < 32; ++m1) {
+    for (unsigned m2 = 0; m2 < 32; ++m2) {
+      PatternPair pp;
+      pp.v1.resize(5);
+      pp.v2.resize(5);
+      for (unsigned i = 0; i < 5; ++i) {
+        pp.v1[i] = (m1 >> i) & 1;
+        pp.v2[i] = (m2 >> i) & 1;
+      }
+      const paths::TransitionGraph tg(sim, lev, pp);
+      const auto val1 = sim.simulate_single(pp.v1);
+      const auto val2 = sim.simulate_single(pp.v2);
+      for (GateId g = 0; g < nl.gate_count(); ++g) {
+        // 1. toggles() is exactly the value change.
+        ASSERT_EQ(tg.toggles(g), val1[g] != val2[g]);
+        ASSERT_EQ(tg.initial_value(g), val1[g]);
+        ASSERT_EQ(tg.final_value(g), val2[g]);
+        if (!tg.toggles(g) || !is_combinational(nl.gate(g).type)) continue;
+        // 2. Active fanins are toggling, and the min-rule applies exactly
+        //    when some input settles at the controlling value (NAND: 0).
+        const auto& act = tg.active_fanins(g);
+        ASSERT_FALSE(act.empty());
+        bool some_ctrl = false;
+        for (const GateId f : nl.gate(g).fanins) some_ctrl |= !val2[f];
+        ASSERT_EQ(tg.rule(g) == paths::ArrivalRule::kMinOverActive,
+                  some_ctrl);
+        for (const auto a : act) {
+          const auto& arc = nl.arc(a);
+          const GateId f = nl.gate(arc.gate).fanins[arc.pin];
+          ASSERT_TRUE(tg.toggles(f));
+          if (some_ctrl) {
+            // Min rule: active inputs toggled TO the controlling value.
+            ASSERT_FALSE(val2[f]);
+            ASSERT_TRUE(val1[f]);
+          }
+          ++active_arcs_total;
+        }
+      }
+      // 3. Every active path enumerated ends at the output and uses only
+      //    active arcs (spot check when an output toggles).
+      for (const GateId o : nl.outputs()) {
+        if (!tg.toggles(o)) continue;
+        for (const auto& path : paths::enumerate_active_paths(tg, o, 16)) {
+          ASSERT_TRUE(paths::is_valid_path(nl, path));
+          for (const auto a : path.arcs) ASSERT_TRUE(tg.is_active(a));
+        }
+      }
+    }
+  }
+  EXPECT_GT(active_arcs_total, 1000u);  // the sweep exercised real activity
+}
+
+}  // namespace
+}  // namespace sddd::atpg

@@ -1,0 +1,168 @@
+// Tests for statistical slack analysis: chain exactness, the
+// arrival/required/slack identities, and consistency with static timing
+// and criticality.
+#include <gtest/gtest.h>
+
+#include "netlist/levelize.h"
+#include "netlist/synth.h"
+#include "stats/rng.h"
+#include "timing/celllib.h"
+#include "timing/criticality.h"
+#include "timing/delay_field.h"
+#include "timing/delay_model.h"
+#include "timing/slack.h"
+#include "timing/ssta.h"
+
+namespace sddd::timing {
+namespace {
+
+using netlist::ArcId;
+using netlist::CellType;
+using netlist::GateId;
+using netlist::Levelization;
+using netlist::Netlist;
+
+Netlist chain3() {
+  Netlist nl("chain3");
+  const auto a = nl.add_input("a");
+  const auto g1 = nl.add_gate(CellType::kBuf, "g1", {a});
+  const auto g2 = nl.add_gate(CellType::kNot, "g2", {g1});
+  const auto g3 = nl.add_gate(CellType::kBuf, "g3", {g2});
+  nl.add_output(g3);
+  nl.freeze();
+  return nl;
+}
+
+TEST(Slack, ChainSlackIsUniformAndExact) {
+  // On a single path every arc has the same slack: clk - path delay.
+  const auto nl = chain3();
+  const Levelization lev(nl);
+  CellLibraryConfig config;
+  config.three_sigma_pct = 0.0;
+  const StatisticalCellLibrary lib(config);
+  const ArcDelayModel model(nl, lib);
+  const DelayField field(model, 8, 0.0, 3);
+  double path = 0.0;
+  for (ArcId a = 0; a < nl.arc_count(); ++a) path += model.mean(a);
+  const double clk = path + 25.0;
+  const SlackAnalysis slack(field, lev, clk);
+  for (ArcId a = 0; a < nl.arc_count(); ++a) {
+    const auto s = slack.arc_slack(a);
+    for (std::size_t k = 0; k < s.size(); ++k) {
+      EXPECT_NEAR(s[k], 25.0, 1e-9) << "arc " << a;
+    }
+    EXPECT_DOUBLE_EQ(slack.violation_probability(a), 0.0);
+    EXPECT_DOUBLE_EQ(slack.slack_below_probability(a, 26.0), 1.0);
+    EXPECT_DOUBLE_EQ(slack.slack_below_probability(a, 24.0), 0.0);
+  }
+}
+
+TEST(Slack, ArrivalsMatchStaticTiming) {
+  netlist::SynthSpec spec;
+  spec.n_inputs = 10;
+  spec.n_outputs = 6;
+  spec.n_gates = 80;
+  spec.depth = 9;
+  spec.seed = 1001;
+  const auto nl = netlist::synthesize(spec);
+  const Levelization lev(nl);
+  const StatisticalCellLibrary lib;
+  const ArcDelayModel model(nl, lib);
+  const DelayField field(model, 50, 0.03, 5);
+  const StaticTiming ssta(field, lev);
+  const SlackAnalysis slack(field, lev, 1000.0);
+  for (GateId g = 0; g < nl.gate_count(); ++g) {
+    for (std::size_t k = 0; k < 50; ++k) {
+      EXPECT_DOUBLE_EQ(slack.arrival(g)[k], ssta.arrival(g)[k]);
+    }
+  }
+}
+
+TEST(Slack, NegativeSlackIffClkBelowPathDelay) {
+  netlist::SynthSpec spec;
+  spec.n_inputs = 12;
+  spec.n_outputs = 8;
+  spec.n_gates = 100;
+  spec.depth = 10;
+  spec.seed = 1002;
+  const auto nl = netlist::synthesize(spec);
+  const Levelization lev(nl);
+  const StatisticalCellLibrary lib;
+  const ArcDelayModel model(nl, lib);
+  const DelayField field(model, 120, 0.03, 7);
+  const StaticTiming ssta(field, lev);
+  // clk above the worst sample: nothing violates.
+  const double clk_hi = ssta.circuit_delay().max_value() + 1.0;
+  const SlackAnalysis relaxed(field, lev, clk_hi);
+  for (ArcId a = 0; a < nl.arc_count(); a += 9) {
+    EXPECT_DOUBLE_EQ(relaxed.violation_probability(a), 0.0) << "arc " << a;
+  }
+  // clk below the best sample: the critical path violates in every chip;
+  // its arcs must show violation probability 1 somewhere.
+  const double clk_lo = ssta.circuit_delay().min() - 1.0;
+  const SlackAnalysis tight(field, lev, clk_lo);
+  double worst = 0.0;
+  for (ArcId a = 0; a < nl.arc_count(); ++a) {
+    worst = std::max(worst, tight.violation_probability(a));
+  }
+  EXPECT_DOUBLE_EQ(worst, 1.0);
+}
+
+TEST(Slack, CriticalArcsHaveTheLeastSlack) {
+  // The most critical arc (argmax path frequency) must be among the arcs
+  // with the highest violation probability at a clk cutting the delay
+  // distribution's middle.
+  netlist::SynthSpec spec;
+  spec.n_inputs = 12;
+  spec.n_outputs = 8;
+  spec.n_gates = 110;
+  spec.depth = 11;
+  spec.seed = 1003;
+  const auto nl = netlist::synthesize(spec);
+  const Levelization lev(nl);
+  const StatisticalCellLibrary lib;
+  const ArcDelayModel model(nl, lib);
+  const DelayField field(model, 150, 0.03, 9);
+  const StaticTiming ssta(field, lev);
+  const double clk = ssta.circuit_delay().quantile(0.5);
+  const SlackAnalysis slack(field, lev, clk);
+  const CriticalityAnalysis crit(field, lev);
+  const ArcId top = crit.ranked_arcs().front();
+  // The top-criticality arc violates at clk=median in ~half the chips.
+  EXPECT_GE(slack.violation_probability(top), 0.3);
+  // Property: violation probability never exceeds the probability of the
+  // whole circuit violating.
+  const double circuit_viol = ssta.circuit_delay().critical_probability(clk);
+  for (ArcId a = 0; a < nl.arc_count(); a += 7) {
+    EXPECT_LE(slack.violation_probability(a), circuit_viol + 1e-9);
+  }
+}
+
+TEST(Slack, MarginProbabilityMonotoneInMargin) {
+  netlist::SynthSpec spec;
+  spec.n_inputs = 10;
+  spec.n_outputs = 6;
+  spec.n_gates = 70;
+  spec.depth = 8;
+  spec.seed = 1004;
+  const auto nl = netlist::synthesize(spec);
+  const Levelization lev(nl);
+  const StatisticalCellLibrary lib;
+  const ArcDelayModel model(nl, lib);
+  const DelayField field(model, 80, 0.03, 11);
+  const StaticTiming ssta(field, lev);
+  const SlackAnalysis slack(field, lev, ssta.circuit_delay().quantile(0.9));
+  stats::Rng rng(12);
+  for (int t = 0; t < 10; ++t) {
+    const ArcId a = rng.below(static_cast<std::uint32_t>(nl.arc_count()));
+    double prev = 0.0;
+    for (const double margin : {0.0, 20.0, 60.0, 150.0, 400.0}) {
+      const double p = slack.slack_below_probability(a, margin);
+      EXPECT_GE(p, prev - 1e-12);
+      prev = p;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace sddd::timing

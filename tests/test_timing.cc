@@ -1,0 +1,446 @@
+// Unit tests for the timing stack: cell library derating, arc delay
+// models, the counter-based delay field (determinism, correlation),
+// static SSTA (Sum/Max semantics) and the dynamic simulator (induced
+// circuits, incremental defect evaluation, instance simulation).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "logicsim/bitsim.h"
+#include "netlist/bench_io.h"
+#include "netlist/iscas_catalog.h"
+#include "netlist/levelize.h"
+#include "netlist/synth.h"
+#include "paths/path_enum.h"
+#include "paths/transition_graph.h"
+#include "stats/rng.h"
+#include "timing/celllib.h"
+#include "timing/delay_field.h"
+#include "timing/delay_model.h"
+#include "timing/dynamic_sim.h"
+#include "timing/ssta.h"
+
+namespace sddd::timing {
+namespace {
+
+using logicsim::BitSimulator;
+using logicsim::PatternPair;
+using netlist::ArcId;
+using netlist::CellType;
+using netlist::GateId;
+using netlist::Levelization;
+using netlist::Netlist;
+using paths::TransitionGraph;
+
+Netlist chain_netlist() {
+  Netlist nl("chain");
+  const auto a = nl.add_input("a");
+  const auto b = nl.add_input("b");
+  const auto g1 = nl.add_gate(CellType::kNand, "g1", {a, b});
+  const auto g2 = nl.add_gate(CellType::kNot, "g2", {g1});
+  nl.add_output(g2);
+  nl.freeze();
+  return nl;
+}
+
+TEST(CellLibrary, BaseDelaysAndDerating) {
+  const StatisticalCellLibrary lib;
+  const auto nl = chain_netlist();
+  const GateId g1 = nl.find("g1");
+  const GateId g2 = nl.find("g2");
+  // g1 is a 2-input NAND with a single fanout: base delay, no derating.
+  EXPECT_DOUBLE_EQ(lib.nominal_delay(nl, nl.arc_of(g1, 0)),
+                   lib.config().nand_delay);
+  EXPECT_DOUBLE_EQ(lib.nominal_delay(nl, nl.arc_of(g2, 0)),
+                   lib.config().not_delay);
+}
+
+TEST(CellLibrary, ArityAndLoadDerating) {
+  Netlist nl("derate");
+  const auto a = nl.add_input("a");
+  const auto b = nl.add_input("b");
+  const auto c = nl.add_input("c");
+  const auto g = nl.add_gate(CellType::kAnd, "g", {a, b, c});
+  const auto s1 = nl.add_gate(CellType::kBuf, "s1", {g});
+  const auto s2 = nl.add_gate(CellType::kBuf, "s2", {g});
+  nl.add_output(s1);
+  nl.add_output(s2);
+  nl.freeze();
+  const StatisticalCellLibrary lib;
+  const double expect = lib.config().and_delay * lib.config().arity_factor *
+                        (1.0 + lib.config().load_slope);
+  EXPECT_NEAR(lib.nominal_delay(nl, nl.arc_of(g, 0)), expect, 1e-9);
+}
+
+TEST(CellLibrary, NonCombinationalThrows) {
+  const auto nl = chain_netlist();
+  const StatisticalCellLibrary lib;
+  // Arc 0 of an input gate does not exist; use the library's arc_delay on
+  // a DFF-bearing netlist instead.
+  const auto seq = netlist::parse_bench_string(netlist::s27_bench_text());
+  const GateId dff = seq.find("G5");
+  ASSERT_EQ(seq.gate(dff).type, CellType::kDff);
+  EXPECT_THROW((void)lib.nominal_delay(seq, seq.arc_of(dff, 0)),
+               std::invalid_argument);
+}
+
+TEST(DelayModel, MeansMatchLibrary) {
+  const auto nl = chain_netlist();
+  const StatisticalCellLibrary lib;
+  const ArcDelayModel model(nl, lib);
+  EXPECT_EQ(model.means().size(), nl.arc_count());
+  for (ArcId a = 0; a < nl.arc_count(); ++a) {
+    EXPECT_DOUBLE_EQ(model.mean(a), lib.nominal_delay(nl, a));
+    EXPECT_DOUBLE_EQ(model.arc_rv(a).mean(), model.mean(a));
+  }
+  EXPECT_GT(model.mean_cell_delay(), 0.0);
+}
+
+TEST(DelayField, DeterministicAndOrderIndependent) {
+  const auto nl = chain_netlist();
+  const StatisticalCellLibrary lib;
+  const ArcDelayModel model(nl, lib);
+  const DelayField f1(model, 64, 0.05, 99);
+  const DelayField f2(model, 64, 0.05, 99);
+  // Same seed: identical in any access order.
+  EXPECT_DOUBLE_EQ(f1.delay(2, 63), f2.delay(2, 63));
+  EXPECT_DOUBLE_EQ(f1.delay(0, 0), f2.delay(0, 0));
+  const DelayField f3(model, 64, 0.05, 100);
+  EXPECT_NE(f1.delay(0, 0), f3.delay(0, 0));
+}
+
+TEST(DelayField, SamplesFollowArcDistribution) {
+  const auto nl = chain_netlist();
+  const StatisticalCellLibrary lib;
+  const ArcDelayModel model(nl, lib);
+  const DelayField field(model, 20000, 0.0, 7);
+  for (ArcId a = 0; a < nl.arc_count(); ++a) {
+    double sum = 0.0;
+    double sq = 0.0;
+    for (std::size_t k = 0; k < field.sample_count(); ++k) {
+      const double d = field.delay(a, k);
+      sum += d;
+      sq += d * d;
+    }
+    const double n = static_cast<double>(field.sample_count());
+    const double mean = sum / n;
+    const double sd = std::sqrt(sq / n - mean * mean);
+    EXPECT_NEAR(mean, model.mean(a), 0.01 * model.mean(a));
+    EXPECT_NEAR(sd, model.arc_rv(a).stddev(), 0.1 * model.arc_rv(a).stddev());
+  }
+}
+
+TEST(DelayField, GlobalWeightCorrelatesArcs) {
+  const auto nl = chain_netlist();
+  const StatisticalCellLibrary lib;
+  const ArcDelayModel model(nl, lib);
+  const DelayField indep(model, 6000, 0.0, 5);
+  const DelayField corr(model, 6000, 0.15, 5);
+  const auto corr_of = [&](const DelayField& f, ArcId x, ArcId y) {
+    std::vector<double> xs(f.sample_count());
+    std::vector<double> ys(f.sample_count());
+    for (std::size_t k = 0; k < f.sample_count(); ++k) {
+      xs[k] = f.delay(x, k);
+      ys[k] = f.delay(y, k);
+    }
+    return stats::SampleVector(std::move(xs))
+        .correlation(stats::SampleVector(std::move(ys)));
+  };
+  EXPECT_NEAR(corr_of(indep, 0, 2), 0.0, 0.05);
+  EXPECT_GT(corr_of(corr, 0, 2), 0.5);
+}
+
+TEST(CounterUniform, DeterministicOpenInterval) {
+  for (int i = 0; i < 1000; ++i) {
+    const double u = counter_uniform(3, 5, i);
+    EXPECT_GT(u, 0.0);
+    EXPECT_LT(u, 1.0);
+    EXPECT_DOUBLE_EQ(u, counter_uniform(3, 5, i));
+  }
+  EXPECT_NE(counter_uniform(3, 5, 1), counter_uniform(3, 6, 1));
+}
+
+TEST(StaticTiming, ChainDelayIsSumAndMax) {
+  // Chain: Delta(C) = max over paths; with point-mass delays the result is
+  // exactly the heaviest topological path.
+  const auto nl = chain_netlist();
+  CellLibraryConfig config;
+  config.three_sigma_pct = 0.0;  // deterministic
+  const StatisticalCellLibrary lib(config);
+  const ArcDelayModel model(nl, lib);
+  const DelayField field(model, 16, 0.0, 3);
+  const Levelization lev(nl);
+  const StaticTiming ssta(field, lev);
+  const double expect = config.nand_delay + config.not_delay;
+  EXPECT_NEAR(ssta.circuit_delay().mean(), expect, 1e-9);
+  EXPECT_NEAR(ssta.circuit_delay().stddev(), 0.0, 1e-12);
+  EXPECT_NEAR(ssta.arrival(nl.find("g1")).mean(), config.nand_delay, 1e-9);
+}
+
+TEST(StaticTiming, QuantileMonotoneInQ) {
+  netlist::SynthSpec spec;
+  spec.n_inputs = 10;
+  spec.n_outputs = 6;
+  spec.n_gates = 80;
+  spec.depth = 10;
+  spec.seed = 81;
+  const auto nl = netlist::synthesize(spec);
+  const StatisticalCellLibrary lib;
+  const ArcDelayModel model(nl, lib);
+  const DelayField field(model, 300, 0.05, 4);
+  const Levelization lev(nl);
+  const StaticTiming ssta(field, lev);
+  EXPECT_LT(ssta.clk_at_quantile(0.5), ssta.clk_at_quantile(0.99));
+  EXPECT_GT(ssta.clk_at_quantile(0.5), 0.0);
+}
+
+TEST(TimingLength, MatchesManualSum) {
+  const auto nl = chain_netlist();
+  const StatisticalCellLibrary lib;
+  const ArcDelayModel model(nl, lib);
+  const DelayField field(model, 50, 0.0, 9);
+  paths::Path p;
+  const GateId g1 = nl.find("g1");
+  const GateId g2 = nl.find("g2");
+  p.arcs = {nl.arc_of(g1, 0), nl.arc_of(g2, 0)};
+  const auto tl = timing_length(field, p);
+  for (std::size_t k = 0; k < 50; ++k) {
+    EXPECT_DOUBLE_EQ(tl[k], field.delay(nl.arc_of(g1, 0), k) +
+                                field.delay(nl.arc_of(g2, 0), k));
+  }
+}
+
+struct DynFixture {
+  Netlist nl = chain_netlist();
+  Levelization lev{nl};
+  StatisticalCellLibrary lib;
+  ArcDelayModel model{nl, lib};
+  DelayField field{model, 200, 0.0, 13};
+  BitSimulator sim{nl, lev};
+  DynamicTimingSimulator dyn{field, lev};
+  // a rises, b steady 1: the a->g1->g2 path is active.
+  PatternPair pp{{false, true}, {true, true}};
+  TransitionGraph tg{sim, lev, pp};
+};
+
+TEST(DynamicSim, ArrivalIsPathSum) {
+  DynFixture f;
+  const auto m = f.dyn.simulate(f.tg);
+  const GateId g1 = f.nl.find("g1");
+  const GateId g2 = f.nl.find("g2");
+  ASSERT_TRUE(m.has(g1));
+  ASSERT_TRUE(m.has(g2));
+  for (std::size_t k = 0; k < 200; ++k) {
+    EXPECT_DOUBLE_EQ(m.rows[g1][k], f.field.delay(f.nl.arc_of(g1, 0), k));
+    EXPECT_DOUBLE_EQ(m.rows[g2][k], f.field.delay(f.nl.arc_of(g1, 0), k) +
+                                        f.field.delay(f.nl.arc_of(g2, 0), k));
+  }
+  // Non-toggling input b carries no row.
+  EXPECT_FALSE(m.has(f.nl.find("b")));
+}
+
+TEST(DynamicSim, ErrorVectorMatchesCriticalProbability) {
+  DynFixture f;
+  const auto m = f.dyn.simulate(f.tg);
+  const GateId g2 = f.nl.find("g2");
+  const double clk = f.model.mean(f.nl.arc_of(f.nl.find("g1"), 0)) +
+                     f.model.mean(f.nl.arc_of(g2, 0));
+  const auto err = f.dyn.error_vector(f.tg, m, clk);
+  ASSERT_EQ(err.size(), 1u);
+  std::size_t count = 0;
+  for (const double x : m.rows[g2]) count += (x > clk) ? 1U : 0U;
+  EXPECT_DOUBLE_EQ(err[0], count / 200.0);
+  // At a huge clk the error vector vanishes (Definition E.1 discussion).
+  const auto err0 = f.dyn.error_vector(f.tg, m, 1e9);
+  EXPECT_DOUBLE_EQ(err0[0], 0.0);
+}
+
+TEST(DynamicSim, DefectShiftsArrivals) {
+  DynFixture f;
+  const auto baseline = f.dyn.simulate(f.tg);
+  const GateId g1 = f.nl.find("g1");
+  InjectedDefect defect;
+  defect.arc = f.nl.arc_of(g1, 0);
+  defect.extra.assign(200, 50.0);
+  const double clk =
+      f.model.mean(f.nl.arc_of(g1, 0)) + f.model.mean(f.nl.arc_of(f.nl.find("g2"), 0));
+  const auto e = f.dyn.error_vector_with_defect(f.tg, baseline, defect, clk);
+  const auto mref = f.dyn.error_vector(f.tg, baseline, clk);
+  // Adding 50 tu must strictly increase the critical probability here.
+  EXPECT_GT(e[0], mref[0]);
+  // And equal the exact recomputation with shifted samples.
+  std::size_t count = 0;
+  for (std::size_t k = 0; k < 200; ++k) {
+    const double arr = f.field.delay(f.nl.arc_of(g1, 0), k) + 50.0 +
+                       f.field.delay(f.nl.arc_of(f.nl.find("g2"), 0), k);
+    count += (arr > clk) ? 1U : 0U;
+  }
+  EXPECT_DOUBLE_EQ(e[0], count / 200.0);
+}
+
+TEST(DynamicSim, InactiveDefectArcLeavesErrorUnchanged) {
+  DynFixture f;
+  const auto baseline = f.dyn.simulate(f.tg);
+  InjectedDefect defect;
+  defect.arc = f.nl.arc_of(f.nl.find("g1"), 1);  // b's arc: not active
+  defect.extra.assign(200, 500.0);
+  const double clk = 100.0;
+  EXPECT_EQ(f.dyn.error_vector_with_defect(f.tg, baseline, defect, clk),
+            f.dyn.error_vector(f.tg, baseline, clk));
+}
+
+TEST(DynamicSim, MonotoneInDefectSize) {
+  // Property (Definition E.1): err_ij >= crt_ij, and larger defects only
+  // increase critical probabilities.
+  netlist::SynthSpec spec;
+  spec.n_inputs = 10;
+  spec.n_outputs = 6;
+  spec.n_gates = 80;
+  spec.depth = 10;
+  spec.seed = 91;
+  const auto nl = netlist::synthesize(spec);
+  const Levelization lev(nl);
+  const StatisticalCellLibrary lib;
+  const ArcDelayModel model(nl, lib);
+  const DelayField field(model, 150, 0.03, 21);
+  const BitSimulator sim(nl, lev);
+  const DynamicTimingSimulator dyn(field, lev);
+  stats::Rng rng(12);
+  for (int trial = 0; trial < 10; ++trial) {
+    PatternPair pp;
+    pp.v1.resize(10);
+    pp.v2.resize(10);
+    for (std::size_t i = 0; i < 10; ++i) {
+      pp.v1[i] = rng.bernoulli(0.5);
+      pp.v2[i] = rng.bernoulli(0.5);
+    }
+    const TransitionGraph tg(sim, lev, pp);
+    const auto baseline = dyn.simulate(tg);
+    const double clk = dyn.induced_delay(tg, baseline).quantile(0.8);
+    const auto m = dyn.error_vector(tg, baseline, clk);
+    const ArcId arc = rng.below(static_cast<std::uint32_t>(nl.arc_count()));
+    InjectedDefect small;
+    small.arc = arc;
+    small.extra.assign(150, 30.0);
+    InjectedDefect big;
+    big.arc = arc;
+    big.extra.assign(150, 120.0);
+    const auto es = dyn.error_vector_with_defect(tg, baseline, small, clk);
+    const auto eb = dyn.error_vector_with_defect(tg, baseline, big, clk);
+    for (std::size_t i = 0; i < m.size(); ++i) {
+      EXPECT_GE(es[i], m[i] - 1e-12);
+      EXPECT_GE(eb[i], es[i] - 1e-12);
+    }
+  }
+}
+
+TEST(DynamicSim, IncrementalMatchesFullRecompute) {
+  // The cone-incremental E computation must equal simulating a field with
+  // the defect folded in everywhere.
+  netlist::SynthSpec spec;
+  spec.n_inputs = 12;
+  spec.n_outputs = 8;
+  spec.n_gates = 100;
+  spec.depth = 11;
+  spec.seed = 95;
+  const auto nl = netlist::synthesize(spec);
+  const Levelization lev(nl);
+  const StatisticalCellLibrary lib;
+  const ArcDelayModel model(nl, lib);
+  const DelayField field(model, 100, 0.02, 33);
+  const BitSimulator sim(nl, lev);
+  const DynamicTimingSimulator dyn(field, lev);
+  stats::Rng rng(13);
+  PatternPair pp;
+  pp.v1.resize(12);
+  pp.v2.resize(12);
+  for (std::size_t i = 0; i < 12; ++i) {
+    pp.v1[i] = rng.bernoulli(0.5);
+    pp.v2[i] = !pp.v1[i];
+  }
+  const TransitionGraph tg(sim, lev, pp);
+  const auto baseline = dyn.simulate(tg);
+  const double clk = dyn.induced_delay(tg, baseline).quantile(0.7);
+  for (int t = 0; t < 20; ++t) {
+    const ArcId arc = rng.below(static_cast<std::uint32_t>(nl.arc_count()));
+    InjectedDefect defect;
+    defect.arc = arc;
+    defect.extra.assign(100, rng.uniform(20.0, 150.0));
+    const auto fast = dyn.error_vector_with_defect(tg, baseline, defect, clk);
+    // Reference: brute-force per-sample instance simulation.
+    std::vector<double> slow(nl.outputs().size(), 0.0);
+    for (std::size_t k = 0; k < 100; ++k) {
+      const auto arr = dyn.simulate_instance(
+          tg, k, std::make_pair(arc, defect.extra[k]));
+      for (std::size_t i = 0; i < nl.outputs().size(); ++i) {
+        const GateId o = nl.outputs()[i];
+        if (tg.toggles(o) && arr[o] > clk) slow[i] += 1.0 / 100.0;
+      }
+    }
+    for (std::size_t i = 0; i < slow.size(); ++i) {
+      EXPECT_NEAR(fast[i], slow[i], 1e-9) << "arc " << arc << " output " << i;
+    }
+  }
+}
+
+TEST(DynamicSim, InstanceMatchesFieldSample) {
+  DynFixture f;
+  const auto arr = f.dyn.simulate_instance(f.tg, 17, std::nullopt);
+  const GateId g2 = f.nl.find("g2");
+  EXPECT_DOUBLE_EQ(arr[g2], f.field.delay(f.nl.arc_of(f.nl.find("g1"), 0), 17) +
+                                f.field.delay(f.nl.arc_of(g2, 0), 17));
+  EXPECT_DOUBLE_EQ(arr[f.nl.find("b")], -1.0);  // non-toggling
+  EXPECT_THROW((void)f.dyn.simulate_instance(f.tg, 9999, std::nullopt),
+               std::invalid_argument);
+}
+
+TEST(DynamicSim, InducedDelayIsMaxOverTogglingOutputs) {
+  DynFixture f;
+  const auto m = f.dyn.simulate(f.tg);
+  const auto delta = f.dyn.induced_delay(f.tg, m);
+  const GateId g2 = f.nl.find("g2");
+  for (std::size_t k = 0; k < delta.size(); ++k) {
+    EXPECT_DOUBLE_EQ(delta[k], m.rows[g2][k]);
+  }
+}
+
+TEST(NominalArrivals, MatchesPointMassField) {
+  // With zero process spread the statistical simulation collapses onto the
+  // nominal arrival skeleton.
+  netlist::SynthSpec spec;
+  spec.n_inputs = 10;
+  spec.n_outputs = 6;
+  spec.n_gates = 70;
+  spec.depth = 9;
+  spec.seed = 97;
+  const auto nl = netlist::synthesize(spec);
+  const Levelization lev(nl);
+  CellLibraryConfig config;
+  config.three_sigma_pct = 0.0;
+  const StatisticalCellLibrary lib(config);
+  const ArcDelayModel model(nl, lib);
+  const DelayField field(model, 4, 0.0, 51);
+  const BitSimulator sim(nl, lev);
+  const DynamicTimingSimulator dyn(field, lev);
+  stats::Rng rng(14);
+  PatternPair pp;
+  pp.v1.resize(10);
+  pp.v2.resize(10);
+  for (std::size_t i = 0; i < 10; ++i) {
+    pp.v1[i] = rng.bernoulli(0.5);
+    pp.v2[i] = !pp.v1[i];
+  }
+  const TransitionGraph tg(sim, lev, pp);
+  const auto nominal = nominal_arrivals(tg, model, lev);
+  const auto matrix = dyn.simulate(tg);
+  for (GateId g = 0; g < nl.gate_count(); ++g) {
+    if (!tg.toggles(g)) {
+      EXPECT_DOUBLE_EQ(nominal[g], -1.0);
+      continue;
+    }
+    EXPECT_NEAR(nominal[g], matrix.rows[g][0], 1e-9);
+  }
+}
+
+}  // namespace
+}  // namespace sddd::timing

@@ -1,0 +1,233 @@
+// sddd_cli - Command-line front end to the library.
+//
+//   sddd_cli info <netlist>                 summary + statistical timing
+//   sddd_cli convert <in> <out>             .bench <-> .v conversion
+//   sddd_cli scan <in> <out>                full-scan transform
+//   sddd_cli synth <out> [--inputs N] [--outputs N] [--gates N]
+//                        [--depth N] [--seed N]
+//   sddd_cli atpg <netlist> [--site ARC] [--max-patterns N] [--seed N]
+//   sddd_cli diagnose <netlist> [--chips N] [--samples N] [--seed N]
+//
+// Netlist format is chosen by extension: .bench / anything else = Verilog.
+// Sequential netlists are full-scan transformed automatically where the
+// command needs a combinational core.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <string>
+
+#include "atpg/diag_patterns.h"
+#include "eval/experiment.h"
+#include "netlist/bench_io.h"
+#include "netlist/levelize.h"
+#include "netlist/scan.h"
+#include "netlist/synth.h"
+#include "netlist/verilog_io.h"
+#include "paths/transition_graph.h"
+#include "timing/celllib.h"
+#include "timing/clark_ssta.h"
+#include "timing/delay_field.h"
+#include "timing/delay_model.h"
+#include "timing/ssta.h"
+
+using namespace sddd;
+
+namespace {
+
+[[noreturn]] void usage_and_exit() {
+  std::fprintf(
+      stderr,
+      "usage: sddd_cli <command> ...\n"
+      "  info <netlist>                      structure + timing summary\n"
+      "  convert <in> <out>                  format conversion\n"
+      "  scan <in> <out>                     full-scan transform\n"
+      "  synth <out> [--inputs N] [--outputs N] [--gates N] [--depth N]\n"
+      "              [--seed N]\n"
+      "  atpg <netlist> [--site ARC] [--max-patterns N] [--seed N]\n"
+      "  diagnose <netlist> [--chips N] [--samples N] [--seed N]\n"
+      "formats by extension: .bench = ISCAS bench, otherwise Verilog\n");
+  std::exit(2);
+}
+
+bool is_bench(const std::filesystem::path& path) {
+  return path.extension() == ".bench";
+}
+
+netlist::Netlist load(const std::filesystem::path& path) {
+  return is_bench(path) ? netlist::parse_bench_file(path)
+                        : netlist::parse_verilog_file(path);
+}
+
+void store(const netlist::Netlist& nl, const std::filesystem::path& path) {
+  std::ofstream out(path);
+  if (!out) {
+    throw std::runtime_error("cannot write: " + path.string());
+  }
+  if (is_bench(path)) {
+    netlist::write_bench(nl, out);
+  } else {
+    netlist::write_verilog(nl, out);
+  }
+}
+
+/// "--key value" option scanner over argv[from..).
+class Options {
+ public:
+  Options(int argc, char** argv, int from) {
+    for (int i = from; i < argc; ++i) {
+      if (std::strncmp(argv[i], "--", 2) == 0 && i + 1 < argc) {
+        values_[argv[i] + 2] = argv[i + 1];
+        ++i;
+      } else {
+        positional_.push_back(argv[i]);
+      }
+    }
+  }
+
+  long get(const char* key, long fallback) const {
+    const auto it = values_.find(key);
+    return it == values_.end() ? fallback : std::atol(it->second.c_str());
+  }
+
+  const std::vector<std::string>& positional() const { return positional_; }
+
+ private:
+  std::map<std::string, std::string> values_;
+  std::vector<std::string> positional_;
+};
+
+int cmd_info(const std::filesystem::path& path) {
+  const auto raw = load(path);
+  std::printf("%s\n", raw.summary().c_str());
+  const auto nl = raw.dff_count() > 0 ? netlist::full_scan_transform(raw) : raw;
+  if (raw.dff_count() > 0) {
+    std::printf("full-scan core: %s\n", nl.summary().c_str());
+  }
+  const netlist::Levelization lev(nl);
+  std::printf("logic depth: %u levels\n", lev.depth());
+  const timing::StatisticalCellLibrary lib;
+  const timing::ArcDelayModel model(nl, lib);
+  const timing::DelayField field(model, 1000, 0.03, 1);
+  const timing::StaticTiming mc(field, lev);
+  const timing::ClarkStaticTiming clark(model, lev);
+  std::printf("static Delta(C):  MC mean %.1f sd %.1f (q99 %.1f)   "
+              "Clark mean %.1f sd %.1f\n",
+              mc.circuit_delay().mean(), mc.circuit_delay().stddev(),
+              mc.clk_at_quantile(0.99), clark.circuit_delay().mean,
+              clark.circuit_delay().sigma());
+  return 0;
+}
+
+int cmd_convert(const std::filesystem::path& in,
+                const std::filesystem::path& out) {
+  store(load(in), out);
+  std::printf("wrote %s\n", out.string().c_str());
+  return 0;
+}
+
+int cmd_scan(const std::filesystem::path& in,
+             const std::filesystem::path& out) {
+  store(netlist::full_scan_transform(load(in)), out);
+  std::printf("wrote %s\n", out.string().c_str());
+  return 0;
+}
+
+int cmd_synth(const std::filesystem::path& out, const Options& opts) {
+  netlist::SynthSpec spec;
+  spec.name = out.stem().string();
+  spec.n_inputs = static_cast<std::uint32_t>(opts.get("inputs", 16));
+  spec.n_outputs = static_cast<std::uint32_t>(opts.get("outputs", 12));
+  spec.n_gates = static_cast<std::uint32_t>(opts.get("gates", 200));
+  spec.depth = static_cast<std::uint32_t>(opts.get("depth", 14));
+  spec.seed = static_cast<std::uint64_t>(opts.get("seed", 1));
+  const auto nl = netlist::synthesize(spec);
+  store(nl, out);
+  std::printf("wrote %s (%s)\n", out.string().c_str(), nl.summary().c_str());
+  return 0;
+}
+
+int cmd_atpg(const std::filesystem::path& path, const Options& opts) {
+  auto nl = load(path);
+  if (nl.dff_count() > 0) nl = netlist::full_scan_transform(nl);
+  const netlist::Levelization lev(nl);
+  const timing::StatisticalCellLibrary lib;
+  const timing::ArcDelayModel model(nl, lib);
+  const auto site = static_cast<netlist::ArcId>(
+      opts.get("site", static_cast<long>(nl.arc_count() / 2)));
+  if (site >= nl.arc_count()) {
+    std::fprintf(stderr, "site %u out of range (%zu arcs)\n", site,
+                 nl.arc_count());
+    return 1;
+  }
+  atpg::DiagnosticPatternConfig config;
+  config.max_patterns =
+      static_cast<std::size_t>(opts.get("max-patterns", 12));
+  stats::Rng rng(static_cast<std::uint64_t>(opts.get("seed", 1)));
+  const auto patterns =
+      atpg::generate_diagnostic_patterns(model, lev, site, config, rng);
+  const auto& arc = nl.arc(site);
+  std::printf("site: arc %u (pin %u of %s); %zu patterns\n", site, arc.pin,
+              nl.gate(arc.gate).name.c_str(), patterns.size());
+  const logicsim::BitSimulator sim(nl, lev);
+  for (std::size_t j = 0; j < patterns.size(); ++j) {
+    const paths::TransitionGraph tg(sim, lev, patterns[j]);
+    std::printf("  v%zu (site %sactive): v1=", j,
+                tg.is_active(site) ? "" : "NOT ");
+    for (const bool b : patterns[j].v1) std::printf("%d", b ? 1 : 0);
+    std::printf(" v2=");
+    for (const bool b : patterns[j].v2) std::printf("%d", b ? 1 : 0);
+    std::printf("\n");
+  }
+  return 0;
+}
+
+int cmd_diagnose(const std::filesystem::path& path, const Options& opts) {
+  auto nl = load(path);
+  if (nl.dff_count() > 0) nl = netlist::full_scan_transform(nl);
+  eval::ExperimentConfig config;
+  config.n_chips = static_cast<std::size_t>(opts.get("chips", 10));
+  config.mc_samples = static_cast<std::size_t>(opts.get("samples", 250));
+  config.seed = static_cast<std::uint64_t>(opts.get("seed", 2003));
+  const auto result = eval::run_diagnosis_experiment(nl, config);
+  std::printf("%s: clk=%.1f diagnosable=%zu/%zu avg|S|=%.1f\n",
+              nl.name().c_str(), result.clk, result.diagnosable_trials(),
+              result.trials.size(), result.avg_suspects());
+  std::printf("%4s | %7s %7s %8s %7s\n", "K", "sim-I", "sim-II", "sim-III",
+              "rev");
+  for (const int k : {1, 2, 3, 5, 7, 10}) {
+    std::printf("%4d | %6.0f%% %6.0f%% %7.0f%% %6.0f%%\n", k,
+                100 * result.success_rate(diagnosis::Method::kSimI, k),
+                100 * result.success_rate(diagnosis::Method::kSimII, k),
+                100 * result.success_rate(diagnosis::Method::kSimIII, k),
+                100 * result.success_rate(diagnosis::Method::kRev, k));
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) usage_and_exit();
+  const std::string cmd = argv[1];
+  try {
+    if (cmd == "info" && argc >= 3) return cmd_info(argv[2]);
+    if (cmd == "convert" && argc >= 4) return cmd_convert(argv[2], argv[3]);
+    if (cmd == "scan" && argc >= 4) return cmd_scan(argv[2], argv[3]);
+    if (cmd == "synth" && argc >= 3) {
+      return cmd_synth(argv[2], Options(argc, argv, 3));
+    }
+    if (cmd == "atpg" && argc >= 3) {
+      return cmd_atpg(argv[2], Options(argc, argv, 3));
+    }
+    if (cmd == "diagnose" && argc >= 3) {
+      return cmd_diagnose(argv[2], Options(argc, argv, 3));
+    }
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+  usage_and_exit();
+}
