@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_dictionary.dir/bench_dictionary.cc.o"
+  "CMakeFiles/bench_dictionary.dir/bench_dictionary.cc.o.d"
+  "bench_dictionary"
+  "bench_dictionary.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_dictionary.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_figure1.cc" "bench/CMakeFiles/bench_figure1.dir/bench_figure1.cc.o" "gcc" "bench/CMakeFiles/bench_figure1.dir/bench_figure1.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/eval/CMakeFiles/sddd_eval.dir/DependInfo.cmake"
+  "/root/repo/build/src/atpg/CMakeFiles/sddd_atpg.dir/DependInfo.cmake"
+  "/root/repo/build/src/diagnosis/CMakeFiles/sddd_diagnosis.dir/DependInfo.cmake"
+  "/root/repo/build/src/defect/CMakeFiles/sddd_defect.dir/DependInfo.cmake"
+  "/root/repo/build/src/timing/CMakeFiles/sddd_timing.dir/DependInfo.cmake"
+  "/root/repo/build/src/paths/CMakeFiles/sddd_paths.dir/DependInfo.cmake"
+  "/root/repo/build/src/logicsim/CMakeFiles/sddd_logicsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/netlist/CMakeFiles/sddd_netlist.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/sddd_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_figure1.dir/bench_figure1.cc.o"
+  "CMakeFiles/bench_figure1.dir/bench_figure1.cc.o.d"
+  "bench_figure1"
+  "bench_figure1.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_figure1.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/atpg_flow.dir/atpg_flow.cpp.o"
+  "CMakeFiles/atpg_flow.dir/atpg_flow.cpp.o.d"
+  "atpg_flow"
+  "atpg_flow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/atpg_flow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/diagnose_bench_file.dir/diagnose_bench_file.cpp.o"
+  "CMakeFiles/diagnose_bench_file.dir/diagnose_bench_file.cpp.o.d"
+  "diagnose_bench_file"
+  "diagnose_bench_file.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/diagnose_bench_file.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

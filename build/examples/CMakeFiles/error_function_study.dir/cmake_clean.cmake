@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/error_function_study.dir/error_function_study.cpp.o"
+  "CMakeFiles/error_function_study.dir/error_function_study.cpp.o.d"
+  "error_function_study"
+  "error_function_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/error_function_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

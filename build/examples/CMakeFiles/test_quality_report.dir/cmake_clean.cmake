@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_quality_report.dir/test_quality_report.cpp.o"
+  "CMakeFiles/test_quality_report.dir/test_quality_report.cpp.o.d"
+  "test_quality_report"
+  "test_quality_report.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_quality_report.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/atpg/diag_patterns.cc" "src/atpg/CMakeFiles/sddd_atpg.dir/diag_patterns.cc.o" "gcc" "src/atpg/CMakeFiles/sddd_atpg.dir/diag_patterns.cc.o.d"
+  "/root/repo/src/atpg/ga_fill.cc" "src/atpg/CMakeFiles/sddd_atpg.dir/ga_fill.cc.o" "gcc" "src/atpg/CMakeFiles/sddd_atpg.dir/ga_fill.cc.o.d"
+  "/root/repo/src/atpg/pdf_atpg.cc" "src/atpg/CMakeFiles/sddd_atpg.dir/pdf_atpg.cc.o" "gcc" "src/atpg/CMakeFiles/sddd_atpg.dir/pdf_atpg.cc.o.d"
+  "/root/repo/src/atpg/podem.cc" "src/atpg/CMakeFiles/sddd_atpg.dir/podem.cc.o" "gcc" "src/atpg/CMakeFiles/sddd_atpg.dir/podem.cc.o.d"
+  "/root/repo/src/atpg/scan_modes.cc" "src/atpg/CMakeFiles/sddd_atpg.dir/scan_modes.cc.o" "gcc" "src/atpg/CMakeFiles/sddd_atpg.dir/scan_modes.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/netlist/CMakeFiles/sddd_netlist.dir/DependInfo.cmake"
+  "/root/repo/build/src/logicsim/CMakeFiles/sddd_logicsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/paths/CMakeFiles/sddd_paths.dir/DependInfo.cmake"
+  "/root/repo/build/src/timing/CMakeFiles/sddd_timing.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/sddd_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sddd_atpg.dir/diag_patterns.cc.o"
+  "CMakeFiles/sddd_atpg.dir/diag_patterns.cc.o.d"
+  "CMakeFiles/sddd_atpg.dir/ga_fill.cc.o"
+  "CMakeFiles/sddd_atpg.dir/ga_fill.cc.o.d"
+  "CMakeFiles/sddd_atpg.dir/pdf_atpg.cc.o"
+  "CMakeFiles/sddd_atpg.dir/pdf_atpg.cc.o.d"
+  "CMakeFiles/sddd_atpg.dir/podem.cc.o"
+  "CMakeFiles/sddd_atpg.dir/podem.cc.o.d"
+  "CMakeFiles/sddd_atpg.dir/scan_modes.cc.o"
+  "CMakeFiles/sddd_atpg.dir/scan_modes.cc.o.d"
+  "libsddd_atpg.a"
+  "libsddd_atpg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sddd_atpg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

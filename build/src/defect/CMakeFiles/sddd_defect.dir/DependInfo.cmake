@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/defect/defect_model.cc" "src/defect/CMakeFiles/sddd_defect.dir/defect_model.cc.o" "gcc" "src/defect/CMakeFiles/sddd_defect.dir/defect_model.cc.o.d"
+  "/root/repo/src/defect/injector.cc" "src/defect/CMakeFiles/sddd_defect.dir/injector.cc.o" "gcc" "src/defect/CMakeFiles/sddd_defect.dir/injector.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/stats/CMakeFiles/sddd_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/netlist/CMakeFiles/sddd_netlist.dir/DependInfo.cmake"
+  "/root/repo/build/src/timing/CMakeFiles/sddd_timing.dir/DependInfo.cmake"
+  "/root/repo/build/src/paths/CMakeFiles/sddd_paths.dir/DependInfo.cmake"
+  "/root/repo/build/src/logicsim/CMakeFiles/sddd_logicsim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sddd_defect.dir/defect_model.cc.o"
+  "CMakeFiles/sddd_defect.dir/defect_model.cc.o.d"
+  "CMakeFiles/sddd_defect.dir/injector.cc.o"
+  "CMakeFiles/sddd_defect.dir/injector.cc.o.d"
+  "libsddd_defect.a"
+  "libsddd_defect.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sddd_defect.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

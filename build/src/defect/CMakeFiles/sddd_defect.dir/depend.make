@@ -1,0 +1,2 @@
+# Empty dependencies file for sddd_defect.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/diagnosis/auto_k.cc" "src/diagnosis/CMakeFiles/sddd_diagnosis.dir/auto_k.cc.o" "gcc" "src/diagnosis/CMakeFiles/sddd_diagnosis.dir/auto_k.cc.o.d"
+  "/root/repo/src/diagnosis/behavior.cc" "src/diagnosis/CMakeFiles/sddd_diagnosis.dir/behavior.cc.o" "gcc" "src/diagnosis/CMakeFiles/sddd_diagnosis.dir/behavior.cc.o.d"
+  "/root/repo/src/diagnosis/diagnoser.cc" "src/diagnosis/CMakeFiles/sddd_diagnosis.dir/diagnoser.cc.o" "gcc" "src/diagnosis/CMakeFiles/sddd_diagnosis.dir/diagnoser.cc.o.d"
+  "/root/repo/src/diagnosis/dictionary.cc" "src/diagnosis/CMakeFiles/sddd_diagnosis.dir/dictionary.cc.o" "gcc" "src/diagnosis/CMakeFiles/sddd_diagnosis.dir/dictionary.cc.o.d"
+  "/root/repo/src/diagnosis/dictionary_io.cc" "src/diagnosis/CMakeFiles/sddd_diagnosis.dir/dictionary_io.cc.o" "gcc" "src/diagnosis/CMakeFiles/sddd_diagnosis.dir/dictionary_io.cc.o.d"
+  "/root/repo/src/diagnosis/error_fn.cc" "src/diagnosis/CMakeFiles/sddd_diagnosis.dir/error_fn.cc.o" "gcc" "src/diagnosis/CMakeFiles/sddd_diagnosis.dir/error_fn.cc.o.d"
+  "/root/repo/src/diagnosis/logic_baseline.cc" "src/diagnosis/CMakeFiles/sddd_diagnosis.dir/logic_baseline.cc.o" "gcc" "src/diagnosis/CMakeFiles/sddd_diagnosis.dir/logic_baseline.cc.o.d"
+  "/root/repo/src/diagnosis/pattern_select.cc" "src/diagnosis/CMakeFiles/sddd_diagnosis.dir/pattern_select.cc.o" "gcc" "src/diagnosis/CMakeFiles/sddd_diagnosis.dir/pattern_select.cc.o.d"
+  "/root/repo/src/diagnosis/resolution.cc" "src/diagnosis/CMakeFiles/sddd_diagnosis.dir/resolution.cc.o" "gcc" "src/diagnosis/CMakeFiles/sddd_diagnosis.dir/resolution.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/netlist/CMakeFiles/sddd_netlist.dir/DependInfo.cmake"
+  "/root/repo/build/src/logicsim/CMakeFiles/sddd_logicsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/paths/CMakeFiles/sddd_paths.dir/DependInfo.cmake"
+  "/root/repo/build/src/timing/CMakeFiles/sddd_timing.dir/DependInfo.cmake"
+  "/root/repo/build/src/defect/CMakeFiles/sddd_defect.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/sddd_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

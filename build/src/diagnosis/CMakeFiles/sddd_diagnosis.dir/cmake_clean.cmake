@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sddd_diagnosis.dir/auto_k.cc.o"
+  "CMakeFiles/sddd_diagnosis.dir/auto_k.cc.o.d"
+  "CMakeFiles/sddd_diagnosis.dir/behavior.cc.o"
+  "CMakeFiles/sddd_diagnosis.dir/behavior.cc.o.d"
+  "CMakeFiles/sddd_diagnosis.dir/diagnoser.cc.o"
+  "CMakeFiles/sddd_diagnosis.dir/diagnoser.cc.o.d"
+  "CMakeFiles/sddd_diagnosis.dir/dictionary.cc.o"
+  "CMakeFiles/sddd_diagnosis.dir/dictionary.cc.o.d"
+  "CMakeFiles/sddd_diagnosis.dir/dictionary_io.cc.o"
+  "CMakeFiles/sddd_diagnosis.dir/dictionary_io.cc.o.d"
+  "CMakeFiles/sddd_diagnosis.dir/error_fn.cc.o"
+  "CMakeFiles/sddd_diagnosis.dir/error_fn.cc.o.d"
+  "CMakeFiles/sddd_diagnosis.dir/logic_baseline.cc.o"
+  "CMakeFiles/sddd_diagnosis.dir/logic_baseline.cc.o.d"
+  "CMakeFiles/sddd_diagnosis.dir/pattern_select.cc.o"
+  "CMakeFiles/sddd_diagnosis.dir/pattern_select.cc.o.d"
+  "CMakeFiles/sddd_diagnosis.dir/resolution.cc.o"
+  "CMakeFiles/sddd_diagnosis.dir/resolution.cc.o.d"
+  "libsddd_diagnosis.a"
+  "libsddd_diagnosis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sddd_diagnosis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

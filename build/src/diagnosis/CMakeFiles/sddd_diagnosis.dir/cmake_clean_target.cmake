@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libsddd_diagnosis.a"
+)

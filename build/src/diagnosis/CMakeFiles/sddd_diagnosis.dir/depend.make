@@ -1,0 +1,2 @@
+# Empty dependencies file for sddd_diagnosis.
+# This may be replaced when dependencies are built.

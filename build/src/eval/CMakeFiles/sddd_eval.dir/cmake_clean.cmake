@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sddd_eval.dir/coverage.cc.o"
+  "CMakeFiles/sddd_eval.dir/coverage.cc.o.d"
+  "CMakeFiles/sddd_eval.dir/experiment.cc.o"
+  "CMakeFiles/sddd_eval.dir/experiment.cc.o.d"
+  "CMakeFiles/sddd_eval.dir/paper_reference.cc.o"
+  "CMakeFiles/sddd_eval.dir/paper_reference.cc.o.d"
+  "CMakeFiles/sddd_eval.dir/table1.cc.o"
+  "CMakeFiles/sddd_eval.dir/table1.cc.o.d"
+  "libsddd_eval.a"
+  "libsddd_eval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sddd_eval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

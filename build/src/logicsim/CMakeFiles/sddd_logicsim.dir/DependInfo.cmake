@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/logicsim/bitsim.cc" "src/logicsim/CMakeFiles/sddd_logicsim.dir/bitsim.cc.o" "gcc" "src/logicsim/CMakeFiles/sddd_logicsim.dir/bitsim.cc.o.d"
+  "/root/repo/src/logicsim/event_sim.cc" "src/logicsim/CMakeFiles/sddd_logicsim.dir/event_sim.cc.o" "gcc" "src/logicsim/CMakeFiles/sddd_logicsim.dir/event_sim.cc.o.d"
+  "/root/repo/src/logicsim/ternary.cc" "src/logicsim/CMakeFiles/sddd_logicsim.dir/ternary.cc.o" "gcc" "src/logicsim/CMakeFiles/sddd_logicsim.dir/ternary.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/netlist/CMakeFiles/sddd_netlist.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/sddd_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sddd_logicsim.dir/bitsim.cc.o"
+  "CMakeFiles/sddd_logicsim.dir/bitsim.cc.o.d"
+  "CMakeFiles/sddd_logicsim.dir/event_sim.cc.o"
+  "CMakeFiles/sddd_logicsim.dir/event_sim.cc.o.d"
+  "CMakeFiles/sddd_logicsim.dir/ternary.cc.o"
+  "CMakeFiles/sddd_logicsim.dir/ternary.cc.o.d"
+  "libsddd_logicsim.a"
+  "libsddd_logicsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sddd_logicsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

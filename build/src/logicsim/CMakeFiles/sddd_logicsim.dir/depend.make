@@ -1,0 +1,2 @@
+# Empty dependencies file for sddd_logicsim.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/netlist/bench_io.cc" "src/netlist/CMakeFiles/sddd_netlist.dir/bench_io.cc.o" "gcc" "src/netlist/CMakeFiles/sddd_netlist.dir/bench_io.cc.o.d"
+  "/root/repo/src/netlist/cell.cc" "src/netlist/CMakeFiles/sddd_netlist.dir/cell.cc.o" "gcc" "src/netlist/CMakeFiles/sddd_netlist.dir/cell.cc.o.d"
+  "/root/repo/src/netlist/iscas_catalog.cc" "src/netlist/CMakeFiles/sddd_netlist.dir/iscas_catalog.cc.o" "gcc" "src/netlist/CMakeFiles/sddd_netlist.dir/iscas_catalog.cc.o.d"
+  "/root/repo/src/netlist/levelize.cc" "src/netlist/CMakeFiles/sddd_netlist.dir/levelize.cc.o" "gcc" "src/netlist/CMakeFiles/sddd_netlist.dir/levelize.cc.o.d"
+  "/root/repo/src/netlist/netlist.cc" "src/netlist/CMakeFiles/sddd_netlist.dir/netlist.cc.o" "gcc" "src/netlist/CMakeFiles/sddd_netlist.dir/netlist.cc.o.d"
+  "/root/repo/src/netlist/scan.cc" "src/netlist/CMakeFiles/sddd_netlist.dir/scan.cc.o" "gcc" "src/netlist/CMakeFiles/sddd_netlist.dir/scan.cc.o.d"
+  "/root/repo/src/netlist/synth.cc" "src/netlist/CMakeFiles/sddd_netlist.dir/synth.cc.o" "gcc" "src/netlist/CMakeFiles/sddd_netlist.dir/synth.cc.o.d"
+  "/root/repo/src/netlist/verilog_io.cc" "src/netlist/CMakeFiles/sddd_netlist.dir/verilog_io.cc.o" "gcc" "src/netlist/CMakeFiles/sddd_netlist.dir/verilog_io.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/stats/CMakeFiles/sddd_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sddd_netlist.dir/bench_io.cc.o"
+  "CMakeFiles/sddd_netlist.dir/bench_io.cc.o.d"
+  "CMakeFiles/sddd_netlist.dir/cell.cc.o"
+  "CMakeFiles/sddd_netlist.dir/cell.cc.o.d"
+  "CMakeFiles/sddd_netlist.dir/iscas_catalog.cc.o"
+  "CMakeFiles/sddd_netlist.dir/iscas_catalog.cc.o.d"
+  "CMakeFiles/sddd_netlist.dir/levelize.cc.o"
+  "CMakeFiles/sddd_netlist.dir/levelize.cc.o.d"
+  "CMakeFiles/sddd_netlist.dir/netlist.cc.o"
+  "CMakeFiles/sddd_netlist.dir/netlist.cc.o.d"
+  "CMakeFiles/sddd_netlist.dir/scan.cc.o"
+  "CMakeFiles/sddd_netlist.dir/scan.cc.o.d"
+  "CMakeFiles/sddd_netlist.dir/synth.cc.o"
+  "CMakeFiles/sddd_netlist.dir/synth.cc.o.d"
+  "CMakeFiles/sddd_netlist.dir/verilog_io.cc.o"
+  "CMakeFiles/sddd_netlist.dir/verilog_io.cc.o.d"
+  "libsddd_netlist.a"
+  "libsddd_netlist.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sddd_netlist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

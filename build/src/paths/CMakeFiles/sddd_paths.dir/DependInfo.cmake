@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/paths/path.cc" "src/paths/CMakeFiles/sddd_paths.dir/path.cc.o" "gcc" "src/paths/CMakeFiles/sddd_paths.dir/path.cc.o.d"
+  "/root/repo/src/paths/path_enum.cc" "src/paths/CMakeFiles/sddd_paths.dir/path_enum.cc.o" "gcc" "src/paths/CMakeFiles/sddd_paths.dir/path_enum.cc.o.d"
+  "/root/repo/src/paths/transition_graph.cc" "src/paths/CMakeFiles/sddd_paths.dir/transition_graph.cc.o" "gcc" "src/paths/CMakeFiles/sddd_paths.dir/transition_graph.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/netlist/CMakeFiles/sddd_netlist.dir/DependInfo.cmake"
+  "/root/repo/build/src/logicsim/CMakeFiles/sddd_logicsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/sddd_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

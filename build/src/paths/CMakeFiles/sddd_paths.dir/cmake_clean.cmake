@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sddd_paths.dir/path.cc.o"
+  "CMakeFiles/sddd_paths.dir/path.cc.o.d"
+  "CMakeFiles/sddd_paths.dir/path_enum.cc.o"
+  "CMakeFiles/sddd_paths.dir/path_enum.cc.o.d"
+  "CMakeFiles/sddd_paths.dir/transition_graph.cc.o"
+  "CMakeFiles/sddd_paths.dir/transition_graph.cc.o.d"
+  "libsddd_paths.a"
+  "libsddd_paths.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sddd_paths.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

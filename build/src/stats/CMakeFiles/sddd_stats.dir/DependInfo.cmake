@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/stats/correlation.cc" "src/stats/CMakeFiles/sddd_stats.dir/correlation.cc.o" "gcc" "src/stats/CMakeFiles/sddd_stats.dir/correlation.cc.o.d"
+  "/root/repo/src/stats/histogram.cc" "src/stats/CMakeFiles/sddd_stats.dir/histogram.cc.o" "gcc" "src/stats/CMakeFiles/sddd_stats.dir/histogram.cc.o.d"
+  "/root/repo/src/stats/rv.cc" "src/stats/CMakeFiles/sddd_stats.dir/rv.cc.o" "gcc" "src/stats/CMakeFiles/sddd_stats.dir/rv.cc.o.d"
+  "/root/repo/src/stats/sample_vector.cc" "src/stats/CMakeFiles/sddd_stats.dir/sample_vector.cc.o" "gcc" "src/stats/CMakeFiles/sddd_stats.dir/sample_vector.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sddd_stats.dir/correlation.cc.o"
+  "CMakeFiles/sddd_stats.dir/correlation.cc.o.d"
+  "CMakeFiles/sddd_stats.dir/histogram.cc.o"
+  "CMakeFiles/sddd_stats.dir/histogram.cc.o.d"
+  "CMakeFiles/sddd_stats.dir/rv.cc.o"
+  "CMakeFiles/sddd_stats.dir/rv.cc.o.d"
+  "CMakeFiles/sddd_stats.dir/sample_vector.cc.o"
+  "CMakeFiles/sddd_stats.dir/sample_vector.cc.o.d"
+  "libsddd_stats.a"
+  "libsddd_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sddd_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

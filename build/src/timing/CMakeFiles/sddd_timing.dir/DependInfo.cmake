@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/timing/celllib.cc" "src/timing/CMakeFiles/sddd_timing.dir/celllib.cc.o" "gcc" "src/timing/CMakeFiles/sddd_timing.dir/celllib.cc.o.d"
+  "/root/repo/src/timing/clark_ssta.cc" "src/timing/CMakeFiles/sddd_timing.dir/clark_ssta.cc.o" "gcc" "src/timing/CMakeFiles/sddd_timing.dir/clark_ssta.cc.o.d"
+  "/root/repo/src/timing/criticality.cc" "src/timing/CMakeFiles/sddd_timing.dir/criticality.cc.o" "gcc" "src/timing/CMakeFiles/sddd_timing.dir/criticality.cc.o.d"
+  "/root/repo/src/timing/delay_field.cc" "src/timing/CMakeFiles/sddd_timing.dir/delay_field.cc.o" "gcc" "src/timing/CMakeFiles/sddd_timing.dir/delay_field.cc.o.d"
+  "/root/repo/src/timing/delay_model.cc" "src/timing/CMakeFiles/sddd_timing.dir/delay_model.cc.o" "gcc" "src/timing/CMakeFiles/sddd_timing.dir/delay_model.cc.o.d"
+  "/root/repo/src/timing/dynamic_sim.cc" "src/timing/CMakeFiles/sddd_timing.dir/dynamic_sim.cc.o" "gcc" "src/timing/CMakeFiles/sddd_timing.dir/dynamic_sim.cc.o.d"
+  "/root/repo/src/timing/slack.cc" "src/timing/CMakeFiles/sddd_timing.dir/slack.cc.o" "gcc" "src/timing/CMakeFiles/sddd_timing.dir/slack.cc.o.d"
+  "/root/repo/src/timing/ssta.cc" "src/timing/CMakeFiles/sddd_timing.dir/ssta.cc.o" "gcc" "src/timing/CMakeFiles/sddd_timing.dir/ssta.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/stats/CMakeFiles/sddd_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/netlist/CMakeFiles/sddd_netlist.dir/DependInfo.cmake"
+  "/root/repo/build/src/paths/CMakeFiles/sddd_paths.dir/DependInfo.cmake"
+  "/root/repo/build/src/logicsim/CMakeFiles/sddd_logicsim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

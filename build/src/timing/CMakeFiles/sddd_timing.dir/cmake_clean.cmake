@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sddd_timing.dir/celllib.cc.o"
+  "CMakeFiles/sddd_timing.dir/celllib.cc.o.d"
+  "CMakeFiles/sddd_timing.dir/clark_ssta.cc.o"
+  "CMakeFiles/sddd_timing.dir/clark_ssta.cc.o.d"
+  "CMakeFiles/sddd_timing.dir/criticality.cc.o"
+  "CMakeFiles/sddd_timing.dir/criticality.cc.o.d"
+  "CMakeFiles/sddd_timing.dir/delay_field.cc.o"
+  "CMakeFiles/sddd_timing.dir/delay_field.cc.o.d"
+  "CMakeFiles/sddd_timing.dir/delay_model.cc.o"
+  "CMakeFiles/sddd_timing.dir/delay_model.cc.o.d"
+  "CMakeFiles/sddd_timing.dir/dynamic_sim.cc.o"
+  "CMakeFiles/sddd_timing.dir/dynamic_sim.cc.o.d"
+  "CMakeFiles/sddd_timing.dir/slack.cc.o"
+  "CMakeFiles/sddd_timing.dir/slack.cc.o.d"
+  "CMakeFiles/sddd_timing.dir/ssta.cc.o"
+  "CMakeFiles/sddd_timing.dir/ssta.cc.o.d"
+  "libsddd_timing.a"
+  "libsddd_timing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sddd_timing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,49 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_atpg.cc" "tests/CMakeFiles/sddd_tests.dir/test_atpg.cc.o" "gcc" "tests/CMakeFiles/sddd_tests.dir/test_atpg.cc.o.d"
+  "/root/repo/tests/test_auto_k.cc" "tests/CMakeFiles/sddd_tests.dir/test_auto_k.cc.o" "gcc" "tests/CMakeFiles/sddd_tests.dir/test_auto_k.cc.o.d"
+  "/root/repo/tests/test_catalog_sweep.cc" "tests/CMakeFiles/sddd_tests.dir/test_catalog_sweep.cc.o" "gcc" "tests/CMakeFiles/sddd_tests.dir/test_catalog_sweep.cc.o.d"
+  "/root/repo/tests/test_clark_resolution.cc" "tests/CMakeFiles/sddd_tests.dir/test_clark_resolution.cc.o" "gcc" "tests/CMakeFiles/sddd_tests.dir/test_clark_resolution.cc.o.d"
+  "/root/repo/tests/test_criticality_coverage.cc" "tests/CMakeFiles/sddd_tests.dir/test_criticality_coverage.cc.o" "gcc" "tests/CMakeFiles/sddd_tests.dir/test_criticality_coverage.cc.o.d"
+  "/root/repo/tests/test_defect.cc" "tests/CMakeFiles/sddd_tests.dir/test_defect.cc.o" "gcc" "tests/CMakeFiles/sddd_tests.dir/test_defect.cc.o.d"
+  "/root/repo/tests/test_diagnosis.cc" "tests/CMakeFiles/sddd_tests.dir/test_diagnosis.cc.o" "gcc" "tests/CMakeFiles/sddd_tests.dir/test_diagnosis.cc.o.d"
+  "/root/repo/tests/test_dictionary_io.cc" "tests/CMakeFiles/sddd_tests.dir/test_dictionary_io.cc.o" "gcc" "tests/CMakeFiles/sddd_tests.dir/test_dictionary_io.cc.o.d"
+  "/root/repo/tests/test_eval.cc" "tests/CMakeFiles/sddd_tests.dir/test_eval.cc.o" "gcc" "tests/CMakeFiles/sddd_tests.dir/test_eval.cc.o.d"
+  "/root/repo/tests/test_event_sim.cc" "tests/CMakeFiles/sddd_tests.dir/test_event_sim.cc.o" "gcc" "tests/CMakeFiles/sddd_tests.dir/test_event_sim.cc.o.d"
+  "/root/repo/tests/test_integration_smoke.cc" "tests/CMakeFiles/sddd_tests.dir/test_integration_smoke.cc.o" "gcc" "tests/CMakeFiles/sddd_tests.dir/test_integration_smoke.cc.o.d"
+  "/root/repo/tests/test_logic_baseline.cc" "tests/CMakeFiles/sddd_tests.dir/test_logic_baseline.cc.o" "gcc" "tests/CMakeFiles/sddd_tests.dir/test_logic_baseline.cc.o.d"
+  "/root/repo/tests/test_logicsim.cc" "tests/CMakeFiles/sddd_tests.dir/test_logicsim.cc.o" "gcc" "tests/CMakeFiles/sddd_tests.dir/test_logicsim.cc.o.d"
+  "/root/repo/tests/test_misc_edges.cc" "tests/CMakeFiles/sddd_tests.dir/test_misc_edges.cc.o" "gcc" "tests/CMakeFiles/sddd_tests.dir/test_misc_edges.cc.o.d"
+  "/root/repo/tests/test_netlist.cc" "tests/CMakeFiles/sddd_tests.dir/test_netlist.cc.o" "gcc" "tests/CMakeFiles/sddd_tests.dir/test_netlist.cc.o.d"
+  "/root/repo/tests/test_paths.cc" "tests/CMakeFiles/sddd_tests.dir/test_paths.cc.o" "gcc" "tests/CMakeFiles/sddd_tests.dir/test_paths.cc.o.d"
+  "/root/repo/tests/test_properties.cc" "tests/CMakeFiles/sddd_tests.dir/test_properties.cc.o" "gcc" "tests/CMakeFiles/sddd_tests.dir/test_properties.cc.o.d"
+  "/root/repo/tests/test_scan_modes.cc" "tests/CMakeFiles/sddd_tests.dir/test_scan_modes.cc.o" "gcc" "tests/CMakeFiles/sddd_tests.dir/test_scan_modes.cc.o.d"
+  "/root/repo/tests/test_slack.cc" "tests/CMakeFiles/sddd_tests.dir/test_slack.cc.o" "gcc" "tests/CMakeFiles/sddd_tests.dir/test_slack.cc.o.d"
+  "/root/repo/tests/test_stats.cc" "tests/CMakeFiles/sddd_tests.dir/test_stats.cc.o" "gcc" "tests/CMakeFiles/sddd_tests.dir/test_stats.cc.o.d"
+  "/root/repo/tests/test_timing.cc" "tests/CMakeFiles/sddd_tests.dir/test_timing.cc.o" "gcc" "tests/CMakeFiles/sddd_tests.dir/test_timing.cc.o.d"
+  "/root/repo/tests/test_verilog_io.cc" "tests/CMakeFiles/sddd_tests.dir/test_verilog_io.cc.o" "gcc" "tests/CMakeFiles/sddd_tests.dir/test_verilog_io.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/eval/CMakeFiles/sddd_eval.dir/DependInfo.cmake"
+  "/root/repo/build/src/atpg/CMakeFiles/sddd_atpg.dir/DependInfo.cmake"
+  "/root/repo/build/src/diagnosis/CMakeFiles/sddd_diagnosis.dir/DependInfo.cmake"
+  "/root/repo/build/src/defect/CMakeFiles/sddd_defect.dir/DependInfo.cmake"
+  "/root/repo/build/src/timing/CMakeFiles/sddd_timing.dir/DependInfo.cmake"
+  "/root/repo/build/src/paths/CMakeFiles/sddd_paths.dir/DependInfo.cmake"
+  "/root/repo/build/src/logicsim/CMakeFiles/sddd_logicsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/netlist/CMakeFiles/sddd_netlist.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/sddd_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sddd_cli.dir/sddd_cli.cc.o"
+  "CMakeFiles/sddd_cli.dir/sddd_cli.cc.o.d"
+  "sddd_cli"
+  "sddd_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sddd_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,20 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tools
+# Build directory: /root/repo/build/tools
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(cli_synth "/root/repo/build/tools/sddd_cli" "synth" "/root/repo/build/tools/cli_demo.bench" "--inputs" "10" "--outputs" "6" "--gates" "60" "--depth" "8" "--seed" "3")
+set_tests_properties(cli_synth PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;5;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_info "/root/repo/build/tools/sddd_cli" "info" "/root/repo/build/tools/cli_demo.bench")
+set_tests_properties(cli_info PROPERTIES  DEPENDS "cli_synth" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;8;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_convert "/root/repo/build/tools/sddd_cli" "convert" "/root/repo/build/tools/cli_demo.bench" "/root/repo/build/tools/cli_demo.v")
+set_tests_properties(cli_convert PROPERTIES  DEPENDS "cli_synth" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;10;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_info_verilog "/root/repo/build/tools/sddd_cli" "info" "/root/repo/build/tools/cli_demo.v")
+set_tests_properties(cli_info_verilog PROPERTIES  DEPENDS "cli_convert" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;13;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_atpg "/root/repo/build/tools/sddd_cli" "atpg" "/root/repo/build/tools/cli_demo.bench" "--site" "10" "--max-patterns" "4")
+set_tests_properties(cli_atpg PROPERTIES  DEPENDS "cli_synth" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;15;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_diagnose "/root/repo/build/tools/sddd_cli" "diagnose" "/root/repo/build/tools/cli_demo.bench" "--chips" "2" "--samples" "60")
+set_tests_properties(cli_diagnose PROPERTIES  DEPENDS "cli_synth" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;18;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_usage_error "/root/repo/build/tools/sddd_cli" "frobnicate")
+set_tests_properties(cli_usage_error PROPERTIES  WILL_FAIL "TRUE" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;21;add_test;/root/repo/tools/CMakeLists.txt;0;")
