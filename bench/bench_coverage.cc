@@ -20,6 +20,7 @@
 #include "logicsim/bitsim.h"
 #include "netlist/iscas_catalog.h"
 #include "netlist/levelize.h"
+#include "runtime/parallel_for.h"
 #include "stats/rng.h"
 #include "timing/celllib.h"
 #include "timing/criticality.h"
@@ -30,7 +31,8 @@
 using namespace sddd;
 using netlist::ArcId;
 
-int main() {
+int main(int argc, char** argv) {
+  runtime::configure_threads_from_args(&argc, argv);
   const auto nl =
       netlist::make_standin(*netlist::find_profile("s1238"), 0.5, 2003);
   const netlist::Levelization lev(nl);

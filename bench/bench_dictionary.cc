@@ -11,15 +11,27 @@
 //   BM_TransitionGraph     - sensitization analysis per pattern;
 //   BM_PodemSensitize      - one path sensitization attempt;
 //   BM_InstanceSim         - one chip observation (a behavior-matrix
-//                            column).
+//                            column);
+//   BM_DictionaryBuild     - a full FaultDictionary over a pattern set:
+//                            the parallel hot loop (pattern slices fan out
+//                            over the runtime thread pool; compare
+//                            --threads 1 vs. --threads N);
+//   BM_SuspectSweep        - E columns for many suspects against one
+//                            shared slice (the Diagnoser's parallel inner
+//                            loop).
+//
+// Accepts `--threads N` (or SDDD_THREADS) ahead of the usual
+// google-benchmark flags; results are identical for any thread count.
 #include <benchmark/benchmark.h>
 
 #include "atpg/pdf_atpg.h"
+#include "diagnosis/dictionary.h"
 #include "logicsim/bitsim.h"
 #include "netlist/iscas_catalog.h"
 #include "netlist/levelize.h"
 #include "paths/path_enum.h"
 #include "paths/transition_graph.h"
+#include "runtime/parallel_for.h"
 #include "stats/rng.h"
 #include "timing/celllib.h"
 #include "timing/delay_field.h"
@@ -158,6 +170,67 @@ void BM_InstanceSim(benchmark::State& state) {
 }
 BENCHMARK(BM_InstanceSim)->Arg(0)->Arg(2);
 
+std::vector<logicsim::PatternPair> random_patterns(const Fixture& f,
+                                                   std::size_t count) {
+  stats::Rng rng(29);
+  std::vector<logicsim::PatternPair> patterns(count);
+  for (auto& p : patterns) {
+    p.v1.resize(f.nl.inputs().size());
+    p.v2.resize(f.nl.inputs().size());
+    for (std::size_t i = 0; i < p.v1.size(); ++i) {
+      p.v1[i] = rng.bernoulli(0.5);
+      p.v2[i] = rng.bernoulli(0.5);
+    }
+  }
+  return patterns;
+}
+
+void BM_DictionaryBuild(benchmark::State& state) {
+  Fixture& f = fixture_for(state);
+  const auto patterns = random_patterns(f, 32);
+  const double clk = f.dyn.induced_delay(f.tg, f.dyn.simulate(f.tg)).quantile(0.8);
+  for (auto _ : state) {
+    const diagnosis::FaultDictionary dict(f.dyn, f.sim, f.lev, patterns, clk);
+    benchmark::DoNotOptimize(dict.pattern_count());
+  }
+  state.SetLabel(std::string(fixture_name(static_cast<int>(state.range(0)))) +
+                 "/t" + std::to_string(runtime::thread_count()));
+}
+BENCHMARK(BM_DictionaryBuild)->Arg(0)->Arg(1)->Arg(2)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_SuspectSweep(benchmark::State& state) {
+  Fixture& f = fixture_for(state);
+  const auto baseline = f.dyn.simulate(f.tg);
+  std::vector<netlist::ArcId> suspects;
+  for (netlist::ArcId a = 0; a < f.nl.arc_count() && suspects.size() < 64;
+       ++a) {
+    if (f.tg.is_active(a)) suspects.push_back(a);
+  }
+  timing::InjectedDefect defect;
+  defect.extra.assign(f.field.sample_count(), 80.0);
+  const double clk = f.dyn.induced_delay(f.tg, baseline).quantile(0.8);
+  for (auto _ : state) {
+    std::vector<double> first(suspects.size());
+    runtime::parallel_for(suspects.size(), [&](std::size_t s) {
+      timing::InjectedDefect d = defect;
+      d.arc = suspects[s];
+      first[s] = f.dyn.error_vector_with_defect(f.tg, baseline, d, clk)[0];
+    });
+    benchmark::DoNotOptimize(first.data());
+  }
+  state.SetLabel(std::string(fixture_name(static_cast<int>(state.range(0)))) +
+                 "/t" + std::to_string(runtime::thread_count()));
+}
+BENCHMARK(BM_SuspectSweep)->Arg(0)->Arg(2)->Unit(benchmark::kMillisecond);
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  sddd::runtime::configure_threads_from_args(&argc, argv);
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -18,6 +18,7 @@
 #include "netlist/levelize.h"
 #include "netlist/netlist.h"
 #include "paths/transition_graph.h"
+#include "runtime/parallel_for.h"
 #include "stats/histogram.h"
 #include "timing/celllib.h"
 #include "timing/delay_field.h"
@@ -191,7 +192,8 @@ void run_case2() {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  sddd::runtime::configure_threads_from_args(&argc, argv);
   std::printf("== Figure 1 reproduction ==\n\n");
   run_case1();
   run_case2();

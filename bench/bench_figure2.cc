@@ -11,6 +11,7 @@
 #include <cstdio>
 
 #include "diagnosis/error_fn.h"
+#include "runtime/parallel_for.h"
 
 using sddd::diagnosis::Method;
 using sddd::diagnosis::ScoreAccumulator;
@@ -18,7 +19,8 @@ using sddd::diagnosis::method_name;
 using sddd::diagnosis::phi;
 using sddd::diagnosis::ranks_better;
 
-int main() {
+int main(int argc, char** argv) {
+  sddd::runtime::configure_threads_from_args(&argc, argv);
   std::printf("== Figure 2 reproduction: whose signature matches B? ==\n\n");
 
   // Observed behavior: PO1 fails vec1; PO2 fails vec2.

@@ -9,10 +9,16 @@
 //
 // Usage:
 //   bench_table1 [--scale S] [--samples N] [--chips N] [--seed N]
-//                [--bench-dir DIR] [--csv FILE] [circuit ...]
+//                [--threads N] [--bench-dir DIR] [--csv FILE]
+//                [--json FILE] [circuit ...]
 //
 // Defaults favour a laptop-scale run (scale 0.35, 200 Monte-Carlo samples,
 // ~2-4 minutes); --scale 1.0 --samples 400 reproduces the full-size setup.
+// --threads 0 uses every hardware thread; results (table, CSV) are
+// bit-identical for any thread count.  Wall-clock timings are written to
+// BENCH_table1.json (override with --json FILE, disable with --json '')
+// so the perf trajectory is tracked PR over PR.
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -20,14 +26,44 @@
 #include <string>
 
 #include "eval/table1.h"
+#include "runtime/parallel_for.h"
 
 namespace {
 
 void usage() {
   std::fprintf(stderr,
                "usage: bench_table1 [--scale S] [--samples N] [--chips N]\n"
-               "                    [--seed N] [--bench-dir DIR] [--csv FILE]\n"
-               "                    [circuit ...]\n");
+               "                    [--seed N] [--threads N] [--bench-dir DIR]\n"
+               "                    [--csv FILE] [--json FILE] [circuit ...]\n");
+}
+
+void write_timings_json(const std::string& path,
+                        const sddd::eval::Table1Config& config,
+                        const sddd::eval::Table1Result& result,
+                        double total_seconds) {
+  std::ofstream out(path);
+  if (!out) {
+    std::fprintf(stderr, "warning: cannot write %s\n", path.c_str());
+    return;
+  }
+  out << "{\n"
+      << "  \"bench\": \"table1\",\n"
+      << "  \"threads\": " << sddd::runtime::thread_count() << ",\n"
+      << "  \"scale\": " << config.scale << ",\n"
+      << "  \"samples\": " << config.base.mc_samples << ",\n"
+      << "  \"chips\": " << config.base.n_chips << ",\n"
+      << "  \"seed\": " << config.base.seed << ",\n"
+      << "  \"total_seconds\": " << total_seconds << ",\n"
+      << "  \"circuits\": [\n";
+  for (std::size_t i = 0; i < result.experiments.size(); ++i) {
+    const auto& exp = result.experiments[i];
+    out << "    {\"name\": \"" << exp.circuit_name << "\", \"seconds\": "
+        << exp.wall_seconds << ", \"clk\": " << exp.clk
+        << ", \"diagnosable\": " << exp.diagnosable_trials() << "}"
+        << (i + 1 < result.experiments.size() ? "," : "") << "\n";
+  }
+  out << "  ]\n}\n";
+  std::printf("timings written to %s\n", path.c_str());
 }
 
 }  // namespace
@@ -38,6 +74,7 @@ int main(int argc, char** argv) {
   config.base.mc_samples = 200;
   config.base.n_chips = 20;
   std::string csv_path;
+  std::string json_path = "BENCH_table1.json";
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -60,6 +97,11 @@ int main(int argc, char** argv) {
       config.bench_dir = next();
     } else if (arg == "--csv") {
       csv_path = next();
+    } else if (arg == "--json") {
+      json_path = next();
+    } else if (arg == "--threads") {
+      sddd::runtime::set_thread_count(
+          static_cast<std::size_t>(std::atoi(next())));
     } else if (arg == "--help" || arg == "-h") {
       usage();
       return 0;
@@ -72,20 +114,32 @@ int main(int argc, char** argv) {
   }
 
   std::printf("== Table I reproduction ==\n");
-  std::printf("scale=%.2f samples=%zu chips=%zu seed=%llu\n\n", config.scale,
-              config.base.mc_samples, config.base.n_chips,
-              static_cast<unsigned long long>(config.base.seed));
+  std::printf("scale=%.2f samples=%zu chips=%zu seed=%llu threads=%zu\n\n",
+              config.scale, config.base.mc_samples, config.base.n_chips,
+              static_cast<unsigned long long>(config.base.seed),
+              sddd::runtime::thread_count());
 
+  const auto t0 = std::chrono::steady_clock::now();
   const auto result = sddd::eval::run_table1(config);
+  const double total_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
   std::printf("%s\n", result.to_string().c_str());
 
   std::printf("per-circuit experiment statistics:\n");
   for (const auto& exp : result.experiments) {
     std::printf(
         "  %-8s clk=%8.1f tu  diagnosable=%zu/%zu  avg |S|=%5.1f  "
-        "avg injection attempts=%5.1f\n",
+        "avg injection attempts=%5.1f  wall=%6.2fs\n",
         exp.circuit_name.c_str(), exp.clk, exp.diagnosable_trials(),
-        exp.trials.size(), exp.avg_suspects(), exp.avg_injection_attempts());
+        exp.trials.size(), exp.avg_suspects(), exp.avg_injection_attempts(),
+        exp.wall_seconds);
+  }
+  std::printf("total wall time: %.2fs at %zu thread(s)\n", total_seconds,
+              sddd::runtime::thread_count());
+
+  if (!json_path.empty()) {
+    write_timings_json(json_path, config, result, total_seconds);
   }
 
   if (!csv_path.empty()) {

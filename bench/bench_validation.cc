@@ -27,13 +27,15 @@
 #include "timing/delay_field.h"
 #include "timing/delay_model.h"
 #include "timing/dynamic_sim.h"
+#include "runtime/parallel_for.h"
 #include "timing/ssta.h"
 
 using namespace sddd;
 using logicsim::PatternPair;
 using netlist::GateId;
 
-int main() {
+int main(int argc, char** argv) {
+  runtime::configure_threads_from_args(&argc, argv);
   std::printf("== Modeling validation ==\n\n");
 
   // ----- V1: transition-mode vs event-driven -----

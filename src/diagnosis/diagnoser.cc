@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "paths/path_enum.h"
+#include "runtime/parallel_for.h"
 
 namespace sddd::diagnosis {
 
@@ -72,18 +73,25 @@ DiagnosisResult Diagnoser::diagnose(
     acc.emplace_back(n_suspects, ScoreAccumulator(m));
   }
 
+  // Suspects are embarrassingly parallel once the pattern's baseline
+  // arrival matrix exists: the slice is built serially (it materializes
+  // every arc-delay row its cones will read), then each suspect evaluates
+  // its E column against the shared read-only slice and writes only its
+  // own accumulators.  Each (method, suspect) accumulator still receives
+  // its phi values in pattern order, so scores and ranks are bit-identical
+  // for every thread count.
   std::vector<bool> b_col(n_outputs);
   for (std::size_t j = 0; j < n_patterns; ++j) {
     const PatternSlice slice(*sim_, *logic_sim_, *lev_, patterns[j], clk);
     for (std::size_t i = 0; i < n_outputs; ++i) b_col[i] = B.at(i, j);
-    for (std::size_t s = 0; s < n_suspects; ++s) {
+    runtime::parallel_for(n_suspects, [&](std::size_t s) {
       const auto col =
           config_.match_on_total_probability
               ? slice.e_column(result.suspects[s], *size_model_)
               : slice.signature_column(result.suspects[s], *size_model_);
       const double phi_j = phi(col, b_col);
       for (auto& method_acc : acc) method_acc[s].add_phi(phi_j);
-    }
+    });
   }
 
   result.scores.resize(methods.size());

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "runtime/parallel_for.h"
+
 namespace sddd::diagnosis {
 
 PatternSlice::PatternSlice(const timing::DynamicTimingSimulator& sim,
@@ -38,11 +40,16 @@ FaultDictionary::FaultDictionary(
     const timing::DynamicTimingSimulator& sim,
     const logicsim::BitSimulator& logic_sim, const netlist::Levelization& lev,
     std::span<const logicsim::PatternPair> patterns, double clk) {
-  slices_.reserve(patterns.size());
-  for (const auto& p : patterns) {
-    slices_.push_back(
-        std::make_unique<PatternSlice>(sim, logic_sim, lev, p, clk));
-  }
+  // Patterns are independent given read-only shared inputs; the simulator
+  // only needs its lazy delay memoization pre-materialized before the
+  // slices fan out.  Each slice writes its own pre-reserved slot, so the
+  // dictionary is bit-identical for every thread count.
+  if (runtime::would_parallelize(patterns.size())) sim.prewarm();
+  slices_.resize(patterns.size());
+  runtime::parallel_for(patterns.size(), [&](std::size_t j) {
+    slices_[j] =
+        std::make_unique<PatternSlice>(sim, logic_sim, lev, patterns[j], clk);
+  });
 }
 
 std::vector<std::vector<double>> FaultDictionary::m_matrix() const {
@@ -63,10 +70,13 @@ std::vector<std::vector<double>> FaultDictionary::e_matrix(
   const std::size_t n_out = slices_.front()->m_column().size();
   std::vector<std::vector<double>> e(n_out,
                                      std::vector<double>(slices_.size(), 0.0));
-  for (std::size_t j = 0; j < slices_.size(); ++j) {
+  // Column j only writes element j of each row: disjoint slots, so the
+  // per-pattern E columns evaluate concurrently.  Slice construction
+  // already materialized every arc delay these cones read.
+  runtime::parallel_for(slices_.size(), [&](std::size_t j) {
     const auto col = slices_[j]->e_column(suspect, size_model);
     for (std::size_t i = 0; i < n_out; ++i) e[i][j] = col[i];
-  }
+  });
   return e;
 }
 

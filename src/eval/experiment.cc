@@ -1,11 +1,13 @@
 #include "eval/experiment.h"
 
 #include <algorithm>
+#include <chrono>
 #include <stdexcept>
 
 #include "diagnosis/behavior.h"
 #include "diagnosis/logic_baseline.h"
 #include "netlist/levelize.h"
+#include "runtime/parallel_for.h"
 #include "timing/delay_field.h"
 #include "timing/delay_model.h"
 #include "stats/sample_vector.h"
@@ -103,6 +105,7 @@ ExperimentResult run_diagnosis_experiment(const Netlist& nl,
     throw std::invalid_argument(
         "run_diagnosis_experiment: run full_scan_transform first");
   }
+  const auto wall_start = std::chrono::steady_clock::now();
   const netlist::Levelization lev(nl);
   const timing::StatisticalCellLibrary lib(config.library);
   const timing::ArcDelayModel model(nl, lib);
@@ -168,9 +171,16 @@ ExperimentResult run_diagnosis_experiment(const Netlist& nl,
   result.circuit_name = nl.name();
   result.clk = clk;
 
-  Rng master(config.seed, 0xe4a1ULL);
-  for (std::size_t trial = 0; trial < config.n_chips; ++trial) {
-    Rng trial_rng = master.split(trial + 1);
+  // Trials are independent: each one derives its RNG stream purely from
+  // (config.seed, trial index) - no shared sequential generator - and
+  // writes only its own pre-reserved TrialRecord slot, so the trial order
+  // (and therefore the thread count) cannot change any result.  The
+  // dictionary simulator's lazily-memoized delay rows are the one piece of
+  // shared mutable state; pre-materialize them before fanning out.
+  if (runtime::would_parallelize(config.n_chips)) dict_sim.prewarm();
+  result.trials.resize(config.n_chips);
+  runtime::parallel_for(config.n_chips, [&](std::size_t trial) {
+    Rng trial_rng = Rng(config.seed, 0xe4a1ULL).split(trial + 1);
     TrialRecord record;
     record.rank_of_true.assign(config.methods.size(), -1);
 
@@ -230,8 +240,8 @@ ExperimentResult run_diagnosis_experiment(const Netlist& nl,
       }
     }
     if (!record.failed_test) {
-      result.trials.push_back(std::move(record));
-      continue;
+      result.trials[trial] = std::move(record);
+      return;
     }
 
     record.n_patterns = patterns.size();
@@ -271,8 +281,12 @@ ExperimentResult run_diagnosis_experiment(const Netlist& nl,
         }
       }
     }
-    result.trials.push_back(std::move(record));
-  }
+    result.trials[trial] = std::move(record);
+  });
+  result.wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    wall_start)
+          .count();
   return result;
 }
 

@@ -112,6 +112,9 @@ struct ExperimentResult {
   ExperimentConfig config;
   std::string circuit_name;
   double clk = 0.0;
+  /// Wall-clock cost of the whole experiment (calibration + trials); the
+  /// number BENCH_table1.json tracks across thread counts and PRs.
+  double wall_seconds = 0.0;
   std::vector<TrialRecord> trials;
 
   /// Paper accuracy metric: fraction of diagnosable trials whose injected
@@ -131,6 +134,12 @@ struct ExperimentResult {
 };
 
 /// Runs the full experiment on a frozen combinational netlist.
+///
+/// Trials run in parallel over the runtime thread pool (`--threads` /
+/// SDDD_THREADS; see src/runtime/parallel_for.h).  Every trial derives its
+/// randomness purely from (config.seed, trial index) and fills its own
+/// slot of ExperimentResult::trials, so results are bit-identical for any
+/// thread count.
 ExperimentResult run_diagnosis_experiment(const netlist::Netlist& nl,
                                           const ExperimentConfig& config);
 

@@ -1,0 +1,112 @@
+#include "runtime/parallel_for.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <mutex>
+
+namespace sddd::runtime {
+
+namespace {
+
+constexpr std::size_t kUnset = static_cast<std::size_t>(-1);
+
+/// set_thread_count() request; kUnset = fall back to env / hardware.
+std::atomic<std::size_t> g_requested{kUnset};
+
+std::size_t hardware_threads() {
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<std::size_t>(hw);
+}
+
+std::size_t env_threads() {
+  // Read once: the env knob selects the run configuration, it is not a
+  // live control.
+  static const std::size_t cached = [] {
+    const char* env = std::getenv("SDDD_THREADS");
+    if (env == nullptr || *env == '\0') return kUnset;
+    const long v = std::atol(env);
+    return v < 0 ? kUnset : static_cast<std::size_t>(v);
+  }();
+  return cached;
+}
+
+/// Shared pool, rebuilt when the resolved width changes between loops.
+std::mutex g_pool_mu;
+std::shared_ptr<ThreadPool> g_pool;
+
+std::shared_ptr<ThreadPool> pool_for(std::size_t width) {
+  const std::lock_guard<std::mutex> lock(g_pool_mu);
+  if (!g_pool || g_pool->size() != width) {
+    g_pool = std::make_shared<ThreadPool>(width);
+  }
+  return g_pool;
+}
+
+}  // namespace
+
+void set_thread_count(std::size_t n) {
+  g_requested.store(n, std::memory_order_relaxed);
+}
+
+std::size_t thread_count() {
+  std::size_t n = g_requested.load(std::memory_order_relaxed);
+  if (n == kUnset) n = env_threads();
+  if (n == kUnset || n == 0) n = hardware_threads();
+  return n;
+}
+
+bool in_parallel_region() { return ThreadPool::in_parallel_region(); }
+
+bool would_parallelize(std::size_t n) {
+  return n > 1 && !in_parallel_region() && thread_count() > 1;
+}
+
+void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn) {
+  if (n == 0) return;
+  if (!would_parallelize(n)) {
+    for (std::size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+  // Hold the pool alive for the duration of the loop even if another
+  // thread requests a different width concurrently.
+  const std::shared_ptr<ThreadPool> pool = pool_for(thread_count());
+  if (!pool->try_run(n, fn)) {
+    // Another thread owns the pool right now; run serially rather than
+    // fail - same results, just no extra speedup.
+    for (std::size_t i = 0; i < n; ++i) fn(i);
+  }
+}
+
+void configure_threads_from_args(int* argc, char** argv) {
+  int out = 1;
+  for (int i = 1; i < *argc; ++i) {
+    if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < *argc) {
+      set_thread_count(static_cast<std::size_t>(
+          std::max(0L, std::atol(argv[i + 1]))));
+      ++i;
+    } else if (std::strncmp(argv[i], "--threads=", 10) == 0) {
+      set_thread_count(
+          static_cast<std::size_t>(std::max(0L, std::atol(argv[i] + 10))));
+    } else {
+      argv[out++] = argv[i];
+    }
+  }
+  *argc = out;
+}
+
+void parallel_for_chunked(
+    std::size_t n, std::size_t grain,
+    const std::function<void(std::size_t, std::size_t)>& fn) {
+  if (n == 0) return;
+  const std::size_t g = std::max<std::size_t>(grain, 1);
+  const std::size_t n_chunks = (n + g - 1) / g;
+  parallel_for(n_chunks, [&](std::size_t c) {
+    const std::size_t begin = c * g;
+    fn(begin, std::min(begin + g, n));
+  });
+}
+
+}  // namespace sddd::runtime

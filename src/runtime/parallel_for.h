@@ -1,0 +1,83 @@
+// parallel_for.h - Process-wide parallel loop primitives over the shared
+// ThreadPool, plus the thread-count knob.
+//
+// Knob resolution (first match wins):
+//   1. set_thread_count(n) - explicit program/CLI request (`--threads`);
+//   2. the SDDD_THREADS environment variable;
+//   3. hardware concurrency.
+// n = 0 means "hardware concurrency"; n = 1 is an exact serial fallback
+// (the loops run inline on the caller, no pool involved).
+//
+// Determinism contract (see thread_pool.h): callers must give every index
+// its own result slot and keep floating-point reductions in fixed index
+// order.  parallel_map_reduce below encodes that pattern: the map phase is
+// parallel into per-index slots, the reduce phase is serial over
+// increasing i, so the reduction order never depends on the schedule.
+//
+// Nested parallel_for calls (e.g. the per-suspect loop of a Diagnoser
+// invoked from a parallel experiment trial) execute serially inline on the
+// calling worker - composable and still deterministic.  Direct nested
+// ThreadPool::run is an error instead (it would deadlock).
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+#include "runtime/thread_pool.h"
+
+namespace sddd::runtime {
+
+/// Sets the requested thread count.  0 = hardware concurrency,
+/// 1 = strictly serial.  Takes effect on the next parallel loop (the
+/// shared pool is rebuilt lazily when the resolved width changes).
+void set_thread_count(std::size_t n);
+
+/// The resolved execution width (>= 1) a parallel loop would use now.
+std::size_t thread_count();
+
+/// True when a parallel loop launched from this call site would actually
+/// fan out over `n` items (width > 1, n > 1, not already inside a parallel
+/// region).  Lets callers run setup that is only needed for concurrent
+/// execution - e.g. DynamicTimingSimulator::prewarm() - exactly when
+/// required.
+bool would_parallelize(std::size_t n);
+
+/// True while the calling thread executes inside a parallel region.
+bool in_parallel_region();
+
+/// Consumes a `--threads N` / `--threads=N` option from argv (if present),
+/// applies it via set_thread_count(), and compacts argv in place updating
+/// *argc.  Shared by every bench harness and the CLI so the knob is spelled
+/// the same everywhere; tools with their own option scanners may instead
+/// call set_thread_count() directly.
+void configure_threads_from_args(int* argc, char** argv);
+
+/// Runs fn(i) for i in [0, n).  Serial (in index order) when thread_count()
+/// is 1, n < 2, or the caller is already inside a parallel region;
+/// otherwise fans out over the shared pool and blocks until done.  The
+/// first exception thrown by fn is rethrown.
+void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn);
+
+/// Chunked variant for fine-grained items: fn(begin, end) over contiguous
+/// sub-ranges of [0, n) of at most `grain` items.  Chunk boundaries depend
+/// only on (n, grain), never on the thread count, so per-chunk outputs are
+/// schedule-independent.
+void parallel_for_chunked(std::size_t n, std::size_t grain,
+                          const std::function<void(std::size_t, std::size_t)>& fn);
+
+/// Deterministic map-reduce: maps every index into its own slot in
+/// parallel, then folds the slots serially in increasing index order.
+template <typename T, typename MapFn, typename ReduceFn>
+T parallel_map_reduce(std::size_t n, T init, const MapFn& map,
+                      const ReduceFn& reduce) {
+  std::vector<T> mapped(n);
+  parallel_for(n, [&](std::size_t i) { mapped[i] = map(i); });
+  T acc = std::move(init);
+  for (std::size_t i = 0; i < n; ++i) {
+    acc = reduce(std::move(acc), std::move(mapped[i]));
+  }
+  return acc;
+}
+
+}  // namespace sddd::runtime

@@ -1,0 +1,138 @@
+#include "runtime/thread_pool.h"
+
+#include <stdexcept>
+
+namespace sddd::runtime {
+
+namespace {
+
+/// Set (to the owning pool) while a thread - worker or participating
+/// caller - executes inside a run() region.  Shared across pools: nesting
+/// any pool inside any region is refused, which keeps the check a single
+/// thread-local load.
+thread_local const ThreadPool* t_region = nullptr;
+
+struct RegionGuard {
+  const ThreadPool* prev;
+  explicit RegionGuard(const ThreadPool* pool) : prev(t_region) {
+    t_region = pool;
+  }
+  ~RegionGuard() { t_region = prev; }
+};
+
+}  // namespace
+
+bool ThreadPool::in_parallel_region() { return t_region != nullptr; }
+
+ThreadPool::ThreadPool(std::size_t n_threads) {
+  const std::size_t total = n_threads == 0 ? 1 : n_threads;
+  workers_.reserve(total - 1);
+  for (std::size_t i = 1; i < total; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  cv_work_.notify_all();
+  for (std::thread& w : workers_) w.join();
+}
+
+void ThreadPool::record_error() {
+  const std::lock_guard<std::mutex> lock(mu_);
+  if (!error_) error_ = std::current_exception();
+  // Best-effort cancellation: claim the remaining indices so idle threads
+  // stop picking up work.  Tasks already in flight still finish.
+  next_.store(n_, std::memory_order_relaxed);
+}
+
+void ThreadPool::drain(const std::function<void(std::size_t)>& fn) {
+  for (;;) {
+    const std::size_t i = next_.fetch_add(1, std::memory_order_relaxed);
+    if (i >= n_) return;
+    try {
+      fn(i);
+    } catch (...) {
+      record_error();
+      return;
+    }
+  }
+}
+
+void ThreadPool::worker_loop() {
+  std::uint64_t seen = 0;
+  for (;;) {
+    const std::function<void(std::size_t)>* fn = nullptr;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_work_.wait(lock, [&] { return stop_ || epoch_ != seen; });
+      if (stop_) return;
+      seen = epoch_;
+      fn = fn_;
+    }
+    {
+      const RegionGuard guard(this);
+      drain(*fn);
+    }
+    {
+      const std::lock_guard<std::mutex> lock(mu_);
+      if (--pending_workers_ == 0) cv_done_.notify_one();
+    }
+  }
+}
+
+void ThreadPool::run(std::size_t n, const std::function<void(std::size_t)>& fn) {
+  if (!try_run(n, fn)) {
+    throw std::logic_error(
+        "ThreadPool::run: pool is already mid-run on another thread");
+  }
+}
+
+bool ThreadPool::try_run(std::size_t n,
+                         const std::function<void(std::size_t)>& fn) {
+  if (t_region != nullptr) {
+    throw std::logic_error(
+        "ThreadPool::run: nested use inside a parallel region (would "
+        "deadlock); use runtime::parallel_for for composable loops");
+  }
+  if (n == 0) return true;
+  if (workers_.empty()) {
+    // Serial pool: run in place, still marked as a region so the
+    // determinism guards (and nested-use detection) behave identically.
+    const RegionGuard guard(this);
+    for (std::size_t i = 0; i < n; ++i) fn(i);
+    return true;
+  }
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    if (busy_) return false;
+    busy_ = true;
+    fn_ = &fn;
+    n_ = n;
+    next_.store(0, std::memory_order_relaxed);
+    error_ = nullptr;
+    pending_workers_ = workers_.size();
+    ++epoch_;
+  }
+  cv_work_.notify_all();
+  {
+    const RegionGuard guard(this);
+    drain(fn);
+  }
+  std::exception_ptr error;
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_done_.wait(lock, [&] { return pending_workers_ == 0; });
+    fn_ = nullptr;
+    busy_ = false;
+    error = error_;
+    error_ = nullptr;
+  }
+  if (error) std::rethrow_exception(error);
+  return true;
+}
+
+}  // namespace sddd::runtime

@@ -1,0 +1,88 @@
+// thread_pool.h - Deterministic fork-join thread pool.
+//
+// The diagnosis flow has three embarrassingly parallel hot loops (pattern
+// slices of the fault dictionary, suspects inside the diagnoser, chips of
+// the injection experiment).  All of them share one execution discipline:
+//
+//   - every loop iteration writes only its own pre-reserved result slot,
+//   - shared inputs are read-only for the duration of the loop, and
+//   - any floating-point reduction happens serially, in index order,
+//     after the parallel region.
+//
+// Under that discipline the results are bit-identical for ANY thread
+// count, including 1 - the determinism contract the experiment harness
+// relies on (EXPERIMENTS.md records seeds next to results).
+//
+// The pool is a single-job fork-join pool: run() publishes one index range,
+// the calling thread participates in draining it, and returns only when
+// every index has been executed.  There is no task queue and no futures -
+// the simplest structure that cannot reorder observable results.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace sddd::runtime {
+
+/// Fixed-size fork-join pool.  `n_threads` counts the calling thread, so
+/// ThreadPool(4) spawns 3 workers; ThreadPool(1) spawns none and run()
+/// degenerates to an exact serial loop.
+class ThreadPool {
+ public:
+  explicit ThreadPool(std::size_t n_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Total execution width (workers + the participating caller).
+  std::size_t size() const { return workers_.size() + 1; }
+
+  /// Executes fn(i) for every i in [0, n), using all pool threads plus the
+  /// caller.  Blocks until every index has run.  The first exception thrown
+  /// by any fn(i) is rethrown here (remaining indices are cancelled on a
+  /// best-effort basis).
+  ///
+  /// Calling run() from inside a task of the same pool (or while another
+  /// thread is mid-run()) throws std::logic_error: a fork-join pool cannot
+  /// nest without deadlocking.  Use runtime::parallel_for, which degrades
+  /// nested regions to serial execution instead.
+  void run(std::size_t n, const std::function<void(std::size_t)>& fn);
+
+  /// Like run(), but returns false instead of throwing when the pool is
+  /// already mid-run on another thread (the caller should then execute the
+  /// loop serially).  Still throws std::logic_error on nested use from
+  /// inside a parallel region.
+  bool try_run(std::size_t n, const std::function<void(std::size_t)>& fn);
+
+  /// True when the calling thread is currently executing inside a run()
+  /// region of *any* ThreadPool (worker or participating caller).
+  static bool in_parallel_region();
+
+ private:
+  void worker_loop();
+  void drain(const std::function<void(std::size_t)>& fn);
+  void record_error();
+
+  std::vector<std::thread> workers_;
+
+  std::mutex mu_;
+  std::condition_variable cv_work_;
+  std::condition_variable cv_done_;
+  const std::function<void(std::size_t)>* fn_ = nullptr;
+  std::size_t n_ = 0;
+  std::size_t pending_workers_ = 0;  ///< workers not yet done with the job
+  std::uint64_t epoch_ = 0;          ///< bumped once per run()
+  bool busy_ = false;                ///< a run() is in flight
+  bool stop_ = false;
+  std::exception_ptr error_;
+
+  std::atomic<std::size_t> next_{0};  ///< next unclaimed index
+};
+
+}  // namespace sddd::runtime

@@ -4,6 +4,8 @@
 #include <limits>
 #include <stdexcept>
 
+#include "runtime/parallel_for.h"
+
 namespace sddd::timing {
 
 using netlist::ArcId;
@@ -18,14 +20,37 @@ DynamicTimingSimulator::DynamicTimingSimulator(
   delay_cache_.resize(field.model().netlist().arc_count());
 }
 
+void DynamicTimingSimulator::materialize_row(ArcId a) const {
+  auto& row = delay_cache_[a];
+  const std::size_t n = field_->sample_count();
+  row.resize(n);
+  for (std::size_t k = 0; k < n; ++k) row[k] = field_->delay(a, k);
+}
+
 const std::vector<double>& DynamicTimingSimulator::arc_delays(ArcId a) const {
   auto& row = delay_cache_[a];
-  if (row.empty()) {
-    const std::size_t n = field_->sample_count();
-    row.resize(n);
-    for (std::size_t k = 0; k < n; ++k) row[k] = field_->delay(a, k);
+  if (row.empty() && field_->sample_count() != 0) {
+    if (runtime::in_parallel_region()) {
+      throw std::logic_error(
+          "DynamicTimingSimulator::arc_delays: lazy delay memoization is "
+          "not thread-safe; call prewarm() before sharing the simulator "
+          "across a parallel region");
+    }
+    materialize_row(a);
   }
   return row;
+}
+
+void DynamicTimingSimulator::prewarm() const {
+  if (prewarmed()) return;
+  // Each arc fills only its own row, so the fill itself parallelizes
+  // safely (and degrades to the serial loop inside nested regions).
+  runtime::parallel_for(delay_cache_.size(), [this](std::size_t a) {
+    if (delay_cache_[a].empty()) {
+      materialize_row(static_cast<ArcId>(a));
+    }
+  });
+  prewarmed_.store(true, std::memory_order_release);
 }
 
 namespace {

@@ -24,6 +24,7 @@
 //                              B of a failing chip.
 #pragma once
 
+#include <atomic>
 #include <optional>
 #include <span>
 #include <vector>
@@ -58,6 +59,21 @@ class DynamicTimingSimulator {
                          const netlist::Levelization& lev);
 
   const DelayField& field() const { return *field_; }
+
+  /// Materializes the memoized delay rows of every arc.  REQUIRED before
+  /// any concurrent use of this simulator: the lazy per-arc memoization in
+  /// arc_delays() is written on first access and is therefore not safe for
+  /// concurrent callers.  After prewarm() every query is read-only and any
+  /// number of threads may share the simulator.  Idempotent; safe to call
+  /// from serial code only.  Enforced: a lazy materialization attempted
+  /// from inside a runtime parallel region throws std::logic_error instead
+  /// of racing.
+  void prewarm() const;
+
+  /// True once prewarm() has completed.
+  bool prewarmed() const {
+    return prewarmed_.load(std::memory_order_acquire);
+  }
 
   /// Defect-free arrivals of all toggling gates under `tg`.
   ArrivalMatrix simulate(const paths::TransitionGraph& tg) const;
@@ -115,7 +131,13 @@ class DynamicTimingSimulator {
   /// dictionary's cone re-simulations touch the same arcs thousands of
   /// times, so memoizing rows is the difference between seconds and
   /// minutes on the larger benchmarks.
+  ///
+  /// NOT safe for concurrent callers while a row is still empty - call
+  /// prewarm() before sharing the simulator across threads (the empty-row
+  /// path throws when reached inside a parallel region).
   const std::vector<double>& arc_delays(netlist::ArcId a) const;
+
+  void materialize_row(netlist::ArcId a) const;
 
   /// Scratch arrival rows for the defect's active fan-out cone, plus the
   /// gate -> scratch-index map (-1 = read the baseline).  Shared by the
@@ -131,6 +153,7 @@ class DynamicTimingSimulator {
   const DelayField* field_;
   const netlist::Levelization* lev_;
   mutable std::vector<std::vector<double>> delay_cache_;
+  mutable std::atomic<bool> prewarmed_{false};
 };
 
 /// Nominal (mean-delay) arrival per gate under the transition-mode

@@ -1,0 +1,288 @@
+// Tests for the deterministic parallel runtime: pool lifecycle, exception
+// propagation, degenerate ranges, nested-use behavior, the prewarm
+// enforcement on DynamicTimingSimulator, and the end-to-end determinism
+// contract (identical experiment ranks at 1 vs. 4 threads).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+#include "eval/experiment.h"
+#include "netlist/levelize.h"
+#include "netlist/synth.h"
+#include "runtime/parallel_for.h"
+#include "runtime/thread_pool.h"
+#include "timing/celllib.h"
+#include "timing/delay_field.h"
+#include "timing/delay_model.h"
+#include "timing/dynamic_sim.h"
+
+namespace sddd {
+namespace {
+
+/// Restores the global knob so tests cannot leak a thread-count override
+/// into the rest of the suite (0 = auto).
+struct ThreadCountGuard {
+  ~ThreadCountGuard() { runtime::set_thread_count(0); }
+};
+
+TEST(ThreadPool, StartupShutdownRepeats) {
+  for (std::size_t width : {1U, 2U, 4U}) {
+    for (int repeat = 0; repeat < 3; ++repeat) {
+      runtime::ThreadPool pool(width);
+      EXPECT_EQ(pool.size(), width);
+      std::vector<int> hits(97, 0);
+      pool.run(hits.size(), [&](std::size_t i) { hits[i] = 1; });
+      EXPECT_EQ(std::accumulate(hits.begin(), hits.end(), 0), 97);
+    }
+  }
+}
+
+TEST(ThreadPool, ZeroWidthMeansOne) {
+  runtime::ThreadPool pool(0);
+  EXPECT_EQ(pool.size(), 1U);
+  int ran = 0;
+  pool.run(1, [&](std::size_t) { ++ran; });
+  EXPECT_EQ(ran, 1);
+}
+
+TEST(ThreadPool, ExceptionPropagates) {
+  runtime::ThreadPool pool(3);
+  EXPECT_THROW(
+      pool.run(64,
+               [&](std::size_t i) {
+                 if (i == 17) throw std::runtime_error("boom");
+               }),
+      std::runtime_error);
+  // The pool survives a throwing job.
+  std::atomic<int> count{0};
+  pool.run(8, [&](std::size_t) { count.fetch_add(1); });
+  EXPECT_EQ(count.load(), 8);
+}
+
+TEST(ThreadPool, NestedRunThrowsLogicError) {
+  runtime::ThreadPool pool(2);
+  EXPECT_THROW(
+      pool.run(4, [&](std::size_t) { pool.run(1, [](std::size_t) {}); }),
+      std::logic_error);
+  // Nesting across two distinct pools is refused as well: the outer
+  // region marks the thread, and a second fork-join from inside it could
+  // still deadlock the outer join.
+  runtime::ThreadPool other(2);
+  EXPECT_THROW(
+      pool.run(4, [&](std::size_t) { other.run(1, [](std::size_t) {}); }),
+      std::logic_error);
+  // Serial (width-1) pools enforce the same contract.
+  runtime::ThreadPool serial(1);
+  EXPECT_THROW(
+      serial.run(2, [&](std::size_t) { serial.run(1, [](std::size_t) {}); }),
+      std::logic_error);
+}
+
+TEST(ParallelFor, EmptyAndSingleRanges) {
+  const ThreadCountGuard guard;
+  runtime::set_thread_count(4);
+  int calls = 0;
+  runtime::parallel_for(0, [&](std::size_t) { ++calls; });
+  EXPECT_EQ(calls, 0);
+  runtime::parallel_for(1, [&](std::size_t i) {
+    EXPECT_EQ(i, 0U);
+    ++calls;
+  });
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(ParallelFor, MatchesSerialResults) {
+  const ThreadCountGuard guard;
+  std::vector<double> serial(503), parallel(503);
+  runtime::set_thread_count(1);
+  runtime::parallel_for(serial.size(),
+                        [&](std::size_t i) { serial[i] = 0.5 * double(i); });
+  runtime::set_thread_count(4);
+  EXPECT_EQ(runtime::thread_count(), 4U);
+  runtime::parallel_for(parallel.size(),
+                        [&](std::size_t i) { parallel[i] = 0.5 * double(i); });
+  EXPECT_EQ(serial, parallel);
+}
+
+TEST(ParallelFor, NestedCallDegradesToSerial) {
+  const ThreadCountGuard guard;
+  runtime::set_thread_count(4);
+  std::vector<std::vector<int>> cells(8, std::vector<int>(16, 0));
+  runtime::parallel_for(cells.size(), [&](std::size_t i) {
+    EXPECT_TRUE(runtime::in_parallel_region());
+    EXPECT_FALSE(runtime::would_parallelize(16));
+    // Inner loop must run inline, not throw, and compute everything.
+    runtime::parallel_for(cells[i].size(),
+                          [&](std::size_t j) { cells[i][j] = 1; });
+  });
+  for (const auto& row : cells) {
+    EXPECT_EQ(std::accumulate(row.begin(), row.end(), 0), 16);
+  }
+}
+
+TEST(ParallelFor, ChunkedCoversRangeOnce) {
+  const ThreadCountGuard guard;
+  runtime::set_thread_count(3);
+  std::vector<int> hits(101, 0);
+  runtime::parallel_for_chunked(hits.size(), 7,
+                                [&](std::size_t begin, std::size_t end) {
+                                  EXPECT_LE(end - begin, 7U);
+                                  for (std::size_t i = begin; i < end; ++i) {
+                                    ++hits[i];
+                                  }
+                                });
+  EXPECT_EQ(std::accumulate(hits.begin(), hits.end(), 0), 101);
+  EXPECT_EQ(*std::max_element(hits.begin(), hits.end()), 1);
+}
+
+TEST(ParallelFor, MapReduceKeepsIndexOrder) {
+  const ThreadCountGuard guard;
+  runtime::set_thread_count(4);
+  // Non-commutative reduction: order changes the result, so equality with
+  // the serial fold proves the fixed reduction order.
+  const auto map = [](std::size_t i) { return 1.0 + double(i % 13) * 1e-7; };
+  double serial = 0.0;
+  for (std::size_t i = 0; i < 1000; ++i) serial = serial / 3.0 + map(i);
+  const double parallel = runtime::parallel_map_reduce<double>(
+      1000, 0.0, map, [](double acc, double x) { return acc / 3.0 + x; });
+  EXPECT_EQ(serial, parallel);
+}
+
+TEST(ParallelFor, ThreadCountKnobResolution) {
+  const ThreadCountGuard guard;
+  runtime::set_thread_count(1);
+  EXPECT_EQ(runtime::thread_count(), 1U);
+  EXPECT_FALSE(runtime::would_parallelize(100));
+  runtime::set_thread_count(5);
+  EXPECT_EQ(runtime::thread_count(), 5U);
+  EXPECT_TRUE(runtime::would_parallelize(2));
+  EXPECT_FALSE(runtime::would_parallelize(1));
+  runtime::set_thread_count(0);
+  EXPECT_GE(runtime::thread_count(), 1U);
+}
+
+struct SimFixture {
+  netlist::Netlist nl;
+  netlist::Levelization lev;
+  timing::StatisticalCellLibrary lib;
+  timing::ArcDelayModel model;
+  timing::DelayField field;
+
+  SimFixture()
+      : nl([] {
+          netlist::SynthSpec spec;
+          spec.n_inputs = 10;
+          spec.n_outputs = 6;
+          spec.n_gates = 60;
+          spec.depth = 8;
+          spec.seed = 77;
+          return netlist::synthesize(spec);
+        }()),
+        lev(nl),
+        model(nl, lib),
+        field(model, 40, 0.03, 5) {}
+};
+
+paths::TransitionGraph toggling_tg(const SimFixture& f, std::uint64_t seed) {
+  const logicsim::BitSimulator sim(f.nl, f.lev);
+  stats::Rng rng(seed);
+  logicsim::PatternPair p;
+  p.v1.resize(f.nl.inputs().size());
+  p.v2.resize(f.nl.inputs().size());
+  for (std::size_t i = 0; i < p.v1.size(); ++i) {
+    p.v1[i] = rng.bernoulli(0.5);
+    p.v2[i] = !p.v1[i];
+  }
+  return paths::TransitionGraph(sim, f.lev, p);
+}
+
+TEST(DynamicSimPrewarm, LazyMemoizationRefusedInParallelRegion) {
+  const ThreadCountGuard guard;
+  const SimFixture f;
+  const timing::DynamicTimingSimulator dyn(f.field, f.lev);
+  EXPECT_FALSE(dyn.prewarmed());
+  const auto tg = toggling_tg(f, 3);
+  runtime::set_thread_count(2);
+  // Concurrent lazy cache fills would race; the simulator must refuse
+  // instead of silently corrupting delay_cache_.
+  EXPECT_THROW(
+      runtime::parallel_for(4, [&](std::size_t) { (void)dyn.simulate(tg); }),
+      std::logic_error);
+  // After prewarm the same shared use is legal and succeeds.
+  dyn.prewarm();
+  std::vector<timing::ArrivalMatrix> out(4);
+  runtime::parallel_for(4, [&](std::size_t i) { out[i] = dyn.simulate(tg); });
+  for (std::size_t i = 1; i < out.size(); ++i) {
+    EXPECT_EQ(out[0].rows, out[i].rows);
+  }
+}
+
+TEST(DynamicSimPrewarm, PrewarmedSimulatorMatchesLazyResults) {
+  const ThreadCountGuard guard;
+  const SimFixture f;
+  const timing::DynamicTimingSimulator lazy(f.field, f.lev);
+  const timing::DynamicTimingSimulator warm(f.field, f.lev);
+  warm.prewarm();
+  EXPECT_TRUE(warm.prewarmed());
+  warm.prewarm();  // idempotent
+
+  const auto tg = toggling_tg(f, 3);
+  const auto a = lazy.simulate(tg);
+  const auto b = warm.simulate(tg);
+  EXPECT_EQ(a.rows, b.rows);
+}
+
+eval::ExperimentConfig determinism_config() {
+  eval::ExperimentConfig config;
+  config.mc_samples = 60;
+  config.n_chips = 4;
+  config.max_suspects = 80;
+  config.calibration_sites = 6;
+  config.pattern_config.paths_per_site = 2;
+  config.pattern_config.site_search_tries = 48;
+  config.seed = 19;
+  return config;
+}
+
+TEST(Determinism, ExperimentBitIdenticalAcrossThreadCounts) {
+  const ThreadCountGuard guard;
+  netlist::SynthSpec spec;
+  spec.name = "detckt";
+  spec.n_inputs = 14;
+  spec.n_outputs = 8;
+  spec.n_gates = 90;
+  spec.depth = 9;
+  spec.seed = 41;
+  const auto nl = netlist::synthesize(spec);
+
+  runtime::set_thread_count(1);
+  const auto serial = eval::run_diagnosis_experiment(nl, determinism_config());
+  runtime::set_thread_count(4);
+  const auto parallel =
+      eval::run_diagnosis_experiment(nl, determinism_config());
+
+  ASSERT_EQ(serial.trials.size(), parallel.trials.size());
+  EXPECT_EQ(serial.clk, parallel.clk);
+  for (std::size_t t = 0; t < serial.trials.size(); ++t) {
+    const auto& a = serial.trials[t];
+    const auto& b = parallel.trials[t];
+    EXPECT_EQ(a.failed_test, b.failed_test) << "trial " << t;
+    EXPECT_EQ(a.injection_attempts, b.injection_attempts) << "trial " << t;
+    EXPECT_EQ(a.chip.defect_arc, b.chip.defect_arc) << "trial " << t;
+    EXPECT_EQ(a.chip.defect_size, b.chip.defect_size) << "trial " << t;
+    EXPECT_EQ(a.n_suspects, b.n_suspects) << "trial " << t;
+    EXPECT_EQ(a.rank_of_true, b.rank_of_true) << "trial " << t;
+    EXPECT_EQ(a.logic_baseline_rank, b.logic_baseline_rank) << "trial " << t;
+  }
+  for (const auto m : serial.config.methods) {
+    for (const int k : {1, 3, 5}) {
+      EXPECT_EQ(serial.success_rate(m, k), parallel.success_rate(m, k));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace sddd

@@ -1,0 +1,57 @@
+#!/usr/bin/env bash
+# run_benchmarks.sh - Build the Release tree and record wall-clock timings
+# for the two hot benchmarks at 1 thread and at N threads.
+#
+#   tools/run_benchmarks.sh [N_THREADS] [BUILD_DIR]
+#
+#   N_THREADS  parallel width for the second run (default: nproc)
+#   BUILD_DIR  cmake build tree (default: build-bench)
+#
+# Outputs:
+#   BENCH_table1.json        (repo root, tracked) - written by bench_table1
+#                            from the N-thread run; the 1-thread run is kept
+#                            next to it as BENCH_table1.serial.json so the
+#                            speedup is inspectable from the two files.
+#   bench_dictionary console output for both widths.
+#
+# The diagnosis results themselves are identical at every width (see
+# DESIGN.md "Parallel execution"); only the timings differ.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+N_THREADS="${1:-$(nproc)}"
+BUILD_DIR="${2:-build-bench}"
+
+echo "== configure + build (Release) =="
+cmake -B "$BUILD_DIR" -S . -DCMAKE_BUILD_TYPE=Release >/dev/null
+cmake --build "$BUILD_DIR" -j "$(nproc)" --target bench_table1 bench_dictionary
+
+echo
+echo "== bench_dictionary, 1 thread =="
+"$BUILD_DIR/bench/bench_dictionary" --threads 1 \
+  --benchmark_min_time=0.2 --benchmark_filter='DictionaryBuild'
+
+echo
+echo "== bench_dictionary, $N_THREADS threads =="
+"$BUILD_DIR/bench/bench_dictionary" --threads "$N_THREADS" \
+  --benchmark_min_time=0.2 --benchmark_filter='DictionaryBuild'
+
+echo
+echo "== bench_table1, 1 thread =="
+"$BUILD_DIR/bench/bench_table1" --threads 1 --scale 0.35 --samples 120 \
+  --chips 8 --json BENCH_table1.serial.json
+
+echo
+echo "== bench_table1, $N_THREADS threads =="
+"$BUILD_DIR/bench/bench_table1" --threads "$N_THREADS" --scale 0.35 \
+  --samples 120 --chips 8 --json BENCH_table1.json
+
+echo
+serial=$(grep -o '"total_seconds": *[0-9.]*' BENCH_table1.serial.json |
+  grep -o '[0-9.]*')
+parallel=$(grep -o '"total_seconds": *[0-9.]*' BENCH_table1.json |
+  grep -o '[0-9.]*')
+echo "table1 wall: ${serial}s @1 thread -> ${parallel}s @${N_THREADS} threads"
+awk -v s="$serial" -v p="$parallel" \
+  'BEGIN { if (p > 0) printf "speedup: %.2fx\n", s / p }'

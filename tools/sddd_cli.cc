@@ -27,6 +27,7 @@
 #include "netlist/synth.h"
 #include "netlist/verilog_io.h"
 #include "paths/transition_graph.h"
+#include "runtime/parallel_for.h"
 #include "timing/celllib.h"
 #include "timing/clark_ssta.h"
 #include "timing/delay_field.h"
@@ -48,6 +49,8 @@ namespace {
       "              [--seed N]\n"
       "  atpg <netlist> [--site ARC] [--max-patterns N] [--seed N]\n"
       "  diagnose <netlist> [--chips N] [--samples N] [--seed N]\n"
+      "global: --threads N (0 = all hardware threads, 1 = serial; also\n"
+      "        honours SDDD_THREADS; results are identical at any setting)\n"
       "formats by extension: .bench = ISCAS bench, otherwise Verilog\n");
   std::exit(2);
 }
@@ -210,6 +213,7 @@ int cmd_diagnose(const std::filesystem::path& path, const Options& opts) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  runtime::configure_threads_from_args(&argc, argv);
   if (argc < 2) usage_and_exit();
   const std::string cmd = argv[1];
   try {
