@@ -10,7 +10,12 @@
 // Usage:
 //   bench_table1 [--scale S] [--samples N] [--chips N] [--seed N]
 //                [--threads N] [--bench-dir DIR] [--csv FILE]
-//                [--json FILE] [circuit ...]
+//                [--json FILE] [--git-sha SHA] [--lint] [circuit ...]
+//
+// --lint runs the static-analysis preflight (netlist + statistical-model
+// rule packs) on every circuit and aborts on error-severity findings.
+// --git-sha (or the SDDD_GIT_SHA environment variable) stamps the JSON
+// record so the perf trajectory is attributable across PRs.
 //
 // Defaults favour a laptop-scale run (scale 0.35, 200 Monte-Carlo samples,
 // ~2-4 minutes); --scale 1.0 --samples 400 reproduces the full-size setup.
@@ -40,7 +45,7 @@ void usage() {
 void write_timings_json(const std::string& path,
                         const sddd::eval::Table1Config& config,
                         const sddd::eval::Table1Result& result,
-                        double total_seconds) {
+                        double total_seconds, const std::string& git_sha) {
   std::ofstream out(path);
   if (!out) {
     std::fprintf(stderr, "warning: cannot write %s\n", path.c_str());
@@ -48,6 +53,7 @@ void write_timings_json(const std::string& path,
   }
   out << "{\n"
       << "  \"bench\": \"table1\",\n"
+      << "  \"git_sha\": \"" << git_sha << "\",\n"
       << "  \"threads\": " << sddd::runtime::thread_count() << ",\n"
       << "  \"scale\": " << config.scale << ",\n"
       << "  \"samples\": " << config.base.mc_samples << ",\n"
@@ -75,6 +81,8 @@ int main(int argc, char** argv) {
   config.base.n_chips = 20;
   std::string csv_path;
   std::string json_path = "BENCH_table1.json";
+  const char* sha_env = std::getenv("SDDD_GIT_SHA");
+  std::string git_sha = sha_env != nullptr ? sha_env : "unknown";
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -99,6 +107,10 @@ int main(int argc, char** argv) {
       csv_path = next();
     } else if (arg == "--json") {
       json_path = next();
+    } else if (arg == "--git-sha") {
+      git_sha = next();
+    } else if (arg == "--lint") {
+      config.lint_preflight = true;
     } else if (arg == "--threads") {
       sddd::runtime::set_thread_count(
           static_cast<std::size_t>(std::atoi(next())));
@@ -139,7 +151,7 @@ int main(int argc, char** argv) {
               sddd::runtime::thread_count());
 
   if (!json_path.empty()) {
-    write_timings_json(json_path, config, result, total_seconds);
+    write_timings_json(json_path, config, result, total_seconds, git_sha);
   }
 
   if (!csv_path.empty()) {

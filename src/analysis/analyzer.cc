@@ -1,0 +1,56 @@
+#include "analysis/analyzer.h"
+
+#include "netlist/netlist.h"
+#include "netlist/scan.h"
+#include "runtime/parallel_for.h"
+#include "timing/celllib.h"
+#include "timing/delay_model.h"
+
+namespace sddd::analysis {
+
+void Analyzer::add_rule(std::unique_ptr<Rule> rule) {
+  rules_.push_back(std::move(rule));
+}
+
+Report Analyzer::run(const AnalysisInput& in) const {
+  // One private Report per rule; merged serially in registration order so
+  // the finding order never depends on the schedule.
+  std::vector<Report> parts(rules_.size());
+  runtime::parallel_for(rules_.size(), [&](std::size_t i) {
+    rules_[i]->run(in, parts[i]);
+  });
+  Report merged;
+  for (const Report& part : parts) merged.merge(part);
+  return merged;
+}
+
+Analyzer Analyzer::with_default_rules() {
+  Analyzer a;
+  register_netlist_rules(a);
+  register_model_rules(a);
+  register_dictionary_rules(a);
+  return a;
+}
+
+Report lint_netlist(const Analyzer& analyzer, const netlist::Netlist& nl) {
+  AnalysisInput in;
+  in.netlist = &nl;
+  Report report = analyzer.run(in);
+  // The delay model is only constructible over combinational cells of a
+  // frozen netlist, and is meaningless once structural errors are present.
+  if (!nl.frozen() || report.error_count() > 0) return report;
+  const netlist::Netlist* core = &nl;
+  netlist::Netlist scan_core;
+  if (nl.dff_count() > 0) {
+    scan_core = netlist::full_scan_transform(nl);
+    core = &scan_core;
+  }
+  const timing::StatisticalCellLibrary lib;
+  const timing::ArcDelayModel model(*core, lib);
+  AnalysisInput model_in;
+  model_in.delay_model = &model;
+  report.merge(analyzer.run(model_in));
+  return report;
+}
+
+}  // namespace sddd::analysis

@@ -1,0 +1,44 @@
+// analyzer.h - Rule registry and parallel pass runner.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "analysis/rule.h"
+
+namespace sddd::analysis {
+
+/// Owns an ordered set of rules and runs them over an input.  Rules are
+/// independent, so the run fans out over the runtime thread pool
+/// (--threads / SDDD_THREADS); each rule writes its own Report slot and the
+/// slots merge in registration order, making the combined Report
+/// bit-identical for any thread count.
+class Analyzer {
+ public:
+  void add_rule(std::unique_ptr<Rule> rule);
+
+  const std::vector<std::unique_ptr<Rule>>& rules() const { return rules_; }
+
+  Report run(const AnalysisInput& in) const;
+
+  /// All built-in rule packs (netlist + statistical model + dictionary).
+  static Analyzer with_default_rules();
+
+ private:
+  std::vector<std::unique_ptr<Rule>> rules_;
+};
+
+/// Registration hooks for the individual packs (see the .cc of each pack
+/// for the rule-id table; the authoritative list is DESIGN.md section 8).
+void register_netlist_rules(Analyzer& a);
+void register_model_rules(Analyzer& a);
+void register_dictionary_rules(Analyzer& a);
+
+/// The standard netlist preflight shared by sddd_lint, sddd_cli --lint and
+/// the experiment drivers: the netlist rule pack on `nl` as given, then —
+/// when `nl` is frozen and structurally clean — the statistical-model rules
+/// on the delay model of its combinational core (full-scan transformed when
+/// sequential, since DFF cells carry no pin-to-pin delay distribution).
+Report lint_netlist(const Analyzer& analyzer, const netlist::Netlist& nl);
+
+}  // namespace sddd::analysis

@@ -1,0 +1,104 @@
+#include "analysis/check.h"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <mutex>
+
+namespace sddd::analysis {
+
+namespace {
+
+constexpr double kTol = 1e-9;
+
+std::atomic<int> g_mode{-1};  // -1 = environment not resolved yet
+
+int resolve_from_env() {
+  const char* env = std::getenv("SDDD_CHECK");
+  if (env == nullptr || std::strcmp(env, "off") == 0 || env[0] == '\0') {
+    return static_cast<int>(CheckMode::kOff);
+  }
+  if (std::strcmp(env, "warn") == 0) return static_cast<int>(CheckMode::kWarn);
+  if (std::strcmp(env, "throw") == 0) {
+    return static_cast<int>(CheckMode::kThrow);
+  }
+  std::fprintf(stderr,
+               "SDDD_CHECK: unknown mode \"%s\" (want off|warn|throw); "
+               "checks stay off\n",
+               env);
+  return static_cast<int>(CheckMode::kOff);
+}
+
+}  // namespace
+
+CheckMode check_mode() {
+  int mode = g_mode.load(std::memory_order_relaxed);
+  if (mode < 0) {
+    mode = resolve_from_env();
+    int expected = -1;
+    // Another thread may have resolved concurrently; both compute the same
+    // value, so losing the race is harmless.
+    g_mode.compare_exchange_strong(expected, mode, std::memory_order_relaxed);
+  }
+  return static_cast<CheckMode>(mode);
+}
+
+void set_check_mode(CheckMode m) {
+  g_mode.store(static_cast<int>(m), std::memory_order_relaxed);
+}
+
+ContractViolation::ContractViolation(std::string_view rule_id,
+                                     const std::string& message)
+    : std::runtime_error(std::string(rule_id) + ": " + message),
+      rule_id_(rule_id) {}
+
+namespace detail {
+
+void report_violation(std::string_view rule_id, const std::string& message) {
+  if (check_mode() == CheckMode::kThrow) {
+    throw ContractViolation(rule_id, message);
+  }
+  // warn mode: one line per process, to keep a violating hot loop from
+  // flooding stderr.
+  static std::once_flag warned;
+  std::call_once(warned, [&] {
+    std::fprintf(stderr,
+                 "SDDD_CHECK violation [%.*s]: %s (further warnings "
+                 "suppressed; set SDDD_CHECK=throw to fail fast)\n",
+                 static_cast<int>(rule_id.size()), rule_id.data(),
+                 message.c_str());
+  });
+}
+
+}  // namespace detail
+
+namespace {
+
+void check_column_range(std::span<const double> column, double lo, double hi,
+                        std::string_view rule_id, std::string_view where) {
+  if (!checks_enabled()) return;
+  for (std::size_t k = 0; k < column.size(); ++k) {
+    const double v = column[k];
+    if (std::isfinite(v) && v >= lo - kTol && v <= hi + kTol) continue;
+    detail::report_violation(
+        rule_id, std::string(where) + ": entry " + std::to_string(k) + " = " +
+                     std::to_string(v) + " outside [" + std::to_string(lo) +
+                     ", " + std::to_string(hi) + "]");
+    return;  // in warn mode one violation per column suffices
+  }
+}
+
+}  // namespace
+
+void check_probability_column(std::span<const double> column,
+                              std::string_view where) {
+  check_column_range(column, 0.0, 1.0, "DICT001", where);
+}
+
+void check_signature_column(std::span<const double> column,
+                            std::string_view where) {
+  check_column_range(column, -1.0, 1.0, "DICT002", where);
+}
+
+}  // namespace sddd::analysis

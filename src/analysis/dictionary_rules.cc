@@ -1,0 +1,218 @@
+#include "analysis/dictionary_rules.h"
+
+#include <cmath>
+#include <string>
+#include <vector>
+
+namespace sddd::analysis {
+
+namespace {
+
+constexpr double kTol = 1e-9;
+constexpr std::size_t kMaxFindings = 16;
+
+std::string cell_loc(const std::string& what, std::size_t i, std::size_t j) {
+  return what + "[" + std::to_string(i) + "][" + std::to_string(j) + "]";
+}
+
+/// Checks every entry of an output-major matrix against [lo, hi]; returns
+/// the number of violations (reporting at most kMaxFindings of them).
+std::size_t check_range(const std::vector<std::vector<double>>& m,
+                        const std::string& what, double lo, double hi,
+                        std::string_view rule, Report& out) {
+  std::size_t found = 0;
+  for (std::size_t i = 0; i < m.size(); ++i) {
+    for (std::size_t j = 0; j < m[i].size(); ++j) {
+      const double v = m[i][j];
+      if (std::isfinite(v) && v >= lo - kTol && v <= hi + kTol) continue;
+      if (found++ < kMaxFindings) {
+        out.add(std::string(rule), Severity::kError, cell_loc(what, i, j),
+                "entry " + std::to_string(v) + " lies outside [" +
+                    std::to_string(lo) + ", " + std::to_string(hi) + "]");
+      }
+    }
+  }
+  if (found > kMaxFindings) {
+    out.add(std::string(rule), Severity::kError, what,
+            std::to_string(found - kMaxFindings) +
+                " further out-of-range entries suppressed");
+  }
+  return found;
+}
+
+class ProbabilityRangeRule final : public Rule {
+ public:
+  std::string_view id() const override { return kRuleProbabilityRange; }
+  Severity severity() const override { return Severity::kError; }
+  std::string_view summary() const override {
+    return "critical probability (M_crt/E_crt) outside [0, 1]";
+  }
+
+  void run(const AnalysisInput& in, Report& out) const override {
+    if (in.dictionary == nullptr) return;
+    check_range(in.dictionary->m_crt, "M", 0.0, 1.0, id(), out);
+  }
+};
+
+class SignatureRangeRule final : public Rule {
+ public:
+  std::string_view id() const override { return kRuleSignatureRange; }
+  Severity severity() const override { return Severity::kError; }
+  std::string_view summary() const override {
+    return "signature probability (S_crt) outside [-1, 1]";
+  }
+
+  void run(const AnalysisInput& in, Report& out) const override {
+    if (in.dictionary == nullptr) return;
+    for (const auto& sig : in.dictionary->signatures) {
+      check_range(sig.s_crt, "S(" + sig.label + ")", -1.0, 1.0, id(), out);
+    }
+  }
+};
+
+class DictionaryShapeRule final : public Rule {
+ public:
+  std::string_view id() const override { return kRuleDictionaryShape; }
+  Severity severity() const override { return Severity::kError; }
+  std::string_view summary() const override {
+    return "dictionary matrix dimensions inconsistent with |O| x |TP|";
+  }
+
+  void run(const AnalysisInput& in, Report& out) const override {
+    if (in.dictionary == nullptr) return;
+    const auto& d = *in.dictionary;
+    check_shape(d.m_crt, "M", d, out);
+    for (const auto& sig : d.signatures) {
+      check_shape(sig.s_crt, "S(" + sig.label + ")", d, out);
+    }
+  }
+
+ private:
+  void check_shape(const std::vector<std::vector<double>>& m,
+                   const std::string& what, const DictionarySubject& d,
+                   Report& out) const {
+    if (m.empty()) return;  // subject member not supplied
+    if (m.size() != d.n_outputs) {
+      out.add(std::string(id()), severity(), what,
+              "matrix has " + std::to_string(m.size()) +
+                  " output rows, expected |O| = " +
+                  std::to_string(d.n_outputs));
+    }
+    for (std::size_t i = 0; i < m.size(); ++i) {
+      if (m[i].size() != d.n_patterns) {
+        out.add(std::string(id()), severity(),
+                what + " row " + std::to_string(i),
+                "row has " + std::to_string(m[i].size()) +
+                    " pattern columns, expected |TP| = " +
+                    std::to_string(d.n_patterns));
+        return;  // one ragged row implies more; avoid flooding
+      }
+    }
+  }
+};
+
+class ZeroSignatureRule final : public Rule {
+ public:
+  std::string_view id() const override { return kRuleZeroSignature; }
+  Severity severity() const override { return Severity::kWarning; }
+  std::string_view summary() const override {
+    return "all-zero signature: suspect predicts no failure, undiagnosable";
+  }
+
+  void run(const AnalysisInput& in, Report& out) const override {
+    if (in.dictionary == nullptr) return;
+    for (const auto& sig : in.dictionary->signatures) {
+      if (sig.s_crt.empty()) continue;
+      bool all_zero = true;
+      for (const auto& row : sig.s_crt) {
+        for (const double v : row) {
+          if (std::abs(v) > kTol) {
+            all_zero = false;
+            break;
+          }
+        }
+        if (!all_zero) break;
+      }
+      if (all_zero) {
+        out.add(std::string(id()), severity(), sig.label,
+                "signature is identically zero over every (output, "
+                "pattern) cell: the pattern set cannot distinguish this "
+                "suspect from a defect-free chip");
+      }
+    }
+  }
+};
+
+class DuplicateSignatureRule final : public Rule {
+ public:
+  std::string_view id() const override { return kRuleDuplicateSignature; }
+  Severity severity() const override { return Severity::kWarning; }
+  std::string_view summary() const override {
+    return "identical signatures cap diagnosability (equivalence class)";
+  }
+
+  void run(const AnalysisInput& in, Report& out) const override {
+    if (in.dictionary == nullptr) return;
+    const auto& sigs = in.dictionary->signatures;
+    // All-zero signatures are DICT004's finding; pairing them up here
+    // would flood the report with quadratically many duplicates.
+    std::vector<char> zero(sigs.size(), 0);
+    for (std::size_t a = 0; a < sigs.size(); ++a) {
+      zero[a] = is_zero(sigs[a].s_crt) ? 1 : 0;
+    }
+    std::size_t found = 0;
+    for (std::size_t a = 0; a < sigs.size(); ++a) {
+      if (sigs[a].s_crt.empty() || zero[a]) continue;
+      for (std::size_t b = a + 1; b < sigs.size(); ++b) {
+        if (zero[b]) continue;
+        if (!equal(sigs[a].s_crt, sigs[b].s_crt)) continue;
+        if (found++ < kMaxFindings) {
+          out.add(std::string(id()), severity(),
+                  sigs[a].label + " / " + sigs[b].label,
+                  "signatures are identical: no error function can rank "
+                  "one above the other, so top-K resolution is capped by "
+                  "this equivalence class");
+        }
+      }
+    }
+    if (found > kMaxFindings) {
+      out.add(std::string(id()), severity(), "signatures",
+              std::to_string(found - kMaxFindings) +
+                  " further duplicate pairs suppressed");
+    }
+  }
+
+ private:
+  static bool is_zero(const std::vector<std::vector<double>>& x) {
+    for (const auto& row : x) {
+      for (const double v : row) {
+        if (std::abs(v) > kTol) return false;
+      }
+    }
+    return true;
+  }
+
+  static bool equal(const std::vector<std::vector<double>>& x,
+                    const std::vector<std::vector<double>>& y) {
+    if (x.size() != y.size()) return false;
+    for (std::size_t i = 0; i < x.size(); ++i) {
+      if (x[i].size() != y[i].size()) return false;
+      for (std::size_t j = 0; j < x[i].size(); ++j) {
+        if (std::abs(x[i][j] - y[i][j]) > kTol) return false;
+      }
+    }
+    return true;
+  }
+};
+
+}  // namespace
+
+void register_dictionary_rules(Analyzer& a) {
+  a.add_rule(std::make_unique<ProbabilityRangeRule>());
+  a.add_rule(std::make_unique<SignatureRangeRule>());
+  a.add_rule(std::make_unique<DictionaryShapeRule>());
+  a.add_rule(std::make_unique<ZeroSignatureRule>());
+  a.add_rule(std::make_unique<DuplicateSignatureRule>());
+}
+
+}  // namespace sddd::analysis

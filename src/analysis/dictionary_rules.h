@@ -1,0 +1,25 @@
+// dictionary_rules.h - Probabilistic fault-dictionary rules (DICT001..005).
+//
+//   DICT001  error    M_crt / E_crt entry outside [0, 1]
+//   DICT002  error    S_crt signature entry outside [-1, 1]
+//   DICT003  error    matrix dimensions inconsistent with |O| x |TP|
+//   DICT004  warning  all-zero signature column set: the suspect predicts
+//                     no failure anywhere and is undiagnosable
+//   DICT005  warning  two suspects with identical signatures (equivalence
+//                     class that caps diagnosability at its size)
+//
+// DICT001 and DICT002 are also enforced at runtime by the SDDD_CHECK layer
+// (see check.h) inside dictionary construction and diagnosis scoring.
+#pragma once
+
+#include "analysis/analyzer.h"
+
+namespace sddd::analysis {
+
+inline constexpr std::string_view kRuleProbabilityRange = "DICT001";
+inline constexpr std::string_view kRuleSignatureRange = "DICT002";
+inline constexpr std::string_view kRuleDictionaryShape = "DICT003";
+inline constexpr std::string_view kRuleZeroSignature = "DICT004";
+inline constexpr std::string_view kRuleDuplicateSignature = "DICT005";
+
+}  // namespace sddd::analysis

@@ -1,0 +1,65 @@
+// finding.h - Structured diagnostics produced by the static-analysis rules.
+//
+// Every rule violation is a Finding: a stable rule id (the contract between
+// the lint pass, the runtime SDDD_CHECK layer and the documentation table in
+// DESIGN.md), a severity, a location string ("gate G10", "arc 42", "R[3][1]")
+// and a human-readable message.  A Report is an ordered collection of
+// findings with text and JSON emitters; error-severity findings are what
+// gate the sddd_lint exit code and tools/ci.sh.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace sddd::analysis {
+
+enum class Severity : std::uint8_t {
+  kInfo,
+  kWarning,
+  kError,
+};
+
+std::string_view severity_name(Severity s);
+
+/// One rule violation at one location.
+struct Finding {
+  std::string rule_id;   ///< stable id, e.g. "NET001"
+  Severity severity = Severity::kWarning;
+  std::string location;  ///< subject-relative, e.g. "gate w" or "S[2][0]"
+  std::string message;   ///< what is wrong and why it matters
+};
+
+/// Ordered findings plus counting and emission.  Rules append via add();
+/// the Analyzer merges per-rule reports in rule-registration order, so the
+/// report is deterministic for any thread count.
+class Report {
+ public:
+  void add(std::string rule_id, Severity severity, std::string location,
+           std::string message);
+
+  const std::vector<Finding>& findings() const { return findings_; }
+  bool empty() const { return findings_.empty(); }
+  std::size_t count(Severity s) const;
+  std::size_t error_count() const { return count(Severity::kError); }
+  std::size_t warning_count() const { return count(Severity::kWarning); }
+
+  /// True when any finding carries the given rule id.
+  bool has_rule(std::string_view rule_id) const;
+
+  /// Appends every finding of `other` (used by the parallel rule runner).
+  void merge(const Report& other);
+
+  /// Human-readable listing, one "severity rule_id location: message" line
+  /// per finding plus a summary line.
+  std::string to_text() const;
+
+  /// JSON document: {"findings": [...], "errors": N, "warnings": N}.
+  std::string to_json() const;
+
+ private:
+  std::vector<Finding> findings_;
+};
+
+}  // namespace sddd::analysis

@@ -1,0 +1,169 @@
+#include "analysis/model_rules.h"
+
+#include <cmath>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "stats/correlation.h"
+
+namespace sddd::analysis {
+
+namespace {
+
+std::string arc_loc(const timing::ArcDelayModel& model, netlist::ArcId a) {
+  const auto& nl = model.netlist();
+  const auto& arc = nl.arc(a);
+  return "arc " + std::to_string(a) + " (pin " + std::to_string(arc.pin) +
+         " of " + nl.gate(arc.gate).name + ")";
+}
+
+class NegativeDelayRule final : public Rule {
+ public:
+  std::string_view id() const override { return kRuleNegativeDelay; }
+  Severity severity() const override { return Severity::kError; }
+  std::string_view summary() const override {
+    return "negative or non-finite mean/sigma pin-to-pin delay";
+  }
+
+  void run(const AnalysisInput& in, Report& out) const override {
+    if (in.delay_model == nullptr) return;
+    const auto& model = *in.delay_model;
+    const std::size_t n = model.netlist().arc_count();
+    for (netlist::ArcId a = 0; a < n; ++a) {
+      const auto& rv = model.arc_rv(a);
+      const double mean = rv.mean();
+      const double sigma = rv.stddev();
+      if (!std::isfinite(mean) || !std::isfinite(sigma)) {
+        out.add(std::string(id()), severity(), arc_loc(model, a),
+                "delay distribution has non-finite moments (" +
+                    rv.to_string() + ")");
+      } else if (mean < 0.0 || sigma < 0.0) {
+        out.add(std::string(id()), severity(), arc_loc(model, a),
+                "delay distribution violates the [0, +inf) support of "
+                "Definition D.1 (" + rv.to_string() + ")");
+      }
+    }
+  }
+};
+
+class DegenerateDelayRule final : public Rule {
+ public:
+  std::string_view id() const override { return kRuleDegenerateDelay; }
+  Severity severity() const override { return Severity::kWarning; }
+  std::string_view summary() const override {
+    return "zero-spread delay distribution on a combinational arc";
+  }
+
+  void run(const AnalysisInput& in, Report& out) const override {
+    if (in.delay_model == nullptr) return;
+    const auto& model = *in.delay_model;
+    const auto& nl = model.netlist();
+    constexpr std::size_t kMaxFindings = 16;
+    std::size_t found = 0;
+    for (netlist::ArcId a = 0; a < nl.arc_count(); ++a) {
+      const auto& gate = nl.gate(nl.arc(a).gate);
+      if (!netlist::is_combinational(gate.type)) continue;
+      const auto& rv = model.arc_rv(a);
+      if (rv.stddev() != 0.0 || !std::isfinite(rv.mean())) continue;
+      if (found++ < kMaxFindings) {
+        out.add(std::string(id()), severity(), arc_loc(model, a),
+                "degenerate (zero-spread) delay: the statistical model "
+                "collapses to a deterministic one on this arc");
+      }
+    }
+    if (found > kMaxFindings) {
+      out.add(std::string(id()), severity(), "model",
+              std::to_string(found - kMaxFindings) +
+                  " further arcs with degenerate delay distributions "
+                  "suppressed");
+    }
+  }
+};
+
+class CorrelationShapeRule final : public Rule {
+ public:
+  std::string_view id() const override { return kRuleCorrelationShape; }
+  Severity severity() const override { return Severity::kError; }
+  std::string_view summary() const override {
+    return "correlation matrix asymmetric, off-unit diagonal, or |r| > 1";
+  }
+
+  void run(const AnalysisInput& in, Report& out) const override {
+    if (in.correlation == nullptr) return;
+    const auto& c = *in.correlation;
+    const std::size_t d = c.dim;
+    if (c.matrix.size() != d * d) {
+      out.add(std::string(id()), severity(), "R",
+              "matrix has " + std::to_string(c.matrix.size()) +
+                  " entries, expected dim*dim = " + std::to_string(d * d));
+      return;
+    }
+    constexpr double kTol = 1e-9;
+    for (std::size_t i = 0; i < d; ++i) {
+      const double diag = c.matrix[i * d + i];
+      if (!(std::abs(diag - 1.0) <= kTol)) {
+        out.add(std::string(id()), severity(),
+                "R[" + std::to_string(i) + "][" + std::to_string(i) + "]",
+                "diagonal entry " + std::to_string(diag) +
+                    " is not 1 (not a correlation matrix)");
+      }
+      for (std::size_t j = 0; j < i; ++j) {
+        const double rij = c.matrix[i * d + j];
+        const double rji = c.matrix[j * d + i];
+        if (!std::isfinite(rij) || std::abs(rij) > 1.0 + kTol) {
+          out.add(std::string(id()), severity(),
+                  "R[" + std::to_string(i) + "][" + std::to_string(j) + "]",
+                  "correlation " + std::to_string(rij) +
+                      " lies outside [-1, 1]");
+        }
+        if (!(std::abs(rij - rji) <= kTol)) {
+          out.add(std::string(id()), severity(),
+                  "R[" + std::to_string(i) + "][" + std::to_string(j) + "]",
+                  "asymmetric: R[i][j] = " + std::to_string(rij) +
+                      " but R[j][i] = " + std::to_string(rji));
+        }
+      }
+    }
+  }
+};
+
+class CorrelationPsdRule final : public Rule {
+ public:
+  std::string_view id() const override { return kRuleCorrelationNotPsd; }
+  Severity severity() const override { return Severity::kError; }
+  std::string_view summary() const override {
+    return "correlation matrix not positive semi-definite";
+  }
+
+  void run(const AnalysisInput& in, Report& out) const override {
+    if (in.correlation == nullptr) return;
+    const auto& c = *in.correlation;
+    if (c.dim == 0 || c.matrix.size() != c.dim * c.dim) return;  // MOD003
+    // Cholesky probe on R + eps*I: the ridge admits genuinely PSD-but-
+    // singular matrices (e.g. perfectly correlated pairs) while still
+    // rejecting any matrix with a materially negative eigenvalue.
+    constexpr double kRidge = 1e-9;
+    std::vector<double> ridged = c.matrix;
+    for (std::size_t i = 0; i < c.dim; ++i) ridged[i * c.dim + i] += kRidge;
+    try {
+      (void)stats::cholesky_lower(ridged, c.dim);
+    } catch (const std::invalid_argument&) {
+      out.add(std::string(id()), severity(), "R",
+              "Cholesky factorization failed: the matrix has a negative "
+              "eigenvalue, so no joint normal distribution realizes these "
+              "correlations and sampling from it is meaningless");
+    }
+  }
+};
+
+}  // namespace
+
+void register_model_rules(Analyzer& a) {
+  a.add_rule(std::make_unique<NegativeDelayRule>());
+  a.add_rule(std::make_unique<DegenerateDelayRule>());
+  a.add_rule(std::make_unique<CorrelationShapeRule>());
+  a.add_rule(std::make_unique<CorrelationPsdRule>());
+}
+
+}  // namespace sddd::analysis

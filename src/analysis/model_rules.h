@@ -1,0 +1,24 @@
+// model_rules.h - Statistical timing-model rules (MOD001..MOD004).
+//
+//   MOD001  error    negative mean or sigma pin-to-pin delay
+//   MOD002  warning  degenerate delay distribution (zero spread) on a
+//                    combinational arc
+//   MOD003  error    correlation matrix asymmetric, off-unit diagonal, or
+//                    entry outside [-1, 1]
+//   MOD004  error    correlation matrix not positive semi-definite
+//                    (Cholesky probe with an epsilon ridge)
+//
+// MOD001/MOD002 inspect AnalysisInput::delay_model; MOD003/MOD004 inspect
+// AnalysisInput::correlation.
+#pragma once
+
+#include "analysis/analyzer.h"
+
+namespace sddd::analysis {
+
+inline constexpr std::string_view kRuleNegativeDelay = "MOD001";
+inline constexpr std::string_view kRuleDegenerateDelay = "MOD002";
+inline constexpr std::string_view kRuleCorrelationShape = "MOD003";
+inline constexpr std::string_view kRuleCorrelationNotPsd = "MOD004";
+
+}  // namespace sddd::analysis

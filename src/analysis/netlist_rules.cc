@@ -1,0 +1,307 @@
+#include "analysis/netlist_rules.h"
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "netlist/cell.h"
+
+namespace sddd::analysis {
+
+namespace {
+
+using netlist::CellType;
+using netlist::Gate;
+using netlist::GateId;
+using netlist::Netlist;
+
+std::string gate_loc(const Netlist& nl, GateId g) {
+  const std::string& name = nl.gate(g).name;
+  std::string loc = "gate ";
+  if (name.empty()) {
+    loc += '#';
+    loc += std::to_string(g);
+  } else {
+    loc += name;
+  }
+  return loc;
+}
+
+bool valid_id(GateId f, std::size_t n) { return f < n; }
+
+/// Fanout counts derived from the fanin lists (works unfrozen; ignores
+/// dangling ids, which NET002 reports separately).
+std::vector<std::uint32_t> local_fanout_counts(const Netlist& nl) {
+  std::vector<std::uint32_t> count(nl.gate_count(), 0);
+  for (const Gate& g : nl.gates()) {
+    for (const GateId f : g.fanins) {
+      if (valid_id(f, count.size())) ++count[f];
+    }
+  }
+  return count;
+}
+
+/// True per gate when its fanin cone contains a transition source (PI or
+/// DFF output).  Fixpoint propagation along fanout edges; tolerates cycles.
+std::vector<char> reachable_from_sources(const Netlist& nl) {
+  const std::size_t n = nl.gate_count();
+  std::vector<char> reach(n, 0);
+  std::vector<std::vector<GateId>> fanouts(n);
+  std::vector<GateId> queue;
+  for (GateId g = 0; g < n; ++g) {
+    const Gate& gate = nl.gate(g);
+    const bool source =
+        gate.type == CellType::kInput || gate.type == CellType::kDff;
+    if (source) {
+      reach[g] = 1;
+      queue.push_back(g);
+    }
+    // DFF data inputs do not propagate a same-cycle transition.
+    if (gate.type == CellType::kDff) continue;
+    for (const GateId f : gate.fanins) {
+      if (valid_id(f, n)) fanouts[f].push_back(g);
+    }
+  }
+  while (!queue.empty()) {
+    const GateId g = queue.back();
+    queue.pop_back();
+    for (const GateId s : fanouts[g]) {
+      if (!reach[s]) {
+        reach[s] = 1;
+        queue.push_back(s);
+      }
+    }
+  }
+  return reach;
+}
+
+class CombinationalCycleRule final : public Rule {
+ public:
+  std::string_view id() const override { return kRuleCombinationalCycle; }
+  Severity severity() const override { return Severity::kError; }
+  std::string_view summary() const override {
+    return "combinational cycle not cut by a DFF";
+  }
+
+  void run(const AnalysisInput& in, Report& out) const override {
+    if (in.netlist == nullptr) return;
+    const Netlist& nl = *in.netlist;
+    const std::size_t n = nl.gate_count();
+    // Iterative coloring DFS over the combinational fanin edges (DFF data
+    // edges are cut, matching Levelization's ordering contract).
+    std::vector<std::uint8_t> color(n, 0);  // 0 white, 1 gray, 2 black
+    std::size_t reported = 0;
+    constexpr std::size_t kMaxFindings = 8;
+    for (GateId root = 0; root < n && reported < kMaxFindings; ++root) {
+      if (color[root] != 0) continue;
+      // Stack of (gate, next fanin index to visit).
+      std::vector<std::pair<GateId, std::size_t>> stack;
+      stack.emplace_back(root, 0);
+      color[root] = 1;
+      while (!stack.empty()) {
+        auto& [g, next] = stack.back();
+        const Gate& gate = nl.gate(g);
+        const bool cut = gate.type == CellType::kDff;
+        if (cut || next >= gate.fanins.size()) {
+          color[g] = 2;
+          stack.pop_back();
+          continue;
+        }
+        const GateId f = gate.fanins[next++];
+        if (!valid_id(f, n) || color[f] == 2) continue;
+        if (color[f] == 1) {
+          if (reported++ < kMaxFindings) {
+            out.add(std::string(id()), severity(), gate_loc(nl, f),
+                    "combinational cycle through " + gate_loc(nl, g) +
+                        "; levelization and every topological analysis "
+                        "are undefined on this netlist");
+          }
+          continue;
+        }
+        color[f] = 1;
+        stack.emplace_back(f, 0);
+      }
+    }
+  }
+};
+
+class UndrivenNetRule final : public Rule {
+ public:
+  std::string_view id() const override { return kRuleUndrivenNet; }
+  Severity severity() const override { return Severity::kError; }
+  std::string_view summary() const override {
+    return "undriven net (undefined signal or dangling fanin id)";
+  }
+
+  void run(const AnalysisInput& in, Report& out) const override {
+    if (in.netlist == nullptr) return;
+    const Netlist& nl = *in.netlist;
+    const std::size_t n = nl.gate_count();
+    for (GateId g = 0; g < n; ++g) {
+      const Gate& gate = nl.gate(g);
+      if (netlist::is_combinational(gate.type) && gate.fanins.empty()) {
+        out.add(std::string(id()), severity(), gate_loc(nl, g),
+                "combinational gate has no fanins: the net is undriven "
+                "(declared but never defined, or its driver was removed)");
+      }
+      for (std::size_t pin = 0; pin < gate.fanins.size(); ++pin) {
+        if (!valid_id(gate.fanins[pin], n)) {
+          out.add(std::string(id()), severity(), gate_loc(nl, g),
+                  "fanin pin " + std::to_string(pin) +
+                      " references gate id " +
+                      std::to_string(gate.fanins[pin]) +
+                      " outside the netlist");
+        }
+      }
+    }
+  }
+};
+
+class FloatingNetRule final : public Rule {
+ public:
+  std::string_view id() const override { return kRuleFloatingNet; }
+  Severity severity() const override { return Severity::kError; }
+  std::string_view summary() const override {
+    return "gate output drives nothing and is not a primary output";
+  }
+
+  void run(const AnalysisInput& in, Report& out) const override {
+    if (in.netlist == nullptr) return;
+    const Netlist& nl = *in.netlist;
+    const auto fanout = local_fanout_counts(nl);
+    for (GateId g = 0; g < nl.gate_count(); ++g) {
+      if (fanout[g] > 0 || nl.output_index(g) >= 0) continue;
+      const CellType type = nl.gate(g).type;
+      if (type == CellType::kInput) {
+        out.add(std::string(id()), Severity::kWarning, gate_loc(nl, g),
+                "primary input drives no gate and no output");
+      } else if (type == CellType::kConst0 || type == CellType::kConst1) {
+        out.add(std::string(id()), Severity::kWarning, gate_loc(nl, g),
+                "constant drives no gate and no output");
+      } else {
+        out.add(std::string(id()), severity(), gate_loc(nl, g),
+                "floating net: output is neither a primary output nor a "
+                "fanin of any gate, so defects on its arcs are "
+                "unobservable and silently undiagnosable");
+      }
+    }
+  }
+};
+
+class MultiplyDrivenRule final : public Rule {
+ public:
+  std::string_view id() const override { return kRuleMultiplyDriven; }
+  Severity severity() const override { return Severity::kError; }
+  std::string_view summary() const override {
+    return "net listed as a primary output more than once";
+  }
+
+  void run(const AnalysisInput& in, Report& out) const override {
+    if (in.netlist == nullptr) return;
+    const Netlist& nl = *in.netlist;
+    std::vector<GateId> sorted(nl.outputs());
+    std::sort(sorted.begin(), sorted.end());
+    for (std::size_t i = 1; i < sorted.size(); ++i) {
+      if (sorted[i] == sorted[i - 1] && (i < 2 || sorted[i] != sorted[i - 2])) {
+        out.add(std::string(id()), severity(), gate_loc(nl, sorted[i]),
+                "net drives more than one primary-output slot: the "
+                "behavior matrix would double-count its failures");
+      }
+    }
+  }
+};
+
+class UnreachableGateRule final : public Rule {
+ public:
+  std::string_view id() const override { return kRuleUnreachableGate; }
+  Severity severity() const override { return Severity::kWarning; }
+  std::string_view summary() const override {
+    return "gate launches no PI/DFF transition (constant-only cone)";
+  }
+
+  void run(const AnalysisInput& in, Report& out) const override {
+    if (in.netlist == nullptr) return;
+    const Netlist& nl = *in.netlist;
+    const auto reach = reachable_from_sources(nl);
+    for (GateId g = 0; g < nl.gate_count(); ++g) {
+      const Gate& gate = nl.gate(g);
+      // Fanin-less combinational gates are NET002 (undriven), not merely
+      // unreachable.
+      if (!netlist::is_combinational(gate.type) || gate.fanins.empty()) {
+        continue;
+      }
+      if (!reach[g]) {
+        out.add(std::string(id()), severity(), gate_loc(nl, g),
+                "no primary input or DFF output reaches this gate; it can "
+                "never launch a transition and is dead for delay test");
+      }
+    }
+  }
+};
+
+class DeadOutputRule final : public Rule {
+ public:
+  std::string_view id() const override { return kRuleDeadOutput; }
+  Severity severity() const override { return Severity::kWarning; }
+  std::string_view summary() const override {
+    return "primary output observes no PI/DFF transition";
+  }
+
+  void run(const AnalysisInput& in, Report& out) const override {
+    if (in.netlist == nullptr) return;
+    const Netlist& nl = *in.netlist;
+    const auto reach = reachable_from_sources(nl);
+    for (std::size_t i = 0; i < nl.outputs().size(); ++i) {
+      const GateId driver = nl.outputs()[i];
+      if (!valid_id(driver, nl.gate_count()) || reach[driver]) continue;
+      out.add(std::string(id()), severity(),
+              "output " + std::to_string(i) + " (" +
+                  nl.gate(driver).name + ")",
+              "primary output can never observe a transition; its row of "
+              "the behavior matrix is constant and carries no diagnostic "
+              "information");
+    }
+  }
+};
+
+class ScanChainRule final : public Rule {
+ public:
+  std::string_view id() const override { return kRuleScanChain; }
+  Severity severity() const override { return Severity::kError; }
+  std::string_view summary() const override {
+    return "broken scan chain: DFF arity != 1 or self-feedback DFF";
+  }
+
+  void run(const AnalysisInput& in, Report& out) const override {
+    if (in.netlist == nullptr) return;
+    const Netlist& nl = *in.netlist;
+    for (GateId g = 0; g < nl.gate_count(); ++g) {
+      const Gate& gate = nl.gate(g);
+      if (gate.type != CellType::kDff) continue;
+      if (gate.fanins.size() != 1) {
+        out.add(std::string(id()), severity(), gate_loc(nl, g),
+                "DFF has " + std::to_string(gate.fanins.size()) +
+                    " data inputs (expected 1); the full-scan transform "
+                    "cannot form its pseudo-PI/pseudo-PO pair");
+      } else if (gate.fanins[0] == g) {
+        out.add(std::string(id()), severity(), gate_loc(nl, g),
+                "DFF data input is tied to its own output: the scan chain "
+                "cannot shift a value through this element");
+      }
+    }
+  }
+};
+
+}  // namespace
+
+void register_netlist_rules(Analyzer& a) {
+  a.add_rule(std::make_unique<CombinationalCycleRule>());
+  a.add_rule(std::make_unique<UndrivenNetRule>());
+  a.add_rule(std::make_unique<FloatingNetRule>());
+  a.add_rule(std::make_unique<MultiplyDrivenRule>());
+  a.add_rule(std::make_unique<UnreachableGateRule>());
+  a.add_rule(std::make_unique<DeadOutputRule>());
+  a.add_rule(std::make_unique<ScanChainRule>());
+}
+
+}  // namespace sddd::analysis

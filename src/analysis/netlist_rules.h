@@ -1,0 +1,35 @@
+// netlist_rules.h - Structural well-formedness rules (NET001..NET007).
+//
+// Levelization and freeze() reject some malformed netlists with a bare
+// throw; these rules diagnose the same defects (and several that the core
+// silently tolerates) with actionable, per-location findings:
+//
+//   NET001  error    combinational cycle (not cut by a DFF)
+//   NET002  error    undriven net: combinational gate with no fanins
+//                    (declared-but-undefined signal) or dangling fanin id
+//   NET003  error    floating net: gate output drives nothing and is not a
+//                    primary output (unused primary inputs are warnings)
+//   NET004  error    multiply-driven primary output (same net listed twice)
+//   NET005  warning  unreachable gate: fanin cone holds no PI/DFF, so the
+//                    gate can never launch a transition (dead for delay test)
+//   NET006  warning  dead primary output: observes no PI/DFF transition
+//   NET007  error    broken scan chain: DFF arity != 1 or DFF data input
+//                    tied to its own output (unscannable feedback)
+//
+// See analyzer.h for registration; rules run on frozen or unfrozen netlists
+// (all topology is derived from the fanin lists).
+#pragma once
+
+#include "analysis/analyzer.h"
+
+namespace sddd::analysis {
+
+inline constexpr std::string_view kRuleCombinationalCycle = "NET001";
+inline constexpr std::string_view kRuleUndrivenNet = "NET002";
+inline constexpr std::string_view kRuleFloatingNet = "NET003";
+inline constexpr std::string_view kRuleMultiplyDriven = "NET004";
+inline constexpr std::string_view kRuleUnreachableGate = "NET005";
+inline constexpr std::string_view kRuleDeadOutput = "NET006";
+inline constexpr std::string_view kRuleScanChain = "NET007";
+
+}  // namespace sddd::analysis

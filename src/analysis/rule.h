@@ -1,0 +1,82 @@
+// rule.h - The diagnostic pass interface and the subjects rules inspect.
+//
+// A Rule examines one aspect of an AnalysisInput and appends Findings to a
+// Report.  Rules are independent of each other (the Analyzer fans them out
+// over the runtime thread pool), stateless, and skip silently when their
+// subject is absent from the input - so one rule registry serves netlist-
+// only preflights and full dictionary audits alike.
+//
+// Subjects are deliberately plain data (or const pointers to existing
+// library types): the analysis layer depends only on netlist/timing/stats,
+// never on diagnosis, so the diagnosis libraries can in turn depend on the
+// runtime-contract half of this module (check.h) without a cycle.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "analysis/finding.h"
+#include "netlist/netlist.h"
+#include "timing/delay_model.h"
+
+namespace sddd::analysis {
+
+/// A correlation matrix to validate (row-major, dim x dim), e.g. the input
+/// of stats::cholesky_lower or a pairwise arc-delay correlation model.
+struct CorrelationSubject {
+  std::vector<double> matrix;
+  std::size_t dim = 0;
+};
+
+/// A probabilistic fault dictionary (or a slice of one) to validate.
+/// Matrices are output-major: m_crt[i][j] is output i under pattern j,
+/// matching FaultDictionary::m_matrix().  Empty members are skipped.
+struct DictionarySubject {
+  std::size_t n_outputs = 0;   ///< |O|: declared output count
+  std::size_t n_patterns = 0;  ///< |TP|: declared pattern count
+  /// Defect-free critical probabilities M_crt (entries must be in [0,1]).
+  std::vector<std::vector<double>> m_crt;
+  /// One suspect's signature matrix S_crt = E_crt - M_crt (entries must be
+  /// in [-1,1]); label identifies the suspect (e.g. "arc 42").
+  struct Signature {
+    std::string label;
+    std::vector<std::vector<double>> s_crt;
+  };
+  std::vector<Signature> signatures;
+};
+
+/// Everything one analysis run may inspect.  Null/absent members disable
+/// the rules that need them.
+struct AnalysisInput {
+  /// Netlist under test.  May be unfrozen: rules derive fanouts and cycles
+  /// from the fanin lists alone, which is exactly what lets them diagnose
+  /// netlists that freeze()/Levelization would reject with a bare throw.
+  const netlist::Netlist* netlist = nullptr;
+  /// Statistical timing model (per-arc delay random variables).
+  const timing::ArcDelayModel* delay_model = nullptr;
+  const CorrelationSubject* correlation = nullptr;
+  const DictionarySubject* dictionary = nullptr;
+};
+
+/// One diagnostic pass.  Implementations must be stateless and thread-safe:
+/// run() may execute concurrently with other rules on the same input.
+class Rule {
+ public:
+  virtual ~Rule() = default;
+
+  /// Stable rule id ("NET001", "MOD003", "DICT002", ...).
+  virtual std::string_view id() const = 0;
+
+  /// Default severity of this rule's findings.
+  virtual Severity severity() const = 0;
+
+  /// One-line description of what the rule catches (for --list / docs).
+  virtual std::string_view summary() const = 0;
+
+  /// Appends findings for `in` to `out`; no-op when the subject is absent.
+  virtual void run(const AnalysisInput& in, Report& out) const = 0;
+};
+
+}  // namespace sddd::analysis

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "analysis/check.h"
 #include "runtime/parallel_for.h"
 
 namespace sddd::diagnosis {
@@ -13,6 +14,7 @@ PatternSlice::PatternSlice(const timing::DynamicTimingSimulator& sim,
     : sim_(&sim), tg_(logic_sim, lev, pattern), clk_(clk) {
   baseline_ = sim.simulate(tg_);
   m_col_ = sim.error_vector(tg_, baseline_, clk);
+  analysis::check_probability_column(m_col_, "PatternSlice M_crt column");
 }
 
 std::vector<double> PatternSlice::e_column(
@@ -24,7 +26,9 @@ std::vector<double> PatternSlice::e_column(
   for (std::size_t k = 0; k < n; ++k) {
     defect.extra[k] = size_model.sample(suspect, k);
   }
-  return sim_->error_vector_with_defect(tg_, baseline_, defect, clk_);
+  auto e = sim_->error_vector_with_defect(tg_, baseline_, defect, clk_);
+  analysis::check_probability_column(e, "PatternSlice E_crt column");
+  return e;
 }
 
 std::vector<double> PatternSlice::signature_column(
@@ -33,6 +37,7 @@ std::vector<double> PatternSlice::signature_column(
   for (std::size_t i = 0; i < s.size(); ++i) {
     s[i] = std::max(s[i] - m_col_[i], 0.0);
   }
+  analysis::check_signature_column(s, "PatternSlice S_crt column");
   return s;
 }
 

@@ -4,6 +4,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "analysis/check.h"
+
 namespace sddd::diagnosis {
 
 std::string_view method_name(Method m) {
@@ -25,6 +27,9 @@ double phi(std::span<const double> s_column,
   if (s_column.size() != b_column.size()) {
     throw std::invalid_argument("phi: column size mismatch");
   }
+  // Runtime contract: phi matches probabilities, so an out-of-range entry
+  // means the signature fed to diagnosis scoring is corrupt.
+  analysis::check_probability_column(s_column, "phi signature match");
   double acc = 1.0;
   for (std::size_t k = 0; k < s_column.size(); ++k) {
     const double s = s_column[k];

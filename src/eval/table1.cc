@@ -4,6 +4,7 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "analysis/analyzer.h"
 #include "eval/paper_reference.h"
 #include "netlist/bench_io.h"
 #include "netlist/iscas_catalog.h"
@@ -28,6 +29,21 @@ Netlist load_circuit(const IscasProfile& profile, const Table1Config& config) {
   return netlist::make_standin(profile, config.scale, config.base.seed);
 }
 
+/// Rejects circuits with error-severity findings before any Monte-Carlo
+/// cycle is spent on them.
+void lint_or_throw(const Netlist& nl) {
+  const auto report =
+      analysis::lint_netlist(analysis::Analyzer::with_default_rules(), nl);
+  if (report.error_count() > 0) {
+    throw std::runtime_error("lint preflight failed for " + nl.name() +
+                             ":\n" + report.to_text());
+  }
+  if (!report.empty()) {
+    std::fprintf(stderr, "lint preflight (%s):\n%s", nl.name().c_str(),
+                 report.to_text().c_str());
+  }
+}
+
 }  // namespace
 
 Table1Result run_table1(const Table1Config& config) {
@@ -39,6 +55,7 @@ Table1Result run_table1(const Table1Config& config) {
       if (!wanted) continue;
     }
     const Netlist nl = load_circuit(profile, config);
+    if (config.lint_preflight) lint_or_throw(nl);
 
     ExperimentConfig exp_config = config.base;
     exp_config.methods = {Method::kSimI, Method::kSimII, Method::kSimIII,

@@ -26,6 +26,10 @@ struct Table1Config {
   /// Base experiment configuration (per-circuit K values come from the
   /// catalog; methods default to I/II/III/rev).
   ExperimentConfig base;
+  /// Run the static-analysis preflight (netlist + statistical-model rule
+  /// packs) on every circuit before its experiment; error-severity
+  /// findings abort the run with the report text.
+  bool lint_preflight = false;
 };
 
 struct Table1Cell {

@@ -1,0 +1,33 @@
+#!/usr/bin/env bash
+# The full pre-merge gate, runnable locally or from any CI runner:
+#
+#   1. tier-1 verify: Release configure + build + complete ctest suite;
+#   2. sanitizer pass: smoke-labeled ctest entries under ASan+UBSan;
+#   3. lint gate: sddd_lint over the embedded ISCAS catalog circuits plus
+#      a dictionary audit -- any error-severity finding fails the gate;
+#   4. clang-tidy profile (skipped automatically when not installed).
+#
+#   tools/ci.sh [-jN]
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+JOBS="${1:--j$(nproc)}"
+
+echo "== [1/4] tier-1 build + tests =="
+cmake -B build -S .
+cmake --build build "$JOBS"
+ctest --test-dir build --output-on-failure "$JOBS"
+
+echo "== [2/4] smoke tests under ASan+UBSan =="
+cmake -B build-san -S . -DSDDD_ASAN=ON -DSDDD_UBSAN=ON
+cmake --build build-san "$JOBS"
+ctest --test-dir build-san --output-on-failure -L smoke "$JOBS"
+
+echo "== [3/4] sddd_lint on the ISCAS catalog =="
+./build/tools/sddd_lint --dict --catalog c17 s27
+
+echo "== [4/4] clang-tidy profile =="
+tools/run_static_checks.sh
+
+echo "ci.sh: all gates passed"

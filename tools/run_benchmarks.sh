@@ -22,6 +22,9 @@ cd "$(dirname "$0")/.."
 
 N_THREADS="${1:-$(nproc)}"
 BUILD_DIR="${2:-build-bench}"
+# Stamp the JSON records with the commit under test so the perf trajectory
+# in BENCH_table1.json stays attributable PR over PR.
+GIT_SHA="$(git rev-parse --short HEAD 2>/dev/null || echo unknown)"
 
 echo "== configure + build (Release) =="
 cmake -B "$BUILD_DIR" -S . -DCMAKE_BUILD_TYPE=Release >/dev/null
@@ -40,12 +43,12 @@ echo "== bench_dictionary, $N_THREADS threads =="
 echo
 echo "== bench_table1, 1 thread =="
 "$BUILD_DIR/bench/bench_table1" --threads 1 --scale 0.35 --samples 120 \
-  --chips 8 --json BENCH_table1.serial.json
+  --chips 8 --git-sha "$GIT_SHA" --json BENCH_table1.serial.json
 
 echo
 echo "== bench_table1, $N_THREADS threads =="
 "$BUILD_DIR/bench/bench_table1" --threads "$N_THREADS" --scale 0.35 \
-  --samples 120 --chips 8 --json BENCH_table1.json
+  --samples 120 --chips 8 --git-sha "$GIT_SHA" --json BENCH_table1.json
 
 echo
 serial=$(grep -o '"total_seconds": *[0-9.]*' BENCH_table1.serial.json |

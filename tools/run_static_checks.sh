@@ -1,0 +1,33 @@
+#!/usr/bin/env bash
+# Runs clang-tidy (profile: .clang-tidy) over the library, tool, bench and
+# example sources using a CMake compile database.
+#
+#   tools/run_static_checks.sh [build-dir]
+#
+# The build dir defaults to build-tidy/ and is configured on demand with
+# CMAKE_EXPORT_COMPILE_COMMANDS=ON.  Exits 0 with a notice when clang-tidy
+# is not installed (the supported toolchain is gcc-only; the tidy pass is
+# an extra layer, not a gate), non-zero when clang-tidy reports warnings.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+TIDY="${CLANG_TIDY:-clang-tidy}"
+if ! command -v "$TIDY" > /dev/null 2>&1; then
+  echo "run_static_checks: $TIDY not found; skipping (install clang-tidy" \
+       "or set CLANG_TIDY to enable this pass)"
+  exit 0
+fi
+
+BUILD_DIR="${1:-build-tidy}"
+if [ ! -f "$BUILD_DIR/compile_commands.json" ]; then
+  cmake -B "$BUILD_DIR" -S . -DCMAKE_EXPORT_COMPILE_COMMANDS=ON
+fi
+
+# Every first-party translation unit in the database; third-party code and
+# generated files never enter it because only our targets are configured.
+mapfile -t SOURCES < <(find src tools bench examples -name '*.cc' | sort)
+
+echo "run_static_checks: ${#SOURCES[@]} files against $BUILD_DIR"
+"$TIDY" -p "$BUILD_DIR" --quiet "${SOURCES[@]}"
+echo "run_static_checks: clean"

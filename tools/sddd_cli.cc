@@ -19,6 +19,7 @@
 #include <map>
 #include <string>
 
+#include "analysis/analyzer.h"
 #include "atpg/diag_patterns.h"
 #include "eval/experiment.h"
 #include "netlist/bench_io.h"
@@ -51,6 +52,8 @@ namespace {
       "  diagnose <netlist> [--chips N] [--samples N] [--seed N]\n"
       "global: --threads N (0 = all hardware threads, 1 = serial; also\n"
       "        honours SDDD_THREADS; results are identical at any setting)\n"
+      "        --lint   static-analysis preflight of the input netlist;\n"
+      "                 error-severity findings abort the command\n"
       "formats by extension: .bench = ISCAS bench, otherwise Verilog\n");
   std::exit(2);
 }
@@ -74,6 +77,37 @@ void store(const netlist::Netlist& nl, const std::filesystem::path& path) {
   } else {
     netlist::write_verilog(nl, out);
   }
+}
+
+/// Removes a value-less `flag` from argv (wherever it appears) and
+/// reports whether it was present.  Mirrors configure_threads_from_args so
+/// global flags stay invisible to the per-command option scanners.
+bool consume_flag(int* argc, char** argv, const char* flag) {
+  bool found = false;
+  int w = 1;
+  for (int i = 1; i < *argc; ++i) {
+    if (std::strcmp(argv[i], flag) == 0) {
+      found = true;
+    } else {
+      argv[w++] = argv[i];
+    }
+  }
+  *argc = w;
+  return found;
+}
+
+/// The --lint preflight: netlist + statistical-model rule packs over the
+/// input circuit.  Returns false (after printing the report) when error-
+/// severity findings make the requested command meaningless.
+bool preflight_lint(const std::filesystem::path& path) {
+  const auto nl = load(path);
+  const auto report =
+      analysis::lint_netlist(analysis::Analyzer::with_default_rules(), nl);
+  if (!report.empty()) {
+    std::fprintf(stderr, "lint (%s):\n%s", nl.name().c_str(),
+                 report.to_text().c_str());
+  }
+  return report.error_count() == 0;
 }
 
 /// "--key value" option scanner over argv[from..).
@@ -214,9 +248,18 @@ int cmd_diagnose(const std::filesystem::path& path, const Options& opts) {
 
 int main(int argc, char** argv) {
   runtime::configure_threads_from_args(&argc, argv);
+  const bool lint = consume_flag(&argc, argv, "--lint");
   if (argc < 2) usage_and_exit();
   const std::string cmd = argv[1];
   try {
+    // Commands that read a netlist take it as argv[2]; synth writes one.
+    const bool has_input_netlist =
+        argc >= 3 && (cmd == "info" || cmd == "convert" || cmd == "scan" ||
+                      cmd == "atpg" || cmd == "diagnose");
+    if (lint && has_input_netlist && !preflight_lint(argv[2])) {
+      std::fprintf(stderr, "lint: error findings; aborting %s\n", cmd.c_str());
+      return 1;
+    }
     if (cmd == "info" && argc >= 3) return cmd_info(argv[2]);
     if (cmd == "convert" && argc >= 4) return cmd_convert(argv[2], argv[3]);
     if (cmd == "scan" && argc >= 4) return cmd_scan(argv[2], argv[3]);

@@ -1,0 +1,273 @@
+// sddd_lint - Rule-based static verification of netlists, statistical
+// timing models and probabilistic fault dictionaries.
+//
+//   sddd_lint [options] <netlist file | --catalog NAME> ...
+//
+//   --json          emit the report(s) as JSON on stdout
+//   --dict          also build a small probabilistic dictionary for each
+//                   circuit and run the dictionary rule pack (slower)
+//   --catalog       subsequent names are catalog circuits instead of files:
+//                   c17 / s27 (embedded) or a Table I profile stand-in;
+//                   "all" = every Table I circuit
+//   --scale S       stand-in synthesis scale for catalog circuits (0.25)
+//   --samples N     Monte-Carlo samples for --dict (120)
+//   --patterns N    test patterns for --dict (6)
+//   --suspects N    suspect signatures audited under --dict (12)
+//   --seed N        seed for stand-ins / --dict sampling (2003)
+//   --threads N     rule fan-out width (0 = all hardware threads)
+//   --list          print the rule table (id, severity, description)
+//
+// Exit code: 0 = no error-severity findings, 1 = error findings present,
+// 2 = usage or load failure.  Netlist format by extension (.bench /
+// Verilog), matching sddd_cli.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "analysis/analyzer.h"
+#include "atpg/pdf_atpg.h"
+#include "diagnosis/dictionary.h"
+#include "logicsim/bitsim.h"
+#include "netlist/bench_io.h"
+#include "netlist/iscas_catalog.h"
+#include "netlist/levelize.h"
+#include "netlist/scan.h"
+#include "netlist/verilog_io.h"
+#include "runtime/parallel_for.h"
+#include "stats/rng.h"
+#include "timing/celllib.h"
+#include "timing/delay_field.h"
+#include "timing/delay_model.h"
+#include "timing/dynamic_sim.h"
+
+using namespace sddd;
+
+namespace {
+
+struct LintOptions {
+  bool json = false;
+  bool dict = false;
+  double scale = 0.25;
+  std::size_t samples = 120;
+  std::size_t patterns = 6;
+  std::size_t suspects = 12;
+  std::uint64_t seed = 2003;
+};
+
+void usage() {
+  std::fprintf(
+      stderr,
+      "usage: sddd_lint [options] <netlist file | --catalog NAME> ...\n"
+      "  --json       JSON report on stdout\n"
+      "  --dict       also audit a small probabilistic dictionary\n"
+      "  --catalog    following names are catalog circuits\n"
+      "               (c17 / s27 / a Table I profile / all)\n"
+      "  --scale S    stand-in scale (default 0.25)\n"
+      "  --samples N  Monte-Carlo samples for --dict (default 120)\n"
+      "  --patterns N patterns for --dict (default 6)\n"
+      "  --suspects N signatures audited under --dict (default 12)\n"
+      "  --seed N     stand-in / sampling seed (default 2003)\n"
+      "  --threads N  rule fan-out width\n"
+      "  --list       print the rule table and exit\n"
+      "exit: 0 clean, 1 error findings, 2 usage/load failure\n");
+}
+
+netlist::Netlist load_target(const std::string& target, bool is_catalog,
+                             const LintOptions& opt) {
+  if (!is_catalog) {
+    const std::filesystem::path path(target);
+    return path.extension() == ".bench" ? netlist::parse_bench_file(path)
+                                        : netlist::parse_verilog_file(path);
+  }
+  if (target == "c17") {
+    return netlist::parse_bench_string(netlist::c17_bench_text(), "c17");
+  }
+  if (target == "s27") {
+    return netlist::parse_bench_string(netlist::s27_bench_text(), "s27");
+  }
+  const auto* profile = netlist::find_profile(target);
+  if (profile == nullptr) {
+    throw std::runtime_error("unknown catalog circuit: " + target);
+  }
+  return netlist::make_standin(*profile, opt.scale, opt.seed);
+}
+
+/// Builds the dictionary subject: M_crt over all patterns plus signature
+/// matrices for `opt.suspects` evenly spaced arcs.
+analysis::DictionarySubject build_dictionary_subject(
+    const netlist::Netlist& nl, const LintOptions& opt) {
+  const netlist::Levelization lev(nl);
+  const timing::StatisticalCellLibrary lib;
+  const timing::ArcDelayModel model(nl, lib);
+  const timing::DelayField field(model, opt.samples, 0.03, opt.seed);
+  const logicsim::BitSimulator logic_sim(nl, lev);
+  const timing::DynamicTimingSimulator sim(field, lev);
+  const defect::DefectSizeModel size_model =
+      defect::DefectSizeModel::paper_default(model.mean_cell_delay(),
+                                             opt.seed + 1);
+
+  stats::Rng rng(opt.seed + 2);
+  std::vector<logicsim::PatternPair> patterns;
+  for (std::size_t j = 0; j < opt.patterns; ++j) {
+    patterns.push_back(atpg::random_pattern_pair(nl.inputs().size(), rng));
+  }
+  // clk at the 0.9 quantile of the induced delays, the informative regime
+  // (cf. the diagnosis test fixture).
+  stats::SampleVector delta(field.sample_count(), 0.0);
+  for (const auto& p : patterns) {
+    const paths::TransitionGraph tg(logic_sim, lev, p);
+    delta.max_with(sim.induced_delay(tg, sim.simulate(tg)));
+  }
+  const double clk = delta.quantile(0.9);
+
+  const diagnosis::FaultDictionary dict(sim, logic_sim, lev, patterns, clk);
+  analysis::DictionarySubject subject;
+  subject.n_outputs = nl.outputs().size();
+  subject.n_patterns = patterns.size();
+  subject.m_crt = dict.m_matrix();
+
+  const std::size_t n_arcs = nl.arc_count();
+  const std::size_t n_suspects = std::min(opt.suspects, n_arcs);
+  const std::size_t stride = n_suspects > 0 ? n_arcs / n_suspects : 1;
+  for (std::size_t s = 0; s < n_suspects; ++s) {
+    const auto arc = static_cast<netlist::ArcId>(s * stride);
+    analysis::DictionarySubject::Signature sig;
+    sig.label = "arc " + std::to_string(arc);
+    sig.s_crt.assign(subject.n_outputs,
+                     std::vector<double>(patterns.size(), 0.0));
+    for (std::size_t j = 0; j < patterns.size(); ++j) {
+      const auto col = dict.slice(j).signature_column(arc, size_model);
+      for (std::size_t i = 0; i < col.size(); ++i) sig.s_crt[i][j] = col[i];
+    }
+    subject.signatures.push_back(std::move(sig));
+  }
+  return subject;
+}
+
+analysis::Report lint_one(const netlist::Netlist& raw,
+                          const analysis::Analyzer& analyzer,
+                          const LintOptions& opt) {
+  analysis::Report report = analysis::lint_netlist(analyzer, raw);
+
+  // Dictionary audit needs a levelizable combinational core; skip it when
+  // structural errors already make that meaningless.
+  if (opt.dict && raw.frozen() && report.error_count() == 0) {
+    const netlist::Netlist core =
+        raw.dff_count() > 0 ? netlist::full_scan_transform(raw) : raw;
+    const auto subject = build_dictionary_subject(core, opt);
+    analysis::AnalysisInput dict_in;
+    dict_in.dictionary = &subject;
+    report.merge(analyzer.run(dict_in));
+  }
+  return report;
+}
+
+int run_list(const analysis::Analyzer& analyzer) {
+  std::printf("%-8s %-8s %s\n", "rule", "severity", "catches");
+  for (const auto& rule : analyzer.rules()) {
+    std::printf("%-8s %-8s %.*s\n", std::string(rule->id()).c_str(),
+                std::string(analysis::severity_name(rule->severity())).c_str(),
+                static_cast<int>(rule->summary().size()),
+                rule->summary().data());
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  runtime::configure_threads_from_args(&argc, argv);
+  LintOptions opt;
+  bool list = false;
+  bool catalog_mode = false;
+  // (name, is_catalog) lint targets in command-line order.
+  std::vector<std::pair<std::string, bool>> targets;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        usage();
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--json") {
+      opt.json = true;
+    } else if (arg == "--dict") {
+      opt.dict = true;
+    } else if (arg == "--list") {
+      list = true;
+    } else if (arg == "--catalog") {
+      catalog_mode = true;
+    } else if (arg == "--scale") {
+      opt.scale = std::atof(next());
+    } else if (arg == "--samples") {
+      opt.samples = static_cast<std::size_t>(std::atol(next()));
+    } else if (arg == "--patterns") {
+      opt.patterns = static_cast<std::size_t>(std::atol(next()));
+    } else if (arg == "--suspects") {
+      opt.suspects = static_cast<std::size_t>(std::atol(next()));
+    } else if (arg == "--seed") {
+      opt.seed = static_cast<std::uint64_t>(std::atoll(next()));
+    } else if (arg == "--help" || arg == "-h") {
+      usage();
+      return 0;
+    } else if (!arg.empty() && arg[0] == '-') {
+      usage();
+      return 2;
+    } else {
+      targets.emplace_back(arg, catalog_mode);
+    }
+  }
+
+  const auto analyzer = analysis::Analyzer::with_default_rules();
+  if (list) return run_list(analyzer);
+  if (targets.empty()) {
+    usage();
+    return 2;
+  }
+  // Expand --catalog all into the Table I circuits.
+  std::vector<std::pair<std::string, bool>> expanded;
+  for (const auto& [name, is_catalog] : targets) {
+    if (is_catalog && name == "all") {
+      for (const auto& profile : netlist::table1_circuits()) {
+        expanded.emplace_back(std::string(profile.name), true);
+      }
+    } else {
+      expanded.emplace_back(name, is_catalog);
+    }
+  }
+
+  std::size_t total_errors = 0;
+  if (opt.json) std::printf("{\n  \"circuits\": [\n");
+  for (std::size_t t = 0; t < expanded.size(); ++t) {
+    const auto& [name, is_catalog] = expanded[t];
+    analysis::Report report;
+    std::string circuit_name = name;
+    try {
+      const auto nl = load_target(name, is_catalog, opt);
+      circuit_name = nl.name();
+      report = lint_one(nl, analyzer, opt);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "error: %s: %s\n", name.c_str(), e.what());
+      return 2;
+    }
+    total_errors += report.error_count();
+    if (opt.json) {
+      std::printf("    {\"name\": \"%s\", \"report\": %s}%s\n",
+                  circuit_name.c_str(), report.to_json().c_str(),
+                  t + 1 < expanded.size() ? "," : "");
+    } else {
+      std::printf("== %s ==\n%s", circuit_name.c_str(),
+                  report.to_text().c_str());
+    }
+  }
+  if (opt.json) {
+    std::printf("  ],\n  \"total_errors\": %zu\n}\n", total_errors);
+  }
+  return total_errors > 0 ? 1 : 0;
+}
