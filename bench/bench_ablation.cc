@@ -26,6 +26,7 @@
 
 #include "eval/experiment.h"
 #include "netlist/iscas_catalog.h"
+#include "obs/obs.h"
 #include "runtime/parallel_for.h"
 
 using sddd::diagnosis::Method;
@@ -59,6 +60,7 @@ void print_row(const std::string& label, int k,
 }  // namespace
 
 int main(int argc, char** argv) {
+  sddd::obs::configure_observability_from_args(&argc, argv);
   sddd::runtime::configure_threads_from_args(&argc, argv);
   double scale = 0.5;
   std::size_t chips = 16;

@@ -19,6 +19,7 @@
 #include "eval/coverage.h"
 #include "logicsim/bitsim.h"
 #include "netlist/iscas_catalog.h"
+#include "obs/obs.h"
 #include "netlist/levelize.h"
 #include "runtime/parallel_for.h"
 #include "stats/rng.h"
@@ -32,6 +33,7 @@ using namespace sddd;
 using netlist::ArcId;
 
 int main(int argc, char** argv) {
+  obs::configure_observability_from_args(&argc, argv);
   runtime::configure_threads_from_args(&argc, argv);
   const auto nl =
       netlist::make_standin(*netlist::find_profile("s1238"), 0.5, 2003);

@@ -28,6 +28,7 @@
 #include "diagnosis/dictionary.h"
 #include "logicsim/bitsim.h"
 #include "netlist/iscas_catalog.h"
+#include "obs/obs.h"
 #include "netlist/levelize.h"
 #include "paths/path_enum.h"
 #include "paths/transition_graph.h"
@@ -227,6 +228,7 @@ BENCHMARK(BM_SuspectSweep)->Arg(0)->Arg(2)->Unit(benchmark::kMillisecond);
 }  // namespace
 
 int main(int argc, char** argv) {
+  sddd::obs::configure_observability_from_args(&argc, argv);
   sddd::runtime::configure_threads_from_args(&argc, argv);
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;

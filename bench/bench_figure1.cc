@@ -17,6 +17,7 @@
 #include "logicsim/bitsim.h"
 #include "netlist/levelize.h"
 #include "netlist/netlist.h"
+#include "obs/obs.h"
 #include "paths/transition_graph.h"
 #include "runtime/parallel_for.h"
 #include "stats/histogram.h"
@@ -193,6 +194,7 @@ void run_case2() {
 }  // namespace
 
 int main(int argc, char** argv) {
+  sddd::obs::configure_observability_from_args(&argc, argv);
   sddd::runtime::configure_threads_from_args(&argc, argv);
   std::printf("== Figure 1 reproduction ==\n\n");
   run_case1();

@@ -11,6 +11,7 @@
 #include <cstdio>
 
 #include "diagnosis/error_fn.h"
+#include "obs/obs.h"
 #include "runtime/parallel_for.h"
 
 using sddd::diagnosis::Method;
@@ -20,6 +21,7 @@ using sddd::diagnosis::phi;
 using sddd::diagnosis::ranks_better;
 
 int main(int argc, char** argv) {
+  sddd::obs::configure_observability_from_args(&argc, argv);
   sddd::runtime::configure_threads_from_args(&argc, argv);
   std::printf("== Figure 2 reproduction: whose signature matches B? ==\n\n");
 

@@ -31,6 +31,8 @@
 #include <string>
 
 #include "eval/table1.h"
+#include "obs/log.h"
+#include "obs/obs.h"
 #include "runtime/parallel_for.h"
 
 namespace {
@@ -39,42 +41,15 @@ void usage() {
   std::fprintf(stderr,
                "usage: bench_table1 [--scale S] [--samples N] [--chips N]\n"
                "                    [--seed N] [--threads N] [--bench-dir DIR]\n"
-               "                    [--csv FILE] [--json FILE] [circuit ...]\n");
-}
-
-void write_timings_json(const std::string& path,
-                        const sddd::eval::Table1Config& config,
-                        const sddd::eval::Table1Result& result,
-                        double total_seconds, const std::string& git_sha) {
-  std::ofstream out(path);
-  if (!out) {
-    std::fprintf(stderr, "warning: cannot write %s\n", path.c_str());
-    return;
-  }
-  out << "{\n"
-      << "  \"bench\": \"table1\",\n"
-      << "  \"git_sha\": \"" << git_sha << "\",\n"
-      << "  \"threads\": " << sddd::runtime::thread_count() << ",\n"
-      << "  \"scale\": " << config.scale << ",\n"
-      << "  \"samples\": " << config.base.mc_samples << ",\n"
-      << "  \"chips\": " << config.base.n_chips << ",\n"
-      << "  \"seed\": " << config.base.seed << ",\n"
-      << "  \"total_seconds\": " << total_seconds << ",\n"
-      << "  \"circuits\": [\n";
-  for (std::size_t i = 0; i < result.experiments.size(); ++i) {
-    const auto& exp = result.experiments[i];
-    out << "    {\"name\": \"" << exp.circuit_name << "\", \"seconds\": "
-        << exp.wall_seconds << ", \"clk\": " << exp.clk
-        << ", \"diagnosable\": " << exp.diagnosable_trials() << "}"
-        << (i + 1 < result.experiments.size() ? "," : "") << "\n";
-  }
-  out << "  ]\n}\n";
-  std::printf("timings written to %s\n", path.c_str());
+               "                    [--csv FILE] [--json FILE] [circuit ...]\n"
+               "%s",
+               sddd::obs::observability_usage());
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
+  sddd::obs::configure_observability_from_args(&argc, argv);
   sddd::eval::Table1Config config;
   config.scale = 0.35;
   config.base.mc_samples = 200;
@@ -125,11 +100,11 @@ int main(int argc, char** argv) {
     }
   }
 
-  std::printf("== Table I reproduction ==\n");
-  std::printf("scale=%.2f samples=%zu chips=%zu seed=%llu threads=%zu\n\n",
-              config.scale, config.base.mc_samples, config.base.n_chips,
-              static_cast<unsigned long long>(config.base.seed),
-              sddd::runtime::thread_count());
+  SDDD_LOG_INFO("== Table I reproduction ==");
+  SDDD_LOG_INFO("scale=%.2f samples=%zu chips=%zu seed=%llu threads=%zu",
+                config.scale, config.base.mc_samples, config.base.n_chips,
+                static_cast<unsigned long long>(config.base.seed),
+                sddd::runtime::thread_count());
 
   const auto t0 = std::chrono::steady_clock::now();
   const auto result = sddd::eval::run_table1(config);
@@ -150,14 +125,16 @@ int main(int argc, char** argv) {
   std::printf("total wall time: %.2fs at %zu thread(s)\n", total_seconds,
               sddd::runtime::thread_count());
 
-  if (!json_path.empty()) {
-    write_timings_json(json_path, config, result, total_seconds, git_sha);
+  if (!json_path.empty() &&
+      sddd::eval::write_table1_json_file(json_path, config, result,
+                                         total_seconds, git_sha)) {
+    SDDD_LOG_INFO("timings written to %s", json_path.c_str());
   }
 
   if (!csv_path.empty()) {
     std::ofstream out(csv_path);
     out << result.to_csv();
-    std::printf("\ncsv written to %s\n", csv_path.c_str());
+    SDDD_LOG_INFO("csv written to %s", csv_path.c_str());
   }
   return 0;
 }

@@ -27,6 +27,7 @@
 #include "timing/delay_field.h"
 #include "timing/delay_model.h"
 #include "timing/dynamic_sim.h"
+#include "obs/obs.h"
 #include "runtime/parallel_for.h"
 #include "timing/ssta.h"
 
@@ -35,6 +36,7 @@ using logicsim::PatternPair;
 using netlist::GateId;
 
 int main(int argc, char** argv) {
+  obs::configure_observability_from_args(&argc, argv);
   runtime::configure_threads_from_args(&argc, argv);
   std::printf("== Modeling validation ==\n\n");
 

@@ -1,77 +1,27 @@
-// check.h - SDDD_CHECK: configurable runtime contracts on hot paths.
+// check.h - compatibility forwarder.
 //
-// The static rules (rule.h) audit inputs before a run; this layer guards
-// the same invariants while the pipeline executes, where a violation means
-// the computation is already producing garbage.  Contracts share rule ids
-// with the lint rules (DICT001, DICT002, ...) so a thrown violation, a
-// warning line and a lint finding all point at the same documentation row.
-//
-// Modes (default off, so release hot paths pay a single relaxed atomic
-// load per guarded column):
-//   off    contracts compile in but do nothing;
-//   warn   first violation per process prints to stderr, execution goes on;
-//   throw  violation raises ContractViolation naming the rule id.
-// Selected programmatically via set_check_mode() or by the SDDD_CHECK
-// environment variable ("off" | "warn" | "throw").
+// The runtime-contract layer (SDDD_CHECK, ContractViolation, the column
+// guards) moved to src/obs/check.h so the observability subsystem and the
+// runtime thread pool can report violations without a dependency on the
+// static-analysis rule packs.  This header keeps the historical
+// `sddd::analysis` spellings valid; new code should include "obs/check.h"
+// directly.
 #pragma once
 
-#include <atomic>
-#include <span>
-#include <stdexcept>
-#include <string>
-#include <string_view>
+#include "obs/check.h"
 
 namespace sddd::analysis {
 
-enum class CheckMode : int {
-  kOff = 0,
-  kWarn = 1,
-  kThrow = 2,
-};
-
-/// Current mode; first call resolves the SDDD_CHECK environment variable.
-CheckMode check_mode();
-
-/// Overrides the mode (tests, CLI flags).  Takes effect immediately on all
-/// threads.
-void set_check_mode(CheckMode m);
-
-/// Thrown in kThrow mode; what() starts with the violated rule id.
-class ContractViolation : public std::runtime_error {
- public:
-  ContractViolation(std::string_view rule_id, const std::string& message);
-
-  const std::string& rule_id() const { return rule_id_; }
-
- private:
-  std::string rule_id_;
-};
+using obs::check_mode;
+using obs::check_probability_column;
+using obs::check_signature_column;
+using obs::checks_enabled;
+using obs::CheckMode;
+using obs::ContractViolation;
+using obs::set_check_mode;
 
 namespace detail {
-/// Warns or throws per the current mode (never called in kOff).
-void report_violation(std::string_view rule_id, const std::string& message);
+using obs::detail::report_violation;
 }  // namespace detail
-
-inline bool checks_enabled() { return check_mode() != CheckMode::kOff; }
-
-/// Contract DICT001: every entry of a critical-probability column (M_crt /
-/// E_crt, and the phi match input) lies in [0, 1].  `where` names the call
-/// site for the violation message.  No-op when checks are off.
-void check_probability_column(std::span<const double> column,
-                              std::string_view where);
-
-/// Contract DICT002: every entry of a signature column S_crt lies in
-/// [-1, 1].  No-op when checks are off.
-void check_signature_column(std::span<const double> column,
-                            std::string_view where);
-
-/// Generic guard for one-off conditions: evaluates `cond` only when checks
-/// are enabled, builds `message` only on failure.
-#define SDDD_CHECK(cond, rule_id, message)                              \
-  do {                                                                  \
-    if (::sddd::analysis::checks_enabled() && !(cond)) {                \
-      ::sddd::analysis::detail::report_violation((rule_id), (message)); \
-    }                                                                   \
-  } while (0)
 
 }  // namespace sddd::analysis

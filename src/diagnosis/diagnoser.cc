@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "paths/path_enum.h"
 #include "runtime/parallel_for.h"
 
@@ -10,6 +12,30 @@ namespace sddd::diagnosis {
 
 using netlist::ArcId;
 using netlist::GateId;
+
+namespace {
+
+// Diagnosis accounting: CPU split between suspect extraction and the
+// per-pattern scoring loop (counters sum across threads).
+obs::Counter& diag_extract_ns_counter() {
+  static obs::Counter& c =
+      obs::MetricsRegistry::instance().register_counter("diag.extract_ns");
+  return c;
+}
+
+obs::Counter& diag_score_ns_counter() {
+  static obs::Counter& c =
+      obs::MetricsRegistry::instance().register_counter("diag.score_ns");
+  return c;
+}
+
+obs::Counter& diag_suspects_counter() {
+  static obs::Counter& c =
+      obs::MetricsRegistry::instance().register_counter("diag.suspects");
+  return c;
+}
+
+}  // namespace
 
 Diagnoser::Diagnoser(const timing::DynamicTimingSimulator& sim,
                      const logicsim::BitSimulator& logic_sim,
@@ -25,6 +51,10 @@ Diagnoser::Diagnoser(const timing::DynamicTimingSimulator& sim,
 std::vector<ArcId> Diagnoser::extract_suspects(
     std::span<const logicsim::PatternPair> patterns,
     const BehaviorMatrix& B) const {
+  SDDD_SPAN(span, "diag.extract");
+  span.arg("failing_patterns",
+           static_cast<std::int64_t>(B.failing_patterns().size()));
+  const obs::ScopedNsTimer timer(diag_extract_ns_counter());
   const auto& nl = logic_sim_->netlist();
   std::vector<std::uint32_t> support(nl.arc_count(), 0);
   for (const std::size_t j : B.failing_patterns()) {
@@ -48,6 +78,7 @@ std::vector<ArcId> Diagnoser::extract_suspects(
     suspects.resize(config_.max_suspects);
     std::sort(suspects.begin(), suspects.end());
   }
+  diag_suspects_counter().add(suspects.size());
   return suspects;
 }
 
@@ -82,6 +113,10 @@ DiagnosisResult Diagnoser::diagnose(
   // for every thread count.
   std::vector<bool> b_col(n_outputs);
   for (std::size_t j = 0; j < n_patterns; ++j) {
+    SDDD_SPAN(span, "diag.pattern");
+    span.arg("pattern", static_cast<std::int64_t>(j))
+        .arg("suspects", static_cast<std::int64_t>(n_suspects));
+    const obs::ScopedNsTimer timer(diag_score_ns_counter());
     const PatternSlice slice(*sim_, *logic_sim_, *lev_, patterns[j], clk);
     for (std::size_t i = 0; i < n_outputs; ++i) b_col[i] = B.at(i, j);
     runtime::parallel_for(n_suspects, [&](std::size_t s) {

@@ -3,22 +3,68 @@
 #include <algorithm>
 
 #include "analysis/check.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "runtime/parallel_for.h"
 
 namespace sddd::diagnosis {
+
+namespace {
+
+// Dictionary construction accounting.  dict.columns_built counts every
+// column landed in the dictionary (M on slice build, E per suspect);
+// dict.build_ns / dict.e_ns split the CPU time between the two.
+obs::Counter& dict_slices_counter() {
+  static obs::Counter& c =
+      obs::MetricsRegistry::instance().register_counter("dict.slices");
+  return c;
+}
+
+obs::Counter& dict_columns_counter() {
+  static obs::Counter& c =
+      obs::MetricsRegistry::instance().register_counter("dict.columns_built");
+  return c;
+}
+
+obs::Counter& dict_e_columns_counter() {
+  static obs::Counter& c =
+      obs::MetricsRegistry::instance().register_counter("dict.e_columns");
+  return c;
+}
+
+obs::Counter& dict_build_ns_counter() {
+  static obs::Counter& c =
+      obs::MetricsRegistry::instance().register_counter("dict.build_ns");
+  return c;
+}
+
+obs::Counter& dict_e_ns_counter() {
+  static obs::Counter& c =
+      obs::MetricsRegistry::instance().register_counter("dict.e_ns");
+  return c;
+}
+
+}  // namespace
 
 PatternSlice::PatternSlice(const timing::DynamicTimingSimulator& sim,
                            const logicsim::BitSimulator& logic_sim,
                            const netlist::Levelization& lev,
                            const logicsim::PatternPair& pattern, double clk)
     : sim_(&sim), tg_(logic_sim, lev, pattern), clk_(clk) {
+  SDDD_SPAN(span, "dict.slice");
+  const obs::ScopedNsTimer timer(dict_build_ns_counter());
   baseline_ = sim.simulate(tg_);
   m_col_ = sim.error_vector(tg_, baseline_, clk);
   analysis::check_probability_column(m_col_, "PatternSlice M_crt column");
+  dict_slices_counter().add(1);
+  dict_columns_counter().add(1);
 }
 
 std::vector<double> PatternSlice::e_column(
     netlist::ArcId suspect, const defect::DefectSizeModel& size_model) const {
+  const obs::ScopedNsTimer timer(dict_e_ns_counter());
+  dict_e_columns_counter().add(1);
+  dict_columns_counter().add(1);
   timing::InjectedDefect defect;
   defect.arc = suspect;
   const std::size_t n = sim_->field().sample_count();
@@ -45,6 +91,8 @@ FaultDictionary::FaultDictionary(
     const timing::DynamicTimingSimulator& sim,
     const logicsim::BitSimulator& logic_sim, const netlist::Levelization& lev,
     std::span<const logicsim::PatternPair> patterns, double clk) {
+  SDDD_SPAN(span, "dict.build");
+  span.arg("patterns", static_cast<std::int64_t>(patterns.size()));
   // Patterns are independent given read-only shared inputs; the simulator
   // only needs its lazy delay memoization pre-materialized before the
   // slices fan out.  Each slice writes its own pre-reserved slot, so the

@@ -5,8 +5,19 @@
 #include <stdexcept>
 
 #include "analysis/check.h"
+#include "obs/metrics.h"
 
 namespace sddd::diagnosis {
+
+namespace {
+
+obs::Counter& phi_evals_counter() {
+  static obs::Counter& c =
+      obs::MetricsRegistry::instance().register_counter("diag.phi_evals");
+  return c;
+}
+
+}  // namespace
 
 std::string_view method_name(Method m) {
   switch (m) {
@@ -30,6 +41,7 @@ double phi(std::span<const double> s_column,
   // Runtime contract: phi matches probabilities, so an out-of-range entry
   // means the signature fed to diagnosis scoring is corrupt.
   analysis::check_probability_column(s_column, "phi signature match");
+  phi_evals_counter().add(1);
   double acc = 1.0;
   for (std::size_t k = 0; k < s_column.size(); ++k) {
     const double s = s_column[k];

@@ -7,6 +7,9 @@
 #include "diagnosis/behavior.h"
 #include "diagnosis/logic_baseline.h"
 #include "netlist/levelize.h"
+#include "obs/log.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "runtime/parallel_for.h"
 #include "timing/delay_field.h"
 #include "timing/delay_model.h"
@@ -87,7 +90,7 @@ std::size_t ExperimentResult::diagnosable_trials() const {
 namespace {
 
 /// Rank (0-based position in the best-first order) of `arc` in the result
-/// under method `m`; -1 when absent from the suspect set.
+/// under method `m`; -1 = absent from the suspect set.
 int rank_of(const diagnosis::DiagnosisResult& result, Method m,
             netlist::ArcId arc) {
   const auto ranked = result.ranked(m);
@@ -95,6 +98,25 @@ int rank_of(const diagnosis::DiagnosisResult& result, Method m,
     if (ranked[i].arc == arc) return static_cast<int>(i);
   }
   return -1;
+}
+
+// CPU attribution for the two phases whose work happens at experiment call
+// sites (pattern generation and chip observation); the dictionary and
+// diagnoser record their own ns counters.
+obs::Counter& atpg_gen_ns_counter() {
+  static obs::Counter& c =
+      obs::MetricsRegistry::instance().register_counter("atpg.gen_ns");
+  return c;
+}
+
+obs::Counter& mc_observe_ns_counter() {
+  static obs::Counter& c =
+      obs::MetricsRegistry::instance().register_counter("mc.observe_ns");
+  return c;
+}
+
+double seconds_since(std::uint64_t t0_ns) {
+  return static_cast<double>(obs::now_ns() - t0_ns) * 1e-9;
 }
 
 }  // namespace
@@ -105,7 +127,14 @@ ExperimentResult run_diagnosis_experiment(const Netlist& nl,
     throw std::invalid_argument(
         "run_diagnosis_experiment: run full_scan_transform first");
   }
+  SDDD_SPAN(exp_span, "exp.run");
+  exp_span.arg("circuit", std::string_view(nl.name()))
+      .arg("chips", static_cast<std::int64_t>(config.n_chips))
+      .arg("mc_samples", static_cast<std::int64_t>(config.mc_samples));
+  const obs::MetricsSnapshot snap_start =
+      obs::MetricsRegistry::instance().snapshot();
   const auto wall_start = std::chrono::steady_clock::now();
+  const std::uint64_t setup_t0 = obs::now_ns();
   const netlist::Levelization lev(nl);
   const timing::StatisticalCellLibrary lib(config.library);
   const timing::ArcDelayModel model(nl, lib);
@@ -124,25 +153,38 @@ ExperimentResult run_diagnosis_experiment(const Netlist& nl,
                                       config.seed ^ 0xc41bULL);
   const timing::DynamicTimingSimulator dict_sim(dict_field, lev);
   const timing::DynamicTimingSimulator inst_sim(inst_field, lev);
+  const double setup_seconds = seconds_since(setup_t0);
 
   // clk calibration: per-site achievable delays (see header).
-  Rng cal_rng(config.seed, 0xca1bULL);
-  std::vector<double> site_delays;
-  for (std::size_t s = 0; s < config.calibration_sites; ++s) {
-    const auto site = static_cast<netlist::ArcId>(
-        cal_rng.below(static_cast<std::uint32_t>(nl.arc_count())));
-    const auto cal_patterns = atpg::generate_diagnostic_patterns(
-        model, lev, site, config.pattern_config, cal_rng);
-    const double d = atpg::site_best_nominal_delay(model, lev, cal_patterns, site);
-    if (d > 0.0) site_delays.push_back(d);
+  const std::uint64_t cal_t0 = obs::now_ns();
+  double clk = 0.0;
+  {
+    SDDD_SPAN(cal_span, "exp.calibration");
+    cal_span.arg("sites", static_cast<std::int64_t>(config.calibration_sites));
+    Rng cal_rng(config.seed, 0xca1bULL);
+    std::vector<double> site_delays;
+    for (std::size_t s = 0; s < config.calibration_sites; ++s) {
+      const auto site = static_cast<netlist::ArcId>(
+          cal_rng.below(static_cast<std::uint32_t>(nl.arc_count())));
+      const auto cal_patterns = [&] {
+        const obs::ScopedNsTimer atpg_timer(atpg_gen_ns_counter());
+        return atpg::generate_diagnostic_patterns(
+            model, lev, site, config.pattern_config, cal_rng);
+      }();
+      const double d =
+          atpg::site_best_nominal_delay(model, lev, cal_patterns, site);
+      if (d > 0.0) site_delays.push_back(d);
+    }
+    if (site_delays.empty()) {
+      throw std::runtime_error(
+          "run_diagnosis_experiment: no calibration site was testable");
+    }
+    clk = stats::SampleVector(std::move(site_delays))
+              .quantile(config.clk_site_quantile);
   }
-  if (site_delays.empty()) {
-    throw std::runtime_error(
-        "run_diagnosis_experiment: no calibration site was testable");
-  }
-  const double clk =
-      stats::SampleVector(std::move(site_delays))
-          .quantile(config.clk_site_quantile);
+  const double calibration_seconds = seconds_since(cal_t0);
+  SDDD_LOG_DEBUG("%s: clk calibrated to %.4f (%zu sites)", nl.name().c_str(),
+                 clk, config.calibration_sites);
 
   const DefectSizeModel size_model(model.mean_cell_delay(),
                                    config.defect_mean_lo,
@@ -178,8 +220,11 @@ ExperimentResult run_diagnosis_experiment(const Netlist& nl,
   // dictionary simulator's lazily-memoized delay rows are the one piece of
   // shared mutable state; pre-materialize them before fanning out.
   if (runtime::would_parallelize(config.n_chips)) dict_sim.prewarm();
+  const std::uint64_t trials_t0 = obs::now_ns();
   result.trials.resize(config.n_chips);
   runtime::parallel_for(config.n_chips, [&](std::size_t trial) {
+    SDDD_SPAN(trial_span, "exp.trial");
+    trial_span.arg("trial", static_cast<std::int64_t>(trial));
     Rng trial_rng = Rng(config.seed, 0xe4a1ULL).split(trial + 1);
     TrialRecord record;
     record.rank_of_true.assign(config.methods.size(), -1);
@@ -191,9 +236,12 @@ ExperimentResult run_diagnosis_experiment(const Netlist& nl,
          ++attempt) {
       ++record.injection_attempts;
       record.chip = injector.draw(instance_samples, trial_rng);
-      patterns = atpg::generate_diagnostic_patterns(
-          model, lev, record.chip.defect_arc, config.pattern_config,
-          trial_rng);
+      {
+        const obs::ScopedNsTimer atpg_timer(atpg_gen_ns_counter());
+        patterns = atpg::generate_diagnostic_patterns(
+            model, lev, record.chip.defect_arc, config.pattern_config,
+            trial_rng);
+      }
       if (patterns.empty()) continue;
       if (config.site_bias == SiteBias::kDetectable) {
         const double d = atpg::site_best_nominal_delay(
@@ -211,16 +259,20 @@ ExperimentResult run_diagnosis_experiment(const Netlist& nl,
                                           other.defect_size);
         defects.emplace_back(other.defect_arc, other.defect_size);
       }
-      B = diagnosis::observe_behavior_multi(inst_sim, logic_sim, lev,
-                                            patterns,
-                                            record.chip.sample_index,
-                                            defects, clk);
+      {
+        const obs::ScopedNsTimer observe_timer(mc_observe_ns_counter());
+        B = diagnosis::observe_behavior_multi(inst_sim, logic_sim, lev,
+                                              patterns,
+                                              record.chip.sample_index,
+                                              defects, clk);
+      }
       if (!B.any_failure()) continue;
       // The chip must fail *because of* the defect: a slow-but-defect-free
       // instance that fails anyway is a process outlier, not a delay
       // defect, and its behavior carries no information about the injected
       // site.  Require at least one failing cell that passes without the
       // defect.
+      const obs::ScopedNsTimer observe_timer(mc_observe_ns_counter());
       const BehaviorMatrix B0 = diagnosis::observe_behavior(
           inst_sim, logic_sim, lev, patterns, record.chip.sample_index,
           std::nullopt, clk);
@@ -287,6 +339,45 @@ ExperimentResult run_diagnosis_experiment(const Netlist& nl,
       std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                     wall_start)
           .count();
+
+  // Per-phase attribution: wall splits from the three local timers, CPU
+  // splits (thread-seconds) and work volumes from metric deltas across the
+  // experiment.  Deterministic work => deterministic counters; the ns
+  // figures vary with the machine but the counters do not.
+  const obs::MetricsSnapshot snap_end =
+      obs::MetricsRegistry::instance().snapshot();
+  PhaseBreakdown& ph = result.phases;
+  ph.setup_seconds = setup_seconds;
+  ph.calibration_seconds = calibration_seconds;
+  ph.trials_seconds = seconds_since(trials_t0);
+  ph.atpg_cpu_seconds = obs::MetricsSnapshot::delta_ns_to_seconds(
+      snap_start, snap_end, "atpg.gen_ns");
+  ph.mc_observe_cpu_seconds = obs::MetricsSnapshot::delta_ns_to_seconds(
+      snap_start, snap_end, "mc.observe_ns");
+  ph.dict_build_cpu_seconds =
+      obs::MetricsSnapshot::delta_ns_to_seconds(snap_start, snap_end,
+                                                "dict.build_ns") +
+      obs::MetricsSnapshot::delta_ns_to_seconds(snap_start, snap_end,
+                                                "dict.e_ns");
+  ph.suspect_extract_cpu_seconds = obs::MetricsSnapshot::delta_ns_to_seconds(
+      snap_start, snap_end, "diag.extract_ns");
+  ph.score_cpu_seconds = obs::MetricsSnapshot::delta_ns_to_seconds(
+      snap_start, snap_end, "diag.score_ns");
+  ph.mc_samples =
+      obs::MetricsSnapshot::counter_delta(snap_start, snap_end, "mc.samples");
+  ph.dict_columns_built = obs::MetricsSnapshot::counter_delta(
+      snap_start, snap_end, "dict.columns_built");
+  ph.phi_evals = obs::MetricsSnapshot::counter_delta(snap_start, snap_end,
+                                                     "diag.phi_evals");
+  ph.pool_tasks =
+      obs::MetricsSnapshot::counter_delta(snap_start, snap_end, "pool.tasks");
+
+  SDDD_LOG_INFO(
+      "%s: %zu/%zu chips diagnosable, clk=%.3f, %.2fs wall "
+      "(trials %.2fs, dict %.2f cpu-s, score %.2f cpu-s)",
+      nl.name().c_str(), result.diagnosable_trials(), config.n_chips,
+      result.clk, result.wall_seconds, ph.trials_seconds,
+      ph.dict_build_cpu_seconds, ph.score_cpu_seconds);
   return result;
 }
 

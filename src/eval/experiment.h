@@ -108,6 +108,28 @@ struct TrialRecord {
   int logic_baseline_rank = -1;
 };
 
+/// Where one experiment's time went.  Wall-clock splits partition
+/// wall_seconds; the *_cpu_seconds figures come from metric counter deltas
+/// (obs::MetricsSnapshot) and sum across threads, so a perfectly scaled
+/// 4-thread phase reports ~4x its wall share.  The counters echo the work
+/// volume behind those times (BENCH_table1.json "phases" object).
+struct PhaseBreakdown {
+  double setup_seconds = 0.0;        ///< model / field / simulator build
+  double calibration_seconds = 0.0;  ///< clk calibration sweep
+  double trials_seconds = 0.0;       ///< injection + diagnosis loop
+
+  double atpg_cpu_seconds = 0.0;          ///< diagnostic pattern generation
+  double mc_observe_cpu_seconds = 0.0;    ///< chip behavior observation
+  double dict_build_cpu_seconds = 0.0;    ///< dictionary M + E columns
+  double suspect_extract_cpu_seconds = 0.0;
+  double score_cpu_seconds = 0.0;         ///< per-pattern phi scoring
+
+  std::uint64_t mc_samples = 0;
+  std::uint64_t dict_columns_built = 0;
+  std::uint64_t phi_evals = 0;
+  std::uint64_t pool_tasks = 0;
+};
+
 struct ExperimentResult {
   ExperimentConfig config;
   std::string circuit_name;
@@ -115,6 +137,8 @@ struct ExperimentResult {
   /// Wall-clock cost of the whole experiment (calibration + trials); the
   /// number BENCH_table1.json tracks across thread counts and PRs.
   double wall_seconds = 0.0;
+  /// Per-phase attribution of that time (see PhaseBreakdown).
+  PhaseBreakdown phases;
   std::vector<TrialRecord> trials;
 
   /// Paper accuracy metric: fraction of diagnosable trials whose injected

@@ -1,6 +1,8 @@
 #include "eval/table1.h"
 
 #include <cstdio>
+#include <fstream>
+#include <ostream>
 #include <sstream>
 #include <stdexcept>
 
@@ -9,6 +11,9 @@
 #include "netlist/bench_io.h"
 #include "netlist/iscas_catalog.h"
 #include "netlist/scan.h"
+#include "obs/log.h"
+#include "obs/trace.h"
+#include "runtime/parallel_for.h"
 
 namespace sddd::eval {
 
@@ -39,8 +44,8 @@ void lint_or_throw(const Netlist& nl) {
                              ":\n" + report.to_text());
   }
   if (!report.empty()) {
-    std::fprintf(stderr, "lint preflight (%s):\n%s", nl.name().c_str(),
-                 report.to_text().c_str());
+    SDDD_LOG_WARN("lint preflight (%s):\n%s", nl.name().c_str(),
+                  report.to_text().c_str());
   }
 }
 
@@ -54,6 +59,11 @@ Table1Result run_table1(const Table1Config& config) {
       for (const auto& name : config.circuits) wanted |= (name == profile.name);
       if (!wanted) continue;
     }
+    SDDD_SPAN(span, "table1.circuit");
+    span.arg("circuit", std::string_view(profile.name));
+    SDDD_LOG_INFO("table1: running %s (scale %.2f, %zu chips, %zu samples)",
+                  std::string(profile.name).c_str(), config.scale,
+                  config.base.n_chips, config.base.mc_samples);
     const Netlist nl = load_circuit(profile, config);
     if (config.lint_preflight) lint_or_throw(nl);
 
@@ -101,6 +111,56 @@ std::string Table1Result::to_string() const {
     os << buf;
   }
   return os.str();
+}
+
+void write_table1_json(std::ostream& os, const Table1Config& config,
+                       const Table1Result& result, double total_seconds,
+                       const std::string& git_sha) {
+  os << "{\n"
+     << "  \"bench\": \"table1\",\n"
+     << "  \"git_sha\": \"" << git_sha << "\",\n"
+     << "  \"threads\": " << runtime::thread_count() << ",\n"
+     << "  \"scale\": " << config.scale << ",\n"
+     << "  \"samples\": " << config.base.mc_samples << ",\n"
+     << "  \"chips\": " << config.base.n_chips << ",\n"
+     << "  \"seed\": " << config.base.seed << ",\n"
+     << "  \"total_seconds\": " << total_seconds << ",\n"
+     << "  \"circuits\": [\n";
+  for (std::size_t i = 0; i < result.experiments.size(); ++i) {
+    const auto& exp = result.experiments[i];
+    const PhaseBreakdown& ph = exp.phases;
+    os << "    {\"name\": \"" << exp.circuit_name << "\", \"seconds\": "
+       << exp.wall_seconds << ", \"clk\": " << exp.clk
+       << ", \"diagnosable\": " << exp.diagnosable_trials() << ",\n"
+       << "     \"phases\": {\"setup_s\": " << ph.setup_seconds
+       << ", \"calibration_s\": " << ph.calibration_seconds
+       << ", \"trials_s\": " << ph.trials_seconds << ",\n"
+       << "                \"atpg_cpu_s\": " << ph.atpg_cpu_seconds
+       << ", \"mc_observe_cpu_s\": " << ph.mc_observe_cpu_seconds
+       << ", \"dict_build_cpu_s\": " << ph.dict_build_cpu_seconds << ",\n"
+       << "                \"suspect_extract_cpu_s\": "
+       << ph.suspect_extract_cpu_seconds
+       << ", \"score_cpu_s\": " << ph.score_cpu_seconds << ",\n"
+       << "                \"counters\": {\"mc_samples\": " << ph.mc_samples
+       << ", \"dict_columns_built\": " << ph.dict_columns_built
+       << ", \"phi_evals\": " << ph.phi_evals
+       << ", \"pool_tasks\": " << ph.pool_tasks << "}}}"
+       << (i + 1 < result.experiments.size() ? "," : "") << "\n";
+  }
+  os << "  ]\n}\n";
+}
+
+bool write_table1_json_file(const std::string& path,
+                            const Table1Config& config,
+                            const Table1Result& result, double total_seconds,
+                            const std::string& git_sha) {
+  std::ofstream out(path);
+  if (!out) {
+    SDDD_LOG_WARN("cannot write %s", path.c_str());
+    return false;
+  }
+  write_table1_json(out, config, result, total_seconds, git_sha);
+  return static_cast<bool>(out);
 }
 
 std::string Table1Result::to_csv() const {

@@ -7,6 +7,7 @@
 #pragma once
 
 #include <filesystem>
+#include <iosfwd>
 #include <optional>
 #include <string>
 #include <vector>
@@ -60,5 +61,20 @@ struct Table1Result {
 
 /// Runs the Table I reproduction.
 Table1Result run_table1(const Table1Config& config);
+
+/// The one BENCH_table1.json writer: every benchmark record (N-thread and
+/// serial alike) goes through here, so `threads`, `git_sha` and the
+/// per-circuit `phases` object are stamped identically in all of them.
+/// `threads` is read from runtime::thread_count() at call time.
+void write_table1_json(std::ostream& os, const Table1Config& config,
+                       const Table1Result& result, double total_seconds,
+                       const std::string& git_sha);
+
+/// write_table1_json into `path`; false (with a warn log) when the file
+/// cannot be opened.
+bool write_table1_json_file(const std::string& path,
+                            const Table1Config& config,
+                            const Table1Result& result, double total_seconds,
+                            const std::string& git_sha);
 
 }  // namespace sddd::eval

@@ -1,4 +1,4 @@
-#include "analysis/check.h"
+#include "obs/check.h"
 
 #include <cmath>
 #include <cstdio>
@@ -6,7 +6,7 @@
 #include <cstring>
 #include <mutex>
 
-namespace sddd::analysis {
+namespace sddd::obs {
 
 namespace {
 
@@ -101,4 +101,4 @@ void check_signature_column(std::span<const double> column,
   check_column_range(column, -1.0, 1.0, "DICT002", where);
 }
 
-}  // namespace sddd::analysis
+}  // namespace sddd::obs

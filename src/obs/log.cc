@@ -1,0 +1,93 @@
+#include "obs/log.h"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+
+namespace sddd::obs {
+
+namespace {
+
+LogLevel level_from_env() {
+  const char* env = std::getenv("SDDD_LOG");
+  LogLevel level = LogLevel::kInfo;
+  if (env != nullptr && !parse_log_level(env, &level)) {
+    std::fprintf(stderr,
+                 "[sddd warn] SDDD_LOG=\"%s\" is not one of "
+                 "error|warn|info|debug; defaulting to info\n",
+                 env);
+  }
+  return level;
+}
+
+std::atomic<int>& level_slot() {
+  static std::atomic<int> level{static_cast<int>(level_from_env())};
+  return level;
+}
+
+}  // namespace
+
+LogLevel log_level() {
+  return static_cast<LogLevel>(level_slot().load(std::memory_order_relaxed));
+}
+
+void set_log_level(LogLevel level) {
+  level_slot().store(static_cast<int>(level), std::memory_order_relaxed);
+}
+
+bool log_enabled(LogLevel level) {
+  return static_cast<int>(level) <= static_cast<int>(log_level());
+}
+
+bool parse_log_level(std::string_view name, LogLevel* out) {
+  if (name == "error") {
+    *out = LogLevel::kError;
+  } else if (name == "warn" || name == "warning") {
+    *out = LogLevel::kWarn;
+  } else if (name == "info") {
+    *out = LogLevel::kInfo;
+  } else if (name == "debug") {
+    *out = LogLevel::kDebug;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+const char* log_level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::kError:
+      return "error";
+    case LogLevel::kWarn:
+      return "warn";
+    case LogLevel::kInfo:
+      return "info";
+    case LogLevel::kDebug:
+      return "debug";
+  }
+  return "info";
+}
+
+void logf(LogLevel level, const char* fmt, ...) {
+  if (!log_enabled(level)) return;
+  // One vsnprintf into a local buffer, then a single fputs, so concurrent
+  // threads cannot interleave mid-line.
+  char buf[1024];
+  int prefix = std::snprintf(buf, sizeof(buf), "[sddd %s] ",
+                             log_level_name(level));
+  if (prefix < 0) return;
+  std::va_list args;
+  va_start(args, fmt);
+  int body = std::vsnprintf(buf + prefix, sizeof(buf) - prefix - 1, fmt, args);
+  va_end(args);
+  if (body < 0) return;
+  std::size_t len = static_cast<std::size_t>(prefix) +
+                    (static_cast<std::size_t>(body) <
+                             sizeof(buf) - static_cast<std::size_t>(prefix) - 1
+                         ? static_cast<std::size_t>(body)
+                         : sizeof(buf) - static_cast<std::size_t>(prefix) - 1);
+  buf[len] = '\n';
+  std::fwrite(buf, 1, len + 1, stderr);
+}
+
+}  // namespace sddd::obs

@@ -1,0 +1,69 @@
+// log.h - Leveled logging facade.
+//
+// Replaces the scattered fprintf(stderr, ...) progress and warning prints
+// with one gate: messages carry a level, the process carries a threshold,
+// and anything above the threshold costs a relaxed atomic load plus one
+// branch (the format arguments are never evaluated).
+//
+// The threshold resolves once from the SDDD_LOG environment variable
+// ("error" | "warn" | "info" | "debug"; default "info") and can be
+// overridden programmatically (set_log_level) or by --log-level on
+// binaries that call obs::configure_observability_from_args.
+//
+// Output goes to stderr as one line per message,
+//   [sddd <level>] <message>
+// so stdout stays clean for machine-readable results (JSON tables).
+#pragma once
+
+#include <cstdarg>
+#include <string_view>
+
+namespace sddd::obs {
+
+enum class LogLevel : int {
+  kError = 0,
+  kWarn = 1,
+  kInfo = 2,
+  kDebug = 3,
+};
+
+/// Current threshold; first call resolves SDDD_LOG.
+LogLevel log_level();
+
+/// Overrides the threshold for the rest of the process.
+void set_log_level(LogLevel level);
+
+/// True when a message at `level` would be emitted.
+bool log_enabled(LogLevel level);
+
+/// "error"/"warn"/"info"/"debug" -> level; returns false (and leaves `out`
+/// untouched) on unknown names.
+bool parse_log_level(std::string_view name, LogLevel* out);
+
+const char* log_level_name(LogLevel level);
+
+/// printf-style; emits one "[sddd <level>] ..." line to stderr when the
+/// level passes the threshold.  Prefer the SDDD_LOG_* macros, which skip
+/// argument evaluation entirely below the threshold.
+#if defined(__GNUC__) || defined(__clang__)
+__attribute__((format(printf, 2, 3)))
+#endif
+void logf(LogLevel level, const char* fmt, ...);
+
+#define SDDD_LOG_AT(level, ...)                       \
+  do {                                                \
+    if (::sddd::obs::log_enabled((level))) {          \
+      ::sddd::obs::logf((level), __VA_ARGS__);        \
+    }                                                 \
+  } while (0)
+
+#define SDDD_LOG_ERROR(...) \
+  SDDD_LOG_AT(::sddd::obs::LogLevel::kError, __VA_ARGS__)
+#define SDDD_LOG_WARN(...) \
+  SDDD_LOG_AT(::sddd::obs::LogLevel::kWarn, __VA_ARGS__)
+#define SDDD_LOG_INFO(...) \
+  SDDD_LOG_AT(::sddd::obs::LogLevel::kInfo, __VA_ARGS__)
+#define SDDD_LOG_DEBUG(...) \
+  SDDD_LOG_AT(::sddd::obs::LogLevel::kDebug, __VA_ARGS__)
+
+}  // namespace sddd::obs

@@ -1,0 +1,227 @@
+// metrics.h - Lock-cheap process-wide metrics registry.
+//
+// Three metric kinds, all safe for concurrent writers on hot paths:
+//
+//   Counter    monotonic uint64; add() is one relaxed fetch_add on a
+//              per-thread shard (16 cache-line-padded slots), so parallel
+//              loops never contend on one line.  value() sums the shards -
+//              integer addition is exact and order-independent, so the
+//              merged value is deterministic for a given amount of work no
+//              matter how threads were scheduled.
+//   Gauge      last-write-wins double (configuration-style values: thread
+//              width, sample count).
+//   Histogram  fixed upper-bound buckets plus one overflow bucket; counts
+//              are sharded uint64 like counters, so merged bucket counts
+//              are deterministic too.  Value v lands in the first bucket
+//              with v <= bound.
+//
+// Registration is strict: every metric name is registered exactly once
+// (contract OBS001 - duplicate registration, or re-registration under a
+// different kind, reports a ContractViolation per the SDDD_CHECK mode and
+// returns the existing metric).  Hot paths therefore cache the reference:
+//
+//   obs::Counter& c = obs::MetricsRegistry::instance()
+//                         .register_counter("mc.samples");   // once
+//   c.add(n);                                                // per event
+//
+// snapshot() captures every metric by name (std::map, so iteration order
+// is the name order - stable across runs); counter deltas between two
+// snapshots attribute work to a program phase (see eval/experiment.h).
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace sddd::obs {
+
+/// Monotonic nanoseconds (steady clock); the time base shared by the
+/// metrics timers and the tracer.
+std::uint64_t now_ns();
+
+inline constexpr std::size_t kMetricShards = 16;
+
+/// Stable per-thread shard index in [0, kMetricShards).
+std::size_t this_thread_shard();
+
+class Counter {
+ public:
+  explicit Counter(std::string name) : name_(std::move(name)) {}
+
+  Counter(const Counter&) = delete;
+  Counter& operator=(const Counter&) = delete;
+
+  void add(std::uint64_t delta = 1) noexcept {
+    shards_[this_thread_shard()].v.fetch_add(delta,
+                                             std::memory_order_relaxed);
+  }
+
+  /// Exact sum over shards.  Deterministic at quiescence; while writers
+  /// run it is a consistent lower bound.
+  std::uint64_t value() const noexcept {
+    std::uint64_t total = 0;
+    for (const Shard& s : shards_) {
+      total += s.v.load(std::memory_order_relaxed);
+    }
+    return total;
+  }
+
+  /// Zeroes every shard (tests and per-run baselines).
+  void reset() noexcept {
+    for (Shard& s : shards_) s.v.store(0, std::memory_order_relaxed);
+  }
+
+  const std::string& name() const { return name_; }
+
+ private:
+  struct alignas(64) Shard {
+    std::atomic<std::uint64_t> v{0};
+  };
+  std::string name_;
+  std::array<Shard, kMetricShards> shards_{};
+};
+
+class Gauge {
+ public:
+  explicit Gauge(std::string name) : name_(std::move(name)) {}
+
+  Gauge(const Gauge&) = delete;
+  Gauge& operator=(const Gauge&) = delete;
+
+  void set(double v) noexcept { v_.store(v, std::memory_order_relaxed); }
+  double value() const noexcept { return v_.load(std::memory_order_relaxed); }
+  void reset() noexcept { set(0.0); }
+
+  const std::string& name() const { return name_; }
+
+ private:
+  std::string name_;
+  std::atomic<double> v_{0.0};
+};
+
+class Histogram {
+ public:
+  /// `upper_bounds` must be strictly increasing; bucket i counts values
+  /// v <= upper_bounds[i] (first match), the last bucket counts overflow.
+  Histogram(std::string name, std::span<const double> upper_bounds);
+
+  Histogram(const Histogram&) = delete;
+  Histogram& operator=(const Histogram&) = delete;
+
+  void record(double v) noexcept;
+
+  /// bounds().size() + 1 (the trailing overflow bucket).
+  std::size_t bucket_count() const { return bounds_.size() + 1; }
+  std::uint64_t count_in_bucket(std::size_t bucket) const;
+  std::uint64_t total_count() const;
+  const std::vector<double>& bounds() const { return bounds_; }
+  void reset() noexcept;
+
+  const std::string& name() const { return name_; }
+
+ private:
+  struct Shard {
+    std::unique_ptr<std::atomic<std::uint64_t>[]> counts;
+  };
+  std::string name_;
+  std::vector<double> bounds_;
+  std::array<Shard, kMetricShards> shards_;
+};
+
+/// Point-in-time copy of every registered metric, keyed (and therefore
+/// ordered) by name.
+struct MetricsSnapshot {
+  struct HistogramData {
+    std::vector<double> bounds;
+    std::vector<std::uint64_t> counts;  ///< bounds.size() + 1 entries
+  };
+
+  std::map<std::string, std::uint64_t> counters;
+  std::map<std::string, double> gauges;
+  std::map<std::string, HistogramData> histograms;
+
+  std::uint64_t counter_or(std::string_view name,
+                           std::uint64_t fallback = 0) const;
+
+  /// (after - before) of one counter, clamped at 0.
+  static std::uint64_t counter_delta(const MetricsSnapshot& before,
+                                     const MetricsSnapshot& after,
+                                     std::string_view name);
+
+  /// Same delta, interpreted as nanoseconds and returned in seconds.
+  static double delta_ns_to_seconds(const MetricsSnapshot& before,
+                                    const MetricsSnapshot& after,
+                                    std::string_view name);
+
+  void write_json(std::ostream& os) const;
+};
+
+class MetricsRegistry {
+ public:
+  /// The process-wide registry every subsystem records into.
+  static MetricsRegistry& instance();
+
+  /// Strict registration: the first call for a name creates the metric;
+  /// any further registration (same or different kind) is contract OBS001
+  /// and returns the already-registered metric so warn-mode execution can
+  /// continue.  Registering a histogram again checks bound compatibility
+  /// the same way.
+  Counter& register_counter(std::string_view name);
+  Gauge& register_gauge(std::string_view name);
+  Histogram& register_histogram(std::string_view name,
+                                std::span<const double> upper_bounds);
+
+  /// Lookup without registration; nullptr when the name is unknown.
+  const Counter* find_counter(std::string_view name) const;
+  const Gauge* find_gauge(std::string_view name) const;
+  const Histogram* find_histogram(std::string_view name) const;
+
+  MetricsSnapshot snapshot() const;
+
+  /// Snapshot serialized as one JSON object (see DESIGN.md section 9).
+  void write_json(std::ostream& os) const;
+  bool write_file(const std::string& path) const;
+
+  /// Zeroes every metric value; registrations (and the references held by
+  /// call sites) stay valid.
+  void reset_values();
+
+ private:
+  MetricsRegistry() = default;
+
+  enum class Kind { kCounter, kGauge, kHistogram };
+  /// Reports OBS001 and returns false when `name` is already registered.
+  bool claim_name(std::string_view name, Kind kind);
+
+  mutable std::mutex mu_;
+  std::map<std::string, Kind, std::less<>> kinds_;
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
+};
+
+/// Adds the scope's elapsed nanoseconds to a counter on destruction; the
+/// building block of the per-phase CPU attribution (counters sum across
+/// threads, so a parallel phase reports thread-seconds).
+class ScopedNsTimer {
+ public:
+  explicit ScopedNsTimer(Counter& c) noexcept : c_(&c), t0_(now_ns()) {}
+  ScopedNsTimer(const ScopedNsTimer&) = delete;
+  ScopedNsTimer& operator=(const ScopedNsTimer&) = delete;
+  ~ScopedNsTimer() { c_->add(now_ns() - t0_); }
+
+ private:
+  Counter* c_;
+  std::uint64_t t0_;
+};
+
+}  // namespace sddd::obs

@@ -1,0 +1,125 @@
+#include "obs/obs.h"
+
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "obs/log.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace sddd::obs {
+
+namespace {
+
+std::string g_trace_out;
+std::string g_metrics_out;
+bool g_flushed = false;
+
+/// "0"/"" -> off (empty), "1" -> `fallback`, anything else is a path.
+std::string resolve_env_output(const char* var, const char* fallback) {
+  const char* v = std::getenv(var);
+  if (v == nullptr || v[0] == '\0' || std::strcmp(v, "0") == 0) return {};
+  if (std::strcmp(v, "1") == 0) return fallback;
+  return v;
+}
+
+void flush_at_exit() { flush_observability_outputs(); }
+
+/// Removes argv[i] (and optionally argv[i+1]) in place; returns the value
+/// argument or nullptr when the flag had none.
+const char* take_flag_value(int* argc, char** argv, int i) {
+  const char* value = (i + 1 < *argc) ? argv[i + 1] : nullptr;
+  const int removed = value != nullptr ? 2 : 1;
+  for (int j = i; j + removed <= *argc; ++j) argv[j] = argv[j + removed];
+  *argc -= removed;
+  return value;
+}
+
+}  // namespace
+
+void configure_observability_from_args(int* argc, char** argv) {
+  std::string trace_out = resolve_env_output("SDDD_TRACE", "sddd_trace.json");
+  std::string metrics_out =
+      resolve_env_output("SDDD_METRICS", "sddd_metrics.json");
+
+  for (int i = 1; i < *argc;) {
+    if (std::strcmp(argv[i], "--trace-out") == 0) {
+      if (const char* v = take_flag_value(argc, argv, i)) trace_out = v;
+    } else if (std::strcmp(argv[i], "--metrics-out") == 0) {
+      if (const char* v = take_flag_value(argc, argv, i)) metrics_out = v;
+    } else if (std::strcmp(argv[i], "--log-level") == 0) {
+      const char* v = take_flag_value(argc, argv, i);
+      LogLevel level = LogLevel::kInfo;
+      if (v != nullptr && parse_log_level(v, &level)) {
+        set_log_level(level);
+      } else {
+        SDDD_LOG_WARN("--log-level %s ignored (want error|warn|info|debug)",
+                      v != nullptr ? v : "(missing)");
+      }
+    } else {
+      ++i;
+    }
+  }
+
+  g_trace_out = std::move(trace_out);
+  g_metrics_out = std::move(metrics_out);
+  g_flushed = false;
+
+  if (!g_trace_out.empty()) {
+    if (kTraceCompiledIn) {
+      Tracer::instance().enable();
+    } else {
+      SDDD_LOG_WARN(
+          "tracing requested (%s) but this binary was built with "
+          "-DSDDD_TRACE=OFF; no spans will be captured",
+          g_trace_out.c_str());
+    }
+  }
+
+  static bool atexit_registered = false;
+  if (!atexit_registered && (!g_trace_out.empty() || !g_metrics_out.empty())) {
+    // Construct both singletons NOW so they are destroyed after the atexit
+    // handler runs (reverse construction order); otherwise a registry first
+    // touched mid-run would be dead by the time the flush reads it.
+    MetricsRegistry::instance();
+    if (kTraceCompiledIn) Tracer::instance();
+    std::atexit(flush_at_exit);
+    atexit_registered = true;
+  }
+}
+
+void flush_observability_outputs() {
+  if (g_flushed) return;
+  g_flushed = true;
+  if (!g_trace_out.empty() && kTraceCompiledIn) {
+    Tracer& tracer = Tracer::instance();
+    tracer.disable();
+    if (tracer.write_file(g_trace_out)) {
+      SDDD_LOG_INFO("wrote trace (%zu spans%s) to %s", tracer.event_count(),
+                    tracer.dropped_count() > 0 ? ", some dropped" : "",
+                    g_trace_out.c_str());
+    } else {
+      SDDD_LOG_ERROR("failed to write trace to %s", g_trace_out.c_str());
+    }
+  }
+  if (!g_metrics_out.empty()) {
+    if (MetricsRegistry::instance().write_file(g_metrics_out)) {
+      SDDD_LOG_INFO("wrote metrics to %s", g_metrics_out.c_str());
+    } else {
+      SDDD_LOG_ERROR("failed to write metrics to %s", g_metrics_out.c_str());
+    }
+  }
+}
+
+const std::string& trace_out_path() { return g_trace_out; }
+const std::string& metrics_out_path() { return g_metrics_out; }
+
+const char* observability_usage() {
+  return "  --trace-out FILE    capture a Chrome trace (open in Perfetto)\n"
+         "  --metrics-out FILE  write the metrics snapshot JSON at exit\n"
+         "  --log-level LEVEL   error | warn | info | debug (default info)\n"
+         "  (env fallbacks: SDDD_TRACE, SDDD_METRICS, SDDD_LOG)\n";
+}
+
+}  // namespace sddd::obs

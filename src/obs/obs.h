@@ -1,0 +1,45 @@
+// obs.h - One-call observability wiring for binaries.
+//
+// Every executable (sddd_cli, the bench_* mains) calls
+// configure_observability_from_args(&argc, argv) right after argument
+// intake.  It consumes the shared observability flags, falls back to
+// environment variables, and registers an atexit flush so a run that
+// returns from main (or std::exit()s) still lands its capture files:
+//
+//   --trace-out FILE     enable the tracer, write Chrome trace JSON to FILE
+//   --metrics-out FILE   write the metrics snapshot JSON to FILE at exit
+//   --log-level LEVEL    error | warn | info | debug
+//
+//   SDDD_TRACE           "0"/"" off; "1" -> sddd_trace.json; else a path
+//   SDDD_METRICS         "0"/"" off; "1" -> sddd_metrics.json; else a path
+//   SDDD_LOG             log threshold (see obs/log.h)
+//
+// Flags win over environment variables.  Asking for a trace in a build
+// compiled with -DSDDD_TRACE=OFF logs a warning instead of silently
+// writing an empty capture.
+#pragma once
+
+#include <string>
+
+namespace sddd::obs {
+
+/// Parses and REMOVES the observability flags from argv (so downstream
+/// argument parsing never sees them), applies environment fallbacks, and
+/// registers the atexit flush.  Safe to call once per process.
+void configure_observability_from_args(int* argc, char** argv);
+
+/// Writes the pending capture files immediately (the atexit hook calls
+/// this; call it manually to flush before a long tail of work).  Each file
+/// is written at most once per configuration.
+void flush_observability_outputs();
+
+/// Paths chosen by the configuration step; empty when the corresponding
+/// output is off.  Mainly for tests and for binaries that want to mention
+/// the file in their own output.
+const std::string& trace_out_path();
+const std::string& metrics_out_path();
+
+/// The usage text block describing the shared flags, for --help printers.
+const char* observability_usage();
+
+}  // namespace sddd::obs

@@ -2,9 +2,34 @@
 
 #include <stdexcept>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
 namespace sddd::runtime {
 
 namespace {
+
+// Pool metrics, registered once per process (see obs/metrics.h):
+//   pool.runs                    parallel regions executed
+//   pool.tasks                   loop indices drained (all threads)
+//   pool.steal_or_queue_wait_ns  worker wake latency after a job publish
+obs::Counter& pool_runs_counter() {
+  static obs::Counter& c =
+      obs::MetricsRegistry::instance().register_counter("pool.runs");
+  return c;
+}
+
+obs::Counter& pool_tasks_counter() {
+  static obs::Counter& c =
+      obs::MetricsRegistry::instance().register_counter("pool.tasks");
+  return c;
+}
+
+obs::Counter& pool_wait_counter() {
+  static obs::Counter& c = obs::MetricsRegistry::instance().register_counter(
+      "pool.steal_or_queue_wait_ns");
+  return c;
+}
 
 /// Set (to the owning pool) while a thread - worker or participating
 /// caller - executes inside a run() region.  Shared across pools: nesting
@@ -50,16 +75,19 @@ void ThreadPool::record_error() {
 }
 
 void ThreadPool::drain(const std::function<void(std::size_t)>& fn) {
+  std::uint64_t executed = 0;
   for (;;) {
     const std::size_t i = next_.fetch_add(1, std::memory_order_relaxed);
-    if (i >= n_) return;
+    if (i >= n_) break;
+    ++executed;
     try {
       fn(i);
     } catch (...) {
       record_error();
-      return;
+      break;
     }
   }
+  if (executed > 0) pool_tasks_counter().add(executed);
 }
 
 void ThreadPool::worker_loop() {
@@ -72,6 +100,13 @@ void ThreadPool::worker_loop() {
       if (stop_) return;
       seen = epoch_;
       fn = fn_;
+    }
+    {
+      // Wake latency: time from the job publish to this worker starting.
+      const std::uint64_t published =
+          publish_ns_.load(std::memory_order_relaxed);
+      const std::uint64_t now = obs::now_ns();
+      if (now > published) pool_wait_counter().add(now - published);
     }
     {
       const RegionGuard guard(this);
@@ -99,11 +134,17 @@ bool ThreadPool::try_run(std::size_t n,
         "deadlock); use runtime::parallel_for for composable loops");
   }
   if (n == 0) return true;
+  SDDD_SPAN(span, "pool.run");
+  span.arg("n", static_cast<std::int64_t>(n))
+      .arg("threads", static_cast<std::int64_t>(size()));
   if (workers_.empty()) {
     // Serial pool: run in place, still marked as a region so the
     // determinism guards (and nested-use detection) behave identically.
+    pool_runs_counter().add(1);
     const RegionGuard guard(this);
-    for (std::size_t i = 0; i < n; ++i) fn(i);
+    std::uint64_t executed = 0;
+    for (std::size_t i = 0; i < n; ++i, ++executed) fn(i);
+    pool_tasks_counter().add(executed);
     return true;
   }
   {
@@ -117,6 +158,8 @@ bool ThreadPool::try_run(std::size_t n,
     pending_workers_ = workers_.size();
     ++epoch_;
   }
+  pool_runs_counter().add(1);
+  publish_ns_.store(obs::now_ns(), std::memory_order_relaxed);
   cv_work_.notify_all();
   {
     const RegionGuard guard(this);

@@ -83,6 +83,10 @@ class ThreadPool {
   std::exception_ptr error_;
 
   std::atomic<std::size_t> next_{0};  ///< next unclaimed index
+
+  /// obs::now_ns() stamp of the latest job publish; workers subtract it on
+  /// wake to attribute queue-wait time (pool.steal_or_queue_wait_ns).
+  std::atomic<std::uint64_t> publish_ns_{0};
 };
 
 }  // namespace sddd::runtime

@@ -4,6 +4,8 @@
 #include <limits>
 #include <stdexcept>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "runtime/parallel_for.h"
 
 namespace sddd::timing {
@@ -13,6 +15,25 @@ using netlist::GateId;
 using netlist::Netlist;
 using paths::ArrivalRule;
 using paths::TransitionGraph;
+
+namespace {
+
+// Monte-Carlo accounting: mc.samples counts circuit-instance evaluations
+// (one per statistical sample actually propagated), mc.delay_rows counts
+// memoized arc-delay rows.
+obs::Counter& mc_samples_counter() {
+  static obs::Counter& c =
+      obs::MetricsRegistry::instance().register_counter("mc.samples");
+  return c;
+}
+
+obs::Counter& mc_delay_rows_counter() {
+  static obs::Counter& c =
+      obs::MetricsRegistry::instance().register_counter("mc.delay_rows");
+  return c;
+}
+
+}  // namespace
 
 DynamicTimingSimulator::DynamicTimingSimulator(
     const DelayField& field, const netlist::Levelization& lev)
@@ -25,6 +46,7 @@ void DynamicTimingSimulator::materialize_row(ArcId a) const {
   const std::size_t n = field_->sample_count();
   row.resize(n);
   for (std::size_t k = 0; k < n; ++k) row[k] = field_->delay(a, k);
+  mc_delay_rows_counter().add(1);
 }
 
 const std::vector<double>& DynamicTimingSimulator::arc_delays(ArcId a) const {
@@ -43,6 +65,9 @@ const std::vector<double>& DynamicTimingSimulator::arc_delays(ArcId a) const {
 
 void DynamicTimingSimulator::prewarm() const {
   if (prewarmed()) return;
+  SDDD_SPAN(span, "mc.prewarm");
+  span.arg("arcs", static_cast<std::int64_t>(delay_cache_.size()))
+      .arg("samples", static_cast<std::int64_t>(field_->sample_count()));
   // Each arc fills only its own row, so the fill itself parallelizes
   // safely (and degrades to the serial loop inside nested regions).
   runtime::parallel_for(delay_cache_.size(), [this](std::size_t a) {
@@ -104,6 +129,7 @@ void compute_row(const Netlist& nl, std::size_t n, const TransitionGraph& tg,
 ArrivalMatrix DynamicTimingSimulator::simulate(const TransitionGraph& tg) const {
   const Netlist& nl = field_->model().netlist();
   const std::size_t n = field_->sample_count();
+  mc_samples_counter().add(n);
   ArrivalMatrix m;
   m.rows.assign(nl.gate_count(), {});
   const auto lookup = [&](GateId f) -> const std::vector<double>& {
@@ -152,6 +178,7 @@ DynamicTimingSimulator::ConeRows DynamicTimingSimulator::recompute_cone(
     throw std::invalid_argument(
         "recompute_cone: defect extra-delay size mismatch");
   }
+  mc_samples_counter().add(n);
   const GateId defect_gate = nl.arc(defect.arc).gate;
   const auto cone = tg.forward_cone(defect_gate);
 
@@ -271,6 +298,7 @@ std::vector<double> DynamicTimingSimulator::simulate_instance_multi(
   if (k >= field_->sample_count()) {
     throw std::invalid_argument("simulate_instance: sample index out of range");
   }
+  mc_samples_counter().add(1);
   std::vector<double> arr(nl.gate_count(), -1.0);
   const auto extra_on = [&](ArcId a) {
     double extra = 0.0;

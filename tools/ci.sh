@@ -5,7 +5,10 @@
 #   2. sanitizer pass: smoke-labeled ctest entries under ASan+UBSan;
 #   3. lint gate: sddd_lint over the embedded ISCAS catalog circuits plus
 #      a dictionary audit -- any error-severity finding fails the gate;
-#   4. clang-tidy profile (skipped automatically when not installed).
+#   4. observability smoke: diagnose an s1196-class stand-in with
+#      --trace-out/--metrics-out and validate that both JSON files parse
+#      and the trace actually contains dictionary-build spans;
+#   5. clang-tidy profile (skipped automatically when not installed).
 #
 #   tools/ci.sh [-jN]
 set -euo pipefail
@@ -14,20 +17,46 @@ cd "$(dirname "$0")/.."
 
 JOBS="${1:--j$(nproc)}"
 
-echo "== [1/4] tier-1 build + tests =="
+echo "== [1/5] tier-1 build + tests =="
 cmake -B build -S .
 cmake --build build "$JOBS"
 ctest --test-dir build --output-on-failure "$JOBS"
 
-echo "== [2/4] smoke tests under ASan+UBSan =="
+echo "== [2/5] smoke tests under ASan+UBSan =="
 cmake -B build-san -S . -DSDDD_ASAN=ON -DSDDD_UBSAN=ON
 cmake --build build-san "$JOBS"
 ctest --test-dir build-san --output-on-failure -L smoke "$JOBS"
 
-echo "== [3/4] sddd_lint on the ISCAS catalog =="
+echo "== [3/5] sddd_lint on the ISCAS catalog =="
 ./build/tools/sddd_lint --dict --catalog c17 s27
 
-echo "== [4/4] clang-tidy profile =="
+echo "== [4/5] observability smoke (trace + metrics round-trip) =="
+OBS_DIR="$(mktemp -d)"
+trap 'rm -rf "$OBS_DIR"' EXIT
+./build/tools/sddd_cli synth "$OBS_DIR/s1196.bench" \
+  --profile s1196 --scale 0.15 --seed 7
+./build/tools/sddd_cli diagnose "$OBS_DIR/s1196.bench" \
+  --chips 2 --samples 60 --threads 2 \
+  --trace-out "$OBS_DIR/trace.json" --metrics-out "$OBS_DIR/metrics.json"
+python3 - "$OBS_DIR/trace.json" "$OBS_DIR/metrics.json" <<'EOF'
+import json, sys
+trace_path, metrics_path = sys.argv[1], sys.argv[2]
+with open(trace_path) as f:
+    trace = json.load(f)
+events = trace["traceEvents"]
+names = {e.get("name", "") for e in events}
+assert any(n.startswith("dict.") for n in names), \
+    f"no dict.* spans in trace (got {sorted(names)})"
+with open(metrics_path) as f:
+    metrics = json.load(f)
+counters = metrics["counters"]
+for key in ("mc.samples", "dict.columns_built", "diag.phi_evals"):
+    assert counters.get(key, 0) > 0, f"counter {key} missing or zero"
+print(f"obs smoke ok: {len(events)} trace events, "
+      f"{len(counters)} counters")
+EOF
+
+echo "== [5/5] clang-tidy profile =="
 tools/run_static_checks.sh
 
 echo "ci.sh: all gates passed"

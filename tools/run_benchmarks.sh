@@ -12,7 +12,13 @@
 #                            from the N-thread run; the 1-thread run is kept
 #                            next to it as BENCH_table1.serial.json so the
 #                            speedup is inspectable from the two files.
+#   BENCH_table1.trace.json  Chrome trace of the N-thread run (open in
+#                            Perfetto; see DESIGN.md section 9).
 #   bench_dictionary console output for both widths.
+#
+# A failing bench run fails the script before any JSON is interpreted: the
+# stale outputs are removed up front, so a crash can never leave the
+# previous run's numbers in place looking current.
 #
 # The diagnosis results themselves are identical at every width (see
 # DESIGN.md "Parallel execution"); only the timings differ.
@@ -30,25 +36,43 @@ echo "== configure + build (Release) =="
 cmake -B "$BUILD_DIR" -S . -DCMAKE_BUILD_TYPE=Release >/dev/null
 cmake --build "$BUILD_DIR" -j "$(nproc)" --target bench_table1 bench_dictionary
 
+# No stale outputs: if a bench binary dies below, these files are gone, not
+# silently left over from the previous run.
+rm -f BENCH_table1.json BENCH_table1.serial.json BENCH_table1.trace.json
+
+run_or_die() {
+  local label="$1"
+  shift
+  if ! "$@"; then
+    echo "error: $label exited non-zero; benchmark JSON discarded" >&2
+    exit 1
+  fi
+}
+
 echo
 echo "== bench_dictionary, 1 thread =="
-"$BUILD_DIR/bench/bench_dictionary" --threads 1 \
+run_or_die "bench_dictionary (1 thread)" \
+  "$BUILD_DIR/bench/bench_dictionary" --threads 1 \
   --benchmark_min_time=0.2 --benchmark_filter='DictionaryBuild'
 
 echo
 echo "== bench_dictionary, $N_THREADS threads =="
-"$BUILD_DIR/bench/bench_dictionary" --threads "$N_THREADS" \
+run_or_die "bench_dictionary ($N_THREADS threads)" \
+  "$BUILD_DIR/bench/bench_dictionary" --threads "$N_THREADS" \
   --benchmark_min_time=0.2 --benchmark_filter='DictionaryBuild'
 
 echo
 echo "== bench_table1, 1 thread =="
-"$BUILD_DIR/bench/bench_table1" --threads 1 --scale 0.35 --samples 120 \
+run_or_die "bench_table1 (1 thread)" \
+  "$BUILD_DIR/bench/bench_table1" --threads 1 --scale 0.35 --samples 120 \
   --chips 8 --git-sha "$GIT_SHA" --json BENCH_table1.serial.json
 
 echo
 echo "== bench_table1, $N_THREADS threads =="
-"$BUILD_DIR/bench/bench_table1" --threads "$N_THREADS" --scale 0.35 \
-  --samples 120 --chips 8 --git-sha "$GIT_SHA" --json BENCH_table1.json
+run_or_die "bench_table1 ($N_THREADS threads)" \
+  "$BUILD_DIR/bench/bench_table1" --threads "$N_THREADS" --scale 0.35 \
+  --samples 120 --chips 8 --git-sha "$GIT_SHA" --json BENCH_table1.json \
+  --trace-out BENCH_table1.trace.json
 
 echo
 serial=$(grep -o '"total_seconds": *[0-9.]*' BENCH_table1.serial.json |

@@ -23,9 +23,12 @@
 #include "atpg/diag_patterns.h"
 #include "eval/experiment.h"
 #include "netlist/bench_io.h"
+#include "netlist/iscas_catalog.h"
 #include "netlist/levelize.h"
 #include "netlist/scan.h"
 #include "netlist/synth.h"
+#include "obs/log.h"
+#include "obs/obs.h"
 #include "netlist/verilog_io.h"
 #include "paths/transition_graph.h"
 #include "runtime/parallel_for.h"
@@ -47,14 +50,16 @@ namespace {
       "  convert <in> <out>                  format conversion\n"
       "  scan <in> <out>                     full-scan transform\n"
       "  synth <out> [--inputs N] [--outputs N] [--gates N] [--depth N]\n"
-      "              [--seed N]\n"
+      "              [--seed N] | [--profile NAME [--scale S]]\n"
       "  atpg <netlist> [--site ARC] [--max-patterns N] [--seed N]\n"
       "  diagnose <netlist> [--chips N] [--samples N] [--seed N]\n"
       "global: --threads N (0 = all hardware threads, 1 = serial; also\n"
       "        honours SDDD_THREADS; results are identical at any setting)\n"
       "        --lint   static-analysis preflight of the input netlist;\n"
       "                 error-severity findings abort the command\n"
-      "formats by extension: .bench = ISCAS bench, otherwise Verilog\n");
+      "%s"
+      "formats by extension: .bench = ISCAS bench, otherwise Verilog\n",
+      sddd::obs::observability_usage());
   std::exit(2);
 }
 
@@ -104,8 +109,8 @@ bool preflight_lint(const std::filesystem::path& path) {
   const auto report =
       analysis::lint_netlist(analysis::Analyzer::with_default_rules(), nl);
   if (!report.empty()) {
-    std::fprintf(stderr, "lint (%s):\n%s", nl.name().c_str(),
-                 report.to_text().c_str());
+    SDDD_LOG_WARN("lint (%s):\n%s", nl.name().c_str(),
+                  report.to_text().c_str());
   }
   return report.error_count() == 0;
 }
@@ -127,6 +132,16 @@ class Options {
   long get(const char* key, long fallback) const {
     const auto it = values_.find(key);
     return it == values_.end() ? fallback : std::atol(it->second.c_str());
+  }
+
+  double get_double(const char* key, double fallback) const {
+    const auto it = values_.find(key);
+    return it == values_.end() ? fallback : std::atof(it->second.c_str());
+  }
+
+  std::string str(const char* key, const std::string& fallback = {}) const {
+    const auto it = values_.find(key);
+    return it == values_.end() ? fallback : it->second;
   }
 
   const std::vector<std::string>& positional() const { return positional_; }
@@ -173,6 +188,24 @@ int cmd_scan(const std::filesystem::path& in,
 }
 
 int cmd_synth(const std::filesystem::path& out, const Options& opts) {
+  // --profile synthesizes the ISCAS stand-in from the catalog (the same
+  // generator the Table I harness uses), so scripts can build e.g. an
+  // s1196-class circuit without replicating its structural numbers.
+  const std::string profile_name = opts.str("profile");
+  if (!profile_name.empty()) {
+    const netlist::IscasProfile* profile = netlist::find_profile(profile_name);
+    if (profile == nullptr) {
+      std::fprintf(stderr, "unknown profile: %s\n", profile_name.c_str());
+      return 1;
+    }
+    const auto nl = netlist::make_standin(
+        *profile, opts.get_double("scale", 1.0),
+        static_cast<std::uint64_t>(opts.get("seed", 1)));
+    store(nl, out);
+    std::printf("wrote %s (%s)\n", out.string().c_str(),
+                nl.summary().c_str());
+    return 0;
+  }
   netlist::SynthSpec spec;
   spec.name = out.stem().string();
   spec.n_inputs = static_cast<std::uint32_t>(opts.get("inputs", 16));
@@ -247,6 +280,7 @@ int cmd_diagnose(const std::filesystem::path& path, const Options& opts) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  obs::configure_observability_from_args(&argc, argv);
   runtime::configure_threads_from_args(&argc, argv);
   const bool lint = consume_flag(&argc, argv, "--lint");
   if (argc < 2) usage_and_exit();
