@@ -4,6 +4,8 @@
 #include <stdexcept>
 #include <string>
 
+#include "obs/error.h"
+
 namespace sddd::diagnosis {
 
 void write_dictionary_csv(const FaultDictionary& dict,
@@ -36,13 +38,20 @@ void write_behavior_csv(const BehaviorMatrix& b, std::ostream& out) {
 }
 
 BehaviorMatrix read_behavior_csv(std::istream& in) {
+  // Every diagnostic names its 1-based line (header = line 1, matrix row i
+  // = line i+2) and, for cell problems, the offending output row / pattern
+  // column - a behavior matrix usually comes straight off tester logs, and
+  // "bad cell value" without coordinates is unactionable there.
+  constexpr const char* kSource = "behavior csv";
   std::string line;
   if (!std::getline(in, line)) {
-    throw std::runtime_error("behavior csv: missing header");
+    throw ParseError(kSource, 1, "missing header (expected <outputs>,<patterns>)");
   }
   const auto comma = line.find(',');
   if (comma == std::string::npos) {
-    throw std::runtime_error("behavior csv: malformed header");
+    throw ParseError(kSource, 1,
+                     "malformed header '" + line +
+                         "' (expected <outputs>,<patterns>)");
   }
   std::size_t n_outputs = 0;
   std::size_t n_patterns = 0;
@@ -50,26 +59,49 @@ BehaviorMatrix read_behavior_csv(std::istream& in) {
     n_outputs = std::stoul(line.substr(0, comma));
     n_patterns = std::stoul(line.substr(comma + 1));
   } catch (const std::exception&) {
-    throw std::runtime_error("behavior csv: malformed header");
+    throw ParseError(kSource, 1,
+                     "malformed header '" + line +
+                         "' (expected <outputs>,<patterns>)");
+  }
+  if (n_outputs == 0 || n_patterns == 0) {
+    throw ParseError(kSource, 1,
+                     "empty matrix (" + std::to_string(n_outputs) +
+                         " outputs x " + std::to_string(n_patterns) +
+                         " patterns); a behavior matrix needs at least one "
+                         "output and one pattern");
   }
   BehaviorMatrix b(n_outputs, n_patterns);
   for (std::size_t i = 0; i < n_outputs; ++i) {
+    const std::size_t line_no = i + 2;
     if (!std::getline(in, line)) {
-      throw std::runtime_error("behavior csv: truncated matrix");
+      throw ParseError(kSource, line_no,
+                       "truncated matrix: got " + std::to_string(i) +
+                           " of " + std::to_string(n_outputs) +
+                           " output rows");
     }
     std::size_t j = 0;
     for (const char c : line) {
-      if (c == ',') continue;
+      if (c == ',' || c == '\r') continue;
       if (c != '0' && c != '1') {
-        throw std::runtime_error("behavior csv: bad cell value");
+        throw ParseError(kSource, line_no,
+                         std::string("bad cell value '") + c +
+                             "' at output row " + std::to_string(i) +
+                             ", pattern column " + std::to_string(j) +
+                             " (cells must be 0 or 1)");
       }
       if (j >= n_patterns) {
-        throw std::runtime_error("behavior csv: row too long");
+        throw ParseError(kSource, line_no,
+                         "jagged row: output row " + std::to_string(i) +
+                             " has more than " + std::to_string(n_patterns) +
+                             " pattern cells");
       }
       b.set(i, j++, c == '1');
     }
     if (j != n_patterns) {
-      throw std::runtime_error("behavior csv: row too short");
+      throw ParseError(kSource, line_no,
+                       "jagged row: output row " + std::to_string(i) +
+                           " has " + std::to_string(j) + " of " +
+                           std::to_string(n_patterns) + " pattern cells");
     }
   }
   return b;

@@ -1,0 +1,127 @@
+// checkpoint.h - Append-only trial journal for crash-safe experiments,
+// plus the deterministic experiment-result JSON used to verify resume.
+//
+// run_diagnosis_experiment derives every trial purely from (config.seed,
+// trial index), so a killed run loses no information that cannot be
+// recomputed - but recomputation is expensive.  The journal makes finished
+// trials durable: one self-checksummed record per trial, appended as each
+// trial completes and fsynced in small batches.  A resumed run loads the
+// journal, replays the recorded trials into their slots, and re-runs only
+// the rest; because the journal round-trips every double bit-exactly, the
+// resumed result is byte-identical to an uninterrupted run at any thread
+// count.
+//
+// File format (text, one record per line, LF terminated):
+//
+//   sddd-ckpt v1 <fingerprint-hex> <n_trials>
+//   T <crc-hex> <trial> <status> <error-code> ...fields... m=<message>
+//
+// The fingerprint hashes the experiment identity (circuit, seed, trial
+// count, sample counts, method list...); resuming against a journal with a
+// different fingerprint is an error, not a silent wrong answer.  The crc
+// (FNV-1a 64 of the payload after it) makes records self-validating: the
+// loader accepts the longest valid prefix and reports where it ends, and
+// the writer truncates the file there before appending, so a record half
+// written at the moment of a crash - the expected failure mode - is
+// dropped and its trial simply re-runs.
+//
+// Quarantined trials ARE journaled (re-running them would fail again
+// deterministically); deadline-skipped trials are NOT (resume exists
+// precisely to give them another chance).
+//
+// Fault seams (obs/faults.h): ckpt.open (k=0), ckpt.write (k=trial).
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "eval/experiment.h"
+
+namespace sddd::eval {
+
+/// Stable hash of the experiment identity: two runs may share a journal
+/// iff their fingerprints match.  Hashes circuit name, seed, n_chips,
+/// sample counts, method list, defect model knobs - everything that
+/// changes per-trial results.
+std::uint64_t experiment_fingerprint(const std::string& circuit_name,
+                                     const ExperimentConfig& config);
+
+/// One journal record: the trial index plus its finished TrialRecord.
+struct CheckpointRecord {
+  std::size_t trial = 0;
+  TrialRecord record;
+};
+
+/// Serializes `record` as one journal line (no trailing newline) and
+/// parses it back.  Exposed for tests; doubles are bit-cast to hex so the
+/// round trip is exact.
+std::string encode_checkpoint_record(std::size_t trial,
+                                     const TrialRecord& record);
+bool decode_checkpoint_record(const std::string& line, CheckpointRecord* out);
+
+/// Result of scanning a journal file.
+struct CheckpointLoad {
+  /// Valid records in file order (later duplicates of a trial win).
+  std::vector<CheckpointRecord> records;
+  /// File offset just past the last valid record (= where appending may
+  /// safely continue).  0 when the file is missing or the header is bad.
+  std::uint64_t valid_bytes = 0;
+  bool header_ok = false;
+};
+
+/// Scans `path`, validating the header against `fingerprint` and every
+/// record checksum; stops at the first invalid or truncated line.  A
+/// missing file loads as empty.  Throws sddd::IoError when the file exists
+/// but was written for a different experiment (fingerprint mismatch) or
+/// its trial count disagrees with `n_trials`.
+CheckpointLoad load_checkpoint(const std::string& path,
+                               std::uint64_t fingerprint,
+                               std::size_t n_trials);
+
+/// Append-side of the journal.  Thread-safe: trials finishing on any
+/// worker append under a mutex; record order in the file is the completion
+/// order (schedule-dependent), which is fine because records carry their
+/// trial index.  fsync is batched (every kSyncEvery appends, plus one on
+/// destruction), bounding both the crash window and the sync overhead.
+class CheckpointWriter {
+ public:
+  /// Opens `path` for appending at `valid_bytes` (truncating any invalid
+  /// tail beyond it); writes the header first when `write_header`.  Throws
+  /// sddd::IoError on any filesystem failure.
+  CheckpointWriter(const std::string& path, std::uint64_t fingerprint,
+                   std::size_t n_trials, std::uint64_t valid_bytes,
+                   bool write_header);
+  ~CheckpointWriter();
+
+  CheckpointWriter(const CheckpointWriter&) = delete;
+  CheckpointWriter& operator=(const CheckpointWriter&) = delete;
+
+  /// Appends one finished trial.  Throws sddd::IoError on write failure
+  /// (also the `ckpt.write` fault seam, keyed by trial index).
+  void append(std::size_t trial, const TrialRecord& record);
+
+  /// Forces an fsync of everything appended so far.
+  void flush();
+
+  static constexpr std::size_t kSyncEvery = 8;
+
+ private:
+  std::mutex mu_;
+  int fd_ = -1;
+  std::string path_;
+  std::size_t unsynced_ = 0;
+};
+
+/// Writes the deterministic result JSON: config identity, aggregate
+/// counts, success rates, and every per-trial record - but no wall-clock
+/// or CPU timings - so an uninterrupted run and a kill+resume run of the
+/// same experiment produce byte-identical files.  Doubles are printed with
+/// 17 significant digits (round-trip exact).  The write is atomic
+/// (obs::atomic_write_file_or_throw).
+void write_experiment_json(const ExperimentResult& result,
+                           const std::string& path);
+
+}  // namespace sddd::eval

@@ -2,14 +2,20 @@
 
 #include <algorithm>
 #include <chrono>
+#include <memory>
+#include <optional>
 #include <stdexcept>
 
 #include "diagnosis/behavior.h"
 #include "diagnosis/logic_baseline.h"
+#include "eval/checkpoint.h"
 #include "netlist/levelize.h"
+#include "obs/error.h"
+#include "obs/faults.h"
 #include "obs/log.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "runtime/cancel.h"
 #include "runtime/parallel_for.h"
 #include "timing/delay_field.h"
 #include "timing/delay_model.h"
@@ -87,6 +93,36 @@ std::size_t ExperimentResult::diagnosable_trials() const {
   return total;
 }
 
+std::string_view trial_status_name(TrialStatus status) {
+  switch (status) {
+    case TrialStatus::kNotFailing: return "not_failing";
+    case TrialStatus::kDiagnosed: return "diagnosed";
+    case TrialStatus::kQuarantined: return "quarantined";
+    case TrialStatus::kSkipped: return "skipped";
+  }
+  return "unknown";
+}
+
+std::size_t ExperimentResult::quarantined_trials() const {
+  std::size_t total = 0;
+  for (const TrialRecord& t : trials) {
+    total += t.status == TrialStatus::kQuarantined ? 1U : 0U;
+  }
+  return total;
+}
+
+std::size_t ExperimentResult::skipped_trials() const {
+  std::size_t total = 0;
+  for (const TrialRecord& t : trials) {
+    total += t.status == TrialStatus::kSkipped ? 1U : 0U;
+  }
+  return total;
+}
+
+std::size_t ExperimentResult::completed_trials() const {
+  return trials.size() - skipped_trials();
+}
+
 namespace {
 
 /// Rank (0-based position in the best-first order) of `arc` in the result
@@ -117,6 +153,20 @@ obs::Counter& mc_observe_ns_counter() {
 
 double seconds_since(std::uint64_t t0_ns) {
   return static_cast<double>(obs::now_ns() - t0_ns) * 1e-9;
+}
+
+// Resilience counters: how many trials were quarantined by a failure, and
+// how many were replayed from a checkpoint journal instead of recomputed.
+obs::Counter& trial_quarantined_counter() {
+  static obs::Counter& c =
+      obs::MetricsRegistry::instance().register_counter("trial.quarantined");
+  return c;
+}
+
+obs::Counter& run_resumed_counter() {
+  static obs::Counter& c =
+      obs::MetricsRegistry::instance().register_counter("run.resumed_trials");
+  return c;
 }
 
 }  // namespace
@@ -220,14 +270,60 @@ ExperimentResult run_diagnosis_experiment(const Netlist& nl,
   // dictionary simulator's lazily-memoized delay rows are the one piece of
   // shared mutable state; pre-materialize them before fanning out.
   if (runtime::would_parallelize(config.n_chips)) dict_sim.prewarm();
-  const std::uint64_t trials_t0 = obs::now_ns();
   result.trials.resize(config.n_chips);
-  runtime::parallel_for(config.n_chips, [&](std::size_t trial) {
+
+  // Checkpoint/resume: replay journaled trials into their slots first,
+  // then journal the remaining trials as they finish.  Because trial
+  // randomness derives only from (seed, trial index), a replayed record is
+  // bit-identical to what recomputation would produce.
+  std::vector<char> done(config.n_chips, 0);
+  std::unique_ptr<CheckpointWriter> journal;
+  if (!config.checkpoint_path.empty()) {
+    const std::uint64_t fp =
+        experiment_fingerprint(result.circuit_name, config);
+    std::uint64_t valid_bytes = 0;
+    bool write_header = true;
+    if (config.resume) {
+      CheckpointLoad load =
+          load_checkpoint(config.checkpoint_path, fp, config.n_chips);
+      for (CheckpointRecord& rec : load.records) {
+        if (!done[rec.trial]) ++result.resumed_trials;
+        done[rec.trial] = 1;
+        result.trials[rec.trial] = std::move(rec.record);
+      }
+      if (load.header_ok) {
+        valid_bytes = load.valid_bytes;
+        write_header = false;
+      }
+      if (result.resumed_trials > 0) {
+        run_resumed_counter().add(result.resumed_trials);
+        SDDD_LOG_INFO("%s: resumed %zu/%zu trials from %s",
+                      nl.name().c_str(), result.resumed_trials,
+                      config.n_chips, config.checkpoint_path.c_str());
+      }
+    }
+    journal = std::make_unique<CheckpointWriter>(
+        config.checkpoint_path, fp, config.n_chips, valid_bytes,
+        write_header);
+  }
+
+  // Soft deadline for the trial loop.  The token travels as the ambient
+  // CancelToken (runtime/cancel.h): the pool re-installs it on every
+  // worker, DynamicTimingSimulator polls it mid-trial, and the dispatcher
+  // below checks it before starting each trial.
+  runtime::CancelToken deadline_token;
+  std::optional<runtime::ScopedCancelToken> deadline_guard;
+  if (config.deadline_s > 0.0) {
+    deadline_token.set_deadline_after_seconds(config.deadline_s);
+    deadline_guard.emplace(&deadline_token);
+  }
+
+  // The measurement body of one trial; failures are classified by the
+  // dispatcher below.
+  const auto run_trial = [&](std::size_t trial, TrialRecord& record) {
     SDDD_SPAN(trial_span, "exp.trial");
     trial_span.arg("trial", static_cast<std::int64_t>(trial));
     Rng trial_rng = Rng(config.seed, 0xe4a1ULL).split(trial + 1);
-    TrialRecord record;
-    record.rank_of_true.assign(config.methods.size(), -1);
 
     // Redraw (site, size, chip) until the chip observably fails.
     std::vector<logicsim::PatternPair> patterns;
@@ -291,10 +387,7 @@ ExperimentResult run_diagnosis_experiment(const Netlist& nl,
         break;
       }
     }
-    if (!record.failed_test) {
-      result.trials[trial] = std::move(record);
-      return;
-    }
+    if (!record.failed_test) return;
 
     record.n_patterns = patterns.size();
     record.n_failing_cells = B.failure_count();
@@ -333,8 +426,72 @@ ExperimentResult run_diagnosis_experiment(const Netlist& nl,
         }
       }
     }
+  };
+
+  // Dispatcher: runs each not-yet-done trial, classifies any failure into
+  // TrialStatus, and journals the finished record.  A quarantined trial
+  // never takes the experiment down; a deadline expiry skips trials (not
+  // journaled, so --resume re-runs them); only a hard cancel propagates.
+  const std::uint64_t trials_t0 = obs::now_ns();
+  runtime::parallel_for(config.n_chips, [&](std::size_t trial) {
+    if (done[trial]) return;
+    TrialRecord record;
+    record.rank_of_true.assign(config.methods.size(), -1);
+    const runtime::CancelToken* token = runtime::current_cancel_token();
+    if (token != nullptr && token->deadline_passed()) {
+      record.status = TrialStatus::kSkipped;
+      result.trials[trial] = std::move(record);
+      return;
+    }
+    bool journal_this = journal != nullptr;
+    const auto reset_record = [&] {
+      record = TrialRecord{};
+      record.rank_of_true.assign(config.methods.size(), -1);
+    };
+    try {
+      obs::fault_point("exp.trial", trial);
+      run_trial(trial, record);
+      record.status = record.failed_test ? TrialStatus::kDiagnosed
+                                         : TrialStatus::kNotFailing;
+    } catch (const CancelledError&) {
+      throw;  // a hard cancel aborts the experiment, not just the trial
+    } catch (const DeadlineError&) {
+      reset_record();
+      record.status = TrialStatus::kSkipped;
+      journal_this = false;
+    } catch (const Error& e) {
+      reset_record();
+      record.status = TrialStatus::kQuarantined;
+      record.error_code = e.code();
+      record.error_message = e.what();
+      trial_quarantined_counter().add(1);
+      SDDD_LOG_WARN("%s: trial %zu quarantined [%s]: %s", nl.name().c_str(),
+                    trial,
+                    std::string(error_code_name(e.code())).c_str(),
+                    e.what());
+    } catch (const std::exception& e) {
+      reset_record();
+      record.status = TrialStatus::kQuarantined;
+      record.error_code = ErrorCode::kInternal;
+      record.error_message = e.what();
+      trial_quarantined_counter().add(1);
+      SDDD_LOG_WARN("%s: trial %zu quarantined [internal]: %s",
+                    nl.name().c_str(), trial, e.what());
+    }
     result.trials[trial] = std::move(record);
+    if (journal_this) {
+      try {
+        journal->append(trial, result.trials[trial]);
+      } catch (const Error& e) {
+        // A journal append failure only costs durability for this trial
+        // (it re-runs on resume); the measurement itself is intact.
+        SDDD_LOG_WARN("%s: checkpoint append for trial %zu failed: %s",
+                      nl.name().c_str(), trial, e.what());
+      }
+    }
   });
+  if (journal) journal->flush();
+  result.degraded = result.skipped_trials() > 0;
   result.wall_seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                     wall_start)

@@ -21,6 +21,7 @@
 #include "defect/injector.h"
 #include "diagnosis/diagnoser.h"
 #include "netlist/netlist.h"
+#include "obs/error.h"
 #include "timing/celllib.h"
 
 namespace sddd::eval {
@@ -89,7 +90,45 @@ struct ExperimentConfig {
   std::size_t max_injection_retries = 120;
   timing::CellLibraryConfig library;
   std::uint64_t seed = 2003;
+
+  // --- Resilience knobs (see DESIGN.md section 10) ---
+  /// Trial journal path; empty = no journaling.  Finished trials are
+  /// appended (crash-safe, checksummed) as they complete.
+  std::string checkpoint_path;
+  /// With a checkpoint_path: load the journal first and re-run only the
+  /// trials it does not cover.  Trial randomness derives from (seed, trial
+  /// index), so the resumed result is bit-identical to an uninterrupted
+  /// run.  Without resume an existing journal is overwritten.
+  bool resume = false;
+  /// Soft wall-clock budget in seconds for the trial loop; <= 0 = none.
+  /// Cooperative: trials already running unwind at their next poll point,
+  /// un-started trials are marked kSkipped, and the result reports
+  /// degraded=true instead of the run failing.  Skipped trials are not
+  /// journaled, so a later --resume finishes them.
+  double deadline_s = 0.0;
 };
+
+/// How one trial ended.  `kDiagnosed` <=> TrialRecord::failed_test; the
+/// other states explain *why* a trial contributes nothing to the success
+/// rates (whose denominator is diagnosable_trials(), i.e. kDiagnosed
+/// only).
+enum class TrialStatus : int {
+  /// The chip never observably failed within the retry budget (the paper's
+  /// Figure 1 escape phenomenon) - a valid measurement of zero.
+  kNotFailing = 0,
+  /// Diagnosis ran to completion; ranks are meaningful.
+  kDiagnosed = 1,
+  /// The trial threw; it is quarantined with the error recorded and the
+  /// rest of the experiment unaffected.
+  kQuarantined = 2,
+  /// Skipped by the deadline (or a hard cancel) before producing a result;
+  /// re-run on resume.
+  kSkipped = 3,
+};
+
+/// Stable lower-case name ("not_failing", "diagnosed", "quarantined",
+/// "skipped") used in journals and result JSON.
+std::string_view trial_status_name(TrialStatus status);
 
 /// Outcome of diagnosing one failing chip.
 struct TrialRecord {
@@ -106,6 +145,14 @@ struct TrialRecord {
   std::vector<int> rank_of_true;
   /// Rank under the gross-delay logic baseline; -1 = absent or disabled.
   int logic_baseline_rank = -1;
+  /// How the trial ended (kept in sync with failed_test; see TrialStatus).
+  TrialStatus status = TrialStatus::kNotFailing;
+  /// Why it was quarantined (meaningful when status == kQuarantined).
+  ErrorCode error_code = ErrorCode::kInternal;
+  std::string error_message;
+  /// True when this record was replayed from a checkpoint journal rather
+  /// than recomputed in this run.
+  bool from_checkpoint = false;
 };
 
 /// Where one experiment's time went.  Wall-clock splits partition
@@ -140,9 +187,16 @@ struct ExperimentResult {
   /// Per-phase attribution of that time (see PhaseBreakdown).
   PhaseBreakdown phases;
   std::vector<TrialRecord> trials;
+  /// True when the deadline expired before every trial finished: the
+  /// numbers below are computed over fewer trials than configured.
+  bool degraded = false;
+  /// Trials replayed from the checkpoint journal instead of recomputed.
+  std::size_t resumed_trials = 0;
 
   /// Paper accuracy metric: fraction of diagnosable trials whose injected
-  /// arc ranks within the top K under `m`.
+  /// arc ranks within the top K under `m`.  The denominator is
+  /// diagnosable_trials() - quarantined and skipped trials are excluded
+  /// explicitly, never silently counted as misses.
   double success_rate(diagnosis::Method m, int k) const;
 
   /// Same metric for the traditional logic baseline (0 when disabled).
@@ -155,6 +209,13 @@ struct ExperimentResult {
   double avg_injection_attempts() const;
 
   std::size_t diagnosable_trials() const;
+
+  /// Trials quarantined by a per-trial failure (status == kQuarantined).
+  std::size_t quarantined_trials() const;
+  /// Trials skipped by the deadline / cancellation (status == kSkipped).
+  std::size_t skipped_trials() const;
+  /// Trials that produced a result: everything but kSkipped.
+  std::size_t completed_trials() const;
 };
 
 /// Runs the full experiment on a frozen combinational netlist.

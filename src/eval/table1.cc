@@ -11,6 +11,7 @@
 #include "netlist/bench_io.h"
 #include "netlist/iscas_catalog.h"
 #include "netlist/scan.h"
+#include "obs/atomic_file.h"
 #include "obs/log.h"
 #include "obs/trace.h"
 #include "runtime/parallel_for.h"
@@ -132,6 +133,10 @@ void write_table1_json(std::ostream& os, const Table1Config& config,
     os << "    {\"name\": \"" << exp.circuit_name << "\", \"seconds\": "
        << exp.wall_seconds << ", \"clk\": " << exp.clk
        << ", \"diagnosable\": " << exp.diagnosable_trials() << ",\n"
+       << "     \"completed\": " << exp.completed_trials()
+       << ", \"quarantined\": " << exp.quarantined_trials()
+       << ", \"resumed\": " << exp.resumed_trials << ", \"degraded\": "
+       << (exp.degraded ? "true" : "false") << ",\n"
        << "     \"phases\": {\"setup_s\": " << ph.setup_seconds
        << ", \"calibration_s\": " << ph.calibration_seconds
        << ", \"trials_s\": " << ph.trials_seconds << ",\n"
@@ -154,13 +159,12 @@ bool write_table1_json_file(const std::string& path,
                             const Table1Config& config,
                             const Table1Result& result, double total_seconds,
                             const std::string& git_sha) {
-  std::ofstream out(path);
-  if (!out) {
-    SDDD_LOG_WARN("cannot write %s", path.c_str());
-    return false;
-  }
-  write_table1_json(out, config, result, total_seconds, git_sha);
-  return static_cast<bool>(out);
+  // Atomic (temp + rename): a crash or injected fault mid-write leaves
+  // either the previous artifact or none - never a truncated JSON that a
+  // downstream plot script would half-parse.
+  std::ostringstream os;
+  write_table1_json(os, config, result, total_seconds, git_sha);
+  return obs::atomic_write_file(path, os.str());
 }
 
 std::string Table1Result::to_csv() const {

@@ -8,13 +8,19 @@
 #include <unordered_map>
 #include <vector>
 
+#include "obs/error.h"
+
 namespace sddd::netlist {
 
 namespace {
 
-[[noreturn]] void fail(std::size_t line_no, const std::string& msg) {
-  throw std::runtime_error("bench parse error at line " +
-                           std::to_string(line_no) + ": " + msg);
+/// All bench diagnostics are ParseErrors carrying (source, line): the
+/// source is the file path when parsing a file, the netlist name
+/// otherwise, so a failure inside a multi-circuit run still says which
+/// input broke.
+[[noreturn]] void fail(const std::string& source, std::size_t line_no,
+                       const std::string& msg) {
+  throw ParseError(source, line_no, msg);
 }
 
 std::string_view trim(std::string_view s) {
@@ -38,13 +44,14 @@ struct Call {
   std::vector<std::string> args;
 };
 
-Call parse_call(std::string_view rhs, std::size_t line_no) {
+Call parse_call(std::string_view rhs, const std::string& source,
+                std::size_t line_no) {
   Call call;
   const auto open = rhs.find('(');
   const auto close = rhs.rfind(')');
   if (open == std::string_view::npos || close == std::string_view::npos ||
       close < open) {
-    fail(line_no, "expected KEYWORD(args)");
+    fail(source, line_no, "expected KEYWORD(args)");
   }
   call.keyword = std::string(trim(rhs.substr(0, open)));
   const std::string_view args = rhs.substr(open + 1, close - open - 1);
@@ -52,7 +59,7 @@ Call parse_call(std::string_view rhs, std::size_t line_no) {
   for (const char c : args) {
     if (c == ',') {
       const auto name = trim(current);
-      if (name.empty()) fail(line_no, "empty argument");
+      if (name.empty()) fail(source, line_no, "empty argument");
       call.args.emplace_back(name);
       current.clear();
     } else {
@@ -63,7 +70,7 @@ Call parse_call(std::string_view rhs, std::size_t line_no) {
   if (!last.empty()) call.args.emplace_back(last);
   for (const auto& a : call.args) {
     for (const char c : a) {
-      if (!is_name_char(c)) fail(line_no, "bad signal name: " + a);
+      if (!is_name_char(c)) fail(source, line_no, "bad signal name: " + a);
     }
   }
   return call;
@@ -71,7 +78,8 @@ Call parse_call(std::string_view rhs, std::size_t line_no) {
 
 }  // namespace
 
-Netlist parse_bench(std::istream& in, std::string name) {
+Netlist parse_bench(std::istream& in, std::string name, std::string source) {
+  if (source.empty()) source = name;
   Netlist nl(std::move(name));
   std::unordered_map<std::string, GateId> ids;
   std::vector<std::string> output_names;
@@ -98,10 +106,10 @@ Netlist parse_bench(std::istream& in, std::string name) {
     const auto eq = body.find('=');
     if (eq == std::string_view::npos) {
       // INPUT(x) or OUTPUT(x)
-      const Call call = parse_call(body, line_no);
+      const Call call = parse_call(body, source, line_no);
       std::string kw = call.keyword;
       for (auto& c : kw) c = static_cast<char>(std::toupper(static_cast<unsigned char>(c)));
-      if (call.args.size() != 1) fail(line_no, "expected one argument");
+      if (call.args.size() != 1) fail(source, line_no, "expected one argument");
       if (kw == "INPUT") {
         const GateId id = get_or_declare(call.args[0]);
         nl.define(id, CellType::kInput, {});
@@ -109,20 +117,23 @@ Netlist parse_bench(std::istream& in, std::string name) {
         output_names.push_back(call.args[0]);
         output_lines.push_back(line_no);
       } else {
-        fail(line_no, "unknown directive: " + call.keyword);
+        fail(source, line_no, "unknown directive: " + call.keyword);
       }
       continue;
     }
 
     // name = GATE(a, b, ...)
     const auto lhs = trim(body.substr(0, eq));
-    if (lhs.empty()) fail(line_no, "missing signal name before '='");
+    if (lhs.empty()) fail(source, line_no, "missing signal name before '='");
     for (const char c : lhs) {
-      if (!is_name_char(c)) fail(line_no, std::string("bad signal name: ") + std::string(lhs));
+      if (!is_name_char(c)) {
+        fail(source, line_no,
+             std::string("bad signal name: ") + std::string(lhs));
+      }
     }
-    const Call call = parse_call(body.substr(eq + 1), line_no);
+    const Call call = parse_call(body.substr(eq + 1), source, line_no);
     const auto type = parse_cell_type(call.keyword);
-    if (!type) fail(line_no, "unknown gate type: " + call.keyword);
+    if (!type) fail(source, line_no, "unknown gate type: " + call.keyword);
     std::vector<GateId> fanins;
     fanins.reserve(call.args.size());
     for (const auto& a : call.args) fanins.push_back(get_or_declare(a));
@@ -130,14 +141,15 @@ Netlist parse_bench(std::istream& in, std::string name) {
     try {
       nl.define(id, *type, std::move(fanins));
     } catch (const std::exception& e) {
-      fail(line_no, e.what());
+      fail(source, line_no, e.what());
     }
   }
 
   for (std::size_t i = 0; i < output_names.size(); ++i) {
     const auto it = ids.find(output_names[i]);
     if (it == ids.end()) {
-      fail(output_lines[i], "OUTPUT of undefined signal: " + output_names[i]);
+      fail(source, output_lines[i],
+           "OUTPUT of undefined signal: " + output_names[i]);
     }
     nl.add_output(it->second);
   }
@@ -145,7 +157,9 @@ Netlist parse_bench(std::istream& in, std::string name) {
   try {
     nl.freeze();
   } catch (const std::exception& e) {
-    throw std::runtime_error(std::string("bench parse error: ") + e.what());
+    // Graph-level failures (undriven nets, cycles) have no single line;
+    // line 0 = whole-input diagnostic, still naming the source.
+    throw ParseError(source, 0, e.what());
   }
   return nl;
 }
@@ -158,9 +172,9 @@ Netlist parse_bench_string(std::string_view text, std::string name) {
 Netlist parse_bench_file(const std::filesystem::path& path) {
   std::ifstream in(path);
   if (!in) {
-    throw std::runtime_error("cannot open bench file: " + path.string());
+    throw IoError("cannot open bench file: " + path.string());
   }
-  return parse_bench(in, path.stem().string());
+  return parse_bench(in, path.stem().string(), path.string());
 }
 
 void write_bench(const Netlist& nl, std::ostream& out) {

@@ -24,9 +24,12 @@
 
 namespace sddd::netlist {
 
-/// Parses `.bench` text.  Throws std::runtime_error with a line number on
-/// malformed input.  The returned netlist is frozen.
-Netlist parse_bench(std::istream& in, std::string name = "bench");
+/// Parses `.bench` text.  Throws sddd::ParseError (a std::runtime_error)
+/// carrying the source label and 1-based line on malformed input; `source`
+/// defaults to `name` and should be the file path when parsing a file.
+/// The returned netlist is frozen.
+Netlist parse_bench(std::istream& in, std::string name = "bench",
+                    std::string source = "");
 
 /// Parses `.bench` from a string (convenience for tests and the embedded
 /// ISCAS catalog).

@@ -8,6 +8,8 @@
 #include <unordered_map>
 #include <vector>
 
+#include "obs/error.h"
+
 namespace sddd::netlist {
 
 namespace {
@@ -17,9 +19,11 @@ struct Token {
   std::size_t line = 0;
 };
 
-[[noreturn]] void fail(std::size_t line, const std::string& msg) {
-  throw std::runtime_error("verilog parse error at line " +
-                           std::to_string(line) + ": " + msg);
+/// All verilog diagnostics are ParseErrors carrying (source, line); the
+/// source is the file path when parsing a file, "verilog" otherwise.
+[[noreturn]] void fail(const std::string& source, std::size_t line,
+                       const std::string& msg) {
+  throw ParseError(source, line, msg);
 }
 
 bool is_ident_char(char c) {
@@ -29,7 +33,7 @@ bool is_ident_char(char c) {
 
 /// Lexer: identifiers/keywords and single-char punctuation; strips both
 /// comment styles.
-std::vector<Token> tokenize(std::istream& in) {
+std::vector<Token> tokenize(std::istream& in, const std::string& source) {
   std::vector<Token> tokens;
   std::string line;
   std::size_t line_no = 0;
@@ -73,16 +77,17 @@ std::vector<Token> tokenize(std::istream& in) {
         ++i;
         continue;
       }
-      fail(line_no, std::string("unexpected character '") + c + "'");
+      fail(source, line_no, std::string("unexpected character '") + c + "'");
     }
   }
-  if (in_block_comment) fail(line_no, "unterminated block comment");
+  if (in_block_comment) fail(source, line_no, "unterminated block comment");
   return tokens;
 }
 
 class Parser {
  public:
-  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+  Parser(std::vector<Token> tokens, std::string source)
+      : tokens_(std::move(tokens)), source_(std::move(source)) {}
 
   Netlist run() {
     expect_keyword("module");
@@ -118,7 +123,7 @@ class Parser {
       } else if (const auto type = parse_cell_type(head.text)) {
         parse_instance(*type, head.line);
       } else {
-        fail(head.line, "unsupported construct: " + head.text);
+        fail(source_, head.line, "unsupported construct: " + head.text);
       }
     }
     skip();  // endmodule
@@ -126,15 +131,16 @@ class Parser {
     for (std::size_t i = 0; i < outputs_.size(); ++i) {
       const auto it = ids_.find(outputs_[i]);
       if (it == ids_.end()) {
-        fail(output_lines_[i], "output of undefined net: " + outputs_[i]);
+        fail(source_, output_lines_[i],
+             "output of undefined net: " + outputs_[i]);
       }
       nl_.add_output(it->second);
     }
     try {
       nl_.freeze();
     } catch (const std::exception& e) {
-      throw std::runtime_error(std::string("verilog parse error: ") +
-                               e.what());
+      // Graph-level failure: no single line, still name the source.
+      throw ParseError(source_, 0, e.what());
     }
     return std::move(nl_);
   }
@@ -143,8 +149,10 @@ class Parser {
   // --- token helpers ---
   const Token& next(const char* what) {
     if (pos_ >= tokens_.size()) {
-      throw std::runtime_error(std::string("verilog parse error: expected ") +
-                               what + " but reached end of file");
+      const std::size_t last_line =
+          tokens_.empty() ? 0 : tokens_.back().line;
+      fail(source_, last_line,
+           std::string("expected ") + what + " but reached end of file");
     }
     return tokens_[pos_++];
   }
@@ -155,7 +163,8 @@ class Parser {
   void expect(std::string_view text) {
     const Token& t = next(std::string(text).c_str());
     if (t.text != text) {
-      fail(t.line, "expected '" + std::string(text) + "', got '" + t.text + "'");
+      fail(source_, t.line,
+           "expected '" + std::string(text) + "', got '" + t.text + "'");
     }
   }
   void expect_keyword(std::string_view kw) { expect(kw); }
@@ -165,11 +174,13 @@ class Parser {
     std::vector<std::string> names;
     for (;;) {
       const Token& t = next("net name");
-      if (!is_ident_char(t.text.front())) fail(line, "bad net name: " + t.text);
+      if (!is_ident_char(t.text.front())) {
+        fail(source_, line, "bad net name: " + t.text);
+      }
       names.push_back(t.text);
       const Token& sep = next("',' or ';'");
       if (sep.text == ";") break;
-      if (sep.text != ",") fail(sep.line, "expected ',' or ';'");
+      if (sep.text != ",") fail(source_, sep.line, "expected ',' or ';'");
     }
     return names;
   }
@@ -189,7 +200,7 @@ class Parser {
     skip();  // )
     expect(";");
     if (terminals.size() < 2) {
-      fail(line, "primitive needs an output and at least one input");
+      fail(source_, line, "primitive needs an output and at least one input");
     }
     const GateId out = get_or_declare(terminals.front());
     std::vector<GateId> fanins;
@@ -199,7 +210,7 @@ class Parser {
     try {
       nl_.define(out, type, std::move(fanins));
     } catch (const std::exception& e) {
-      fail(line, e.what());
+      fail(source_, line, e.what());
     }
   }
 
@@ -212,6 +223,7 @@ class Parser {
   }
 
   std::vector<Token> tokens_;
+  std::string source_;
   std::size_t pos_ = 0;
   Netlist nl_;
   std::unordered_map<std::string, GateId> ids_;
@@ -221,8 +233,9 @@ class Parser {
 
 }  // namespace
 
-Netlist parse_verilog(std::istream& in) {
-  return Parser(tokenize(in)).run();
+Netlist parse_verilog(std::istream& in, std::string source) {
+  if (source.empty()) source = "verilog";
+  return Parser(tokenize(in, source), source).run();
 }
 
 Netlist parse_verilog_string(std::string_view text) {
@@ -233,9 +246,9 @@ Netlist parse_verilog_string(std::string_view text) {
 Netlist parse_verilog_file(const std::filesystem::path& path) {
   std::ifstream in(path);
   if (!in) {
-    throw std::runtime_error("cannot open verilog file: " + path.string());
+    throw IoError("cannot open verilog file: " + path.string());
   }
-  return parse_verilog(in);
+  return parse_verilog(in, path.string());
 }
 
 void write_verilog(const Netlist& nl, std::ostream& out) {

@@ -29,8 +29,10 @@
 namespace sddd::netlist {
 
 /// Parses the structural Verilog subset.  The returned netlist is frozen;
-/// its name is the module name.
-Netlist parse_verilog(std::istream& in);
+/// its name is the module name.  Malformed input throws sddd::ParseError
+/// (a std::runtime_error) carrying `source` - the file path when parsing a
+/// file, "verilog" by default - and the 1-based line.
+Netlist parse_verilog(std::istream& in, std::string source = "");
 
 /// String convenience.
 Netlist parse_verilog_string(std::string_view text);

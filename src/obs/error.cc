@@ -1,0 +1,57 @@
+#include "obs/error.h"
+
+namespace sddd {
+
+namespace {
+
+constexpr std::string_view kCodeNames[] = {
+    "parse", "model", "numeric", "io", "cancelled", "deadline", "fault",
+    "internal"};
+
+std::string with_code_prefix(ErrorCode code, const std::string& message) {
+  std::string s = "[";
+  s += error_code_name(code);
+  s += "] ";
+  s += message;
+  return s;
+}
+
+std::string with_location(const std::string& source, std::size_t line,
+                          const std::string& message) {
+  std::string s = source;
+  if (line != 0) {
+    s += " line ";
+    s += std::to_string(line);
+  }
+  s += ": ";
+  s += message;
+  return s;
+}
+
+}  // namespace
+
+std::string_view error_code_name(ErrorCode code) {
+  const auto i = static_cast<std::size_t>(code);
+  return i < std::size(kCodeNames) ? kCodeNames[i] : "internal";
+}
+
+bool parse_error_code(std::string_view name, ErrorCode* out) {
+  for (std::size_t i = 0; i < std::size(kCodeNames); ++i) {
+    if (kCodeNames[i] == name) {
+      *out = static_cast<ErrorCode>(i);
+      return true;
+    }
+  }
+  return false;
+}
+
+Error::Error(ErrorCode code, const std::string& message)
+    : std::runtime_error(with_code_prefix(code, message)), code_(code) {}
+
+ParseError::ParseError(std::string source, std::size_t line,
+                       const std::string& message)
+    : Error(ErrorCode::kParse, with_location(source, line, message)),
+      source_(std::move(source)),
+      line_(line) {}
+
+}  // namespace sddd

@@ -1,0 +1,191 @@
+#include "obs/faults.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "obs/error.h"
+#include "obs/metrics.h"
+
+namespace sddd::obs {
+
+namespace {
+
+struct Selector {
+  enum class Kind { kAlways, kModulo, kBelow, kList } kind = Kind::kAlways;
+  std::uint64_t operand = 0;            ///< m for kModulo, n for kBelow
+  std::vector<std::uint64_t> indices;   ///< sorted, for kList
+
+  bool matches(std::uint64_t k) const {
+    switch (kind) {
+      case Kind::kAlways:
+        return true;
+      case Kind::kModulo:
+        return operand != 0 && k % operand == 0;
+      case Kind::kBelow:
+        return k < operand;
+      case Kind::kList:
+        for (const std::uint64_t i : indices) {
+          if (i == k) return true;
+        }
+        return false;
+    }
+    return false;
+  }
+};
+
+struct Spec {
+  std::vector<std::pair<std::string, Selector>> sites;
+
+  const Selector* find(std::string_view site) const {
+    for (const auto& [name, sel] : sites) {
+      if (name == site) return &sel;
+    }
+    return nullptr;
+  }
+};
+
+/// Double-checked: g_enabled gates the hot path, g_spec holds the parsed
+/// entries.  Spec replacement is rare (process start, tests), so a mutex
+/// plus shared_ptr swap is plenty.
+std::atomic<bool> g_enabled{false};
+std::mutex g_spec_mu;
+std::shared_ptr<const Spec> g_spec;
+std::once_flag g_env_once;
+
+obs::Counter& fault_injected_counter() {
+  static obs::Counter& c =
+      obs::MetricsRegistry::instance().register_counter("fault.injected");
+  return c;
+}
+
+std::uint64_t parse_u64(std::string_view text, std::string_view spec) {
+  if (text.empty()) {
+    throw Error(ErrorCode::kParse,
+                "SDDD_FAULTS: empty number in spec '" + std::string(spec) +
+                    "'");
+  }
+  std::uint64_t v = 0;
+  for (const char c : text) {
+    if (c < '0' || c > '9') {
+      throw Error(ErrorCode::kParse, "SDDD_FAULTS: bad number '" +
+                                         std::string(text) + "' in spec '" +
+                                         std::string(spec) + "'");
+    }
+    v = v * 10 + static_cast<std::uint64_t>(c - '0');
+  }
+  return v;
+}
+
+Selector parse_selector(std::string_view text, std::string_view spec) {
+  Selector sel;
+  if (text == "*") {
+    sel.kind = Selector::Kind::kAlways;
+  } else if (!text.empty() && text.front() == '%') {
+    sel.kind = Selector::Kind::kModulo;
+    sel.operand = parse_u64(text.substr(1), spec);
+    if (sel.operand == 0) {
+      throw Error(ErrorCode::kParse,
+                  "SDDD_FAULTS: modulo selector needs m > 0 in spec '" +
+                      std::string(spec) + "'");
+    }
+  } else if (!text.empty() && text.front() == '<') {
+    sel.kind = Selector::Kind::kBelow;
+    sel.operand = parse_u64(text.substr(1), spec);
+  } else {
+    sel.kind = Selector::Kind::kList;
+    std::size_t start = 0;
+    while (start <= text.size()) {
+      const auto comma = text.find(',', start);
+      const auto end = comma == std::string_view::npos ? text.size() : comma;
+      sel.indices.push_back(parse_u64(text.substr(start, end - start), spec));
+      if (comma == std::string_view::npos) break;
+      start = comma + 1;
+    }
+  }
+  return sel;
+}
+
+std::shared_ptr<const Spec> parse_spec(std::string_view text) {
+  auto spec = std::make_shared<Spec>();
+  std::size_t start = 0;
+  while (start < text.size()) {
+    const auto semi = text.find(';', start);
+    const auto end = semi == std::string_view::npos ? text.size() : semi;
+    const std::string_view entry = text.substr(start, end - start);
+    if (!entry.empty()) {
+      const auto at = entry.find('@');
+      if (at == std::string_view::npos || at == 0) {
+        throw Error(ErrorCode::kParse,
+                    "SDDD_FAULTS: entry '" + std::string(entry) +
+                        "' is not site@selector");
+      }
+      spec->sites.emplace_back(std::string(entry.substr(0, at)),
+                               parse_selector(entry.substr(at + 1), entry));
+    }
+    if (semi == std::string_view::npos) break;
+    start = semi + 1;
+  }
+  return spec;
+}
+
+void install(std::shared_ptr<const Spec> spec) {
+  const bool enabled = spec != nullptr && !spec->sites.empty();
+  const std::lock_guard<std::mutex> lock(g_spec_mu);
+  g_spec = std::move(spec);
+  g_enabled.store(enabled, std::memory_order_release);
+}
+
+void resolve_env_once() {
+  std::call_once(g_env_once, [] {
+    // set_fault_spec() may already have installed a spec before the first
+    // query; the explicit call wins over the environment.
+    const std::lock_guard<std::mutex> lock(g_spec_mu);
+    if (g_spec != nullptr) return;
+    const char* env = std::getenv("SDDD_FAULTS");
+    if (env == nullptr || *env == '\0') return;
+    auto spec = parse_spec(env);
+    const bool enabled = !spec->sites.empty();
+    g_spec = std::move(spec);
+    g_enabled.store(enabled, std::memory_order_release);
+  });
+}
+
+std::shared_ptr<const Spec> current_spec() {
+  const std::lock_guard<std::mutex> lock(g_spec_mu);
+  return g_spec;
+}
+
+}  // namespace
+
+bool faults_enabled() {
+  resolve_env_once();
+  return g_enabled.load(std::memory_order_acquire);
+}
+
+void set_fault_spec(std::string_view spec) {
+  // Parse before installing so a malformed spec leaves the old one active.
+  install(spec.empty() ? std::make_shared<Spec>() : parse_spec(spec));
+}
+
+bool fault_at(std::string_view site, std::uint64_t k) {
+  if (!faults_enabled()) return false;
+  const auto spec = current_spec();
+  if (spec == nullptr) return false;
+  const Selector* sel = spec->find(site);
+  if (sel == nullptr || !sel->matches(k)) return false;
+  fault_injected_counter().add(1);
+  return true;
+}
+
+void fault_point(std::string_view site, std::uint64_t k) {
+  if (fault_at(site, k)) {
+    throw FaultInjectedError("injected fault at " + std::string(site) + "[" +
+                             std::to_string(k) + "] (SDDD_FAULTS)");
+  }
+}
+
+}  // namespace sddd::obs

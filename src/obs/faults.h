@@ -1,0 +1,64 @@
+// faults.h - Deterministic fault injection at named seams (SDDD_FAULTS).
+//
+// The resilience layer (trial quarantine, checkpoint/resume, atomic
+// artifact writes) only earns its keep if its failure paths are testable.
+// This harness lets a test or a CI step inject failures at production call
+// sites without rebuilding: each seam is a named call
+//
+//   obs::fault_point("exp.trial", trial_index);   // throws when selected
+//   if (obs::fault_at("io.open", occurrence)) ... // branch when selected
+//
+// keyed by (site, k).  k is chosen by the seam to be schedule-independent
+// (a trial index, an arc id, a record ordinal), so with a fixed spec the
+// same failures fire no matter the thread count - injected runs are as
+// reproducible as clean ones.
+//
+// Spec grammar (SDDD_FAULTS environment variable, or set_fault_spec()):
+//
+//   spec     := entry (';' entry)*
+//   entry    := site '@' selector
+//   selector := '*'            every occurrence
+//             | '%' m          k % m == 0
+//             | '<' n          k < n
+//             | k (',' k)*     exactly these k values
+//
+//   SDDD_FAULTS="exp.trial@1,3"        fail trials 1 and 3
+//   SDDD_FAULTS="ckpt.write@%2"        fail every other journal append
+//   SDDD_FAULTS="io.open@*"            every atomic artifact write fails
+//
+// Seam catalog (DESIGN.md section 10 keeps the authoritative table):
+//   exp.trial    task throw inside an experiment trial   k = trial index
+//   mc.nan_row   NaN delay sample in a memoized arc row  k = arc id
+//   ckpt.open    checkpoint journal open failure         k = 0
+//   ckpt.write   checkpoint journal append failure       k = trial index
+//   io.open      atomic artifact write: open fails       k = call ordinal
+//   io.short_write  atomic artifact write: short write   k = call ordinal
+//
+// Every selected injection increments the `fault.injected` counter, so a
+// run can assert exactly how many faults fired.  With no spec configured
+// fault_at() is one relaxed atomic load - safe on hot paths.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+namespace sddd::obs {
+
+/// True when a non-empty fault spec is active.
+bool faults_enabled();
+
+/// Installs `spec` (the SDDD_FAULTS grammar above), replacing any previous
+/// spec; an empty string disables injection.  Throws sddd::Error(parse) on
+/// a malformed spec.  The SDDD_FAULTS environment variable is read once,
+/// at the first query; set_fault_spec() overrides it (tests, tools).
+void set_fault_spec(std::string_view spec);
+
+/// True when the active spec selects occurrence `k` of seam `site`.
+/// Increments `fault.injected` on a hit.
+bool fault_at(std::string_view site, std::uint64_t k);
+
+/// Throws sddd::FaultInjectedError naming (site, k) when selected; no-op
+/// otherwise.  The one-line form production seams use.
+void fault_point(std::string_view site, std::uint64_t k);
+
+}  // namespace sddd::obs

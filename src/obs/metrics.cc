@@ -5,7 +5,9 @@
 #include <cstdio>
 #include <fstream>
 #include <ostream>
+#include <sstream>
 
+#include "obs/atomic_file.h"
 #include "obs/check.h"
 
 namespace sddd::obs {
@@ -275,10 +277,11 @@ void MetricsRegistry::write_json(std::ostream& os) const {
 }
 
 bool MetricsRegistry::write_file(const std::string& path) const {
-  std::ofstream out(path);
-  if (!out) return false;
-  write_json(out);
-  return static_cast<bool>(out);
+  // Atomic (temp + rename): a run killed mid-flush must never leave a
+  // truncated metrics JSON for a CI parse step to choke on.
+  std::ostringstream os;
+  write_json(os);
+  return atomic_write_file(path, os.str());
 }
 
 void MetricsRegistry::reset_values() {

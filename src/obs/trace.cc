@@ -4,7 +4,9 @@
 #include <cstdio>
 #include <fstream>
 #include <ostream>
+#include <sstream>
 
+#include "obs/atomic_file.h"
 #include "obs/metrics.h"
 
 namespace sddd::obs {
@@ -174,10 +176,11 @@ void Tracer::write_json(std::ostream& os) const {
 }
 
 bool Tracer::write_file(const std::string& path) const {
-  std::ofstream out(path);
-  if (!out) return false;
-  write_json(out);
-  return static_cast<bool>(out);
+  // Atomic (temp + rename): a killed run keeps the previous complete
+  // trace instead of a half-written JSON that no viewer can open.
+  std::ostringstream os;
+  write_json(os);
+  return atomic_write_file(path, os.str());
 }
 
 std::uint64_t ScopedSpan::now_ns_() { return now_ns(); }

@@ -1,0 +1,50 @@
+#include "runtime/cancel.h"
+
+#include "obs/error.h"
+#include "obs/metrics.h"
+
+namespace sddd::runtime {
+
+namespace {
+
+thread_local const CancelToken* t_token = nullptr;
+
+}  // namespace
+
+void CancelToken::set_deadline_after_seconds(double seconds) noexcept {
+  if (seconds <= 0.0) {
+    set_deadline_ns(0);
+    return;
+  }
+  set_deadline_ns(obs::now_ns() +
+                  static_cast<std::uint64_t>(seconds * 1e9));
+}
+
+bool CancelToken::deadline_passed() const noexcept {
+  const std::uint64_t d = deadline_ns();
+  return d != 0 && obs::now_ns() >= d;
+}
+
+void CancelToken::poll() const {
+  if (cancel_requested()) {
+    throw CancelledError("cancellation requested");
+  }
+  if (deadline_passed()) {
+    throw DeadlineError("deadline expired");
+  }
+}
+
+const CancelToken* current_cancel_token() noexcept { return t_token; }
+
+void poll_cancellation() {
+  if (t_token != nullptr) t_token->poll();
+}
+
+ScopedCancelToken::ScopedCancelToken(const CancelToken* token) noexcept
+    : prev_(t_token) {
+  t_token = token;
+}
+
+ScopedCancelToken::~ScopedCancelToken() { t_token = prev_; }
+
+}  // namespace sddd::runtime

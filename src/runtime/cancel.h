@@ -1,0 +1,93 @@
+// cancel.h - Cooperative cancellation and deadlines for parallel work.
+//
+// A CancelToken is a tiny shared flag + optional absolute deadline that
+// long-running loops poll.  Cancellation is cooperative: nothing is ever
+// interrupted mid-operation; code reaches a poll point, observes the
+// token, and unwinds with a typed sddd::Error (code `cancelled` or
+// `deadline`), which the quarantine/degradation layers above know how to
+// classify.  That keeps the determinism story intact - a cancelled index
+// either ran completely or not at all.
+//
+// Tokens travel as an *ambient* thread-local rather than as a parameter:
+// ScopedCancelToken installs one for the current scope, ThreadPool
+// re-installs the publishing thread's token on every worker for the
+// duration of a job, and deep code (e.g. DynamicTimingSimulator's sample
+// loops) polls via the free function poll_cancellation() without any API
+// churn through the layers in between.  With no token installed a poll is
+// one thread-local load.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+namespace sddd::runtime {
+
+/// Shared cancellation state.  All members are safe for concurrent use.
+class CancelToken {
+ public:
+  CancelToken() = default;
+  CancelToken(const CancelToken&) = delete;
+  CancelToken& operator=(const CancelToken&) = delete;
+
+  /// Requests hard cancellation (sticky).
+  void request_cancel() noexcept {
+    cancelled_.store(true, std::memory_order_release);
+  }
+
+  bool cancel_requested() const noexcept {
+    return cancelled_.load(std::memory_order_acquire);
+  }
+
+  /// Absolute deadline on the obs::now_ns() clock; 0 = none.
+  void set_deadline_ns(std::uint64_t deadline_ns) noexcept {
+    deadline_ns_.store(deadline_ns, std::memory_order_release);
+  }
+
+  /// Deadline `seconds` from now (convenience; <= 0 clears it).
+  void set_deadline_after_seconds(double seconds) noexcept;
+
+  std::uint64_t deadline_ns() const noexcept {
+    return deadline_ns_.load(std::memory_order_acquire);
+  }
+
+  bool deadline_passed() const noexcept;
+
+  /// True when work should stop: hard cancel OR deadline passed.
+  bool stop_requested() const noexcept {
+    return cancel_requested() || deadline_passed();
+  }
+
+  /// Throws sddd::CancelledError / sddd::DeadlineError when stop is
+  /// requested; returns normally otherwise.
+  void poll() const;
+
+ private:
+  std::atomic<bool> cancelled_{false};
+  std::atomic<std::uint64_t> deadline_ns_{0};
+};
+
+/// The token installed for the calling thread; nullptr when none.
+const CancelToken* current_cancel_token() noexcept;
+
+/// Polls the ambient token (no-op without one).  The poll point hot loops
+/// call; throws per CancelToken::poll().
+void poll_cancellation();
+
+/// RAII installation of an ambient token for the current scope.  Nests:
+/// the previous token is restored on destruction.  ThreadPool propagates
+/// the publisher's ambient token to its workers per job, so a token
+/// installed around a parallel_for is visible inside the loop body on
+/// every thread.
+class ScopedCancelToken {
+ public:
+  explicit ScopedCancelToken(const CancelToken* token) noexcept;
+  ~ScopedCancelToken();
+
+  ScopedCancelToken(const ScopedCancelToken&) = delete;
+  ScopedCancelToken& operator=(const ScopedCancelToken&) = delete;
+
+ private:
+  const CancelToken* prev_;
+};
+
+}  // namespace sddd::runtime

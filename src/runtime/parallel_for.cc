@@ -7,6 +7,9 @@
 #include <memory>
 #include <mutex>
 
+#include "obs/error.h"
+#include "runtime/cancel.h"
+
 namespace sddd::runtime {
 
 namespace {
@@ -64,10 +67,26 @@ bool would_parallelize(std::size_t n) {
   return n > 1 && !in_parallel_region() && thread_count() > 1;
 }
 
+namespace {
+
+/// The inline serial loop shared by the no-pool paths; honours the same
+/// hard-cancel contract as ThreadPool::run so callers see one behavior.
+void serial_loop(std::size_t n, const std::function<void(std::size_t)>& fn) {
+  const CancelToken* token = current_cancel_token();
+  for (std::size_t i = 0; i < n; ++i) {
+    if (token != nullptr && token->cancel_requested()) {
+      throw CancelledError("parallel_for cancelled with indices remaining");
+    }
+    fn(i);
+  }
+}
+
+}  // namespace
+
 void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn) {
   if (n == 0) return;
   if (!would_parallelize(n)) {
-    for (std::size_t i = 0; i < n; ++i) fn(i);
+    serial_loop(n, fn);
     return;
   }
   // Hold the pool alive for the duration of the loop even if another
@@ -76,7 +95,7 @@ void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn) {
   if (!pool->try_run(n, fn)) {
     // Another thread owns the pool right now; run serially rather than
     // fail - same results, just no extra speedup.
-    for (std::size_t i = 0; i < n; ++i) fn(i);
+    serial_loop(n, fn);
   }
 }
 

@@ -57,6 +57,11 @@ void configure_threads_from_args(int* argc, char** argv);
 /// is 1, n < 2, or the caller is already inside a parallel region;
 /// otherwise fans out over the shared pool and blocks until done.  The
 /// first exception thrown by fn is rethrown.
+///
+/// Cancellation: the caller's ambient CancelToken (runtime/cancel.h) is
+/// visible inside fn on every thread.  A hard cancel stops the loop and
+/// raises sddd::CancelledError when indices were skipped; a deadline is
+/// purely cooperative (bodies poll and decide).
 void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn);
 
 /// Chunked variant for fine-grained items: fn(begin, end) over contiguous

@@ -2,6 +2,7 @@
 
 #include <stdexcept>
 
+#include "obs/error.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 
@@ -75,8 +76,18 @@ void ThreadPool::record_error() {
 }
 
 void ThreadPool::drain(const std::function<void(std::size_t)>& fn) {
+  const CancelToken* token = current_cancel_token();
   std::uint64_t executed = 0;
   for (;;) {
+    // Hard cancel stops this thread from claiming further indices.  (A
+    // mere deadline expiry does not: bodies that care mark their own
+    // result slots instead, so the loop still visits every index.)
+    if (token != nullptr && token->cancel_requested()) {
+      if (next_.load(std::memory_order_relaxed) < n_) {
+        cancel_skipped_.store(true, std::memory_order_relaxed);
+      }
+      break;
+    }
     const std::size_t i = next_.fetch_add(1, std::memory_order_relaxed);
     if (i >= n_) break;
     ++executed;
@@ -94,12 +105,14 @@ void ThreadPool::worker_loop() {
   std::uint64_t seen = 0;
   for (;;) {
     const std::function<void(std::size_t)>* fn = nullptr;
+    const CancelToken* token = nullptr;
     {
       std::unique_lock<std::mutex> lock(mu_);
       cv_work_.wait(lock, [&] { return stop_ || epoch_ != seen; });
       if (stop_) return;
       seen = epoch_;
       fn = fn_;
+      token = job_token_;
     }
     {
       // Wake latency: time from the job publish to this worker starting.
@@ -109,6 +122,9 @@ void ThreadPool::worker_loop() {
       if (now > published) pool_wait_counter().add(now - published);
     }
     {
+      // Make the publisher's ambient cancel token visible to loop bodies
+      // (and everything they call) on this worker too.
+      const ScopedCancelToken cancel_guard(token);
       const RegionGuard guard(this);
       drain(*fn);
     }
@@ -137,13 +153,22 @@ bool ThreadPool::try_run(std::size_t n,
   SDDD_SPAN(span, "pool.run");
   span.arg("n", static_cast<std::int64_t>(n))
       .arg("threads", static_cast<std::int64_t>(size()));
+  const CancelToken* token = current_cancel_token();
   if (workers_.empty()) {
     // Serial pool: run in place, still marked as a region so the
-    // determinism guards (and nested-use detection) behave identically.
+    // determinism guards (and nested-use detection) behave identically -
+    // including the hard-cancel contract.
     pool_runs_counter().add(1);
     const RegionGuard guard(this);
     std::uint64_t executed = 0;
-    for (std::size_t i = 0; i < n; ++i, ++executed) fn(i);
+    for (std::size_t i = 0; i < n; ++i, ++executed) {
+      if (token != nullptr && token->cancel_requested()) {
+        pool_tasks_counter().add(executed);
+        throw CancelledError(
+            "ThreadPool::run cancelled with indices remaining");
+      }
+      fn(i);
+    }
     pool_tasks_counter().add(executed);
     return true;
   }
@@ -152,8 +177,10 @@ bool ThreadPool::try_run(std::size_t n,
     if (busy_) return false;
     busy_ = true;
     fn_ = &fn;
+    job_token_ = token;
     n_ = n;
     next_.store(0, std::memory_order_relaxed);
+    cancel_skipped_.store(false, std::memory_order_relaxed);
     error_ = nullptr;
     pending_workers_ = workers_.size();
     ++epoch_;
@@ -170,11 +197,15 @@ bool ThreadPool::try_run(std::size_t n,
     std::unique_lock<std::mutex> lock(mu_);
     cv_done_.wait(lock, [&] { return pending_workers_ == 0; });
     fn_ = nullptr;
+    job_token_ = nullptr;
     busy_ = false;
     error = error_;
     error_ = nullptr;
   }
   if (error) std::rethrow_exception(error);
+  if (cancel_skipped_.load(std::memory_order_relaxed)) {
+    throw CancelledError("ThreadPool::run cancelled with indices remaining");
+  }
   return true;
 }
 

@@ -27,6 +27,8 @@
 #include <thread>
 #include <vector>
 
+#include "runtime/cancel.h"
+
 namespace sddd::runtime {
 
 /// Fixed-size fork-join pool.  `n_threads` counts the calling thread, so
@@ -47,6 +49,16 @@ class ThreadPool {
   /// caller.  Blocks until every index has run.  The first exception thrown
   /// by any fn(i) is rethrown here (remaining indices are cancelled on a
   /// best-effort basis).
+  ///
+  /// Cancellation: the calling thread's ambient CancelToken (see
+  /// runtime/cancel.h) is re-installed on every worker for the duration of
+  /// the job, so loop bodies and the code beneath them can poll it.  A
+  /// hard cancel (request_cancel) additionally stops threads from claiming
+  /// further indices; when any index was skipped that way and no body
+  /// exception is pending, run() throws sddd::CancelledError so callers
+  /// never mistake a partially-executed loop for a complete one.  Deadline
+  /// expiry alone does NOT skip indices - deadline handling is left to the
+  /// bodies, which know how to mark their own slots as degraded.
   ///
   /// Calling run() from inside a task of the same pool (or while another
   /// thread is mid-run()) throws std::logic_error: a fork-join pool cannot
@@ -75,6 +87,9 @@ class ThreadPool {
   std::condition_variable cv_work_;
   std::condition_variable cv_done_;
   const std::function<void(std::size_t)>* fn_ = nullptr;
+  /// The publisher's ambient cancel token, re-installed on workers for the
+  /// duration of the job (nullptr = none).  Guarded by mu_.
+  const CancelToken* job_token_ = nullptr;
   std::size_t n_ = 0;
   std::size_t pending_workers_ = 0;  ///< workers not yet done with the job
   std::uint64_t epoch_ = 0;          ///< bumped once per run()
@@ -83,6 +98,9 @@ class ThreadPool {
   std::exception_ptr error_;
 
   std::atomic<std::size_t> next_{0};  ///< next unclaimed index
+  /// Set when a thread stopped claiming indices due to a hard cancel, so
+  /// run() can report the loop as incomplete.
+  std::atomic<bool> cancel_skipped_{false};
 
   /// obs::now_ns() stamp of the latest job publish; workers subtract it on
   /// wake to attribute queue-wait time (pool.steal_or_queue_wait_ns).

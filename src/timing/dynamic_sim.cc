@@ -1,11 +1,15 @@
 #include "timing/dynamic_sim.h"
 
 #include <algorithm>
+#include <cmath>
 #include <limits>
 #include <stdexcept>
 
+#include "obs/error.h"
+#include "obs/faults.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "runtime/cancel.h"
 #include "runtime/parallel_for.h"
 
 namespace sddd::timing {
@@ -46,6 +50,22 @@ void DynamicTimingSimulator::materialize_row(ArcId a) const {
   const std::size_t n = field_->sample_count();
   row.resize(n);
   for (std::size_t k = 0; k < n; ++k) row[k] = field_->delay(a, k);
+  // Fault seam mc.nan_row (keyed by arc id): poisons one sample so the
+  // validation below - and the quarantine layer above - can be tested.
+  if (obs::fault_at("mc.nan_row", a)) {
+    row[n / 2] = std::numeric_limits<double>::quiet_NaN();
+  }
+  // A non-finite delay sample would silently poison every arrival (and
+  // therefore every dictionary column) downstream of this arc; surface it
+  // here, once, as a typed numeric error the trial quarantine can record.
+  for (std::size_t k = 0; k < n; ++k) {
+    if (!std::isfinite(row[k])) {
+      row.clear();
+      throw NumericError("non-finite delay sample for arc " +
+                         std::to_string(a) + " at sample " +
+                         std::to_string(k));
+    }
+  }
   mc_delay_rows_counter().add(1);
 }
 
@@ -127,6 +147,10 @@ void compute_row(const Netlist& nl, std::size_t n, const TransitionGraph& tg,
 }  // namespace
 
 ArrivalMatrix DynamicTimingSimulator::simulate(const TransitionGraph& tg) const {
+  // Cooperative cancellation: one poll per pattern-level simulation keeps
+  // deadline latency bounded by a single induced-circuit sweep without
+  // touching the per-gate hot loop.
+  runtime::poll_cancellation();
   const Netlist& nl = field_->model().netlist();
   const std::size_t n = field_->sample_count();
   mc_samples_counter().add(n);
@@ -178,6 +202,9 @@ DynamicTimingSimulator::ConeRows DynamicTimingSimulator::recompute_cone(
     throw std::invalid_argument(
         "recompute_cone: defect extra-delay size mismatch");
   }
+  // The per-(suspect, pattern) dictionary hot path: this is where a
+  // mid-trial deadline is actually noticed.
+  runtime::poll_cancellation();
   mc_samples_counter().add(n);
   const GateId defect_gate = nl.arc(defect.arc).gate;
   const auto cone = tg.forward_cone(defect_gate);

@@ -12,6 +12,8 @@
 #include "eval/experiment.h"
 #include "netlist/levelize.h"
 #include "netlist/synth.h"
+#include "obs/error.h"
+#include "runtime/cancel.h"
 #include "runtime/parallel_for.h"
 #include "runtime/thread_pool.h"
 #include "timing/celllib.h"
@@ -245,6 +247,86 @@ eval::ExperimentConfig determinism_config() {
   config.pattern_config.site_search_tries = 48;
   config.seed = 19;
   return config;
+}
+
+TEST(CancelToken, PollThrowsTypedErrors) {
+  runtime::CancelToken token;
+  token.poll();  // no cancel, no deadline: no-op
+  token.set_deadline_after_seconds(60.0);
+  token.poll();  // deadline far away: still a no-op
+  token.set_deadline_ns(1);  // epoch + 1ns: long passed
+  EXPECT_TRUE(token.deadline_passed());
+  EXPECT_THROW(token.poll(), DeadlineError);
+  token.set_deadline_ns(0);
+  token.request_cancel();
+  EXPECT_TRUE(token.cancel_requested());
+  EXPECT_THROW(token.poll(), CancelledError);
+  // Ambient polling: no token installed = no-op, installed = throws.
+  runtime::poll_cancellation();
+  {
+    runtime::ScopedCancelToken scope(&token);
+    EXPECT_EQ(runtime::current_cancel_token(), &token);
+    EXPECT_THROW(runtime::poll_cancellation(), CancelledError);
+  }
+  EXPECT_EQ(runtime::current_cancel_token(), nullptr);
+  runtime::poll_cancellation();
+}
+
+TEST(CancelToken, HardCancelStopsParallelFor) {
+  const ThreadCountGuard guard;
+  runtime::set_thread_count(4);
+  runtime::CancelToken token;
+  runtime::ScopedCancelToken scope(&token);
+  std::atomic<int> started{0};
+  try {
+    runtime::parallel_for(200, [&](std::size_t i) {
+      started.fetch_add(1, std::memory_order_relaxed);
+      if (i == 0) token.request_cancel();
+      runtime::poll_cancellation();
+    });
+    FAIL() << "expected CancelledError";
+  } catch (const CancelledError&) {
+  }
+  // The cancel keeps workers from claiming further indices: far fewer than
+  // the full range ran (the bound is loose to stay schedule-independent).
+  EXPECT_LT(started.load(), 200);
+}
+
+TEST(CancelToken, SerialLoopObservesCancel) {
+  const ThreadCountGuard guard;
+  runtime::set_thread_count(1);
+  runtime::CancelToken token;
+  runtime::ScopedCancelToken scope(&token);
+  int ran = 0;
+  try {
+    runtime::parallel_for(50, [&](std::size_t) {
+      ++ran;
+      token.request_cancel();
+      runtime::poll_cancellation();
+    });
+    FAIL() << "expected CancelledError";
+  } catch (const CancelledError&) {
+  }
+  EXPECT_EQ(ran, 1);
+}
+
+TEST(CancelToken, DeadlineIsCooperativeInPool) {
+  const ThreadCountGuard guard;
+  runtime::set_thread_count(4);
+  runtime::CancelToken token;
+  token.set_deadline_ns(1);  // already expired
+  runtime::ScopedCancelToken scope(&token);
+  // A deadline alone never aborts the loop - only a poll() can, and this
+  // body chooses not to poll.  All indices run to completion.
+  std::atomic<int> ran{0};
+  runtime::parallel_for(
+      50, [&](std::size_t) { ran.fetch_add(1, std::memory_order_relaxed); });
+  EXPECT_EQ(ran.load(), 50);
+  // ...and a body that does poll sees the DeadlineError, not a hard stop.
+  EXPECT_THROW(
+      runtime::parallel_for(4,
+                            [&](std::size_t) { runtime::poll_cancellation(); }),
+      DeadlineError);
 }
 
 TEST(Determinism, ExperimentBitIdenticalAcrossThreadCounts) {

@@ -8,7 +8,12 @@
 #   4. observability smoke: diagnose an s1196-class stand-in with
 #      --trace-out/--metrics-out and validate that both JSON files parse
 #      and the trace actually contains dictionary-build spans;
-#   5. clang-tidy profile (skipped automatically when not installed).
+#   5. crash/resume smoke: SIGKILL a journaled diagnose mid-trials, resume
+#      it, and require the resumed result JSON to be byte-identical to an
+#      uninterrupted run's (at both 1 and 2 threads);
+#   6. fault-injection smoke: SDDD_FAULTS poisons two trials; the run must
+#      still exit 0 with exactly those trials quarantined in the metrics;
+#   7. clang-tidy profile (skipped automatically when not installed).
 #
 #   tools/ci.sh [-jN]
 set -euo pipefail
@@ -17,20 +22,20 @@ cd "$(dirname "$0")/.."
 
 JOBS="${1:--j$(nproc)}"
 
-echo "== [1/5] tier-1 build + tests =="
+echo "== [1/7] tier-1 build + tests =="
 cmake -B build -S .
 cmake --build build "$JOBS"
 ctest --test-dir build --output-on-failure "$JOBS"
 
-echo "== [2/5] smoke tests under ASan+UBSan =="
+echo "== [2/7] smoke tests under ASan+UBSan =="
 cmake -B build-san -S . -DSDDD_ASAN=ON -DSDDD_UBSAN=ON
 cmake --build build-san "$JOBS"
 ctest --test-dir build-san --output-on-failure -L smoke "$JOBS"
 
-echo "== [3/5] sddd_lint on the ISCAS catalog =="
+echo "== [3/7] sddd_lint on the ISCAS catalog =="
 ./build/tools/sddd_lint --dict --catalog c17 s27
 
-echo "== [4/5] observability smoke (trace + metrics round-trip) =="
+echo "== [4/7] observability smoke (trace + metrics round-trip) =="
 OBS_DIR="$(mktemp -d)"
 trap 'rm -rf "$OBS_DIR"' EXIT
 ./build/tools/sddd_cli synth "$OBS_DIR/s1196.bench" \
@@ -56,7 +61,47 @@ print(f"obs smoke ok: {len(events)} trace events, "
       f"{len(counters)} counters")
 EOF
 
-echo "== [5/5] clang-tidy profile =="
+echo "== [5/7] crash/resume smoke (SIGKILL mid-trials, byte-identical) =="
+# Reference: the same experiment, uninterrupted, at two thread counts.
+# The deterministic result JSON must not depend on threads or on how many
+# times the run was killed and resumed.
+DIAG_ARGS=("$OBS_DIR/s1196.bench" --chips 6 --samples 80)
+./build/tools/sddd_cli diagnose "${DIAG_ARGS[@]}" --threads 1 \
+  --json "$OBS_DIR/ref_t1.json"
+./build/tools/sddd_cli diagnose "${DIAG_ARGS[@]}" --threads 2 \
+  --json "$OBS_DIR/ref_t2.json"
+cmp "$OBS_DIR/ref_t1.json" "$OBS_DIR/ref_t2.json"
+
+# Kill a journaled run mid-trials.  The kill is best-effort: on a fast
+# machine the run may finish first, in which case the resume degenerates to
+# a pure journal replay -- still a valid byte-identity check.
+./build/tools/sddd_cli diagnose "${DIAG_ARGS[@]}" --threads 2 \
+  --checkpoint "$OBS_DIR/run.ckpt" &
+VICTIM=$!
+sleep 0.4
+kill -9 "$VICTIM" 2>/dev/null || true
+wait "$VICTIM" 2>/dev/null || true
+
+./build/tools/sddd_cli diagnose "${DIAG_ARGS[@]}" --threads 2 \
+  --checkpoint "$OBS_DIR/run.ckpt" --resume --json "$OBS_DIR/resumed.json"
+cmp "$OBS_DIR/ref_t1.json" "$OBS_DIR/resumed.json"
+echo "crash/resume smoke ok: resumed JSON byte-identical to reference"
+
+echo "== [6/7] fault-injection smoke (quarantine, exit 0) =="
+SDDD_FAULTS="exp.trial@1,3" ./build/tools/sddd_cli diagnose \
+  "${DIAG_ARGS[@]}" --threads 2 --metrics-out "$OBS_DIR/fault_metrics.json"
+python3 - "$OBS_DIR/fault_metrics.json" <<'EOF'
+import json, sys
+with open(sys.argv[1]) as f:
+    counters = json.load(f)["counters"]
+assert counters.get("fault.injected") == 2, \
+    f"expected 2 injected faults, got {counters.get('fault.injected')}"
+assert counters.get("trial.quarantined") == 2, \
+    f"expected 2 quarantined trials, got {counters.get('trial.quarantined')}"
+print("fault smoke ok: 2 faults injected, 2 trials quarantined, exit 0")
+EOF
+
+echo "== [7/7] clang-tidy profile =="
 tools/run_static_checks.sh
 
 echo "ci.sh: all gates passed"

@@ -7,6 +7,8 @@
 //                        [--depth N] [--seed N]
 //   sddd_cli atpg <netlist> [--site ARC] [--max-patterns N] [--seed N]
 //   sddd_cli diagnose <netlist> [--chips N] [--samples N] [--seed N]
+//                     [--checkpoint FILE [--resume]] [--deadline-s S]
+//                     [--json FILE]
 //
 // Netlist format is chosen by extension: .bench / anything else = Verilog.
 // Sequential netlists are full-scan transformed automatically where the
@@ -21,6 +23,7 @@
 
 #include "analysis/analyzer.h"
 #include "atpg/diag_patterns.h"
+#include "eval/checkpoint.h"
 #include "eval/experiment.h"
 #include "netlist/bench_io.h"
 #include "netlist/iscas_catalog.h"
@@ -53,6 +56,11 @@ namespace {
       "              [--seed N] | [--profile NAME [--scale S]]\n"
       "  atpg <netlist> [--site ARC] [--max-patterns N] [--seed N]\n"
       "  diagnose <netlist> [--chips N] [--samples N] [--seed N]\n"
+      "           [--checkpoint FILE [--resume]]  journal finished trials;\n"
+      "                 --resume replays them (bit-identical, any threads)\n"
+      "           [--deadline-s S]  soft trial-loop budget; on expiry the\n"
+      "                 run degrades (skips trials) instead of failing\n"
+      "           [--json FILE]     deterministic result JSON (no timings)\n"
       "global: --threads N (0 = all hardware threads, 1 = serial; also\n"
       "        honours SDDD_THREADS; results are identical at any setting)\n"
       "        --lint   static-analysis preflight of the input netlist;\n"
@@ -254,17 +262,51 @@ int cmd_atpg(const std::filesystem::path& path, const Options& opts) {
   return 0;
 }
 
-int cmd_diagnose(const std::filesystem::path& path, const Options& opts) {
+int cmd_diagnose(const std::filesystem::path& path, const Options& opts,
+                 bool resume) {
   auto nl = load(path);
   if (nl.dff_count() > 0) nl = netlist::full_scan_transform(nl);
   eval::ExperimentConfig config;
   config.n_chips = static_cast<std::size_t>(opts.get("chips", 10));
   config.mc_samples = static_cast<std::size_t>(opts.get("samples", 250));
   config.seed = static_cast<std::uint64_t>(opts.get("seed", 2003));
+  config.checkpoint_path = opts.str("checkpoint");
+  config.resume = resume;
+  config.deadline_s = opts.get_double("deadline-s", 0.0);
+  if (config.resume && config.checkpoint_path.empty()) {
+    std::fprintf(stderr, "--resume requires --checkpoint FILE\n");
+    return 2;
+  }
   const auto result = eval::run_diagnosis_experiment(nl, config);
   std::printf("%s: clk=%.1f diagnosable=%zu/%zu avg|S|=%.1f\n",
               nl.name().c_str(), result.clk, result.diagnosable_trials(),
               result.trials.size(), result.avg_suspects());
+  if (result.resumed_trials > 0) {
+    std::printf("resumed %zu trials from %s\n", result.resumed_trials,
+                config.checkpoint_path.c_str());
+  }
+  if (result.quarantined_trials() > 0) {
+    std::printf("quarantined %zu/%zu trials (success rates are over the "
+                "%zu diagnosable trials):\n",
+                result.quarantined_trials(), result.trials.size(),
+                result.diagnosable_trials());
+    for (std::size_t i = 0; i < result.trials.size(); ++i) {
+      const eval::TrialRecord& t = result.trials[i];
+      if (t.status != eval::TrialStatus::kQuarantined) continue;
+      std::printf("  trial %zu [%.*s]: %s\n", i,
+                  static_cast<int>(error_code_name(t.error_code).size()),
+                  error_code_name(t.error_code).data(),
+                  t.error_message.c_str());
+    }
+  }
+  if (result.degraded) {
+    std::printf("DEGRADED: deadline expired with %zu/%zu trials skipped"
+                "%s\n",
+                result.skipped_trials(), result.trials.size(),
+                config.checkpoint_path.empty()
+                    ? ""
+                    : "; re-run with --resume to finish them");
+  }
   std::printf("%4s | %7s %7s %8s %7s\n", "K", "sim-I", "sim-II", "sim-III",
               "rev");
   for (const int k : {1, 2, 3, 5, 7, 10}) {
@@ -273,6 +315,11 @@ int cmd_diagnose(const std::filesystem::path& path, const Options& opts) {
                 100 * result.success_rate(diagnosis::Method::kSimII, k),
                 100 * result.success_rate(diagnosis::Method::kSimIII, k),
                 100 * result.success_rate(diagnosis::Method::kRev, k));
+  }
+  const std::string json_path = opts.str("json");
+  if (!json_path.empty()) {
+    eval::write_experiment_json(result, json_path);
+    std::printf("wrote %s\n", json_path.c_str());
   }
   return 0;
 }
@@ -304,8 +351,13 @@ int main(int argc, char** argv) {
       return cmd_atpg(argv[2], Options(argc, argv, 3));
     }
     if (cmd == "diagnose" && argc >= 3) {
-      return cmd_diagnose(argv[2], Options(argc, argv, 3));
+      const bool resume = consume_flag(&argc, argv, "--resume");
+      return cmd_diagnose(argv[2], Options(argc, argv, 3), resume);
     }
+  } catch (const sddd::Error& e) {
+    // what() already carries the "[<code>] " prefix.
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 1;
