@@ -1,8 +1,11 @@
 #include "analysis/dictionary_rules.h"
 
 #include <cmath>
+#include <cstdio>
 #include <string>
 #include <vector>
+
+#include "introspect/confidence.h"
 
 namespace sddd::analysis {
 
@@ -205,6 +208,36 @@ class DuplicateSignatureRule final : public Rule {
   }
 };
 
+class SampleBudgetRule final : public Rule {
+ public:
+  std::string_view id() const override { return kRuleSampleBudget; }
+  Severity severity() const override { return Severity::kWarning; }
+  std::string_view summary() const override {
+    return "Monte-Carlo sample count too low for the requested confidence";
+  }
+
+  // Uses the header-only confidence math (introspect/confidence.h) rather
+  // than linking sddd_introspect, which would cycle back through
+  // sddd_diagnosis into this library.
+  void run(const AnalysisInput& in, Report& out) const override {
+    if (in.dictionary == nullptr) return;
+    const auto& d = *in.dictionary;
+    if (d.mc_samples == 0 || d.target_ci_halfwidth <= 0.0) return;
+    const double worst =
+        introspect::wilson_worst_halfwidth(d.mc_samples);
+    if (worst <= d.target_ci_halfwidth) return;
+    const std::size_t needed =
+        introspect::samples_for_halfwidth(d.target_ci_halfwidth);
+    char msg[256];
+    std::snprintf(msg, sizeof msg,
+                  "%zu Monte-Carlo samples give a worst-case 95%% confidence "
+                  "halfwidth of %.3f per dictionary entry, above the %.3f "
+                  "target; use at least %zu samples",
+                  d.mc_samples, worst, d.target_ci_halfwidth, needed);
+    out.add(std::string(id()), severity(), "mc_samples", msg);
+  }
+};
+
 }  // namespace
 
 void register_dictionary_rules(Analyzer& a) {
@@ -213,6 +246,7 @@ void register_dictionary_rules(Analyzer& a) {
   a.add_rule(std::make_unique<DictionaryShapeRule>());
   a.add_rule(std::make_unique<ZeroSignatureRule>());
   a.add_rule(std::make_unique<DuplicateSignatureRule>());
+  a.add_rule(std::make_unique<SampleBudgetRule>());
 }
 
 }  // namespace sddd::analysis

@@ -1,4 +1,4 @@
-// dictionary_rules.h - Probabilistic fault-dictionary rules (DICT001..005).
+// dictionary_rules.h - Probabilistic fault-dictionary rules (DICT001..006).
 //
 //   DICT001  error    M_crt / E_crt entry outside [0, 1]
 //   DICT002  error    S_crt signature entry outside [-1, 1]
@@ -7,6 +7,9 @@
 //                     no failure anywhere and is undiagnosable
 //   DICT005  warning  two suspects with identical signatures (equivalence
 //                     class that caps diagnosability at its size)
+//   DICT006  warning  Monte-Carlo sample count too low for the requested
+//                     confidence: the worst-case Wilson 95% halfwidth of a
+//                     dictionary entry exceeds target_ci_halfwidth
 //
 // DICT001 and DICT002 are also enforced at runtime by the SDDD_CHECK layer
 // (see check.h) inside dictionary construction and diagnosis scoring.
@@ -21,5 +24,6 @@ inline constexpr std::string_view kRuleSignatureRange = "DICT002";
 inline constexpr std::string_view kRuleDictionaryShape = "DICT003";
 inline constexpr std::string_view kRuleZeroSignature = "DICT004";
 inline constexpr std::string_view kRuleDuplicateSignature = "DICT005";
+inline constexpr std::string_view kRuleSampleBudget = "DICT006";
 
 }  // namespace sddd::analysis

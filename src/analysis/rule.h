@@ -45,6 +45,12 @@ struct DictionarySubject {
     std::vector<std::vector<double>> s_crt;
   };
   std::vector<Signature> signatures;
+  /// Monte-Carlo samples behind every probability entry; 0 = unknown
+  /// (disables the DICT006 sample-budget check).
+  std::size_t mc_samples = 0;
+  /// Worst-case 95% confidence halfwidth the dictionary user wants its
+  /// entries resolved to (DICT006 warns when mc_samples cannot deliver it).
+  double target_ci_halfwidth = 0.1;
 };
 
 /// Everything one analysis run may inspect.  Null/absent members disable

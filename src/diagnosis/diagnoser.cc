@@ -91,10 +91,14 @@ DiagnosisResult Diagnoser::diagnose(
   DiagnosisResult result;
   result.methods.assign(methods.begin(), methods.end());
   result.suspects = extract_suspects(patterns, B);
+  result.mc_samples = sim_->field().sample_count();
 
   const std::size_t n_suspects = result.suspects.size();
   const std::size_t n_patterns = patterns.size();
   const std::size_t n_outputs = B.output_count();
+  if (config_.capture_phi) {
+    result.phi.assign(n_suspects, std::vector<double>(n_patterns, 0.0));
+  }
 
   // One accumulator per (method, suspect); filled pattern-by-pattern so a
   // single baseline arrival matrix is alive at a time.
@@ -125,6 +129,7 @@ DiagnosisResult Diagnoser::diagnose(
               ? slice.e_column(result.suspects[s], *size_model_)
               : slice.signature_column(result.suspects[s], *size_model_);
       const double phi_j = phi(col, b_col);
+      if (config_.capture_phi) result.phi[s][j] = phi_j;
       for (auto& method_acc : acc) method_acc[s].add_phi(phi_j);
     });
   }

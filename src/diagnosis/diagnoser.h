@@ -41,6 +41,12 @@ struct DiagnoserConfig {
   /// cells to the baseline instead.  The ablation bench quantifies the
   /// difference.
   bool match_on_total_probability = true;
+  /// When set, diagnose() stores the full per-(suspect, pattern) phi
+  /// matrix in DiagnosisResult::phi for downstream introspection (the
+  /// explanation engine decomposes scores back into these).  Off by
+  /// default: the matrix is |S| x |TP| doubles the scoring loop otherwise
+  /// never materializes.
+  bool capture_phi = false;
 };
 
 /// One ranked candidate.
@@ -61,6 +67,13 @@ struct DiagnosisResult {
   /// keys[m][s]: underflow-safe log-domain ranking surrogate; what
   /// ranked() actually sorts by.
   std::vector<std::vector<double>> keys;
+  /// phi[s][j]: consistency probability of suspects[s] under pattern j.
+  /// Only populated when DiagnoserConfig::capture_phi is set; empty
+  /// otherwise.
+  std::vector<std::vector<double>> phi;
+  /// Monte-Carlo samples behind every dictionary entry the scores were
+  /// computed from (the n of every confidence interval downstream).
+  std::size_t mc_samples = 0;
 
   /// Suspects sorted best-first under method m (Algorithm E.1 step 8 /
   /// F.1 revised step 8).

@@ -57,6 +57,10 @@ class PatternSlice {
 
   double clk() const { return clk_; }
 
+  /// Monte-Carlo samples behind every probability this slice produces
+  /// (the n of the Wilson intervals the introspection layer attaches).
+  std::size_t sample_count() const { return sim_->field().sample_count(); }
+
  private:
   const timing::DynamicTimingSimulator* sim_;
   paths::TransitionGraph tg_;
@@ -77,6 +81,11 @@ class FaultDictionary {
 
   std::size_t pattern_count() const { return slices_.size(); }
   const PatternSlice& slice(std::size_t j) const { return *slices_[j]; }
+
+  /// Monte-Carlo samples behind every entry (0 for an empty dictionary).
+  std::size_t sample_count() const {
+    return slices_.empty() ? 0 : slices_.front()->sample_count();
+  }
 
   /// Full M_crt matrix, output-major: [output][pattern].
   std::vector<std::vector<double>> m_matrix() const;

@@ -399,6 +399,13 @@ void write_experiment_json(const ExperimentResult& result,
   std::ostringstream os;
   os << "{\n";
   os << "  \"circuit\": \"" << json_escape(result.circuit_name) << "\",\n";
+  // The experiment fingerprint, doubling as the run id every introspection
+  // artifact (manifest, explain report) carries: equal run ids = same
+  // deterministic computation.  A pure function of (circuit, config), so
+  // it byte-matches across thread counts and checkpoint/resume cycles.
+  os << "  \"run_id\": \""
+     << hex64(experiment_fingerprint(result.circuit_name, result.config))
+     << "\",\n";
   os << "  \"seed\": " << result.config.seed << ",\n";
   os << "  \"n_chips\": " << result.config.n_chips << ",\n";
   os << "  \"mc_samples\": " << result.config.mc_samples << ",\n";

@@ -9,6 +9,9 @@
 #include "diagnosis/behavior.h"
 #include "diagnosis/logic_baseline.h"
 #include "eval/checkpoint.h"
+#include "eval/explain.h"
+#include "introspect/explain.h"
+#include "introspect/manifest.h"
 #include "netlist/levelize.h"
 #include "obs/error.h"
 #include "obs/faults.h"
@@ -17,9 +20,10 @@
 #include "obs/trace.h"
 #include "runtime/cancel.h"
 #include "runtime/parallel_for.h"
+#include "stats/rv.h"
+#include "stats/sample_vector.h"
 #include "timing/delay_field.h"
 #include "timing/delay_model.h"
-#include "stats/sample_vector.h"
 
 namespace sddd::eval {
 
@@ -169,6 +173,230 @@ obs::Counter& run_resumed_counter() {
   return c;
 }
 
+/// Everything run_diagnosis_experiment builds before the trial loop: the
+/// timing/logic models, the two disjoint Monte-Carlo worlds (dictionary
+/// predictor vs manufactured chips), the calibrated clk with its
+/// detectability window, and the defect injection machinery.  Factored out
+/// so that explain_trial() can reconstruct the *identical* environment for
+/// one trial; every value here is a pure function of (netlist, config).
+struct ExperimentSetup {
+  const Netlist& nl;
+  const ExperimentConfig& config;
+  std::uint64_t t0 = obs::now_ns();
+  netlist::Levelization lev;
+  timing::StatisticalCellLibrary lib;
+  timing::ArcDelayModel model;
+  logicsim::BitSimulator logic_sim;
+  std::size_t instance_samples;
+  // Two disjoint Monte-Carlo worlds: the dictionary field is the CAD
+  // model's predictor; the instance field manufactures the actual chips.
+  timing::DelayField dict_field;
+  timing::DelayField inst_field;
+  timing::DynamicTimingSimulator dict_sim;
+  timing::DynamicTimingSimulator inst_sim;
+  double setup_seconds;
+  DefectSizeModel size_model;
+  stats::RandomVariable size_rv;
+  SegmentDefectModel location_model;
+  DefectInjector injector;
+  double clk = 0.0;
+  double calibration_seconds = 0.0;
+  // Detectability window for the injection gate (kDetectable).
+  double detect_lo = 0.0;
+  double detect_hi = 0.0;
+
+  ExperimentSetup(const Netlist& nl_in, const ExperimentConfig& cfg)
+      : nl(nl_in),
+        config(cfg),
+        lev(nl_in),
+        lib(cfg.library),
+        model(nl_in, lib),
+        logic_sim(nl_in, lev),
+        instance_samples(cfg.instance_samples != 0 ? cfg.instance_samples
+                                                   : cfg.mc_samples),
+        dict_field(model, cfg.mc_samples, cfg.global_weight,
+                   cfg.seed ^ 0xd1c7ULL),
+        inst_field(model, instance_samples, cfg.global_weight,
+                   cfg.seed ^ 0xc41bULL),
+        dict_sim(dict_field, lev),
+        inst_sim(inst_field, lev),
+        setup_seconds(seconds_since(t0)),
+        size_model(model.mean_cell_delay(), cfg.defect_mean_lo,
+                   cfg.defect_mean_hi, cfg.defect_three_sigma,
+                   cfg.seed ^ 0x5e1fULL),
+        size_rv(stats::RandomVariable::Normal(size_model.marginal_mean(),
+                                              size_model.marginal_mean() /
+                                                  6.0)),
+        location_model(SegmentDefectModel::uniform_single(nl_in, size_rv)),
+        injector(location_model, size_model) {
+    // clk calibration: per-site achievable delays (see header).
+    const std::uint64_t cal_t0 = obs::now_ns();
+    {
+      SDDD_SPAN(cal_span, "exp.calibration");
+      cal_span.arg("sites",
+                   static_cast<std::int64_t>(config.calibration_sites));
+      Rng cal_rng(config.seed, 0xca1bULL);
+      std::vector<double> site_delays;
+      for (std::size_t s = 0; s < config.calibration_sites; ++s) {
+        const auto site = static_cast<netlist::ArcId>(
+            cal_rng.below(static_cast<std::uint32_t>(nl.arc_count())));
+        const auto cal_patterns = [&] {
+          const obs::ScopedNsTimer atpg_timer(atpg_gen_ns_counter());
+          return atpg::generate_diagnostic_patterns(
+              model, lev, site, config.pattern_config, cal_rng);
+        }();
+        const double d =
+            atpg::site_best_nominal_delay(model, lev, cal_patterns, site);
+        if (d > 0.0) site_delays.push_back(d);
+      }
+      if (site_delays.empty()) {
+        throw std::runtime_error(
+            "run_diagnosis_experiment: no calibration site was testable");
+      }
+      clk = stats::SampleVector(std::move(site_delays))
+                .quantile(config.clk_site_quantile);
+    }
+    calibration_seconds = seconds_since(cal_t0);
+    SDDD_LOG_DEBUG("%s: clk calibrated to %.4f (%zu sites)",
+                   nl.name().c_str(), clk, config.calibration_sites);
+    detect_lo = clk - config.detectable_lambda_lo * size_model.marginal_mean();
+    detect_hi = clk + config.detectable_lambda_hi * size_model.marginal_mean();
+  }
+
+  ExperimentSetup(const ExperimentSetup&) = delete;
+  ExperimentSetup& operator=(const ExperimentSetup&) = delete;
+};
+
+/// What the explanation engine needs from a trial beyond its TrialRecord:
+/// the pattern set, the observed behavior and the full diagnosis result
+/// (with the captured phi matrix when the diagnoser was configured for it).
+struct TrialArtifacts {
+  std::vector<logicsim::PatternPair> patterns;
+  BehaviorMatrix B{0, 0};
+  diagnosis::DiagnosisResult diagnosis;
+};
+
+/// The measurement body of one trial.  Trial randomness derives purely
+/// from (config.seed, trial index), so calling this again for the same
+/// trial - in the experiment loop, on resume, or from explain_trial() -
+/// reproduces the identical record bit for bit.  Failures propagate;
+/// classification into TrialStatus is the caller's job.
+void run_trial_body(const ExperimentSetup& S, const ExperimentConfig& config,
+                    const Diagnoser& diagnoser,
+                    const diagnosis::LogicBaselineDiagnoser* logic_baseline,
+                    std::size_t trial, TrialRecord& record,
+                    TrialArtifacts* artifacts) {
+  SDDD_SPAN(trial_span, "exp.trial");
+  trial_span.arg("trial", static_cast<std::int64_t>(trial));
+  const Netlist& nl = S.nl;
+  Rng trial_rng = Rng(config.seed, 0xe4a1ULL).split(trial + 1);
+
+  // Redraw (site, size, chip) until the chip observably fails.
+  std::vector<logicsim::PatternPair> patterns;
+  BehaviorMatrix B(nl.outputs().size(), 0);
+  for (std::size_t attempt = 0; attempt < config.max_injection_retries;
+       ++attempt) {
+    ++record.injection_attempts;
+    record.chip = S.injector.draw(S.instance_samples, trial_rng);
+    {
+      const obs::ScopedNsTimer atpg_timer(atpg_gen_ns_counter());
+      patterns = atpg::generate_diagnostic_patterns(
+          S.model, S.lev, record.chip.defect_arc, config.pattern_config,
+          trial_rng);
+    }
+    if (patterns.empty()) continue;
+    if (config.site_bias == SiteBias::kDetectable) {
+      const double d = atpg::site_best_nominal_delay(
+          S.model, S.lev, patterns, record.chip.defect_arc);
+      if (d < S.detect_lo || d > S.detect_hi) continue;
+    }
+    // Assemble the chip's defect list: the primary (pattern-targeted)
+    // one, plus extras when the single-defect assumption is relaxed.
+    record.extra_defects.clear();
+    std::vector<std::pair<netlist::ArcId, double>> defects = {
+        {record.chip.defect_arc, record.chip.defect_size}};
+    for (std::size_t extra = 1; extra < config.n_defects; ++extra) {
+      const auto other = S.injector.draw(S.instance_samples, trial_rng);
+      record.extra_defects.emplace_back(other.defect_arc, other.defect_size);
+      defects.emplace_back(other.defect_arc, other.defect_size);
+    }
+    {
+      const obs::ScopedNsTimer observe_timer(mc_observe_ns_counter());
+      B = diagnosis::observe_behavior_multi(S.inst_sim, S.logic_sim, S.lev,
+                                            patterns,
+                                            record.chip.sample_index,
+                                            defects, S.clk);
+    }
+    if (!B.any_failure()) continue;
+    // The chip must fail *because of* the defect: a slow-but-defect-free
+    // instance that fails anyway is a process outlier, not a delay
+    // defect, and its behavior carries no information about the injected
+    // site.  Require at least one failing cell that passes without the
+    // defect.
+    const obs::ScopedNsTimer observe_timer(mc_observe_ns_counter());
+    const BehaviorMatrix B0 = diagnosis::observe_behavior(
+        S.inst_sim, S.logic_sim, S.lev, patterns, record.chip.sample_index,
+        std::nullopt, S.clk);
+    bool defect_contributes = false;
+    for (std::size_t i = 0; i < B.output_count() && !defect_contributes;
+         ++i) {
+      for (std::size_t jj = 0; jj < B.pattern_count(); ++jj) {
+        if (B.at(i, jj) && !B0.at(i, jj)) {
+          defect_contributes = true;
+          break;
+        }
+      }
+    }
+    if (defect_contributes) {
+      record.failed_test = true;
+      break;
+    }
+  }
+  if (!record.failed_test) return;
+
+  record.n_patterns = patterns.size();
+  record.n_failing_cells = B.failure_count();
+  auto diag = diagnoser.diagnose(patterns, B, config.methods, S.clk);
+  record.n_suspects = diag.suspects.size();
+  // Under multi-defect injection a hit on ANY injected site counts
+  // (locating one real defect is actionable for failure analysis).
+  std::vector<netlist::ArcId> true_arcs = {record.chip.defect_arc};
+  for (const auto& [arc, size] : record.extra_defects) {
+    true_arcs.push_back(arc);
+  }
+  record.true_arc_in_suspects = false;
+  for (const netlist::ArcId arc : true_arcs) {
+    record.true_arc_in_suspects |=
+        std::find(diag.suspects.begin(), diag.suspects.end(), arc) !=
+        diag.suspects.end();
+  }
+  for (std::size_t m = 0; m < config.methods.size(); ++m) {
+    int best = -1;
+    for (const netlist::ArcId arc : true_arcs) {
+      const int r = rank_of(diag, config.methods[m], arc);
+      if (r >= 0 && (best < 0 || r < best)) best = r;
+    }
+    record.rank_of_true[m] = best;
+  }
+  if (config.include_logic_baseline && logic_baseline != nullptr) {
+    const auto ranked = logic_baseline->diagnose(patterns, B);
+    for (std::size_t i = 0; i < ranked.size(); ++i) {
+      for (const netlist::ArcId arc : true_arcs) {
+        if (ranked[i].arc == arc &&
+            (record.logic_baseline_rank < 0 ||
+             static_cast<int>(i) < record.logic_baseline_rank)) {
+          record.logic_baseline_rank = static_cast<int>(i);
+        }
+      }
+    }
+  }
+  if (artifacts != nullptr) {
+    artifacts->patterns = std::move(patterns);
+    artifacts->B = std::move(B);
+    artifacts->diagnosis = std::move(diag);
+  }
+}
+
 }  // namespace
 
 ExperimentResult run_diagnosis_experiment(const Netlist& nl,
@@ -184,84 +412,19 @@ ExperimentResult run_diagnosis_experiment(const Netlist& nl,
   const obs::MetricsSnapshot snap_start =
       obs::MetricsRegistry::instance().snapshot();
   const auto wall_start = std::chrono::steady_clock::now();
-  const std::uint64_t setup_t0 = obs::now_ns();
-  const netlist::Levelization lev(nl);
-  const timing::StatisticalCellLibrary lib(config.library);
-  const timing::ArcDelayModel model(nl, lib);
-  const logicsim::BitSimulator logic_sim(nl, lev);
-
-  // Two disjoint Monte-Carlo worlds: the dictionary field is the CAD
-  // model's predictor; the instance field manufactures the actual chips.
-  const std::size_t instance_samples =
-      config.instance_samples != 0 ? config.instance_samples
-                                   : config.mc_samples;
-  const timing::DelayField dict_field(model, config.mc_samples,
-                                      config.global_weight,
-                                      config.seed ^ 0xd1c7ULL);
-  const timing::DelayField inst_field(model, instance_samples,
-                                      config.global_weight,
-                                      config.seed ^ 0xc41bULL);
-  const timing::DynamicTimingSimulator dict_sim(dict_field, lev);
-  const timing::DynamicTimingSimulator inst_sim(inst_field, lev);
-  const double setup_seconds = seconds_since(setup_t0);
-
-  // clk calibration: per-site achievable delays (see header).
-  const std::uint64_t cal_t0 = obs::now_ns();
-  double clk = 0.0;
-  {
-    SDDD_SPAN(cal_span, "exp.calibration");
-    cal_span.arg("sites", static_cast<std::int64_t>(config.calibration_sites));
-    Rng cal_rng(config.seed, 0xca1bULL);
-    std::vector<double> site_delays;
-    for (std::size_t s = 0; s < config.calibration_sites; ++s) {
-      const auto site = static_cast<netlist::ArcId>(
-          cal_rng.below(static_cast<std::uint32_t>(nl.arc_count())));
-      const auto cal_patterns = [&] {
-        const obs::ScopedNsTimer atpg_timer(atpg_gen_ns_counter());
-        return atpg::generate_diagnostic_patterns(
-            model, lev, site, config.pattern_config, cal_rng);
-      }();
-      const double d =
-          atpg::site_best_nominal_delay(model, lev, cal_patterns, site);
-      if (d > 0.0) site_delays.push_back(d);
-    }
-    if (site_delays.empty()) {
-      throw std::runtime_error(
-          "run_diagnosis_experiment: no calibration site was testable");
-    }
-    clk = stats::SampleVector(std::move(site_delays))
-              .quantile(config.clk_site_quantile);
-  }
-  const double calibration_seconds = seconds_since(cal_t0);
-  SDDD_LOG_DEBUG("%s: clk calibrated to %.4f (%zu sites)", nl.name().c_str(),
-                 clk, config.calibration_sites);
-
-  const DefectSizeModel size_model(model.mean_cell_delay(),
-                                   config.defect_mean_lo,
-                                   config.defect_mean_hi,
-                                   config.defect_three_sigma,
-                                   config.seed ^ 0x5e1fULL);
-  const auto size_rv = stats::RandomVariable::Normal(
-      size_model.marginal_mean(), size_model.marginal_mean() / 6.0);
-  const auto location_model = SegmentDefectModel::uniform_single(nl, size_rv);
-  const DefectInjector injector(location_model, size_model);
-
-  // Detectability window for the injection gate (kDetectable).
-  const double detect_lo =
-      clk - config.detectable_lambda_lo * size_model.marginal_mean();
-  const double detect_hi =
-      clk + config.detectable_lambda_hi * size_model.marginal_mean();
+  const ExperimentSetup S(nl, config);
 
   diagnosis::DiagnoserConfig diag_config;
   diag_config.max_suspects = config.max_suspects;
   diag_config.match_on_total_probability = !config.match_on_signature;
-  const Diagnoser diagnoser(dict_sim, logic_sim, lev, size_model, diag_config);
-  const diagnosis::LogicBaselineDiagnoser logic_baseline(logic_sim, lev);
+  const Diagnoser diagnoser(S.dict_sim, S.logic_sim, S.lev, S.size_model,
+                            diag_config);
+  const diagnosis::LogicBaselineDiagnoser logic_baseline(S.logic_sim, S.lev);
 
   ExperimentResult result;
   result.config = config;
   result.circuit_name = nl.name();
-  result.clk = clk;
+  result.clk = S.clk;
 
   // Trials are independent: each one derives its RNG stream purely from
   // (config.seed, trial index) - no shared sequential generator - and
@@ -269,7 +432,7 @@ ExperimentResult run_diagnosis_experiment(const Netlist& nl,
   // (and therefore the thread count) cannot change any result.  The
   // dictionary simulator's lazily-memoized delay rows are the one piece of
   // shared mutable state; pre-materialize them before fanning out.
-  if (runtime::would_parallelize(config.n_chips)) dict_sim.prewarm();
+  if (runtime::would_parallelize(config.n_chips)) S.dict_sim.prewarm();
   result.trials.resize(config.n_chips);
 
   // Checkpoint/resume: replay journaled trials into their slots first,
@@ -318,116 +481,6 @@ ExperimentResult run_diagnosis_experiment(const Netlist& nl,
     deadline_guard.emplace(&deadline_token);
   }
 
-  // The measurement body of one trial; failures are classified by the
-  // dispatcher below.
-  const auto run_trial = [&](std::size_t trial, TrialRecord& record) {
-    SDDD_SPAN(trial_span, "exp.trial");
-    trial_span.arg("trial", static_cast<std::int64_t>(trial));
-    Rng trial_rng = Rng(config.seed, 0xe4a1ULL).split(trial + 1);
-
-    // Redraw (site, size, chip) until the chip observably fails.
-    std::vector<logicsim::PatternPair> patterns;
-    BehaviorMatrix B(nl.outputs().size(), 0);
-    for (std::size_t attempt = 0; attempt < config.max_injection_retries;
-         ++attempt) {
-      ++record.injection_attempts;
-      record.chip = injector.draw(instance_samples, trial_rng);
-      {
-        const obs::ScopedNsTimer atpg_timer(atpg_gen_ns_counter());
-        patterns = atpg::generate_diagnostic_patterns(
-            model, lev, record.chip.defect_arc, config.pattern_config,
-            trial_rng);
-      }
-      if (patterns.empty()) continue;
-      if (config.site_bias == SiteBias::kDetectable) {
-        const double d = atpg::site_best_nominal_delay(
-            model, lev, patterns, record.chip.defect_arc);
-        if (d < detect_lo || d > detect_hi) continue;
-      }
-      // Assemble the chip's defect list: the primary (pattern-targeted)
-      // one, plus extras when the single-defect assumption is relaxed.
-      record.extra_defects.clear();
-      std::vector<std::pair<netlist::ArcId, double>> defects = {
-          {record.chip.defect_arc, record.chip.defect_size}};
-      for (std::size_t extra = 1; extra < config.n_defects; ++extra) {
-        const auto other = injector.draw(instance_samples, trial_rng);
-        record.extra_defects.emplace_back(other.defect_arc,
-                                          other.defect_size);
-        defects.emplace_back(other.defect_arc, other.defect_size);
-      }
-      {
-        const obs::ScopedNsTimer observe_timer(mc_observe_ns_counter());
-        B = diagnosis::observe_behavior_multi(inst_sim, logic_sim, lev,
-                                              patterns,
-                                              record.chip.sample_index,
-                                              defects, clk);
-      }
-      if (!B.any_failure()) continue;
-      // The chip must fail *because of* the defect: a slow-but-defect-free
-      // instance that fails anyway is a process outlier, not a delay
-      // defect, and its behavior carries no information about the injected
-      // site.  Require at least one failing cell that passes without the
-      // defect.
-      const obs::ScopedNsTimer observe_timer(mc_observe_ns_counter());
-      const BehaviorMatrix B0 = diagnosis::observe_behavior(
-          inst_sim, logic_sim, lev, patterns, record.chip.sample_index,
-          std::nullopt, clk);
-      bool defect_contributes = false;
-      for (std::size_t i = 0;
-           i < B.output_count() && !defect_contributes; ++i) {
-        for (std::size_t jj = 0; jj < B.pattern_count(); ++jj) {
-          if (B.at(i, jj) && !B0.at(i, jj)) {
-            defect_contributes = true;
-            break;
-          }
-        }
-      }
-      if (defect_contributes) {
-        record.failed_test = true;
-        break;
-      }
-    }
-    if (!record.failed_test) return;
-
-    record.n_patterns = patterns.size();
-    record.n_failing_cells = B.failure_count();
-    const auto diag =
-        diagnoser.diagnose(patterns, B, config.methods, clk);
-    record.n_suspects = diag.suspects.size();
-    // Under multi-defect injection a hit on ANY injected site counts
-    // (locating one real defect is actionable for failure analysis).
-    std::vector<netlist::ArcId> true_arcs = {record.chip.defect_arc};
-    for (const auto& [arc, size] : record.extra_defects) {
-      true_arcs.push_back(arc);
-    }
-    record.true_arc_in_suspects = false;
-    for (const netlist::ArcId arc : true_arcs) {
-      record.true_arc_in_suspects |=
-          std::find(diag.suspects.begin(), diag.suspects.end(), arc) !=
-          diag.suspects.end();
-    }
-    for (std::size_t m = 0; m < config.methods.size(); ++m) {
-      int best = -1;
-      for (const netlist::ArcId arc : true_arcs) {
-        const int r = rank_of(diag, config.methods[m], arc);
-        if (r >= 0 && (best < 0 || r < best)) best = r;
-      }
-      record.rank_of_true[m] = best;
-    }
-    if (config.include_logic_baseline) {
-      const auto ranked = logic_baseline.diagnose(patterns, B);
-      for (std::size_t i = 0; i < ranked.size(); ++i) {
-        for (const netlist::ArcId arc : true_arcs) {
-          if (ranked[i].arc == arc &&
-              (record.logic_baseline_rank < 0 ||
-               static_cast<int>(i) < record.logic_baseline_rank)) {
-            record.logic_baseline_rank = static_cast<int>(i);
-          }
-        }
-      }
-    }
-  };
-
   // Dispatcher: runs each not-yet-done trial, classifies any failure into
   // TrialStatus, and journals the finished record.  A quarantined trial
   // never takes the experiment down; a deadline expiry skips trials (not
@@ -450,7 +503,8 @@ ExperimentResult run_diagnosis_experiment(const Netlist& nl,
     };
     try {
       obs::fault_point("exp.trial", trial);
-      run_trial(trial, record);
+      run_trial_body(S, config, diagnoser, &logic_baseline, trial, record,
+                     nullptr);
       record.status = record.failed_test ? TrialStatus::kDiagnosed
                                          : TrialStatus::kNotFailing;
     } catch (const CancelledError&) {
@@ -504,8 +558,8 @@ ExperimentResult run_diagnosis_experiment(const Netlist& nl,
   const obs::MetricsSnapshot snap_end =
       obs::MetricsRegistry::instance().snapshot();
   PhaseBreakdown& ph = result.phases;
-  ph.setup_seconds = setup_seconds;
-  ph.calibration_seconds = calibration_seconds;
+  ph.setup_seconds = S.setup_seconds;
+  ph.calibration_seconds = S.calibration_seconds;
   ph.trials_seconds = seconds_since(trials_t0);
   ph.atpg_cpu_seconds = obs::MetricsSnapshot::delta_ns_to_seconds(
       snap_start, snap_end, "atpg.gen_ns");
@@ -536,6 +590,68 @@ ExperimentResult run_diagnosis_experiment(const Netlist& nl,
       result.clk, result.wall_seconds, ph.trials_seconds,
       ph.dict_build_cpu_seconds, ph.score_cpu_seconds);
   return result;
+}
+
+introspect::ExplanationReport explain_trial(const Netlist& nl,
+                                            const ExperimentConfig& config,
+                                            const ExplainRequest& request) {
+  if (nl.dff_count() != 0) {
+    throw std::invalid_argument("explain_trial: run full_scan_transform first");
+  }
+  SDDD_SPAN(span, "exp.explain_trial");
+  span.arg("circuit", std::string_view(nl.name()));
+  const ExperimentSetup S(nl, config);
+
+  diagnosis::DiagnoserConfig diag_config;
+  diag_config.max_suspects = config.max_suspects;
+  diag_config.match_on_total_probability = !config.match_on_signature;
+  diag_config.capture_phi = true;
+  const Diagnoser diagnoser(S.dict_sim, S.logic_sim, S.lev, S.size_model,
+                            diag_config);
+  // Unlike the experiment loop (where trials are the outer parallel level
+  // and the suspect loop serializes beneath them), here the suspect loop
+  // IS the top parallel level, so the lazily-memoized delay rows must be
+  // materialized up front.
+  S.dict_sim.prewarm();
+
+  std::vector<std::size_t> trials_to_try;
+  if (request.trial.has_value()) {
+    if (*request.trial >= config.n_chips) {
+      throw std::invalid_argument("explain_trial: trial index out of range");
+    }
+    trials_to_try.push_back(*request.trial);
+  } else {
+    for (std::size_t t = 0; t < config.n_chips; ++t) trials_to_try.push_back(t);
+  }
+
+  for (const std::size_t trial : trials_to_try) {
+    TrialRecord record;
+    record.rank_of_true.assign(config.methods.size(), -1);
+    TrialArtifacts artifacts;
+    run_trial_body(S, config, diagnoser, nullptr, trial, record, &artifacts);
+    if (!record.failed_test) continue;
+
+    introspect::ExplainConfig explain_config;
+    explain_config.top_k = request.top_k;
+    explain_config.match_on_total_probability = !config.match_on_signature;
+    auto report = introspect::explain_diagnosis(
+        S.dict_sim, S.logic_sim, S.lev, S.size_model, artifacts.patterns,
+        artifacts.B, artifacts.diagnosis, S.clk, explain_config);
+    report.circuit = nl.name();
+    report.run_id =
+        introspect::to_hex64(experiment_fingerprint(nl.name(), config));
+    report.seed = config.seed;
+    report.trial = trial;
+    report.injected_arc = record.chip.defect_arc;
+    report.injected_size = record.chip.defect_size;
+    return report;
+  }
+  throw ModelError(
+      request.trial.has_value()
+          ? "explain_trial: the requested trial is not diagnosable (the chip "
+            "never observably failed)"
+          : "explain_trial: no diagnosable trial in the configured chip "
+            "population");
 }
 
 }  // namespace sddd::eval

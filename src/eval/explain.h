@@ -1,0 +1,39 @@
+// explain.h - Re-run one experiment trial under introspection.
+//
+// Because every trial of run_diagnosis_experiment derives its randomness
+// purely from (config.seed, trial index), any single trial can be
+// reconstructed after the fact - same chip, same patterns, same behavior
+// matrix, same diagnosis - without the experiment having saved anything.
+// explain_trial() does exactly that, with the diagnoser capturing its phi
+// matrix, and hands the artifacts to the explanation engine
+// (introspect/explain.h).  The resulting report is byte-identical at any
+// thread count and regardless of whether the original experiment ran
+// straight through or across checkpoint/resume cycles.
+#pragma once
+
+#include <optional>
+
+#include "eval/experiment.h"
+#include "introspect/explain.h"
+
+namespace sddd::eval {
+
+struct ExplainRequest {
+  /// Trial to explain; nullopt = the first diagnosable trial in
+  /// [0, config.n_chips).
+  std::optional<std::size_t> trial;
+  /// Candidates to fully decompose (ExplainConfig::top_k).
+  std::size_t top_k = 5;
+};
+
+/// Reconstructs the requested trial and explains its diagnosis.  Throws
+/// sddd::ModelError when the requested trial (or, with nullopt, every
+/// trial) never observably fails, and std::invalid_argument for an
+/// out-of-range trial index.  The report's run_id is the experiment
+/// fingerprint (eval/checkpoint.h), so it cross-links with the result JSON
+/// and checkpoint journal of the same (circuit, config).
+introspect::ExplanationReport explain_trial(const netlist::Netlist& nl,
+                                            const ExperimentConfig& config,
+                                            const ExplainRequest& request);
+
+}  // namespace sddd::eval

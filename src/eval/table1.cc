@@ -8,6 +8,7 @@
 
 #include "analysis/analyzer.h"
 #include "eval/paper_reference.h"
+#include "introspect/confidence.h"
 #include "netlist/bench_io.h"
 #include "netlist/iscas_catalog.h"
 #include "netlist/scan.h"
@@ -149,8 +150,20 @@ void write_table1_json(std::ostream& os, const Table1Config& config,
        << "                \"counters\": {\"mc_samples\": " << ph.mc_samples
        << ", \"dict_columns_built\": " << ph.dict_columns_built
        << ", \"phi_evals\": " << ph.phi_evals
-       << ", \"pool_tasks\": " << ph.pool_tasks << "}}}"
-       << (i + 1 < result.experiments.size() ? "," : "") << "\n";
+       << ", \"pool_tasks\": " << ph.pool_tasks << "}},\n";
+    // Wilson 95% intervals on the top-1 success rates: each rate is a
+    // binomial proportion over the diagnosable trials, so without these
+    // a 3/4-vs-4/4 difference reads as a 25-point gap.
+    const std::size_t n_diag = exp.diagnosable_trials();
+    os << "     \"confidence\": {\"mc_samples\": " << exp.config.mc_samples
+       << ", \"diagnosable\": " << n_diag;
+    for (const Method m : exp.config.methods) {
+      const double p = exp.success_rate(m, 1);
+      const auto ci = introspect::wilson_interval(p, n_diag);
+      os << ", \"" << diagnosis::method_name(m) << "_top1_ci\": [" << ci.lo
+         << ", " << ci.hi << "]";
+    }
+    os << "}}" << (i + 1 < result.experiments.size() ? "," : "") << "\n";
   }
   os << "  ]\n}\n";
 }

@@ -1,0 +1,94 @@
+// confidence.h - Monte-Carlo confidence intervals for sampled
+// probabilities (the introspection layer's statistical core).
+//
+// Every M_crt / E_crt / S_crt entry of the fault dictionary is a binomial
+// proportion p-hat estimated from n Monte-Carlo samples, so every phi and
+// every diagnosis score inherits sampling noise.  This header quantifies
+// it:
+//
+//   binomial_se        Wald standard error sqrt(p(1-p)/n)
+//   wilson_interval    Wilson score interval - well-behaved at p near 0/1
+//                      where the Wald interval degenerates to width zero
+//   wilson_worst_halfwidth   the n -> precision curve at the worst case
+//                      p-hat = 1/2:  z / (2 sqrt(n + z^2))
+//   samples_for_halfwidth    its inverse: the smallest n whose worst-case
+//                      halfwidth is <= h:  ceil((z / 2h)^2 - z^2)
+//
+// Header-only and dependency-free on purpose: the analysis layer (DICT006)
+// consumes it without linking sddd_introspect, which would cycle through
+// sddd_diagnosis.  Score-interval propagation (which needs the diagnosis
+// method definitions) lives in explain.h instead.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+
+namespace sddd::introspect {
+
+/// z for a two-sided 95% interval: Phi^-1(0.975).
+inline constexpr double kZ95 = 1.959963984540054;
+
+/// A closed interval [lo, hi]; for probabilities always within [0, 1].
+struct Interval {
+  double lo = 0.0;
+  double hi = 0.0;
+
+  double width() const { return hi - lo; }
+  bool contains(double x) const { return x >= lo && x <= hi; }
+  bool overlaps(const Interval& o) const { return lo <= o.hi && o.lo <= hi; }
+};
+
+/// Wald standard error sqrt(p(1-p)/n); 0 when n == 0 (no information, but
+/// callers use wilson_interval for the honest [0, 1] answer there).
+inline double binomial_se(double p_hat, std::size_t n) {
+  if (n == 0) return 0.0;
+  const double p = std::clamp(p_hat, 0.0, 1.0);
+  return std::sqrt(p * (1.0 - p) / static_cast<double>(n));
+}
+
+/// Wilson score interval for a binomial proportion.  n == 0 returns the
+/// vacuous [0, 1]; p-hat = 0 or 1 still yields a non-degenerate interval
+/// (unlike Wald), which is exactly the regime dictionary entries live in.
+inline Interval wilson_interval(double p_hat, std::size_t n,
+                                double z = kZ95) {
+  if (n == 0) return Interval{0.0, 1.0};
+  const double p = std::clamp(p_hat, 0.0, 1.0);
+  const double nn = static_cast<double>(n);
+  const double z2n = z * z / nn;
+  const double denom = 1.0 + z2n;
+  const double center = (p + z2n / 2.0) / denom;
+  const double hw = (z / denom) *
+                    std::sqrt(p * (1.0 - p) / nn + z2n / (4.0 * nn));
+  // At p-hat = 0 (or 1) the exact lower (upper) endpoint is p-hat itself,
+  // but center -/+ hw computes it as a difference of equal-magnitude terms
+  // and can round to the wrong side; the interval must contain p-hat.
+  return Interval{std::clamp(std::min(center - hw, p), 0.0, 1.0),
+                  std::clamp(std::max(center + hw, p), 0.0, 1.0)};
+}
+
+/// Worst-case (p-hat = 1/2) halfwidth of the Wilson interval at population
+/// n; the single number that says how much resolution n samples can buy.
+inline double wilson_worst_halfwidth(std::size_t n, double z = kZ95) {
+  if (n == 0) return 0.5;
+  return z / (2.0 * std::sqrt(static_cast<double>(n) + z * z));
+}
+
+/// Smallest n whose worst-case Wilson halfwidth is <= h (inverse of the
+/// above, rounded up).
+inline std::size_t samples_for_halfwidth(double h, double z = kZ95) {
+  if (h <= 0.0) return 0;  // unreachable precision; caller validates
+  if (h >= 0.5) return 1;
+  const double zh = z / (2.0 * h);
+  return static_cast<std::size_t>(std::ceil(zh * zh - z * z));
+}
+
+/// Interval of one phi factor f = b s + (1 - b)(1 - s) given the interval
+/// of the matched probability s and the observed fail bit b.  f is
+/// monotone increasing in s when b = 1 and decreasing when b = 0, so the
+/// bound propagation is exact.
+inline Interval factor_interval(const Interval& s, bool observed_fail) {
+  return observed_fail ? s : Interval{1.0 - s.hi, 1.0 - s.lo};
+}
+
+}  // namespace sddd::introspect

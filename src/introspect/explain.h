@@ -1,0 +1,155 @@
+// explain.h - The diagnosis explanation engine (introspection tentpole).
+//
+// A DiagnosisResult says *which* suspects rank where; this module says
+// *why*, and whether the ranking means anything given the Monte-Carlo
+// noise underneath it.  For the top-K candidates it decomposes every score
+// back into its per-pattern phi_j contributions and every phi_j into its
+// per-output factors f_kj = b_kj s_kj + (1 - b_kj)(1 - s_kj) against the
+// observed behavior matrix B, exports the signature rows those factors
+// were matched on, and attaches the logic-domain equivalence-class
+// structure (resolution.h) so a user can see when "rank 1" really means
+// "rank 1 within a class no pattern set could split".
+//
+// Confidence propagation (exact, by monotonicity): every dictionary entry
+// is a binomial proportion over n = mc_samples, so each matched value gets
+// a Wilson 95% interval (confidence.h); each factor f is monotone in s, so
+// its interval is the mapped endpoint pair; phi = prod_k f_k is monotone
+// increasing in every factor, so [prod lo, prod hi] bounds it; and every
+// method score is monotone in every phi_j (increasing for Sim I/II/III,
+// decreasing for Alg_rev), so feeding the phi bounds through two
+// ScoreAccumulators bounds the score.  The per-method
+// `rank_separable_at_95` verdict then asks whether the rank-1 interval
+// clears the rank-2 interval in the method's ranking direction - the
+// difference between a confident diagnosis and a coin flip.
+//
+// Everything here iterates in fixed (pattern, output, candidate) order and
+// prints doubles with 17 significant digits, so reports are byte-identical
+// at any thread count.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "defect/defect_model.h"
+#include "diagnosis/behavior.h"
+#include "diagnosis/diagnoser.h"
+#include "diagnosis/error_fn.h"
+#include "introspect/confidence.h"
+#include "logicsim/bitsim.h"
+#include "netlist/levelize.h"
+#include "timing/dynamic_sim.h"
+
+namespace sddd::introspect {
+
+struct ExplainConfig {
+  /// Candidates to fully decompose, best-first under `primary`.
+  std::size_t top_k = 5;
+  /// Method whose ranking orders the candidate list (must be in the
+  /// DiagnosisResult's method set).
+  diagnosis::Method primary = diagnosis::Method::kSimII;
+  /// Mirrors DiagnoserConfig::match_on_total_probability: what phi was
+  /// matched against (E_crt vs S_crt), so the breakdown recomputes the
+  /// exact factors the diagnosis used.
+  bool match_on_total_probability = true;
+};
+
+/// One (output, pattern) cell of a candidate's match.
+struct CellBreakdown {
+  std::size_t output = 0;   ///< output row index (B row)
+  bool observed_fail = false;  ///< b_kj
+  double m = 0.0;           ///< M_crt: defect-free failure probability
+  double e = 0.0;           ///< E_crt: failure probability with the defect
+  double s = 0.0;           ///< signature S = max(E - M, 0)
+  double matched = 0.0;     ///< the value phi matched on (E or S)
+  Interval matched_ci;      ///< Wilson 95% on `matched`
+  double factor = 0.0;      ///< b ? matched : 1 - matched
+  /// True when the dictionary leans the same way the chip behaved
+  /// (factor >= 1/2): this cell supports the candidate.
+  bool agrees = false;
+};
+
+/// One pattern's phi contribution for a candidate.
+struct PatternBreakdown {
+  std::size_t pattern = 0;
+  std::size_t observed_fails = 0;  ///< failing outputs of B under this pattern
+  double phi = 0.0;
+  Interval phi_ci;
+  std::vector<CellBreakdown> cells;  ///< one per output, in output order
+};
+
+/// A candidate's score under one method, with its 95% interval and rank.
+struct MethodScore {
+  diagnosis::Method method = diagnosis::Method::kSimI;
+  double score = 0.0;
+  double ranking_key = 0.0;
+  Interval ci;
+  int rank = -1;  ///< 0-based rank of this candidate under `method`
+};
+
+struct CandidateExplanation {
+  netlist::ArcId arc = netlist::kInvalidArc;
+  int rank = -1;            ///< rank under ExplainConfig::primary
+  double phi_sum = 0.0;     ///< sum_j phi_j (= |TP| x the Sim-II score)
+  std::vector<MethodScore> methods;
+  std::vector<PatternBreakdown> patterns;
+  /// Logic-domain equivalence class of this candidate within the suspect
+  /// set: members are indistinguishable by any 0/1 observation of the
+  /// pattern set, so ranks within the class are arbitrary.
+  std::size_t class_index = 0;
+  std::vector<netlist::ArcId> class_members;
+};
+
+/// Separability verdict for one method: does the rank-1 score interval
+/// clear the rank-2 interval in the method's ranking direction?
+struct SeparabilityVerdict {
+  diagnosis::Method method = diagnosis::Method::kSimI;
+  bool separable_at_95 = false;
+};
+
+struct ExplanationReport {
+  std::string circuit;
+  std::string run_id;       ///< hex64 experiment fingerprint, "" = unknown
+  std::uint64_t seed = 0;
+  std::size_t trial = 0;
+  double clk = 0.0;
+  std::size_t mc_samples = 0;  ///< n behind every dictionary estimate
+  std::size_t n_patterns = 0;
+  std::size_t n_outputs = 0;
+  std::size_t n_suspects = 0;
+  /// Ground truth when the caller knows it (an injected experiment);
+  /// netlist::kInvalidArc otherwise (a real chip).
+  netlist::ArcId injected_arc = netlist::kInvalidArc;
+  double injected_size = 0.0;
+  diagnosis::Method primary = diagnosis::Method::kSimII;
+  /// Rank-1 vs rank-2 margin under `primary`, in ranking-key units, and
+  /// whether their score intervals overlap (the "near tie" flag).
+  double top_margin = 0.0;
+  bool near_tie = false;
+  std::vector<SeparabilityVerdict> separability;
+  std::vector<CandidateExplanation> candidates;  ///< best-first, top-K
+};
+
+/// Builds the full explanation for an existing diagnosis.  `sim` must be
+/// the same dictionary simulator the diagnosis ran against (its field's
+/// sample_count is the n of every interval); columns are recomputed
+/// deterministically, and when `diag` carries a captured phi matrix the
+/// recomputation is cross-checked against it bit-exactly.
+ExplanationReport explain_diagnosis(
+    const timing::DynamicTimingSimulator& sim,
+    const logicsim::BitSimulator& logic_sim, const netlist::Levelization& lev,
+    const defect::DefectSizeModel& size_model,
+    std::span<const logicsim::PatternPair> patterns,
+    const diagnosis::BehaviorMatrix& B,
+    const diagnosis::DiagnosisResult& diag, double clk,
+    const ExplainConfig& config = {});
+
+/// Deterministic JSON rendering (doubles at 17 significant digits; field
+/// order fixed) - byte-identical for byte-identical reports.
+std::string to_json(const ExplanationReport& r);
+
+/// Self-contained human-readable markdown report.
+std::string to_markdown(const ExplanationReport& r);
+
+}  // namespace sddd::introspect

@@ -1,0 +1,85 @@
+#!/usr/bin/env python3
+"""Append one benchmark run to BENCH_history.jsonl, or validate the file.
+
+    append_bench_history.py append BENCH_table1.json BENCH_history.jsonl
+    append_bench_history.py --check BENCH_history.jsonl
+
+Each history line is one compact JSON object per bench_table1 run: the git
+SHA under test, the thread count, the workload knobs, the total wall time
+and the per-circuit per-phase wall splits.  BENCH_table1.json only ever
+holds the latest run; the history file is what makes the perf trajectory
+inspectable PR over PR (and greppable by git SHA).
+
+Appending is the benchmark harness's job (run_benchmarks.sh); --check is
+the CI gate that keeps the accumulated file parseable.
+"""
+
+import json
+import sys
+
+REQUIRED_KEYS = ("git_sha", "threads", "scale", "samples", "chips",
+                 "total_seconds", "circuits")
+
+
+def history_record(table1):
+    circuits = {}
+    for c in table1.get("circuits", []):
+        ph = c.get("phases", {})
+        circuits[c["name"]] = {
+            "seconds": c.get("seconds"),
+            "setup_s": ph.get("setup_s"),
+            "calibration_s": ph.get("calibration_s"),
+            "trials_s": ph.get("trials_s"),
+        }
+    return {
+        "git_sha": table1.get("git_sha", "unknown"),
+        "threads": table1.get("threads"),
+        "scale": table1.get("scale"),
+        "samples": table1.get("samples"),
+        "chips": table1.get("chips"),
+        "total_seconds": table1.get("total_seconds"),
+        "circuits": circuits,
+    }
+
+
+def cmd_append(table1_path, history_path):
+    with open(table1_path) as f:
+        table1 = json.load(f)
+    record = history_record(table1)
+    with open(history_path, "a") as f:
+        f.write(json.dumps(record, sort_keys=True) + "\n")
+    print(f"appended {record['git_sha']} ({record['threads']} threads, "
+          f"{record['total_seconds']:.2f}s) to {history_path}")
+    return 0
+
+
+def cmd_check(history_path):
+    with open(history_path) as f:
+        lines = [ln for ln in f.read().splitlines() if ln.strip()]
+    for lineno, line in enumerate(lines, 1):
+        try:
+            record = json.loads(line)
+        except json.JSONDecodeError as e:
+            print(f"{history_path}:{lineno}: not valid JSON: {e}",
+                  file=sys.stderr)
+            return 1
+        missing = [k for k in REQUIRED_KEYS if k not in record]
+        if missing:
+            print(f"{history_path}:{lineno}: missing keys {missing}",
+                  file=sys.stderr)
+            return 1
+    print(f"{history_path}: {len(lines)} records ok")
+    return 0
+
+
+def main(argv):
+    if len(argv) == 3 and argv[1] == "--check":
+        return cmd_check(argv[2])
+    if len(argv) == 4 and argv[1] == "append":
+        return cmd_append(argv[2], argv[3])
+    print(__doc__, file=sys.stderr)
+    return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

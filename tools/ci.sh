@@ -7,7 +7,11 @@
 #      a dictionary audit -- any error-severity finding fails the gate;
 #   4. observability smoke: diagnose an s1196-class stand-in with
 #      --trace-out/--metrics-out and validate that both JSON files parse
-#      and the trace actually contains dictionary-build spans;
+#      and the trace actually contains dictionary-build spans; then run
+#      sddd_cli explain on the same circuit and assert the top-1 per-pattern
+#      phi contributions sum consistently with the reported Sim-II score,
+#      every score sits inside its 95% CI, and the run_id cross-links the
+#      explain report, result JSON, and manifest;
 #   5. crash/resume smoke: SIGKILL a journaled diagnose mid-trials, resume
 #      it, and require the resumed result JSON to be byte-identical to an
 #      uninterrupted run's (at both 1 and 2 threads);
@@ -42,6 +46,7 @@ trap 'rm -rf "$OBS_DIR"' EXIT
   --profile s1196 --scale 0.15 --seed 7
 ./build/tools/sddd_cli diagnose "$OBS_DIR/s1196.bench" \
   --chips 2 --samples 60 --threads 2 \
+  --json "$OBS_DIR/result.json" --manifest-out "$OBS_DIR/manifest.json" \
   --trace-out "$OBS_DIR/trace.json" --metrics-out "$OBS_DIR/metrics.json"
 python3 - "$OBS_DIR/trace.json" "$OBS_DIR/metrics.json" <<'EOF'
 import json, sys
@@ -60,6 +65,52 @@ for key in ("mc.samples", "dict.columns_built", "diag.phi_evals"):
 print(f"obs smoke ok: {len(events)} trace events, "
       f"{len(counters)} counters")
 EOF
+
+# Explain the same experiment (same chips/samples/seed, so the manifest
+# fingerprint matches the diagnose run above) and check the report's
+# internal consistency end to end.
+./build/tools/sddd_cli explain "$OBS_DIR/s1196.bench" \
+  --chips 2 --samples 60 --threads 2 --out "$OBS_DIR/explain.json"
+python3 - "$OBS_DIR/explain.json" "$OBS_DIR/result.json" \
+  "$OBS_DIR/manifest.json" <<'EOF'
+import json, sys
+with open(sys.argv[1]) as f:
+    explain = json.load(f)
+cands = explain["candidates"]
+assert cands, "explain report has no candidates"
+top = cands[0]
+# Sim-II is Sum(phi)/|TP|: the per-pattern phi contributions of the top
+# candidate must reproduce its reported score to round-off.
+sim2 = next(m for m in top["methods"] if m["method"] == "Alg_sim-II")
+mean_phi = top["phi_sum"] / explain["n_patterns"]
+assert abs(mean_phi - sim2["score"]) < 1e-9, \
+    f"phi sum/|TP| {mean_phi} != reported Sim-II score {sim2['score']}"
+pattern_sum = sum(p["phi"] for p in top["patterns"])
+assert abs(pattern_sum - top["phi_sum"]) < 1e-9, \
+    f"per-pattern phi sum {pattern_sum} != phi_sum {top['phi_sum']}"
+# Every reported score must sit inside its own 95% confidence interval.
+for cand in cands:
+    for m in cand["methods"]:
+        lo, hi = m["ci"]
+        assert lo - 1e-12 <= m["score"] <= hi + 1e-12, \
+            f"score {m['score']} outside CI [{lo}, {hi}] for {m['method']}"
+assert set(explain["rank_separable_at_95"]) == \
+    {"Alg_sim-I", "Alg_sim-II", "Alg_sim-III", "Alg_rev"}
+# The run fingerprint must cross-link all three artifacts.
+with open(sys.argv[2]) as f:
+    result = json.load(f)
+with open(sys.argv[3]) as f:
+    manifest = json.load(f)
+assert explain["run_id"] == result["run_id"] == manifest["run_id"], \
+    (explain["run_id"], result["run_id"], manifest["run_id"])
+print(f"explain smoke ok: {len(cands)} candidates, run_id "
+      f"{explain['run_id']} consistent across explain/result/manifest")
+EOF
+
+# The benchmark history (when present) must stay parseable line by line.
+if [ -f BENCH_history.jsonl ]; then
+  python3 tools/append_bench_history.py --check BENCH_history.jsonl
+fi
 
 echo "== [5/7] crash/resume smoke (SIGKILL mid-trials, byte-identical) =="
 # Reference: the same experiment, uninterrupted, at two thread counts.

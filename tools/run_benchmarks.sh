@@ -74,6 +74,14 @@ run_or_die "bench_table1 ($N_THREADS threads)" \
   --samples 120 --chips 8 --git-sha "$GIT_SHA" --json BENCH_table1.json \
   --trace-out BENCH_table1.trace.json
 
+# Accumulate the run into the append-only history (BENCH_table1.json only
+# ever shows the latest run; the history keeps the trajectory).  Both
+# widths are recorded so serial-vs-parallel regressions are visible too.
+python3 tools/append_bench_history.py append \
+  BENCH_table1.serial.json BENCH_history.jsonl
+python3 tools/append_bench_history.py append \
+  BENCH_table1.json BENCH_history.jsonl
+
 echo
 serial=$(grep -o '"total_seconds": *[0-9.]*' BENCH_table1.serial.json |
   grep -o '[0-9.]*')

@@ -8,7 +8,11 @@
 //   sddd_cli atpg <netlist> [--site ARC] [--max-patterns N] [--seed N]
 //   sddd_cli diagnose <netlist> [--chips N] [--samples N] [--seed N]
 //                     [--checkpoint FILE [--resume]] [--deadline-s S]
-//                     [--json FILE]
+//                     [--json FILE] [--explain-out FILE [--explain-trial N]]
+//                     [--manifest-out FILE]
+//   sddd_cli explain <netlist> [--chips N] [--samples N] [--seed N]
+//                    [--trial N] [--top K] [--out FILE] [--md FILE]
+//                    [--manifest-out FILE]
 //
 // Netlist format is chosen by extension: .bench / anything else = Verilog.
 // Sequential netlists are full-scan transformed automatically where the
@@ -25,6 +29,9 @@
 #include "atpg/diag_patterns.h"
 #include "eval/checkpoint.h"
 #include "eval/experiment.h"
+#include "eval/explain.h"
+#include "introspect/manifest.h"
+#include "obs/atomic_file.h"
 #include "netlist/bench_io.h"
 #include "netlist/iscas_catalog.h"
 #include "netlist/levelize.h"
@@ -61,6 +68,17 @@ namespace {
       "           [--deadline-s S]  soft trial-loop budget; on expiry the\n"
       "                 run degrades (skips trials) instead of failing\n"
       "           [--json FILE]     deterministic result JSON (no timings)\n"
+      "           [--explain-out FILE [--explain-trial N]]  write the\n"
+      "                 explanation report for one trial (default: first\n"
+      "                 diagnosable) as deterministic JSON\n"
+      "           [--manifest-out FILE]  run-provenance manifest (run id,\n"
+      "                 seeds, threads, git sha, input hashes, artifacts)\n"
+      "  explain <netlist> [--chips N] [--samples N] [--seed N] [--trial N]\n"
+      "          [--top K] [--out FILE] [--md FILE] [--manifest-out FILE]\n"
+      "                 re-run one diagnosis trial and decompose its scores\n"
+      "                 into per-pattern phi contributions with Wilson 95%%\n"
+      "                 confidence intervals; same defaults as diagnose, so\n"
+      "                 equal args => equal run ids across artifacts\n"
       "global: --threads N (0 = all hardware threads, 1 = serial; also\n"
       "        honours SDDD_THREADS; results are identical at any setting)\n"
       "        --lint   static-analysis preflight of the input netlist;\n"
@@ -262,14 +280,50 @@ int cmd_atpg(const std::filesystem::path& path, const Options& opts) {
   return 0;
 }
 
-int cmd_diagnose(const std::filesystem::path& path, const Options& opts,
-                 bool resume) {
-  auto nl = load(path);
-  if (nl.dff_count() > 0) nl = netlist::full_scan_transform(nl);
+/// The provenance skeleton shared by `diagnose --manifest-out` and
+/// `explain --manifest-out`: run identity, environment and the hashed
+/// input file.  Artifact entries are the caller's.
+introspect::RunManifest base_manifest(const char* tool,
+                                      const std::filesystem::path& input,
+                                      const netlist::Netlist& nl,
+                                      const eval::ExperimentConfig& config) {
+  introspect::RunManifest m;
+  m.tool = tool;
+  m.circuit = nl.name();
+  m.run_id =
+      introspect::to_hex64(eval::experiment_fingerprint(nl.name(), config));
+  m.seed = config.seed;
+  m.mc_samples = config.mc_samples;
+  m.n_chips = config.n_chips;
+  m.threads = runtime::thread_count();
+  const char* sha = std::getenv("SDDD_GIT_SHA");
+  m.git_sha = sha != nullptr ? sha : "unknown";
+  const char* faults = std::getenv("SDDD_FAULTS");
+  m.faults = faults != nullptr ? faults : "";
+  introspect::RunManifest::InputFile f;
+  f.path = input.string();
+  std::uint64_t bytes = 0;
+  f.fnv1a = introspect::to_hex64(introspect::fnv1a_file(input.string(), &bytes));
+  f.bytes = bytes;
+  m.inputs.push_back(std::move(f));
+  return m;
+}
+
+eval::ExperimentConfig diagnose_config_from(const Options& opts) {
+  // One parser for diagnose and explain: identical defaults mean identical
+  // experiment fingerprints, so their artifacts cross-link by run id.
   eval::ExperimentConfig config;
   config.n_chips = static_cast<std::size_t>(opts.get("chips", 10));
   config.mc_samples = static_cast<std::size_t>(opts.get("samples", 250));
   config.seed = static_cast<std::uint64_t>(opts.get("seed", 2003));
+  return config;
+}
+
+int cmd_diagnose(const std::filesystem::path& path, const Options& opts,
+                 bool resume) {
+  auto nl = load(path);
+  if (nl.dff_count() > 0) nl = netlist::full_scan_transform(nl);
+  eval::ExperimentConfig config = diagnose_config_from(opts);
   config.checkpoint_path = opts.str("checkpoint");
   config.resume = resume;
   config.deadline_s = opts.get_double("deadline-s", 0.0);
@@ -321,6 +375,90 @@ int cmd_diagnose(const std::filesystem::path& path, const Options& opts,
     eval::write_experiment_json(result, json_path);
     std::printf("wrote %s\n", json_path.c_str());
   }
+  const std::string explain_out = opts.str("explain-out");
+  if (!explain_out.empty()) {
+    eval::ExplainRequest request;
+    const long explain_trial = opts.get("explain-trial", -1);
+    if (explain_trial >= 0) {
+      request.trial = static_cast<std::size_t>(explain_trial);
+    }
+    request.top_k = static_cast<std::size_t>(opts.get("top", 5));
+    const auto report = eval::explain_trial(nl, config, request);
+    obs::atomic_write_file_or_throw(explain_out,
+                                    introspect::to_json(report));
+    std::printf("wrote %s (trial %zu, run %s)\n", explain_out.c_str(),
+                report.trial, report.run_id.c_str());
+  }
+  const std::string manifest_out = opts.str("manifest-out");
+  if (!manifest_out.empty()) {
+    auto manifest = base_manifest("sddd_cli diagnose", path, nl, config);
+    manifest.quarantined_trials = result.quarantined_trials();
+    manifest.resumed_trials = result.resumed_trials;
+    manifest.skipped_trials = result.skipped_trials();
+    manifest.degraded = result.degraded;
+    if (!json_path.empty()) {
+      manifest.artifacts.push_back({"result_json", json_path});
+    }
+    if (!config.checkpoint_path.empty()) {
+      manifest.artifacts.push_back({"checkpoint", config.checkpoint_path});
+    }
+    if (!explain_out.empty()) {
+      manifest.artifacts.push_back({"explain", explain_out});
+    }
+    introspect::write_manifest(manifest, manifest_out);
+    std::printf("wrote %s\n", manifest_out.c_str());
+  }
+  return 0;
+}
+
+int cmd_explain(const std::filesystem::path& path, const Options& opts) {
+  auto nl = load(path);
+  if (nl.dff_count() > 0) nl = netlist::full_scan_transform(nl);
+  const eval::ExperimentConfig config = diagnose_config_from(opts);
+  eval::ExplainRequest request;
+  const long trial = opts.get("trial", -1);
+  if (trial >= 0) request.trial = static_cast<std::size_t>(trial);
+  request.top_k = static_cast<std::size_t>(opts.get("top", 5));
+  const auto report = eval::explain_trial(nl, config, request);
+
+  const std::string out = opts.str("out", "explain.json");
+  obs::atomic_write_file_or_throw(out, introspect::to_json(report));
+  std::printf("wrote %s\n", out.c_str());
+  const std::string md_path = opts.str("md");
+  if (!md_path.empty()) {
+    obs::atomic_write_file_or_throw(md_path, introspect::to_markdown(report));
+    std::printf("wrote %s\n", md_path.c_str());
+  }
+  const std::string manifest_out = opts.str("manifest-out");
+  if (!manifest_out.empty()) {
+    auto manifest = base_manifest("sddd_cli explain", path, nl, config);
+    manifest.artifacts.push_back({"explain", out});
+    if (!md_path.empty()) {
+      manifest.artifacts.push_back({"explain_md", md_path});
+    }
+    introspect::write_manifest(manifest, manifest_out);
+    std::printf("wrote %s\n", manifest_out.c_str());
+  }
+
+  std::printf("%s trial %zu (run %s): %zu suspects, clk=%.1f, "
+              "%zu MC samples\n",
+              report.circuit.c_str(), report.trial, report.run_id.c_str(),
+              report.n_suspects, report.clk, report.mc_samples);
+  if (!report.candidates.empty()) {
+    const auto& top = report.candidates.front();
+    std::printf("top-1: arc %u%s, phi_sum=%.6g over %zu patterns%s\n",
+                top.arc,
+                top.arc == report.injected_arc ? " (the injected defect)"
+                                               : "",
+                top.phi_sum, report.n_patterns,
+                report.near_tie ? "  [NEAR TIE with rank 2]" : "");
+  }
+  for (const auto& v : report.separability) {
+    std::printf("  %-12.*s rank-1 %s rank-2 at 95%%\n",
+                static_cast<int>(diagnosis::method_name(v.method).size()),
+                diagnosis::method_name(v.method).data(),
+                v.separable_at_95 ? "separable from" : "NOT separable from");
+  }
   return 0;
 }
 
@@ -336,7 +474,7 @@ int main(int argc, char** argv) {
     // Commands that read a netlist take it as argv[2]; synth writes one.
     const bool has_input_netlist =
         argc >= 3 && (cmd == "info" || cmd == "convert" || cmd == "scan" ||
-                      cmd == "atpg" || cmd == "diagnose");
+                      cmd == "atpg" || cmd == "diagnose" || cmd == "explain");
     if (lint && has_input_netlist && !preflight_lint(argv[2])) {
       std::fprintf(stderr, "lint: error findings; aborting %s\n", cmd.c_str());
       return 1;
@@ -353,6 +491,9 @@ int main(int argc, char** argv) {
     if (cmd == "diagnose" && argc >= 3) {
       const bool resume = consume_flag(&argc, argv, "--resume");
       return cmd_diagnose(argv[2], Options(argc, argv, 3), resume);
+    }
+    if (cmd == "explain" && argc >= 3) {
+      return cmd_explain(argv[2], Options(argc, argv, 3));
     }
   } catch (const sddd::Error& e) {
     // what() already carries the "[<code>] " prefix.

@@ -55,6 +55,7 @@ struct LintOptions {
   std::size_t patterns = 6;
   std::size_t suspects = 12;
   std::uint64_t seed = 2003;
+  double ci_halfwidth = 0.1;
 };
 
 void usage() {
@@ -69,6 +70,9 @@ void usage() {
       "  --samples N  Monte-Carlo samples for --dict (default 120)\n"
       "  --patterns N patterns for --dict (default 6)\n"
       "  --suspects N signatures audited under --dict (default 12)\n"
+      "  --ci-halfwidth H  target worst-case 95%% confidence halfwidth per\n"
+      "               dictionary entry; DICT006 warns when --samples cannot\n"
+      "               deliver it (default 0.1)\n"
       "  --seed N     stand-in / sampling seed (default 2003)\n"
       "  --threads N  rule fan-out width\n"
       "  --list       print the rule table and exit\n"
@@ -128,6 +132,8 @@ analysis::DictionarySubject build_dictionary_subject(
   subject.n_outputs = nl.outputs().size();
   subject.n_patterns = patterns.size();
   subject.m_crt = dict.m_matrix();
+  subject.mc_samples = dict.sample_count();
+  subject.target_ci_halfwidth = opt.ci_halfwidth;
 
   const std::size_t n_arcs = nl.arc_count();
   const std::size_t n_suspects = std::min(opt.suspects, n_arcs);
@@ -211,6 +217,8 @@ int main(int argc, char** argv) {
       opt.patterns = static_cast<std::size_t>(std::atol(next()));
     } else if (arg == "--suspects") {
       opt.suspects = static_cast<std::size_t>(std::atol(next()));
+    } else if (arg == "--ci-halfwidth") {
+      opt.ci_halfwidth = std::atof(next());
     } else if (arg == "--seed") {
       opt.seed = static_cast<std::uint64_t>(std::atoll(next()));
     } else if (arg == "--help" || arg == "-h") {
