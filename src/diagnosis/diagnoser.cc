@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "diagnosis/score_kernel.h"
+#include "diagnosis/signature_matrix.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "paths/path_enum.h"
@@ -95,7 +97,6 @@ DiagnosisResult Diagnoser::diagnose(
 
   const std::size_t n_suspects = result.suspects.size();
   const std::size_t n_patterns = patterns.size();
-  const std::size_t n_outputs = B.output_count();
   if (config_.capture_phi) {
     result.phi.assign(n_suspects, std::vector<double>(n_patterns, 0.0));
   }
@@ -108,30 +109,15 @@ DiagnosisResult Diagnoser::diagnose(
     acc.emplace_back(n_suspects, ScoreAccumulator(m));
   }
 
-  // Suspects are embarrassingly parallel once the pattern's baseline
-  // arrival matrix exists: the slice is built serially (it materializes
-  // every arc-delay row its cones will read), then each suspect evaluates
-  // its E column against the shared read-only slice and writes only its
-  // own accumulators.  Each (method, suspect) accumulator still receives
-  // its phi values in pattern order, so scores and ranks are bit-identical
-  // for every thread count.
-  std::vector<bool> b_col(n_outputs);
-  for (std::size_t j = 0; j < n_patterns; ++j) {
-    SDDD_SPAN(span, "diag.pattern");
-    span.arg("pattern", static_cast<std::int64_t>(j))
-        .arg("suspects", static_cast<std::int64_t>(n_suspects));
-    const obs::ScopedNsTimer timer(diag_score_ns_counter());
-    const PatternSlice slice(*sim_, *logic_sim_, *lev_, patterns[j], clk);
-    for (std::size_t i = 0; i < n_outputs; ++i) b_col[i] = B.at(i, j);
-    runtime::parallel_for(n_suspects, [&](std::size_t s) {
-      const auto col =
-          config_.match_on_total_probability
-              ? slice.e_column(result.suspects[s], *size_model_)
-              : slice.signature_column(result.suspects[s], *size_model_);
-      const double phi_j = phi(col, b_col);
-      if (config_.capture_phi) result.phi[s][j] = phi_j;
-      for (auto& method_acc : acc) method_acc[s].add_phi(phi_j);
-    });
+  // Both scoring paths feed each (method, suspect) accumulator its phi
+  // values in pattern order, so scores and ranks are bit-identical for
+  // every thread count - and to each other (score_kernel.h carries the
+  // argument; tests/test_score_kernel.cc and the ci.sh kernel smoke step
+  // enforce it end to end).
+  if (config_.cache != nullptr) {
+    score_kernel_path(patterns, B, clk, result, acc);
+  } else {
+    score_scalar(patterns, B, clk, result, acc);
   }
 
   result.scores.resize(methods.size());
@@ -145,6 +131,109 @@ DiagnosisResult Diagnoser::diagnose(
     }
   }
   return result;
+}
+
+void Diagnoser::score_scalar(
+    std::span<const logicsim::PatternPair> patterns, const BehaviorMatrix& B,
+    double clk, DiagnosisResult& result,
+    std::vector<std::vector<ScoreAccumulator>>& acc) const {
+  const std::size_t n_suspects = result.suspects.size();
+  const std::size_t n_outputs = B.output_count();
+
+  // Per-suspect defect-size tables, computed once: sample(arc, k) is a
+  // pure function of (arc, k), so hoisting the resampling out of the
+  // (pattern, suspect) loop changes nothing but the allocation count.
+  std::vector<std::vector<double>> sizes(n_suspects);
+  const std::size_t n_samples = sim_->field().sample_count();
+  runtime::parallel_for(n_suspects, [&](std::size_t s) {
+    auto& table = sizes[s];
+    table.resize(n_samples);
+    for (std::size_t k = 0; k < n_samples; ++k) {
+      table[k] = size_model_->sample(result.suspects[s], k);
+    }
+  });
+
+  // Suspects are embarrassingly parallel once the pattern's baseline
+  // arrival matrix exists: the slice is built serially (it materializes
+  // every arc-delay row its cones will read), then each suspect evaluates
+  // its E column against the shared read-only slice and writes only its
+  // own accumulators.  Chunking lets one column buffer serve a whole run
+  // of suspects instead of heap-allocating per (pattern, suspect).
+  std::vector<bool> b_col(n_outputs);
+  for (std::size_t j = 0; j < patterns.size(); ++j) {
+    SDDD_SPAN(span, "diag.pattern");
+    span.arg("pattern", static_cast<std::int64_t>(j))
+        .arg("suspects", static_cast<std::int64_t>(n_suspects));
+    const obs::ScopedNsTimer timer(diag_score_ns_counter());
+    const PatternSlice slice(*sim_, *logic_sim_, *lev_, patterns[j], clk);
+    for (std::size_t i = 0; i < n_outputs; ++i) b_col[i] = B.at(i, j);
+    runtime::parallel_for_chunked(
+        n_suspects, 16, [&](std::size_t lo, std::size_t hi) {
+          std::vector<double> col;
+          for (std::size_t s = lo; s < hi; ++s) {
+            if (config_.match_on_total_probability) {
+              slice.e_column_into(result.suspects[s], sizes[s], col);
+            } else {
+              slice.signature_column_into(result.suspects[s], sizes[s], col);
+            }
+            const double phi_j = phi(col, b_col);
+            if (config_.capture_phi) result.phi[s][j] = phi_j;
+            for (auto& method_acc : acc) method_acc[s].add_phi(phi_j);
+          }
+        });
+  }
+}
+
+void Diagnoser::score_kernel_path(
+    std::span<const logicsim::PatternPair> patterns, const BehaviorMatrix& B,
+    double clk, DiagnosisResult& result,
+    std::vector<std::vector<ScoreAccumulator>>& acc) const {
+  const SignatureCache& cache = *config_.cache;
+  if (cache.clk() != clk) {
+    throw std::invalid_argument(
+        "Diagnoser: signature cache built for a different clk");
+  }
+  if (cache.match_on_total_probability() !=
+      config_.match_on_total_probability) {
+    throw std::invalid_argument(
+        "Diagnoser: signature cache built for a different match mode");
+  }
+
+  const std::size_t n_suspects = result.suspects.size();
+  const std::size_t n_outputs = B.output_count();
+  std::vector<const double*> cols;
+  std::vector<double> phi_row(n_suspects);
+  PackedBColumn b;
+  for (std::size_t j = 0; j < patterns.size(); ++j) {
+    SDDD_SPAN(span, "diag.kernel.pattern");
+    span.arg("pattern", static_cast<std::int64_t>(j))
+        .arg("suspects", static_cast<std::int64_t>(n_suspects));
+    const obs::ScopedNsTimer timer(diag_score_ns_counter());
+    {
+      const obs::ScopedNsTimer build_timer(kernel_build_ns_counter());
+      cache.columns(patterns[j], result.suspects, cols);
+      b.pack(B, j);
+    }
+    {
+      const obs::ScopedNsTimer phi_timer(kernel_phi_ns_counter());
+      // Chunk boundaries depend only on (n, grain), each lane keeps its
+      // own accumulator, and every suspect writes only its own slots - so
+      // phi_row is byte-identical at any thread count.
+      runtime::parallel_for_chunked(
+          n_suspects, 64, [&](std::size_t lo, std::size_t hi) {
+            phi_block(cols.data() + lo, hi - lo, n_outputs, b,
+                      phi_row.data() + lo);
+            for (std::size_t s = lo; s < hi; ++s) {
+              if (config_.capture_phi) result.phi[s][j] = phi_row[s];
+              for (auto& method_acc : acc) method_acc[s].add_phi(phi_row[s]);
+            }
+          });
+    }
+    // Same diag.phi_evals accounting as n_suspects scalar phi() calls,
+    // batched; plus the kernel's own pattern/suspect tallies.
+    note_phi_evals(n_suspects);
+    note_kernel_pattern(n_suspects);
+  }
 }
 
 std::vector<RankedSuspect> DiagnosisResult::ranked(Method m) const {

@@ -25,6 +25,8 @@
 
 namespace sddd::diagnosis {
 
+class SignatureCache;
+
 struct DiagnoserConfig {
   /// Cap on |S|; 0 = unlimited.  When capped, suspects with the highest
   /// support (number of failing (output, pattern) cells whose cone
@@ -47,6 +49,16 @@ struct DiagnoserConfig {
   /// default: the matrix is |S| x |TP| doubles the scoring loop otherwise
   /// never materializes.
   bool capture_phi = false;
+  /// When set, diagnose() scores through the packed kernel path against
+  /// this cache (signature_matrix.h): suspect columns are built once per
+  /// (circuit, clk, pattern) and reused across every chip, the chip's B
+  /// column is bit-packed, and phi evaluates kKernelLanes suspects per
+  /// block - bit-identical scores, keys, ranks and captured phi to the
+  /// scalar path (score_kernel.h states the argument).  The cache must
+  /// have been built against the same simulator, clk and match mode;
+  /// diagnose() throws on a clk/match mismatch.  Null (default) keeps the
+  /// scalar per-chip path.
+  const SignatureCache* cache = nullptr;
 };
 
 /// One ranked candidate.
@@ -107,6 +119,21 @@ class Diagnoser {
                            std::span<const Method> methods, double clk) const;
 
  private:
+  /// The per-chip scalar scoring loop (reference semantics): one
+  /// PatternSlice per pattern, per-suspect columns through reused buffers
+  /// and precomputed size tables, phi() per (suspect, pattern).
+  void score_scalar(std::span<const logicsim::PatternPair> patterns,
+                    const BehaviorMatrix& B, double clk,
+                    DiagnosisResult& result,
+                    std::vector<std::vector<ScoreAccumulator>>& acc) const;
+
+  /// The cached kernel scoring loop: columns from config_.cache, packed B,
+  /// blocked phi.  Bit-identical outputs to score_scalar.
+  void score_kernel_path(std::span<const logicsim::PatternPair> patterns,
+                         const BehaviorMatrix& B, double clk,
+                         DiagnosisResult& result,
+                         std::vector<std::vector<ScoreAccumulator>>& acc) const;
+
   const timing::DynamicTimingSimulator* sim_;
   const logicsim::BitSimulator* logic_sim_;
   const netlist::Levelization* lev_;

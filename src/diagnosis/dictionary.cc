@@ -62,19 +62,28 @@ PatternSlice::PatternSlice(const timing::DynamicTimingSimulator& sim,
 
 std::vector<double> PatternSlice::e_column(
     netlist::ArcId suspect, const defect::DefectSizeModel& size_model) const {
+  // sample(arc, k) is a pure function of (arc, k), so resampling here per
+  // call draws the exact sizes a precomputed table holds; callers that
+  // loop over (pattern, suspect) precompute once and use e_column_into.
+  const std::size_t n = sim_->field().sample_count();
+  std::vector<double> sizes(n);
+  for (std::size_t k = 0; k < n; ++k) {
+    sizes[k] = size_model.sample(suspect, k);
+  }
+  std::vector<double> e;
+  e_column_into(suspect, sizes, e);
+  return e;
+}
+
+void PatternSlice::e_column_into(netlist::ArcId suspect,
+                                 std::span<const double> sizes,
+                                 std::vector<double>& out) const {
   const obs::ScopedNsTimer timer(dict_e_ns_counter());
   dict_e_columns_counter().add(1);
   dict_columns_counter().add(1);
-  timing::InjectedDefect defect;
-  defect.arc = suspect;
-  const std::size_t n = sim_->field().sample_count();
-  defect.extra.resize(n);
-  for (std::size_t k = 0; k < n; ++k) {
-    defect.extra[k] = size_model.sample(suspect, k);
-  }
-  auto e = sim_->error_vector_with_defect(tg_, baseline_, defect, clk_);
-  analysis::check_probability_column(e, "PatternSlice E_crt column");
-  return e;
+  sim_->error_vector_with_defect_into(tg_, baseline_, suspect, sizes, clk_,
+                                      out);
+  analysis::check_probability_column(out, "PatternSlice E_crt column");
 }
 
 std::vector<double> PatternSlice::signature_column(
@@ -85,6 +94,16 @@ std::vector<double> PatternSlice::signature_column(
   }
   analysis::check_signature_column(s, "PatternSlice S_crt column");
   return s;
+}
+
+void PatternSlice::signature_column_into(netlist::ArcId suspect,
+                                         std::span<const double> sizes,
+                                         std::vector<double>& out) const {
+  e_column_into(suspect, sizes, out);
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    out[i] = std::max(out[i] - m_col_[i], 0.0);
+  }
+  analysis::check_signature_column(out, "PatternSlice S_crt column");
 }
 
 FaultDictionary::FaultDictionary(

@@ -55,6 +55,21 @@ class PatternSlice {
   std::vector<double> signature_column(
       netlist::ArcId suspect, const defect::DefectSizeModel& size_model) const;
 
+  /// Allocation-free e_column: the per-sample defect sizes come from
+  /// `sizes` (sizes[k] must equal size_model.sample(suspect, k) - the
+  /// diagnoser and the signature cache precompute these once per suspect
+  /// instead of resampling per (pattern, suspect) call), and the column is
+  /// written into `out`, which hot callers reuse across calls.  Produces
+  /// bit-identical columns to e_column().
+  void e_column_into(netlist::ArcId suspect, std::span<const double> sizes,
+                     std::vector<double>& out) const;
+
+  /// signature_column through the same reused-buffer path:
+  /// S = max(E - M, 0) computed in place in `out`.
+  void signature_column_into(netlist::ArcId suspect,
+                             std::span<const double> sizes,
+                             std::vector<double>& out) const;
+
   double clk() const { return clk_; }
 
   /// Monte-Carlo samples behind every probability this slice produces

@@ -33,6 +33,10 @@ std::string_view method_name(Method m) {
   return "?";
 }
 
+void note_phi_evals(std::size_t n) {
+  phi_evals_counter().add(static_cast<std::uint64_t>(n));
+}
+
 double phi(std::span<const double> s_column,
            const std::vector<bool>& b_column) {
   if (s_column.size() != b_column.size()) {

@@ -41,6 +41,12 @@ std::string_view method_name(Method m);
 double phi(std::span<const double> s_column,
            const std::vector<bool>& b_column);
 
+/// Batched form of the diag.phi_evals accounting phi() performs per call.
+/// The packed multi-suspect kernel (score_kernel.h) evaluates a whole
+/// suspect set per pattern and accounts for all of them with one counter
+/// update instead of |S| atomic adds in the inner loop.
+void note_phi_evals(std::size_t n);
+
 /// Strategy interface for scoring a suspect from its per-pattern phi
 /// values.  Implementations must be stateless and cheap to copy.
 class DiagnosisErrorFn {

@@ -1,0 +1,94 @@
+#include "diagnosis/score_kernel.h"
+
+namespace sddd::diagnosis {
+
+namespace {
+
+obs::Counter& kernel_patterns_counter() {
+  static obs::Counter& c =
+      obs::MetricsRegistry::instance().register_counter("diag.kernel.patterns");
+  return c;
+}
+
+obs::Counter& kernel_suspects_counter() {
+  static obs::Counter& c =
+      obs::MetricsRegistry::instance().register_counter("diag.kernel.suspects");
+  return c;
+}
+
+}  // namespace
+
+obs::Counter& kernel_build_ns_counter() {
+  static obs::Counter& c =
+      obs::MetricsRegistry::instance().register_counter("diag.kernel.build_ns");
+  return c;
+}
+
+obs::Counter& kernel_phi_ns_counter() {
+  static obs::Counter& c =
+      obs::MetricsRegistry::instance().register_counter("diag.kernel.phi_ns");
+  return c;
+}
+
+void note_kernel_pattern(std::size_t n_suspects) {
+  kernel_patterns_counter().add(1);
+  kernel_suspects_counter().add(static_cast<std::uint64_t>(n_suspects));
+}
+
+void PackedBColumn::pack(const BehaviorMatrix& B, std::size_t pattern) {
+  n_ = B.output_count();
+  words_.assign((n_ + 63) / 64, 0);
+  for (std::size_t k = 0; k < n_; ++k) {
+    if (B.at(k, pattern)) {
+      words_[k >> 6] |= std::uint64_t{1} << (k & 63);
+    }
+  }
+}
+
+void phi_block(const double* const* cols, std::size_t n_cols,
+               std::size_t n_outputs, const PackedBColumn& b, double* out) {
+  std::size_t base = 0;
+  for (; base + kKernelLanes <= n_cols; base += kKernelLanes) {
+    const double* c0 = cols[base + 0];
+    const double* c1 = cols[base + 1];
+    const double* c2 = cols[base + 2];
+    const double* c3 = cols[base + 3];
+    const double* c4 = cols[base + 4];
+    const double* c5 = cols[base + 5];
+    const double* c6 = cols[base + 6];
+    const double* c7 = cols[base + 7];
+    double a0 = 1.0, a1 = 1.0, a2 = 1.0, a3 = 1.0;
+    double a4 = 1.0, a5 = 1.0, a6 = 1.0, a7 = 1.0;
+    for (std::size_t k = 0; k < n_outputs; ++k) {
+      // Select, not blend: `fail ? s : 1 - s` is the scalar phi() factor
+      // verbatim, so each lane's product is the scalar product bit for bit.
+      const bool fail = b.test(k);
+      a0 *= fail ? c0[k] : 1.0 - c0[k];
+      a1 *= fail ? c1[k] : 1.0 - c1[k];
+      a2 *= fail ? c2[k] : 1.0 - c2[k];
+      a3 *= fail ? c3[k] : 1.0 - c3[k];
+      a4 *= fail ? c4[k] : 1.0 - c4[k];
+      a5 *= fail ? c5[k] : 1.0 - c5[k];
+      a6 *= fail ? c6[k] : 1.0 - c6[k];
+      a7 *= fail ? c7[k] : 1.0 - c7[k];
+    }
+    out[base + 0] = a0;
+    out[base + 1] = a1;
+    out[base + 2] = a2;
+    out[base + 3] = a3;
+    out[base + 4] = a4;
+    out[base + 5] = a5;
+    out[base + 6] = a6;
+    out[base + 7] = a7;
+  }
+  for (; base < n_cols; ++base) {
+    const double* c = cols[base];
+    double a = 1.0;
+    for (std::size_t k = 0; k < n_outputs; ++k) {
+      a *= b.test(k) ? c[k] : 1.0 - c[k];
+    }
+    out[base] = a;
+  }
+}
+
+}  // namespace sddd::diagnosis

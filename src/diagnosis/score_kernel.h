@@ -1,0 +1,72 @@
+// score_kernel.h - The per-chip scoring hot path: phi for a whole suspect
+// block against one chip's bit-packed behavior column.
+//
+// The scalar reference is phi() in error_fn.h: per suspect, a product over
+// primary outputs k of (b_k ? s_k : 1 - s_k).  The kernel evaluates
+// kKernelLanes suspects at a time, each lane keeping its own independent
+// accumulator chain over a contiguous (suspect-major SoA) signature
+// column, and reads the chip's b bits from a 64-bit packed column.
+//
+// Bit-identity argument (DESIGN.md section 12): each lane multiplies its
+// factors in exactly the scalar loop's output order, the factor is the
+// same select between s and 1 - s (never an arithmetic blend like
+// (1 - s) + b * (2s - 1), which rounds differently), and lanes never mix,
+// so every phi the kernel produces equals the scalar phi() bit for bit.
+// The independence of the 8 accumulator chains is what keeps the FP
+// pipeline fed - the multiply latency of one chain hides behind the other
+// seven - without reassociating any suspect's own product.
+//
+// The kernel performs no per-call contract scan and no per-suspect counter
+// update: columns are validated once at cache-ingest time (see
+// signature_matrix.h) and the diagnoser batches diag.phi_evals per pattern
+// via note_phi_evals().
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "diagnosis/behavior.h"
+#include "obs/metrics.h"
+
+namespace sddd::diagnosis {
+
+/// One chip behavior column B[:, j] packed one bit per primary output.
+class PackedBColumn {
+ public:
+  PackedBColumn() = default;
+
+  /// Packs column `pattern` of B, reusing the word storage across calls.
+  void pack(const BehaviorMatrix& B, std::size_t pattern);
+
+  std::size_t bit_count() const { return n_; }
+
+  bool test(std::size_t k) const {
+    return ((words_[k >> 6] >> (k & 63)) & 1U) != 0;
+  }
+
+ private:
+  std::size_t n_ = 0;
+  std::vector<std::uint64_t> words_;
+};
+
+/// Suspects evaluated per block of independent accumulator chains.
+inline constexpr std::size_t kKernelLanes = 8;
+
+/// phi for `n_cols` suspects: cols[i] is suspect i's signature/E column of
+/// `n_outputs` doubles, `b` the packed chip column (bit_count() must be
+/// n_outputs), out[i] the resulting phi - bit-identical to
+/// phi(cols[i], b_unpacked) minus that function's per-call contract scan
+/// and counter update (see header comment).
+void phi_block(const double* const* cols, std::size_t n_cols,
+               std::size_t n_outputs, const PackedBColumn& b, double* out);
+
+/// diag.kernel.* accounting, batched per pattern by the kernel scoring
+/// path: one pattern evaluated over `n_suspects` cached columns.
+void note_kernel_pattern(std::size_t n_suspects);
+
+/// Wall-time split of the kernel scoring path (both are sub-spans of
+/// diag.score_ns): cached-column acquisition vs packed phi evaluation.
+obs::Counter& kernel_build_ns_counter();
+obs::Counter& kernel_phi_ns_counter();
+
+}  // namespace sddd::diagnosis

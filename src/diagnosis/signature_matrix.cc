@@ -1,0 +1,189 @@
+#include "diagnosis/signature_matrix.h"
+
+#include <cstring>
+#include <new>
+
+#include "obs/metrics.h"
+
+namespace sddd::diagnosis {
+
+namespace {
+
+obs::Counter& sig_cache_hits_counter() {
+  static obs::Counter& c =
+      obs::MetricsRegistry::instance().register_counter("dict.sig_cache.hits");
+  return c;
+}
+
+obs::Counter& sig_cache_misses_counter() {
+  static obs::Counter& c = obs::MetricsRegistry::instance().register_counter(
+      "dict.sig_cache.misses");
+  return c;
+}
+
+obs::Counter& sig_cache_bytes_counter() {
+  static obs::Counter& c =
+      obs::MetricsRegistry::instance().register_counter("dict.sig_cache.bytes");
+  return c;
+}
+
+// FNV-1a over the launch/capture bits plus their lengths.  Equality of the
+// stored pattern is always verified afterwards, so a collision only costs
+// one extra Entry in the bucket, never a wrong column.
+std::uint64_t pattern_fingerprint(const logicsim::PatternPair& p) {
+  constexpr std::uint64_t kOffset = 0xcbf29ce484222325ULL;
+  constexpr std::uint64_t kPrime = 0x100000001b3ULL;
+  std::uint64_t h = kOffset;
+  const auto mix = [&h](std::uint64_t byte) {
+    h ^= byte;
+    h *= kPrime;
+  };
+  const auto mix_bits = [&](const logicsim::Pattern& bits) {
+    mix(bits.size() & 0xff);
+    mix((bits.size() >> 8) & 0xff);
+    std::uint64_t word = 0;
+    std::size_t fill = 0;
+    for (const bool bit : bits) {
+      word = (word << 1) | static_cast<std::uint64_t>(bit);
+      if (++fill == 8) {
+        mix(word);
+        word = 0;
+        fill = 0;
+      }
+    }
+    if (fill != 0) mix(word);
+  };
+  mix_bits(p.v1);
+  mix_bits(p.v2);
+  return h;
+}
+
+bool same_pattern(const logicsim::PatternPair& a,
+                  const logicsim::PatternPair& b) {
+  return a.v1 == b.v1 && a.v2 == b.v2;
+}
+
+}  // namespace
+
+void SignatureCache::AlignedFree::operator()(double* p) const noexcept {
+  ::operator delete[](p, std::align_val_t{64});
+}
+
+SignatureCache::SignatureCache(const timing::DynamicTimingSimulator& sim,
+                               const logicsim::BitSimulator& logic_sim,
+                               const netlist::Levelization& lev,
+                               const defect::DefectSizeModel& size_model,
+                               double clk, bool match_on_total_probability)
+    : sim_(&sim),
+      logic_sim_(&logic_sim),
+      lev_(&lev),
+      size_model_(&size_model),
+      clk_(clk),
+      match_e_(match_on_total_probability) {}
+
+std::span<const double> SignatureCache::sizes_for(
+    netlist::ArcId suspect) const {
+  const std::lock_guard<std::mutex> lock(sizes_mu_);
+  auto it = sizes_.find(suspect);
+  if (it == sizes_.end()) {
+    const std::size_t n = sim_->field().sample_count();
+    std::vector<double> table(n);
+    for (std::size_t k = 0; k < n; ++k) {
+      table[k] = size_model_->sample(suspect, k);
+    }
+    it = sizes_.emplace(suspect, std::move(table)).first;
+  }
+  // The vector's heap buffer survives any later map rehash, so the span
+  // stays valid without holding the lock.
+  return {it->second.data(), it->second.size()};
+}
+
+SignatureCache::Entry& SignatureCache::entry_for(
+    const logicsim::PatternPair& pattern) const {
+  const std::uint64_t fp = pattern_fingerprint(pattern);
+  const std::lock_guard<std::mutex> lock(map_mu_);
+  auto& bucket = entries_[fp];
+  for (const auto& e : bucket) {
+    if (same_pattern(e->pattern, pattern)) return *e;
+  }
+  bucket.push_back(std::make_unique<Entry>());
+  bucket.back()->pattern = pattern;
+  return *bucket.back();
+}
+
+void SignatureCache::columns(const logicsim::PatternPair& pattern,
+                             std::span<const netlist::ArcId> suspects,
+                             std::vector<const double*>& out) const {
+  Entry& entry = entry_for(pattern);
+  out.resize(suspects.size());
+  const std::lock_guard<std::mutex> lock(entry.mu);
+
+  // First pass: serve what is already built, collect the rest.
+  std::vector<std::size_t> missing;
+  std::uint64_t hits = 0;
+  for (std::size_t i = 0; i < suspects.size(); ++i) {
+    const auto it = entry.index.find(suspects[i]);
+    if (it != entry.index.end()) {
+      out[i] = entry.cols[it->second].get();
+      ++hits;
+    } else {
+      out[i] = nullptr;
+      missing.push_back(i);
+    }
+  }
+  if (hits != 0) {
+    hits_.fetch_add(hits, std::memory_order_relaxed);
+    sig_cache_hits_counter().add(hits);
+  }
+  if (missing.empty()) return;
+
+  // Build the missing columns through the same validated dictionary path
+  // the scalar diagnoser uses; the slice (baseline arrival matrix) lives
+  // only for this scope - the cache keeps just the |O|-double columns.
+  const PatternSlice slice(*sim_, *logic_sim_, *lev_, pattern, clk_);
+  std::vector<double> scratch;
+  std::uint64_t built = 0;
+  std::uint64_t built_bytes = 0;
+  for (const std::size_t i : missing) {
+    const netlist::ArcId suspect = suspects[i];
+    // A suspect may repeat within one call; the second occurrence is now
+    // a hit on the column the first one just built.
+    const auto it = entry.index.find(suspect);
+    if (it != entry.index.end()) {
+      out[i] = entry.cols[it->second].get();
+      hits_.fetch_add(1, std::memory_order_relaxed);
+      sig_cache_hits_counter().add(1);
+      continue;
+    }
+    const std::span<const double> sizes = sizes_for(suspect);
+    if (match_e_) {
+      slice.e_column_into(suspect, sizes, scratch);
+    } else {
+      slice.signature_column_into(suspect, sizes, scratch);
+    }
+    const std::size_t n = scratch.size();
+    Column col(static_cast<double*>(
+        ::operator new[](n * sizeof(double), std::align_val_t{64})));
+    if (n != 0) std::memcpy(col.get(), scratch.data(), n * sizeof(double));
+    entry.index.emplace(suspect, entry.cols.size());
+    entry.cols.push_back(std::move(col));
+    out[i] = entry.cols.back().get();
+    ++built;
+    built_bytes += n * sizeof(double);
+    n_outputs_.store(n, std::memory_order_release);
+  }
+  misses_.fetch_add(built, std::memory_order_relaxed);
+  sig_cache_misses_counter().add(built);
+  bytes_.fetch_add(built_bytes, std::memory_order_relaxed);
+  sig_cache_bytes_counter().add(built_bytes);
+}
+
+SignatureCache::Stats SignatureCache::stats() const {
+  Stats s;
+  s.hits = hits_.load(std::memory_order_relaxed);
+  s.misses = misses_.load(std::memory_order_relaxed);
+  s.bytes = bytes_.load(std::memory_order_relaxed);
+  return s;
+}
+
+}  // namespace sddd::diagnosis

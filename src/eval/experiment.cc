@@ -8,6 +8,7 @@
 
 #include "diagnosis/behavior.h"
 #include "diagnosis/logic_baseline.h"
+#include "diagnosis/signature_matrix.h"
 #include "eval/checkpoint.h"
 #include "eval/explain.h"
 #include "introspect/explain.h"
@@ -204,6 +205,12 @@ struct ExperimentSetup {
   // Detectability window for the injection gate (kDetectable).
   double detect_lo = 0.0;
   double detect_hi = 0.0;
+  // Shared suspect-column cache for the kernel scoring path.  Constructed
+  // unconditionally (it is empty and costs nothing until the first
+  // column); wired into the diagnoser only when config.use_score_kernel.
+  // Keyed by construction: its inputs are pure functions of
+  // (netlist, config), exactly what experiment_fingerprint() covers.
+  std::optional<diagnosis::SignatureCache> sig_cache;
 
   ExperimentSetup(const Netlist& nl_in, const ExperimentConfig& cfg)
       : nl(nl_in),
@@ -261,6 +268,8 @@ struct ExperimentSetup {
                    nl.name().c_str(), clk, config.calibration_sites);
     detect_lo = clk - config.detectable_lambda_lo * size_model.marginal_mean();
     detect_hi = clk + config.detectable_lambda_hi * size_model.marginal_mean();
+    sig_cache.emplace(dict_sim, logic_sim, lev, size_model, clk,
+                      !config.match_on_signature);
   }
 
   ExperimentSetup(const ExperimentSetup&) = delete;
@@ -417,6 +426,7 @@ ExperimentResult run_diagnosis_experiment(const Netlist& nl,
   diagnosis::DiagnoserConfig diag_config;
   diag_config.max_suspects = config.max_suspects;
   diag_config.match_on_total_probability = !config.match_on_signature;
+  if (config.use_score_kernel) diag_config.cache = &*S.sig_cache;
   const Diagnoser diagnoser(S.dict_sim, S.logic_sim, S.lev, S.size_model,
                             diag_config);
   const diagnosis::LogicBaselineDiagnoser logic_baseline(S.logic_sim, S.lev);
@@ -574,6 +584,16 @@ ExperimentResult run_diagnosis_experiment(const Netlist& nl,
       snap_start, snap_end, "diag.extract_ns");
   ph.score_cpu_seconds = obs::MetricsSnapshot::delta_ns_to_seconds(
       snap_start, snap_end, "diag.score_ns");
+  ph.score_column_build_cpu_seconds = obs::MetricsSnapshot::delta_ns_to_seconds(
+      snap_start, snap_end, "diag.kernel.build_ns");
+  ph.score_phi_cpu_seconds = obs::MetricsSnapshot::delta_ns_to_seconds(
+      snap_start, snap_end, "diag.kernel.phi_ns");
+  ph.sig_cache_hits = obs::MetricsSnapshot::counter_delta(
+      snap_start, snap_end, "dict.sig_cache.hits");
+  ph.sig_cache_misses = obs::MetricsSnapshot::counter_delta(
+      snap_start, snap_end, "dict.sig_cache.misses");
+  ph.sig_cache_bytes = obs::MetricsSnapshot::counter_delta(
+      snap_start, snap_end, "dict.sig_cache.bytes");
   ph.mc_samples =
       obs::MetricsSnapshot::counter_delta(snap_start, snap_end, "mc.samples");
   ph.dict_columns_built = obs::MetricsSnapshot::counter_delta(
@@ -606,6 +626,7 @@ introspect::ExplanationReport explain_trial(const Netlist& nl,
   diag_config.max_suspects = config.max_suspects;
   diag_config.match_on_total_probability = !config.match_on_signature;
   diag_config.capture_phi = true;
+  if (config.use_score_kernel) diag_config.cache = &*S.sig_cache;
   const Diagnoser diagnoser(S.dict_sim, S.logic_sim, S.lev, S.size_model,
                             diag_config);
   // Unlike the experiment loop (where trials are the outer parallel level

@@ -147,10 +147,17 @@ void write_table1_json(std::ostream& os, const Table1Config& config,
        << "                \"suspect_extract_cpu_s\": "
        << ph.suspect_extract_cpu_seconds
        << ", \"score_cpu_s\": " << ph.score_cpu_seconds << ",\n"
+       << "                \"score_col_build_s\": "
+       << ph.score_column_build_cpu_seconds
+       << ", \"score_phi_s\": " << ph.score_phi_cpu_seconds << ",\n"
        << "                \"counters\": {\"mc_samples\": " << ph.mc_samples
        << ", \"dict_columns_built\": " << ph.dict_columns_built
        << ", \"phi_evals\": " << ph.phi_evals
-       << ", \"pool_tasks\": " << ph.pool_tasks << "}},\n";
+       << ", \"pool_tasks\": " << ph.pool_tasks
+       << ",\n                             \"sig_cache_hits\": "
+       << ph.sig_cache_hits
+       << ", \"sig_cache_misses\": " << ph.sig_cache_misses
+       << ", \"sig_cache_bytes\": " << ph.sig_cache_bytes << "}},\n";
     // Wilson 95% intervals on the top-1 success rates: each rate is a
     // binomial proportion over the diagnosable trials, so without these
     // a 3/4-vs-4/4 difference reads as a 25-point gap.

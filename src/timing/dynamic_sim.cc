@@ -102,11 +102,13 @@ namespace {
 
 /// Computes one gate's arrival row from its active fanins.  `lookup` maps a
 /// gate id to its arrival row (baseline or scratch); `delays` maps an arc
-/// id to its memoized delay samples.
+/// id to its memoized delay samples.  A defect is (defect_arc, per-sample
+/// extras); pass defect_extra == nullptr for the defect-free case.
 template <typename Lookup, typename Delays>
 void compute_row(const Netlist& nl, std::size_t n, const TransitionGraph& tg,
                  GateId g, const Lookup& lookup, const Delays& delays,
-                 const InjectedDefect* defect, std::vector<double>& out) {
+                 ArcId defect_arc, const double* defect_extra,
+                 std::vector<double>& out) {
   const auto& act = tg.active_fanins(g);
   const bool use_min = tg.rule(g) == ArrivalRule::kMinOverActive;
   out.assign(n, use_min ? std::numeric_limits<double>::infinity() : 0.0);
@@ -115,11 +117,11 @@ void compute_row(const Netlist& nl, std::size_t n, const TransitionGraph& tg,
     const GateId f = nl.gate(arc.gate).fanins[arc.pin];
     const std::vector<double>& in = lookup(f);
     const std::vector<double>& d = delays(a);
-    const bool defective = defect != nullptr && defect->arc == a;
+    const bool defective = defect_extra != nullptr && defect_arc == a;
     if (use_min) {
       if (defective) {
         for (std::size_t k = 0; k < n; ++k) {
-          const double cand = in[k] + d[k] + defect->extra[k];
+          const double cand = in[k] + d[k] + defect_extra[k];
           if (cand < out[k]) out[k] = cand;
         }
       } else {
@@ -131,7 +133,7 @@ void compute_row(const Netlist& nl, std::size_t n, const TransitionGraph& tg,
     } else {
       if (defective) {
         for (std::size_t k = 0; k < n; ++k) {
-          const double cand = in[k] + d[k] + defect->extra[k];
+          const double cand = in[k] + d[k] + defect_extra[k];
           if (cand > out[k]) out[k] = cand;
         }
       } else {
@@ -169,7 +171,8 @@ ArrivalMatrix DynamicTimingSimulator::simulate(const TransitionGraph& tg) const 
       m.rows[g].assign(n, 0.0);
       continue;
     }
-    compute_row(nl, n, tg, g, lookup, delays, nullptr, m.rows[g]);
+    compute_row(nl, n, tg, g, lookup, delays, netlist::kInvalidArc, nullptr,
+                m.rows[g]);
   }
   return m;
 }
@@ -177,28 +180,36 @@ ArrivalMatrix DynamicTimingSimulator::simulate(const TransitionGraph& tg) const 
 std::vector<double> DynamicTimingSimulator::error_vector(
     const TransitionGraph& tg, const ArrivalMatrix& arrivals,
     double clk) const {
+  std::vector<double> err;
+  error_vector_into(tg, arrivals, clk, err);
+  return err;
+}
+
+void DynamicTimingSimulator::error_vector_into(const TransitionGraph& tg,
+                                               const ArrivalMatrix& arrivals,
+                                               double clk,
+                                               std::vector<double>& out) const {
   const Netlist& nl = field_->model().netlist();
   const std::size_t n = field_->sample_count();
-  std::vector<double> err;
-  err.reserve(nl.outputs().size());
+  out.clear();
+  out.reserve(nl.outputs().size());
   for (const GateId o : nl.outputs()) {
     if (!tg.toggles(o) || arrivals.rows[o].empty()) {
-      err.push_back(0.0);
+      out.push_back(0.0);
       continue;
     }
     std::size_t count = 0;
     for (const double x : arrivals.rows[o]) count += (x > clk) ? 1U : 0U;
-    err.push_back(static_cast<double>(count) / static_cast<double>(n));
+    out.push_back(static_cast<double>(count) / static_cast<double>(n));
   }
-  return err;
 }
 
 DynamicTimingSimulator::ConeRows DynamicTimingSimulator::recompute_cone(
-    const TransitionGraph& tg, const ArrivalMatrix& baseline,
-    const InjectedDefect& defect) const {
+    const TransitionGraph& tg, const ArrivalMatrix& baseline, ArcId arc,
+    std::span<const double> extra) const {
   const Netlist& nl = field_->model().netlist();
   const std::size_t n = field_->sample_count();
-  if (defect.extra.size() != n) {
+  if (extra.size() != n) {
     throw std::invalid_argument(
         "recompute_cone: defect extra-delay size mismatch");
   }
@@ -206,7 +217,7 @@ DynamicTimingSimulator::ConeRows DynamicTimingSimulator::recompute_cone(
   // mid-trial deadline is actually noticed.
   runtime::poll_cancellation();
   mc_samples_counter().add(n);
-  const GateId defect_gate = nl.arc(defect.arc).gate;
+  const GateId defect_gate = nl.arc(arc).gate;
   const auto cone = tg.forward_cone(defect_gate);
 
   // Scratch rows for cone gates only; everything upstream/off-cone reads
@@ -226,7 +237,8 @@ DynamicTimingSimulator::ConeRows DynamicTimingSimulator::recompute_cone(
     return arc_delays(a);
   };
   for (std::size_t i = 0; i < cone.size(); ++i) {
-    compute_row(nl, n, tg, cone[i], lookup, delays, &defect, rows.scratch[i]);
+    compute_row(nl, n, tg, cone[i], lookup, delays, arc, extra.data(),
+                rows.scratch[i]);
   }
   return rows;
 }
@@ -234,35 +246,44 @@ DynamicTimingSimulator::ConeRows DynamicTimingSimulator::recompute_cone(
 std::vector<double> DynamicTimingSimulator::error_vector_with_defect(
     const TransitionGraph& tg, const ArrivalMatrix& baseline,
     const InjectedDefect& defect, double clk) const {
+  std::vector<double> err;
+  error_vector_with_defect_into(tg, baseline, defect.arc, defect.extra, clk,
+                                err);
+  return err;
+}
+
+void DynamicTimingSimulator::error_vector_with_defect_into(
+    const TransitionGraph& tg, const ArrivalMatrix& baseline, ArcId arc,
+    std::span<const double> extra, double clk, std::vector<double>& out) const {
   const Netlist& nl = field_->model().netlist();
   const std::size_t n = field_->sample_count();
-  if (!tg.is_active(defect.arc)) {
+  if (!tg.is_active(arc)) {
     // No transition flows through the defective pin under this pattern:
     // the induced circuit is unchanged (fixed-sensitization semantics).
-    if (defect.extra.size() != n) {
+    if (extra.size() != n) {
       throw std::invalid_argument(
           "error_vector_with_defect: defect extra-delay size mismatch");
     }
-    return error_vector(tg, baseline, clk);
+    error_vector_into(tg, baseline, clk, out);
+    return;
   }
-  const ConeRows rows = recompute_cone(tg, baseline, defect);
+  const ConeRows rows = recompute_cone(tg, baseline, arc, extra);
 
-  std::vector<double> err;
-  err.reserve(nl.outputs().size());
+  out.clear();
+  out.reserve(nl.outputs().size());
   for (const GateId o : nl.outputs()) {
     const std::int32_t idx = rows.cone_index[o];
     const std::vector<double>* row =
         idx >= 0 ? &rows.scratch[static_cast<std::size_t>(idx)]
                  : &baseline.rows[o];
     if (!tg.toggles(o) || row->empty()) {
-      err.push_back(0.0);
+      out.push_back(0.0);
       continue;
     }
     std::size_t count = 0;
     for (const double x : *row) count += (x > clk) ? 1U : 0U;
-    err.push_back(static_cast<double>(count) / static_cast<double>(n));
+    out.push_back(static_cast<double>(count) / static_cast<double>(n));
   }
-  return err;
 }
 
 std::vector<std::uint8_t> DynamicTimingSimulator::late_mask(
@@ -292,7 +313,7 @@ std::vector<std::uint8_t> DynamicTimingSimulator::late_mask_with_defect(
     }
     return late_mask(tg, baseline, clk);
   }
-  const ConeRows rows = recompute_cone(tg, baseline, defect);
+  const ConeRows rows = recompute_cone(tg, baseline, defect.arc, defect.extra);
   std::vector<std::uint8_t> mask(n, 0);
   for (const GateId o : nl.outputs()) {
     if (!tg.toggles(o)) continue;

@@ -92,6 +92,18 @@ class DynamicTimingSimulator {
       const paths::TransitionGraph& tg, const ArrivalMatrix& baseline,
       const InjectedDefect& defect, double clk) const;
 
+  /// Allocation-free variant: the defect is (arc, per-sample extra delays)
+  /// and the error vector is written into `out` (resized to |O|).  The
+  /// InjectedDefect overload delegates here; hot callers - the per-
+  /// (pattern, suspect) dictionary column builds - reuse `out` and a
+  /// precomputed size table across calls instead of rebuilding an
+  /// InjectedDefect and a fresh result vector every time.
+  void error_vector_with_defect_into(const paths::TransitionGraph& tg,
+                                     const ArrivalMatrix& baseline,
+                                     netlist::ArcId arc,
+                                     std::span<const double> extra, double clk,
+                                     std::vector<double>& out) const;
+
   /// One chip instance: arrival per gate for sample `k` with a fixed-size
   /// defect (pass std::nullopt for defect-free).  Returns arrivals indexed
   /// by gate; non-toggling gates carry -1.
@@ -147,8 +159,12 @@ class DynamicTimingSimulator {
     std::vector<std::int32_t> cone_index;
   };
   ConeRows recompute_cone(const paths::TransitionGraph& tg,
-                          const ArrivalMatrix& baseline,
-                          const InjectedDefect& defect) const;
+                          const ArrivalMatrix& baseline, netlist::ArcId arc,
+                          std::span<const double> extra) const;
+
+  void error_vector_into(const paths::TransitionGraph& tg,
+                         const ArrivalMatrix& arrivals, double clk,
+                         std::vector<double>& out) const;
 
   const DelayField* field_;
   const netlist::Levelization* lev_;

@@ -2,13 +2,17 @@
 """Append one benchmark run to BENCH_history.jsonl, or validate the file.
 
     append_bench_history.py append BENCH_table1.json BENCH_history.jsonl
+    append_bench_history.py append BENCH_score.json BENCH_history.jsonl
     append_bench_history.py --check BENCH_history.jsonl
 
-Each history line is one compact JSON object per bench_table1 run: the git
+Each history line is one compact JSON object per benchmark run: the git
 SHA under test, the thread count, the workload knobs, the total wall time
-and the per-circuit per-phase wall splits.  BENCH_table1.json only ever
-holds the latest run; the history file is what makes the perf trajectory
-inspectable PR over PR (and greppable by git SHA).
+and a per-circuit summary.  bench_table1 records carry per-phase wall
+splits; bench_score records (marked "bench": "score") carry the
+scalar-vs-kernel scoring times and the headline speedup per thread width.
+BENCH_table1.json / BENCH_score.json only ever hold the latest run; the
+history file is what makes the perf trajectory inspectable PR over PR
+(and greppable by git SHA).
 
 Appending is the benchmark harness's job (run_benchmarks.sh); --check is
 the CI gate that keeps the accumulated file parseable.
@@ -21,7 +25,37 @@ REQUIRED_KEYS = ("git_sha", "threads", "scale", "samples", "chips",
                  "total_seconds", "circuits")
 
 
+def score_record(score):
+    circuits = {}
+    for c in score.get("circuits", []):
+        runs = {}
+        for r in c.get("runs", []):
+            runs[str(r.get("threads"))] = {
+                "scalar_score_s": r.get("scalar_score_s"),
+                "kernel_warm_score_s": r.get("kernel_warm_score_s"),
+                "speedup_scoring": r.get("speedup_scoring"),
+            }
+        circuits[c["name"]] = {
+            "seconds": c.get("seconds"),
+            "suspects": c.get("suspects"),
+            "runs": runs,
+        }
+    return {
+        "bench": "score",
+        "bit_identical": score.get("bit_identical"),
+        "git_sha": score.get("git_sha", "unknown"),
+        "threads": score.get("threads"),
+        "scale": score.get("scale"),
+        "samples": score.get("samples"),
+        "chips": score.get("chips"),
+        "total_seconds": score.get("total_seconds"),
+        "circuits": circuits,
+    }
+
+
 def history_record(table1):
+    if table1.get("bench") == "score":
+        return score_record(table1)
     circuits = {}
     for c in table1.get("circuits", []):
         ph = c.get("phases", {})

@@ -12,12 +12,17 @@
 #      phi contributions sum consistently with the reported Sim-II score,
 #      every score sits inside its 95% CI, and the run_id cross-links the
 #      explain report, result JSON, and manifest;
-#   5. crash/resume smoke: SIGKILL a journaled diagnose mid-trials, resume
+#   5. scoring-kernel smoke: re-run the same diagnose and explain with
+#      --no-kernel (scalar scoring) and require the result JSON to be
+#      byte-identical to the kernel run's, the explain candidates to agree
+#      rank by rank and phi by phi, and the kernel-enabled run's metrics to
+#      show the diag.kernel.* / dict.sig_cache.* counters actually firing;
+#   6. crash/resume smoke: SIGKILL a journaled diagnose mid-trials, resume
 #      it, and require the resumed result JSON to be byte-identical to an
 #      uninterrupted run's (at both 1 and 2 threads);
-#   6. fault-injection smoke: SDDD_FAULTS poisons two trials; the run must
+#   7. fault-injection smoke: SDDD_FAULTS poisons two trials; the run must
 #      still exit 0 with exactly those trials quarantined in the metrics;
-#   7. clang-tidy profile (skipped automatically when not installed).
+#   8. clang-tidy profile (skipped automatically when not installed).
 #
 #   tools/ci.sh [-jN]
 set -euo pipefail
@@ -26,20 +31,20 @@ cd "$(dirname "$0")/.."
 
 JOBS="${1:--j$(nproc)}"
 
-echo "== [1/7] tier-1 build + tests =="
+echo "== [1/8] tier-1 build + tests =="
 cmake -B build -S .
 cmake --build build "$JOBS"
 ctest --test-dir build --output-on-failure "$JOBS"
 
-echo "== [2/7] smoke tests under ASan+UBSan =="
+echo "== [2/8] smoke tests under ASan+UBSan =="
 cmake -B build-san -S . -DSDDD_ASAN=ON -DSDDD_UBSAN=ON
 cmake --build build-san "$JOBS"
 ctest --test-dir build-san --output-on-failure -L smoke "$JOBS"
 
-echo "== [3/7] sddd_lint on the ISCAS catalog =="
+echo "== [3/8] sddd_lint on the ISCAS catalog =="
 ./build/tools/sddd_lint --dict --catalog c17 s27
 
-echo "== [4/7] observability smoke (trace + metrics round-trip) =="
+echo "== [4/8] observability smoke (trace + metrics round-trip) =="
 OBS_DIR="$(mktemp -d)"
 trap 'rm -rf "$OBS_DIR"' EXIT
 ./build/tools/sddd_cli synth "$OBS_DIR/s1196.bench" \
@@ -112,7 +117,50 @@ if [ -f BENCH_history.jsonl ]; then
   python3 tools/append_bench_history.py --check BENCH_history.jsonl
 fi
 
-echo "== [5/7] crash/resume smoke (SIGKILL mid-trials, byte-identical) =="
+echo "== [5/8] scoring-kernel smoke (scalar vs kernel, byte-identical) =="
+# The step-4 runs above used the packed scoring kernel (the default).
+# Re-run both with --no-kernel: use_score_kernel is excluded from the
+# experiment fingerprint, so the scalar result JSON must be byte-identical
+# to the kernel run's -- same run_id, same scores, same bytes.
+./build/tools/sddd_cli diagnose "$OBS_DIR/s1196.bench" \
+  --chips 2 --samples 60 --threads 2 --no-kernel \
+  --json "$OBS_DIR/result_scalar.json"
+cmp "$OBS_DIR/result.json" "$OBS_DIR/result_scalar.json"
+./build/tools/sddd_cli explain "$OBS_DIR/s1196.bench" \
+  --chips 2 --samples 60 --threads 2 --no-kernel \
+  --out "$OBS_DIR/explain_scalar.json"
+python3 - "$OBS_DIR/explain.json" "$OBS_DIR/explain_scalar.json" \
+  "$OBS_DIR/metrics.json" <<'EOF'
+import json, sys
+with open(sys.argv[1]) as f:
+    kernel = json.load(f)
+with open(sys.argv[2]) as f:
+    scalar = json.load(f)
+# Candidate lists must agree rank by rank, score by score, phi by phi --
+# the kernel is a reimplementation of the same arithmetic, not an
+# approximation of it.
+kc, sc = kernel["candidates"], scalar["candidates"]
+assert len(kc) == len(sc), (len(kc), len(sc))
+for i, (a, b) in enumerate(zip(kc, sc)):
+    assert a["arc"] == b["arc"], f"rank {i}: arc {a['arc']} != {b['arc']}"
+    assert a["phi_sum"] == b["phi_sum"], f"rank {i}: phi_sum differs"
+    for ma, mb in zip(a["methods"], b["methods"]):
+        assert ma["score"] == mb["score"], \
+            f"rank {i} {ma['method']}: {ma['score']} != {mb['score']}"
+    for pa, pb in zip(a["patterns"], b["patterns"]):
+        assert pa["phi"] == pb["phi"], f"rank {i}: per-pattern phi differs"
+# The kernel-enabled diagnose must actually have exercised the kernel.
+with open(sys.argv[3]) as f:
+    counters = json.load(f)["counters"]
+for key in ("diag.kernel.patterns", "diag.kernel.suspects",
+            "dict.sig_cache.misses", "dict.sig_cache.bytes"):
+    assert counters.get(key, 0) > 0, f"counter {key} missing or zero"
+print(f"kernel smoke ok: {len(kc)} candidates identical scalar-vs-kernel, "
+      f"{counters['diag.kernel.suspects']} kernel phi columns, "
+      f"{counters['dict.sig_cache.misses']} cache builds")
+EOF
+
+echo "== [6/8] crash/resume smoke (SIGKILL mid-trials, byte-identical) =="
 # Reference: the same experiment, uninterrupted, at two thread counts.
 # The deterministic result JSON must not depend on threads or on how many
 # times the run was killed and resumed.
@@ -138,7 +186,7 @@ wait "$VICTIM" 2>/dev/null || true
 cmp "$OBS_DIR/ref_t1.json" "$OBS_DIR/resumed.json"
 echo "crash/resume smoke ok: resumed JSON byte-identical to reference"
 
-echo "== [6/7] fault-injection smoke (quarantine, exit 0) =="
+echo "== [7/8] fault-injection smoke (quarantine, exit 0) =="
 SDDD_FAULTS="exp.trial@1,3" ./build/tools/sddd_cli diagnose \
   "${DIAG_ARGS[@]}" --threads 2 --metrics-out "$OBS_DIR/fault_metrics.json"
 python3 - "$OBS_DIR/fault_metrics.json" <<'EOF'
@@ -152,7 +200,7 @@ assert counters.get("trial.quarantined") == 2, \
 print("fault smoke ok: 2 faults injected, 2 trials quarantined, exit 0")
 EOF
 
-echo "== [7/7] clang-tidy profile =="
+echo "== [8/8] clang-tidy profile =="
 tools/run_static_checks.sh
 
 echo "ci.sh: all gates passed"

@@ -14,6 +14,10 @@
 #                            speedup is inspectable from the two files.
 #   BENCH_table1.trace.json  Chrome trace of the N-thread run (open in
 #                            Perfetto; see DESIGN.md section 9).
+#   BENCH_score.json         scalar vs packed-kernel scoring throughput at
+#                            1 and N threads (bench_score; the run fails
+#                            unless kernel results are bit-identical to the
+#                            scalar reference).
 #   bench_dictionary console output for both widths.
 #
 # A failing bench run fails the script before any JSON is interpreted: the
@@ -34,11 +38,13 @@ GIT_SHA="$(git rev-parse --short HEAD 2>/dev/null || echo unknown)"
 
 echo "== configure + build (Release) =="
 cmake -B "$BUILD_DIR" -S . -DCMAKE_BUILD_TYPE=Release >/dev/null
-cmake --build "$BUILD_DIR" -j "$(nproc)" --target bench_table1 bench_dictionary
+cmake --build "$BUILD_DIR" -j "$(nproc)" --target bench_table1 \
+  bench_dictionary bench_score
 
 # No stale outputs: if a bench binary dies below, these files are gone, not
 # silently left over from the previous run.
-rm -f BENCH_table1.json BENCH_table1.serial.json BENCH_table1.trace.json
+rm -f BENCH_table1.json BENCH_table1.serial.json BENCH_table1.trace.json \
+  BENCH_score.json
 
 run_or_die() {
   local label="$1"
@@ -62,6 +68,14 @@ run_or_die "bench_dictionary ($N_THREADS threads)" \
   --benchmark_min_time=0.2 --benchmark_filter='DictionaryBuild'
 
 echo
+echo "== bench_score (scalar vs packed kernel, 1 and $N_THREADS threads) =="
+# bench_score sweeps {1, N} threads internally and exits non-zero if any
+# kernel result diverges from the scalar reference by even one bit.
+run_or_die "bench_score" \
+  "$BUILD_DIR/bench/bench_score" --threads "$N_THREADS" --chips 6 \
+  --git-sha "$GIT_SHA" --json BENCH_score.json
+
+echo
 echo "== bench_table1, 1 thread =="
 run_or_die "bench_table1 (1 thread)" \
   "$BUILD_DIR/bench/bench_table1" --threads 1 --scale 0.35 --samples 120 \
@@ -81,6 +95,8 @@ python3 tools/append_bench_history.py append \
   BENCH_table1.serial.json BENCH_history.jsonl
 python3 tools/append_bench_history.py append \
   BENCH_table1.json BENCH_history.jsonl
+python3 tools/append_bench_history.py append \
+  BENCH_score.json BENCH_history.jsonl
 
 echo
 serial=$(grep -o '"total_seconds": *[0-9.]*' BENCH_table1.serial.json |
@@ -90,3 +106,7 @@ parallel=$(grep -o '"total_seconds": *[0-9.]*' BENCH_table1.json |
 echo "table1 wall: ${serial}s @1 thread -> ${parallel}s @${N_THREADS} threads"
 awk -v s="$serial" -v p="$parallel" \
   'BEGIN { if (p > 0) printf "speedup: %.2fx\n", s / p }'
+kernel_speedup=$(grep -o '"speedup_scoring": *[0-9.]*' BENCH_score.json |
+  tail -1 | grep -o '[0-9.]*$')
+echo "scoring kernel speedup (warm cache, ${N_THREADS} threads):" \
+  "${kernel_speedup}x"
