@@ -1,0 +1,155 @@
+// analysis_graph.h - Shared facts the analysis passes compute once over
+// the (timing) graph and every rule consumes.
+//
+// Before the pass framework each rule re-derived its own topology: NET003
+// recomputed fanout counts, NET005 and NET006 each ran their own
+// reachability fixpoint, NET001 its own cycle DFS.  These facts are now
+// computed once per Analyzer::run through PassContext (pass.h) and handed
+// to every rule that asks, so adding a rule never adds another sweep.
+//
+// Two fact families exist:
+//   - NetlistFacts: structural topology (fanouts, source reachability,
+//     combinational cycle back edges) over a possibly-unfrozen netlist;
+//   - SensitizationFacts: static per-pattern observability derived from the
+//     ternary-logic sensitization analysis (paths::TransitionGraph) over a
+//     DiagnosabilitySubject - the arc x (output, pattern) observability
+//     matrix, its equivalence classes (provable ambiguity groups),
+//     dominance pairs, dead arcs, redundant patterns, the pattern-set
+//     coverage ratio, and (when a delay model is supplied) analytic
+//     Clark-SSTA signatures per ambiguity group for the rank-separability
+//     prediction (DIAG005) - no Monte-Carlo anywhere.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "netlist/netlist.h"
+
+namespace sddd::analysis {
+
+struct DiagnosabilitySubject;
+
+/// Structural topology of one netlist, derived from the fanin lists alone
+/// (works on unfrozen netlists; dangling fanin ids are ignored here and
+/// reported by NET002).
+struct NetlistFacts {
+  /// Fanout count per gate.
+  std::vector<std::uint32_t> fanout;
+  /// True per gate when its fanin cone contains a transition source (PI or
+  /// DFF output); fixpoint over fanout edges, tolerates cycles.
+  std::vector<char> reachable;
+  /// One combinational-cycle back edge (f, g): the DFS at gate g found
+  /// fanin f already on its stack.  Discovery order and the enumeration
+  /// cap match the pre-framework NET001 exactly, so the rule's findings
+  /// are unchanged.
+  struct BackEdge {
+    netlist::GateId from;  ///< the gray fanin (finding location)
+    netlist::GateId to;    ///< the gate whose fanin list closed the cycle
+  };
+  std::vector<BackEdge> cycle_back_edges;
+};
+
+NetlistFacts compute_netlist_facts(const netlist::Netlist& nl);
+
+/// Arc-major bitset over (output, pattern) observability cells: bit
+/// (o * n_patterns + j) of row a is set when arc a lies on an active path
+/// to output o under pattern j (TransitionGraph::cone_to_output).
+class ObsMatrix {
+ public:
+  ObsMatrix() = default;
+  ObsMatrix(std::size_t n_arcs, std::size_t n_outputs, std::size_t n_patterns);
+
+  std::size_t arc_count() const { return n_arcs_; }
+  std::size_t cell_count() const { return n_cells_; }
+
+  void set(netlist::ArcId a, std::size_t output, std::size_t pattern);
+  bool test(netlist::ArcId a, std::size_t output, std::size_t pattern) const;
+
+  /// Number of set cells in arc a's row.
+  std::size_t row_popcount(netlist::ArcId a) const;
+  /// FNV-1a over arc a's row words (bucketing key; equality is always
+  /// verified with row_equal).
+  std::uint64_t row_hash(netlist::ArcId a) const;
+  bool row_equal(netlist::ArcId a, netlist::ArcId b) const;
+  /// True when row a is a subset of row b (a implies b cell-wise).
+  bool row_subset(netlist::ArcId a, netlist::ArcId b) const;
+
+ private:
+  std::size_t n_arcs_ = 0;
+  std::size_t n_outputs_ = 0;
+  std::size_t n_patterns_ = 0;
+  std::size_t n_cells_ = 0;
+  std::size_t words_per_row_ = 0;
+  std::vector<std::uint64_t> words_;
+};
+
+/// Static diagnosability facts for one (netlist, pattern set) pair.
+struct SensitizationFacts {
+  std::size_t n_arcs = 0;
+  std::size_t n_outputs = 0;
+  std::size_t n_patterns = 0;
+
+  ObsMatrix obs;
+
+  /// Per arc: number of patterns under which at least one output observes
+  /// it (the per-suspect pattern coverage of the diagnosability report).
+  std::vector<std::uint32_t> pattern_coverage;
+
+  /// Arcs no (output, pattern) cell ever observes: statically dead for
+  /// this pattern set (DIAG003).
+  std::vector<netlist::ArcId> dead_arcs;
+
+  /// Provable ambiguity group: arcs with identical (and nonempty)
+  /// observability rows.  Only classes with >= 2 members are kept; members
+  /// are in ascending arc order, groups ordered by their first member.
+  struct AmbiguityGroup {
+    std::vector<netlist::ArcId> arcs;
+    std::uint32_t coverage = 0;  ///< shared pattern coverage of the class
+  };
+  std::vector<AmbiguityGroup> groups;
+  /// Per arc: index into `groups`, or -1 when the arc is in no group.
+  std::vector<int> group_of;
+
+  /// Dominance among class representatives: `dominated`'s observability is
+  /// a strict subset of `dominator`'s, so any behavior implicating the
+  /// dominated arc also implicates its dominator (DIAG002).  Capped at
+  /// kMaxDominancePairs; dominated_found counts all of them.
+  struct DominancePair {
+    netlist::ArcId dominated;
+    netlist::ArcId dominator;
+  };
+  std::vector<DominancePair> dominance;
+  std::size_t dominance_found = 0;
+
+  /// Patterns with identical static observability columns (the set of
+  /// (arc, output) pairs they observe): classes with >= 2 members, pattern
+  /// indices ascending (DIAG004).
+  std::vector<std::vector<std::size_t>> redundant_patterns;
+
+  /// Fraction of arcs with pattern_coverage > 0 (DIAG006); 1.0 when the
+  /// netlist has no arcs.
+  double coverage_ratio = 1.0;
+
+  /// Analytic rank-separability (DIAG005; empty when the subject carries
+  /// no delay model): per ambiguity group, the L1 distance between its
+  /// Clark-SSTA criticality signature and the nearest other group's.
+  /// Signatures are per-(output, pattern) increases of the analytic
+  /// critical probability when the group's representative arc is slowed by
+  /// the subject's defect delta.  -1 = not computed (single group / cap).
+  std::vector<double> group_min_separation;
+
+  static constexpr std::size_t kMaxDominancePairs = 64;
+};
+
+SensitizationFacts compute_sensitization_facts(
+    const DiagnosabilitySubject& subject);
+
+/// Machine-readable diagnosability report (sddd_lint --diagnosability
+/// --json): ambiguity groups, per-suspect coverage, dead arcs, redundant
+/// patterns and the coverage ratio, in a stable schema (DESIGN.md section
+/// 13) that CI and the experiment drivers consume.
+std::string diagnosability_report_json(const DiagnosabilitySubject& subject,
+                                       const SensitizationFacts& facts);
+
+}  // namespace sddd::analysis

@@ -1,5 +1,6 @@
 #include "analysis/analyzer.h"
 
+#include "analysis/pass.h"
 #include "netlist/netlist.h"
 #include "netlist/scan.h"
 #include "runtime/parallel_for.h"
@@ -13,11 +14,18 @@ void Analyzer::add_rule(std::unique_ptr<Rule> rule) {
 }
 
 Report Analyzer::run(const AnalysisInput& in) const {
+  // One pass context for the whole run: shared facts are computed at most
+  // once (std::call_once), whichever rule asks first.
+  const PassContext ctx(in);
+  return run(ctx);
+}
+
+Report Analyzer::run(const PassContext& ctx) const {
   // One private Report per rule; merged serially in registration order so
   // the finding order never depends on the schedule.
   std::vector<Report> parts(rules_.size());
   runtime::parallel_for(rules_.size(), [&](std::size_t i) {
-    rules_[i]->run(in, parts[i]);
+    rules_[i]->run(ctx, parts[i]);
   });
   Report merged;
   for (const Report& part : parts) merged.merge(part);
@@ -29,6 +37,7 @@ Analyzer Analyzer::with_default_rules() {
   register_netlist_rules(a);
   register_model_rules(a);
   register_dictionary_rules(a);
+  register_diagnosability_rules(a);
   return a;
 }
 

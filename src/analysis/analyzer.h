@@ -21,6 +21,11 @@ class Analyzer {
 
   Report run(const AnalysisInput& in) const;
 
+  /// Same, against a caller-owned context: the caller keeps access to the
+  /// shared facts afterwards (sddd_lint reuses the sensitization facts for
+  /// the --diagnosability JSON report instead of recomputing them).
+  Report run(const PassContext& ctx) const;
+
   /// All built-in rule packs (netlist + statistical model + dictionary).
   static Analyzer with_default_rules();
 
@@ -33,6 +38,7 @@ class Analyzer {
 void register_netlist_rules(Analyzer& a);
 void register_model_rules(Analyzer& a);
 void register_dictionary_rules(Analyzer& a);
+void register_diagnosability_rules(Analyzer& a);
 
 /// The standard netlist preflight shared by sddd_lint, sddd_cli --lint and
 /// the experiment drivers: the netlist rule pack on `nl` as given, then —

@@ -1,0 +1,222 @@
+#include "analysis/diagnosability_rules.h"
+
+#include <algorithm>
+#include <sstream>
+#include <string>
+
+#include "analysis/analysis_graph.h"
+#include "analysis/pass.h"
+
+namespace sddd::analysis {
+namespace {
+
+using netlist::ArcId;
+using netlist::Netlist;
+
+std::string arc_loc(const Netlist& nl, ArcId a) {
+  const netlist::Arc& arc = nl.arc(a);
+  return "arc " + std::to_string(a) + " (pin " + std::to_string(arc.pin) +
+         " of " + nl.gate(arc.gate).name + ")";
+}
+
+bool has_subject(const PassContext& ctx) {
+  const DiagnosabilitySubject* s = ctx.input().diagnosability;
+  return s != nullptr && s->netlist != nullptr && s->lev != nullptr &&
+         s->logic_sim != nullptr;
+}
+
+std::string arc_list(const Netlist& nl, const std::vector<ArcId>& arcs,
+                     std::size_t max_named = 6) {
+  std::ostringstream os;
+  for (std::size_t i = 0; i < arcs.size() && i < max_named; ++i) {
+    os << (i == 0 ? "" : ", ") << arc_loc(nl, arcs[i]);
+  }
+  if (arcs.size() > max_named) {
+    os << ", ... (" << arcs.size() - max_named << " more)";
+  }
+  return os.str();
+}
+
+/// DIAG001: identical observable cones => provable ambiguity group.
+class AmbiguityGroupRule final : public Rule {
+ public:
+  std::string_view id() const override { return kRuleAmbiguityGroup; }
+  Severity severity() const override { return Severity::kWarning; }
+  std::string_view summary() const override {
+    return "ambiguity group: arcs with identical observability under every "
+           "pattern are provably indistinguishable";
+  }
+  void run(const PassContext& ctx, Report& out) const override {
+    if (!has_subject(ctx)) return;
+    const SensitizationFacts& facts = ctx.sensitization_facts();
+    const Netlist& nl = *ctx.input().diagnosability->netlist;
+    for (std::size_t g = 0; g < facts.groups.size(); ++g) {
+      const auto& group = facts.groups[g];
+      std::ostringstream msg;
+      msg << "ambiguity group #" << g << ": " << group.arcs.size()
+          << " arcs share one observable cone across all " << facts.n_patterns
+          << " pattern(s) (" << arc_list(nl, group.arcs)
+          << "); no dictionary built from this pattern set can separate "
+             "them - diagnose to the group or add patterns";
+      out.add(std::string(id()), severity(),
+              "group #" + std::to_string(g) + " (" + arc_loc(nl, group.arcs[0]) +
+                  ")",
+              msg.str());
+    }
+  }
+};
+
+/// DIAG002: strict-subset observability => dominated suspect.
+class DominatedSuspectRule final : public Rule {
+ public:
+  std::string_view id() const override { return kRuleDominatedSuspect; }
+  Severity severity() const override { return Severity::kInfo; }
+  std::string_view summary() const override {
+    return "dominated suspect: observability is a strict subset of another "
+           "arc's, so its evidence never separates the two";
+  }
+  void run(const PassContext& ctx, Report& out) const override {
+    if (!has_subject(ctx)) return;
+    const SensitizationFacts& facts = ctx.sensitization_facts();
+    const Netlist& nl = *ctx.input().diagnosability->netlist;
+    for (const auto& pair : facts.dominance) {
+      out.add(std::string(id()), severity(), arc_loc(nl, pair.dominated),
+              "every (output, pattern) cell observing this arc also observes " +
+                  arc_loc(nl, pair.dominator) +
+                  "; any error evidence here is consistent with the "
+                  "dominator too");
+    }
+    if (facts.dominance_found > facts.dominance.size()) {
+      out.add(std::string(id()), severity(), "dominance",
+              std::to_string(facts.dominance_found - facts.dominance.size()) +
+                  " further dominated pair(s) suppressed (cap " +
+                  std::to_string(SensitizationFacts::kMaxDominancePairs) + ")");
+    }
+  }
+};
+
+/// DIAG003: unsensitized by every pattern => statically dead suspect.
+class DeadSuspectRule final : public Rule {
+ public:
+  std::string_view id() const override { return kRuleDeadSuspect; }
+  Severity severity() const override { return Severity::kWarning; }
+  std::string_view summary() const override {
+    return "dead suspect: no pattern sensitizes the arc to any output, so a "
+           "defect there is invisible";
+  }
+  void run(const PassContext& ctx, Report& out) const override {
+    if (!has_subject(ctx)) return;
+    const SensitizationFacts& facts = ctx.sensitization_facts();
+    const Netlist& nl = *ctx.input().diagnosability->netlist;
+    constexpr std::size_t kMaxFindings = 16;
+    std::size_t reported = 0;
+    for (const ArcId a : facts.dead_arcs) {
+      if (reported++ < kMaxFindings) {
+        out.add(std::string(id()), severity(), arc_loc(nl, a),
+                "no pattern propagates a transition through this arc to any "
+                "output; a delay defect here cannot be detected or diagnosed "
+                "by this pattern set");
+      }
+    }
+    if (reported > kMaxFindings) {
+      out.add(std::string(id()), severity(), "pattern set",
+              std::to_string(reported - kMaxFindings) +
+                  " further dead arc(s) suppressed");
+    }
+  }
+};
+
+/// DIAG004: identical static observability columns => redundant pattern.
+class RedundantPatternRule final : public Rule {
+ public:
+  std::string_view id() const override { return kRuleRedundantPattern; }
+  Severity severity() const override { return Severity::kWarning; }
+  std::string_view summary() const override {
+    return "redundant pattern: identical static observability column to an "
+           "earlier pattern (adds dictionary cost, no information)";
+  }
+  void run(const PassContext& ctx, Report& out) const override {
+    if (!has_subject(ctx)) return;
+    const SensitizationFacts& facts = ctx.sensitization_facts();
+    for (const auto& cls : facts.redundant_patterns) {
+      std::ostringstream members;
+      for (std::size_t i = 0; i < cls.size(); ++i) {
+        members << (i == 0 ? "" : ", ") << cls[i];
+      }
+      out.add(std::string(id()), severity(),
+              "pattern " + std::to_string(cls.front()),
+              "patterns {" + members.str() +
+                  "} observe exactly the same (arc, output) cells; all but "
+                  "one add dictionary build cost without diagnostic "
+                  "information");
+    }
+  }
+};
+
+/// DIAG005: analytic Clark-SSTA signature too close to another group's.
+class RankSeparabilityRule final : public Rule {
+ public:
+  std::string_view id() const override { return kRuleRankSeparability; }
+  Severity severity() const override { return Severity::kWarning; }
+  std::string_view summary() const override {
+    return "low analytic rank-separability: ambiguity groups whose "
+           "Clark-SSTA criticality signatures nearly coincide";
+  }
+  void run(const PassContext& ctx, Report& out) const override {
+    if (!has_subject(ctx)) return;
+    const DiagnosabilitySubject& subject = *ctx.input().diagnosability;
+    if (subject.delay_model == nullptr) return;
+    const SensitizationFacts& facts = ctx.sensitization_facts();
+    const Netlist& nl = *subject.netlist;
+    for (std::size_t g = 0; g < facts.group_min_separation.size(); ++g) {
+      const double sep = facts.group_min_separation[g];
+      if (sep < 0.0 || sep >= subject.separability_threshold) continue;
+      std::ostringstream msg;
+      msg.precision(4);
+      msg << "ambiguity group #" << g << " (" << arc_loc(nl, facts.groups[g].arcs[0])
+          << "): nearest other group's analytic criticality signature is L1 "
+          << sep << " away (threshold " << subject.separability_threshold
+          << "); expect the ranked diagnosis to confuse these groups";
+      out.add(std::string(id()), severity(), "group #" + std::to_string(g),
+              msg.str());
+    }
+  }
+};
+
+/// DIAG006: coverage ratio below the subject's threshold.
+class CoverageRatioRule final : public Rule {
+ public:
+  std::string_view id() const override { return kRuleCoverageRatio; }
+  Severity severity() const override { return Severity::kWarning; }
+  std::string_view summary() const override {
+    return "pattern-set coverage: fraction of arcs sensitized at least once "
+           "is below threshold";
+  }
+  void run(const PassContext& ctx, Report& out) const override {
+    if (!has_subject(ctx)) return;
+    const DiagnosabilitySubject& subject = *ctx.input().diagnosability;
+    const SensitizationFacts& facts = ctx.sensitization_facts();
+    if (facts.coverage_ratio >= subject.coverage_threshold) return;
+    std::ostringstream msg;
+    msg.precision(4);
+    msg << "pattern set sensitizes " << facts.coverage_ratio * 100.0
+        << "% of the " << facts.n_arcs << " arcs (threshold "
+        << subject.coverage_threshold * 100.0 << "%); " << facts.dead_arcs.size()
+        << " arc(s) are statically dead - add patterns before building a "
+           "dictionary";
+    out.add(std::string(id()), severity(), "pattern set", msg.str());
+  }
+};
+
+}  // namespace
+
+void register_diagnosability_rules(Analyzer& a) {
+  a.add_rule(std::make_unique<AmbiguityGroupRule>());
+  a.add_rule(std::make_unique<DominatedSuspectRule>());
+  a.add_rule(std::make_unique<DeadSuspectRule>());
+  a.add_rule(std::make_unique<RedundantPatternRule>());
+  a.add_rule(std::make_unique<RankSeparabilityRule>());
+  a.add_rule(std::make_unique<CoverageRatioRule>());
+}
+
+}  // namespace sddd::analysis

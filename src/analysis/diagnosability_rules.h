@@ -1,0 +1,38 @@
+// diagnosability_rules.h - Static diagnosability rules (DIAG001..DIAG006).
+//
+// These rules assess a (netlist, pattern set) pair *before* anyone pays for
+// a dictionary build or a diagnosis run, using only the ternary static
+// sensitization analysis and (for DIAG005) closed-form Clark-SSTA sweeps:
+//
+//   DIAG001  warning  ambiguity group: arcs with identical observable cones
+//                     under every pattern - provably indistinguishable by
+//                     any statistical dictionary built from this pattern set
+//   DIAG002  info     dominated suspect: an arc whose observability is a
+//                     strict subset of another's (its evidence never
+//                     separates it from its dominator)
+//   DIAG003  warning  dead suspect: arc unsensitized by every pattern - a
+//                     defect there is invisible to this pattern set
+//   DIAG004  warning  redundant pattern: identical static observability
+//                     column to an earlier pattern (pure dictionary cost)
+//   DIAG005  warning  low analytic rank-separability: an ambiguity group
+//                     whose predicted criticality signature is within
+//                     epsilon of another group's (Clark-SSTA, no MC)
+//   DIAG006  warning  pattern-set coverage ratio below threshold
+//
+// All facts come from PassContext::sensitization_facts(), computed once per
+// run however many rules fire.  DICT005 cross-links its duplicate-signature
+// classes to DIAG001 groups when both subjects are present.
+#pragma once
+
+#include "analysis/analyzer.h"
+
+namespace sddd::analysis {
+
+inline constexpr std::string_view kRuleAmbiguityGroup = "DIAG001";
+inline constexpr std::string_view kRuleDominatedSuspect = "DIAG002";
+inline constexpr std::string_view kRuleDeadSuspect = "DIAG003";
+inline constexpr std::string_view kRuleRedundantPattern = "DIAG004";
+inline constexpr std::string_view kRuleRankSeparability = "DIAG005";
+inline constexpr std::string_view kRuleCoverageRatio = "DIAG006";
+
+}  // namespace sddd::analysis

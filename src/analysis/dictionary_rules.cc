@@ -2,9 +2,15 @@
 
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <unordered_map>
+#include <utility>
 #include <string>
 #include <vector>
 
+#include "analysis/analysis_graph.h"
+#include "analysis/pass.h"
 #include "introspect/confidence.h"
 
 namespace sddd::analysis {
@@ -51,7 +57,8 @@ class ProbabilityRangeRule final : public Rule {
     return "critical probability (M_crt/E_crt) outside [0, 1]";
   }
 
-  void run(const AnalysisInput& in, Report& out) const override {
+  void run(const PassContext& ctx, Report& out) const override {
+    const AnalysisInput& in = ctx.input();
     if (in.dictionary == nullptr) return;
     check_range(in.dictionary->m_crt, "M", 0.0, 1.0, id(), out);
   }
@@ -65,7 +72,8 @@ class SignatureRangeRule final : public Rule {
     return "signature probability (S_crt) outside [-1, 1]";
   }
 
-  void run(const AnalysisInput& in, Report& out) const override {
+  void run(const PassContext& ctx, Report& out) const override {
+    const AnalysisInput& in = ctx.input();
     if (in.dictionary == nullptr) return;
     for (const auto& sig : in.dictionary->signatures) {
       check_range(sig.s_crt, "S(" + sig.label + ")", -1.0, 1.0, id(), out);
@@ -81,7 +89,8 @@ class DictionaryShapeRule final : public Rule {
     return "dictionary matrix dimensions inconsistent with |O| x |TP|";
   }
 
-  void run(const AnalysisInput& in, Report& out) const override {
+  void run(const PassContext& ctx, Report& out) const override {
+    const AnalysisInput& in = ctx.input();
     if (in.dictionary == nullptr) return;
     const auto& d = *in.dictionary;
     check_shape(d.m_crt, "M", d, out);
@@ -122,7 +131,8 @@ class ZeroSignatureRule final : public Rule {
     return "all-zero signature: suspect predicts no failure, undiagnosable";
   }
 
-  void run(const AnalysisInput& in, Report& out) const override {
+  void run(const PassContext& ctx, Report& out) const override {
+    const AnalysisInput& in = ctx.input();
     if (in.dictionary == nullptr) return;
     for (const auto& sig : in.dictionary->signatures) {
       if (sig.s_crt.empty()) continue;
@@ -154,34 +164,69 @@ class DuplicateSignatureRule final : public Rule {
     return "identical signatures cap diagnosability (equivalence class)";
   }
 
-  void run(const AnalysisInput& in, Report& out) const override {
+  // Signatures are hash-bucketed by their bit pattern and verified with an
+  // exact compare, so the pass is one sweep over the matrices instead of
+  // the O(n^2) pairwise scan it replaced - and the report carries one
+  // finding per equivalence class listing every member, not a quadratic
+  // flood of pairs.  kTol survives only in the all-zero screen (DICT004's
+  // subject): duplicates born of a shared computation are bit-identical.
+  void run(const PassContext& ctx, Report& out) const override {
+    const AnalysisInput& in = ctx.input();
     if (in.dictionary == nullptr) return;
     const auto& sigs = in.dictionary->signatures;
-    // All-zero signatures are DICT004's finding; pairing them up here
-    // would flood the report with quadratically many duplicates.
-    std::vector<char> zero(sigs.size(), 0);
+    std::unordered_map<std::uint64_t, std::vector<std::pair<std::size_t, int>>>
+        buckets;
+    std::vector<std::vector<std::size_t>> classes;
     for (std::size_t a = 0; a < sigs.size(); ++a) {
-      zero[a] = is_zero(sigs[a].s_crt) ? 1 : 0;
-    }
-    std::size_t found = 0;
-    for (std::size_t a = 0; a < sigs.size(); ++a) {
-      if (sigs[a].s_crt.empty() || zero[a]) continue;
-      for (std::size_t b = a + 1; b < sigs.size(); ++b) {
-        if (zero[b]) continue;
-        if (!equal(sigs[a].s_crt, sigs[b].s_crt)) continue;
-        if (found++ < kMaxFindings) {
-          out.add(std::string(id()), severity(),
-                  sigs[a].label + " / " + sigs[b].label,
-                  "signatures are identical: no error function can rank "
-                  "one above the other, so top-K resolution is capped by "
-                  "this equivalence class");
+      // All-zero signatures are DICT004's finding; classing them here
+      // would bury the report under one giant meaningless class.
+      if (sigs[a].s_crt.empty() || is_zero(sigs[a].s_crt)) continue;
+      auto& bucket = buckets[hash_matrix(sigs[a].s_crt)];
+      bool placed = false;
+      for (auto& [rep, cls] : bucket) {
+        if (equal(sigs[rep].s_crt, sigs[a].s_crt)) {
+          classes[static_cast<std::size_t>(cls)].push_back(a);
+          placed = true;
+          break;
         }
       }
+      if (!placed) {
+        bucket.emplace_back(a, static_cast<int>(classes.size()));
+        classes.push_back({a});
+      }
+    }
+    std::size_t found = 0;
+    for (const auto& cls : classes) {
+      if (cls.size() < 2) continue;
+      if (found++ >= kMaxFindings) continue;
+      std::string members;
+      constexpr std::size_t kMaxNamed = 6;
+      for (std::size_t i = 0; i < cls.size() && i < kMaxNamed; ++i) {
+        members += (i == 0 ? "" : ", ") + sigs[cls[i]].label;
+      }
+      if (cls.size() > kMaxNamed) {
+        members += ", ... (" + std::to_string(cls.size() - kMaxNamed) +
+                   " more)";
+      }
+      std::string msg =
+          "equivalence class of " + std::to_string(cls.size()) +
+          " identical signatures {" + members +
+          "}: no error function can rank one member above another, so "
+          "top-K resolution is capped by this class";
+      const int group = matching_ambiguity_group(ctx, sigs, cls);
+      if (group >= 0) {
+        msg += "; matches ambiguity group #" + std::to_string(group) +
+               " (DIAG001), confirming the structural prediction";
+      }
+      out.add(std::string(id()), severity(),
+              sigs[cls.front()].label + " (+" +
+                  std::to_string(cls.size() - 1) + " more)",
+              msg);
     }
     if (found > kMaxFindings) {
       out.add(std::string(id()), severity(), "signatures",
               std::to_string(found - kMaxFindings) +
-                  " further duplicate pairs suppressed");
+                  " further equivalence classes suppressed");
     }
   }
 
@@ -195,16 +240,66 @@ class DuplicateSignatureRule final : public Rule {
     return true;
   }
 
+  static std::uint64_t hash_matrix(const std::vector<std::vector<double>>& x) {
+    std::uint64_t h = 0xcbf29ce484222325ULL;
+    const auto mix = [&h](std::uint64_t w) {
+      for (int b = 0; b < 8; ++b) {
+        h ^= w & 0xff;
+        h *= 0x100000001b3ULL;
+        w >>= 8;
+      }
+    };
+    mix(x.size());
+    for (const auto& row : x) {
+      mix(row.size());
+      for (const double v : row) {
+        // Normalize +/-0.0 so equal() and the hash agree on it.
+        std::uint64_t bits;
+        const double canon = v == 0.0 ? 0.0 : v;
+        std::memcpy(&bits, &canon, sizeof bits);
+        mix(bits);
+      }
+    }
+    return h;
+  }
+
   static bool equal(const std::vector<std::vector<double>>& x,
                     const std::vector<std::vector<double>>& y) {
     if (x.size() != y.size()) return false;
     for (std::size_t i = 0; i < x.size(); ++i) {
       if (x[i].size() != y[i].size()) return false;
       for (std::size_t j = 0; j < x[i].size(); ++j) {
-        if (std::abs(x[i][j] - y[i][j]) > kTol) return false;
+        if (x[i][j] != y[i][j]) return false;
       }
     }
     return true;
+  }
+
+  /// Cross-link to DIAG001: when the input also carries a diagnosability
+  /// subject and every member label parses as "arc N" with all N in one
+  /// structural ambiguity group, returns that group's index; -1 otherwise.
+  static int matching_ambiguity_group(
+      const PassContext& ctx,
+      const std::vector<DictionarySubject::Signature>& sigs,
+      const std::vector<std::size_t>& cls) {
+    const DiagnosabilitySubject* subject = ctx.input().diagnosability;
+    if (subject == nullptr || subject->netlist == nullptr ||
+        subject->lev == nullptr || subject->logic_sim == nullptr) {
+      return -1;
+    }
+    const SensitizationFacts& facts = ctx.sensitization_facts();
+    int group = -1;
+    for (const std::size_t s : cls) {
+      const std::string& label = sigs[s].label;
+      if (label.rfind("arc ", 0) != 0) return -1;
+      char* end = nullptr;
+      const unsigned long arc = std::strtoul(label.c_str() + 4, &end, 10);
+      if (end == label.c_str() + 4 || arc >= facts.group_of.size()) return -1;
+      const int g = facts.group_of[arc];
+      if (g < 0 || (group >= 0 && g != group)) return -1;
+      group = g;
+    }
+    return group;
   }
 };
 
@@ -219,7 +314,8 @@ class SampleBudgetRule final : public Rule {
   // Uses the header-only confidence math (introspect/confidence.h) rather
   // than linking sddd_introspect, which would cycle back through
   // sddd_diagnosis into this library.
-  void run(const AnalysisInput& in, Report& out) const override {
+  void run(const PassContext& ctx, Report& out) const override {
+    const AnalysisInput& in = ctx.input();
     if (in.dictionary == nullptr) return;
     const auto& d = *in.dictionary;
     if (d.mc_samples == 0 || d.target_ci_halfwidth <= 0.0) return;

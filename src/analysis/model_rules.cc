@@ -5,6 +5,7 @@
 #include <string>
 #include <vector>
 
+#include "analysis/pass.h"
 #include "stats/correlation.h"
 
 namespace sddd::analysis {
@@ -26,7 +27,8 @@ class NegativeDelayRule final : public Rule {
     return "negative or non-finite mean/sigma pin-to-pin delay";
   }
 
-  void run(const AnalysisInput& in, Report& out) const override {
+  void run(const PassContext& ctx, Report& out) const override {
+    const AnalysisInput& in = ctx.input();
     if (in.delay_model == nullptr) return;
     const auto& model = *in.delay_model;
     const std::size_t n = model.netlist().arc_count();
@@ -55,7 +57,8 @@ class DegenerateDelayRule final : public Rule {
     return "zero-spread delay distribution on a combinational arc";
   }
 
-  void run(const AnalysisInput& in, Report& out) const override {
+  void run(const PassContext& ctx, Report& out) const override {
+    const AnalysisInput& in = ctx.input();
     if (in.delay_model == nullptr) return;
     const auto& model = *in.delay_model;
     const auto& nl = model.netlist();
@@ -89,7 +92,8 @@ class CorrelationShapeRule final : public Rule {
     return "correlation matrix asymmetric, off-unit diagonal, or |r| > 1";
   }
 
-  void run(const AnalysisInput& in, Report& out) const override {
+  void run(const PassContext& ctx, Report& out) const override {
+    const AnalysisInput& in = ctx.input();
     if (in.correlation == nullptr) return;
     const auto& c = *in.correlation;
     const std::size_t d = c.dim;
@@ -136,7 +140,8 @@ class CorrelationPsdRule final : public Rule {
     return "correlation matrix not positive semi-definite";
   }
 
-  void run(const AnalysisInput& in, Report& out) const override {
+  void run(const PassContext& ctx, Report& out) const override {
+    const AnalysisInput& in = ctx.input();
     if (in.correlation == nullptr) return;
     const auto& c = *in.correlation;
     if (c.dim == 0 || c.matrix.size() != c.dim * c.dim) return;  // MOD003

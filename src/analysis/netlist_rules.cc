@@ -4,6 +4,8 @@
 #include <string>
 #include <vector>
 
+#include "analysis/analysis_graph.h"
+#include "analysis/pass.h"
 #include "netlist/cell.h"
 
 namespace sddd::analysis {
@@ -29,52 +31,6 @@ std::string gate_loc(const Netlist& nl, GateId g) {
 
 bool valid_id(GateId f, std::size_t n) { return f < n; }
 
-/// Fanout counts derived from the fanin lists (works unfrozen; ignores
-/// dangling ids, which NET002 reports separately).
-std::vector<std::uint32_t> local_fanout_counts(const Netlist& nl) {
-  std::vector<std::uint32_t> count(nl.gate_count(), 0);
-  for (const Gate& g : nl.gates()) {
-    for (const GateId f : g.fanins) {
-      if (valid_id(f, count.size())) ++count[f];
-    }
-  }
-  return count;
-}
-
-/// True per gate when its fanin cone contains a transition source (PI or
-/// DFF output).  Fixpoint propagation along fanout edges; tolerates cycles.
-std::vector<char> reachable_from_sources(const Netlist& nl) {
-  const std::size_t n = nl.gate_count();
-  std::vector<char> reach(n, 0);
-  std::vector<std::vector<GateId>> fanouts(n);
-  std::vector<GateId> queue;
-  for (GateId g = 0; g < n; ++g) {
-    const Gate& gate = nl.gate(g);
-    const bool source =
-        gate.type == CellType::kInput || gate.type == CellType::kDff;
-    if (source) {
-      reach[g] = 1;
-      queue.push_back(g);
-    }
-    // DFF data inputs do not propagate a same-cycle transition.
-    if (gate.type == CellType::kDff) continue;
-    for (const GateId f : gate.fanins) {
-      if (valid_id(f, n)) fanouts[f].push_back(g);
-    }
-  }
-  while (!queue.empty()) {
-    const GateId g = queue.back();
-    queue.pop_back();
-    for (const GateId s : fanouts[g]) {
-      if (!reach[s]) {
-        reach[s] = 1;
-        queue.push_back(s);
-      }
-    }
-  }
-  return reach;
-}
-
 class CombinationalCycleRule final : public Rule {
  public:
   std::string_view id() const override { return kRuleCombinationalCycle; }
@@ -83,44 +39,16 @@ class CombinationalCycleRule final : public Rule {
     return "combinational cycle not cut by a DFF";
   }
 
-  void run(const AnalysisInput& in, Report& out) const override {
-    if (in.netlist == nullptr) return;
-    const Netlist& nl = *in.netlist;
-    const std::size_t n = nl.gate_count();
-    // Iterative coloring DFS over the combinational fanin edges (DFF data
-    // edges are cut, matching Levelization's ordering contract).
-    std::vector<std::uint8_t> color(n, 0);  // 0 white, 1 gray, 2 black
-    std::size_t reported = 0;
-    constexpr std::size_t kMaxFindings = 8;
-    for (GateId root = 0; root < n && reported < kMaxFindings; ++root) {
-      if (color[root] != 0) continue;
-      // Stack of (gate, next fanin index to visit).
-      std::vector<std::pair<GateId, std::size_t>> stack;
-      stack.emplace_back(root, 0);
-      color[root] = 1;
-      while (!stack.empty()) {
-        auto& [g, next] = stack.back();
-        const Gate& gate = nl.gate(g);
-        const bool cut = gate.type == CellType::kDff;
-        if (cut || next >= gate.fanins.size()) {
-          color[g] = 2;
-          stack.pop_back();
-          continue;
-        }
-        const GateId f = gate.fanins[next++];
-        if (!valid_id(f, n) || color[f] == 2) continue;
-        if (color[f] == 1) {
-          if (reported++ < kMaxFindings) {
-            out.add(std::string(id()), severity(), gate_loc(nl, f),
-                    "combinational cycle through " + gate_loc(nl, g) +
-                        "; levelization and every topological analysis "
-                        "are undefined on this netlist");
-          }
-          continue;
-        }
-        color[f] = 1;
-        stack.emplace_back(f, 0);
-      }
+  void run(const PassContext& ctx, Report& out) const override {
+    if (ctx.input().netlist == nullptr) return;
+    const Netlist& nl = *ctx.input().netlist;
+    // The DFS (and its discovery order / enumeration cap) lives in the
+    // shared netlist facts; this rule only words the findings.
+    for (const auto& edge : ctx.netlist_facts().cycle_back_edges) {
+      out.add(std::string(id()), severity(), gate_loc(nl, edge.from),
+              "combinational cycle through " + gate_loc(nl, edge.to) +
+                  "; levelization and every topological analysis "
+                  "are undefined on this netlist");
     }
   }
 };
@@ -133,9 +61,9 @@ class UndrivenNetRule final : public Rule {
     return "undriven net (undefined signal or dangling fanin id)";
   }
 
-  void run(const AnalysisInput& in, Report& out) const override {
-    if (in.netlist == nullptr) return;
-    const Netlist& nl = *in.netlist;
+  void run(const PassContext& ctx, Report& out) const override {
+    if (ctx.input().netlist == nullptr) return;
+    const Netlist& nl = *ctx.input().netlist;
     const std::size_t n = nl.gate_count();
     for (GateId g = 0; g < n; ++g) {
       const Gate& gate = nl.gate(g);
@@ -165,10 +93,10 @@ class FloatingNetRule final : public Rule {
     return "gate output drives nothing and is not a primary output";
   }
 
-  void run(const AnalysisInput& in, Report& out) const override {
-    if (in.netlist == nullptr) return;
-    const Netlist& nl = *in.netlist;
-    const auto fanout = local_fanout_counts(nl);
+  void run(const PassContext& ctx, Report& out) const override {
+    if (ctx.input().netlist == nullptr) return;
+    const Netlist& nl = *ctx.input().netlist;
+    const auto& fanout = ctx.netlist_facts().fanout;
     for (GateId g = 0; g < nl.gate_count(); ++g) {
       if (fanout[g] > 0 || nl.output_index(g) >= 0) continue;
       const CellType type = nl.gate(g).type;
@@ -196,9 +124,9 @@ class MultiplyDrivenRule final : public Rule {
     return "net listed as a primary output more than once";
   }
 
-  void run(const AnalysisInput& in, Report& out) const override {
-    if (in.netlist == nullptr) return;
-    const Netlist& nl = *in.netlist;
+  void run(const PassContext& ctx, Report& out) const override {
+    if (ctx.input().netlist == nullptr) return;
+    const Netlist& nl = *ctx.input().netlist;
     std::vector<GateId> sorted(nl.outputs());
     std::sort(sorted.begin(), sorted.end());
     for (std::size_t i = 1; i < sorted.size(); ++i) {
@@ -219,10 +147,10 @@ class UnreachableGateRule final : public Rule {
     return "gate launches no PI/DFF transition (constant-only cone)";
   }
 
-  void run(const AnalysisInput& in, Report& out) const override {
-    if (in.netlist == nullptr) return;
-    const Netlist& nl = *in.netlist;
-    const auto reach = reachable_from_sources(nl);
+  void run(const PassContext& ctx, Report& out) const override {
+    if (ctx.input().netlist == nullptr) return;
+    const Netlist& nl = *ctx.input().netlist;
+    const auto& reach = ctx.netlist_facts().reachable;
     for (GateId g = 0; g < nl.gate_count(); ++g) {
       const Gate& gate = nl.gate(g);
       // Fanin-less combinational gates are NET002 (undriven), not merely
@@ -247,10 +175,10 @@ class DeadOutputRule final : public Rule {
     return "primary output observes no PI/DFF transition";
   }
 
-  void run(const AnalysisInput& in, Report& out) const override {
-    if (in.netlist == nullptr) return;
-    const Netlist& nl = *in.netlist;
-    const auto reach = reachable_from_sources(nl);
+  void run(const PassContext& ctx, Report& out) const override {
+    if (ctx.input().netlist == nullptr) return;
+    const Netlist& nl = *ctx.input().netlist;
+    const auto& reach = ctx.netlist_facts().reachable;
     for (std::size_t i = 0; i < nl.outputs().size(); ++i) {
       const GateId driver = nl.outputs()[i];
       if (!valid_id(driver, nl.gate_count()) || reach[driver]) continue;
@@ -272,9 +200,9 @@ class ScanChainRule final : public Rule {
     return "broken scan chain: DFF arity != 1 or self-feedback DFF";
   }
 
-  void run(const AnalysisInput& in, Report& out) const override {
-    if (in.netlist == nullptr) return;
-    const Netlist& nl = *in.netlist;
+  void run(const PassContext& ctx, Report& out) const override {
+    if (ctx.input().netlist == nullptr) return;
+    const Netlist& nl = *ctx.input().netlist;
     for (GateId g = 0; g < nl.gate_count(); ++g) {
       const Gate& gate = nl.gate(g);
       if (gate.type != CellType::kDff) continue;

@@ -1,0 +1,33 @@
+#include "analysis/pass.h"
+
+#include <stdexcept>
+
+namespace sddd::analysis {
+
+const NetlistFacts& PassContext::netlist_facts() const {
+  if (in_->netlist == nullptr) {
+    throw std::logic_error(
+        "PassContext::netlist_facts: no netlist subject in the input");
+  }
+  std::call_once(netlist_once_, [this] {
+    netlist_facts_ =
+        std::make_unique<NetlistFacts>(compute_netlist_facts(*in_->netlist));
+  });
+  return *netlist_facts_;
+}
+
+const SensitizationFacts& PassContext::sensitization_facts() const {
+  if (in_->diagnosability == nullptr ||
+      in_->diagnosability->netlist == nullptr) {
+    throw std::logic_error(
+        "PassContext::sensitization_facts: no diagnosability subject in the "
+        "input");
+  }
+  std::call_once(sensitization_once_, [this] {
+    sensitization_facts_ = std::make_unique<SensitizationFacts>(
+        compute_sensitization_facts(*in_->diagnosability));
+  });
+  return *sensitization_facts_;
+}
+
+}  // namespace sddd::analysis

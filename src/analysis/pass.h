@@ -1,0 +1,51 @@
+// pass.h - The analysis-pass framework: one context per Analyzer::run
+// that computes shared facts lazily, at most once, and serves them to
+// every rule.
+//
+// Rules run concurrently over the thread pool, so fact construction is
+// guarded by std::call_once: the first rule to ask for a fact family pays
+// for it, every later rule reads the same immutable result.  Facts are
+// pure functions of the AnalysisInput, so sharing them changes no rule's
+// findings - it only deletes the per-rule recomputation (NET003's fanout
+// scan, NET005/NET006's duplicate reachability fixpoints, NET001's DFS)
+// the pre-framework rules each carried privately.
+#pragma once
+
+#include <memory>
+#include <mutex>
+
+#include "analysis/analysis_graph.h"
+#include "analysis/rule.h"
+
+namespace sddd::analysis {
+
+/// Per-run fact store handed to every Rule::run.  Thread-safe; getters may
+/// be called concurrently.  The referenced AnalysisInput must outlive the
+/// context.
+class PassContext {
+ public:
+  explicit PassContext(const AnalysisInput& in) : in_(&in) {}
+
+  PassContext(const PassContext&) = delete;
+  PassContext& operator=(const PassContext&) = delete;
+
+  const AnalysisInput& input() const { return *in_; }
+
+  /// Structural topology facts.  Requires input().netlist != nullptr
+  /// (throws std::logic_error otherwise - rules must gate on the subject
+  /// before asking).
+  const NetlistFacts& netlist_facts() const;
+
+  /// Static sensitization facts.  Requires input().diagnosability with a
+  /// non-null netlist (throws std::logic_error otherwise).
+  const SensitizationFacts& sensitization_facts() const;
+
+ private:
+  const AnalysisInput* in_;
+  mutable std::once_flag netlist_once_;
+  mutable std::once_flag sensitization_once_;
+  mutable std::unique_ptr<NetlistFacts> netlist_facts_;
+  mutable std::unique_ptr<SensitizationFacts> sensitization_facts_;
+};
+
+}  // namespace sddd::analysis

@@ -6,10 +6,16 @@
 // subject is absent from the input - so one rule registry serves netlist-
 // only preflights and full dictionary audits alike.
 //
+// Rules receive a PassContext (pass.h), not the raw AnalysisInput: shared
+// facts (fanouts, reachability, cycles, per-pattern sensitization) are
+// computed once per run by the pass framework and served to every rule
+// that asks, instead of each rule re-deriving its own topology.
+//
 // Subjects are deliberately plain data (or const pointers to existing
-// library types): the analysis layer depends only on netlist/timing/stats,
-// never on diagnosis, so the diagnosis libraries can in turn depend on the
-// runtime-contract half of this module (check.h) without a cycle.
+// library types): the analysis layer depends only on netlist/timing/stats
+// and the sensitization stack (logicsim/paths), never on diagnosis, so the
+// diagnosis libraries can in turn depend on the runtime-contract half of
+// this module (check.h) without a cycle.
 #pragma once
 
 #include <cstddef>
@@ -18,10 +24,14 @@
 #include <vector>
 
 #include "analysis/finding.h"
+#include "logicsim/bitsim.h"
+#include "netlist/levelize.h"
 #include "netlist/netlist.h"
 #include "timing/delay_model.h"
 
 namespace sddd::analysis {
+
+class PassContext;
 
 /// A correlation matrix to validate (row-major, dim x dim), e.g. the input
 /// of stats::cholesky_lower or a pairwise arc-delay correlation model.
@@ -53,6 +63,35 @@ struct DictionarySubject {
   double target_ci_halfwidth = 0.1;
 };
 
+/// A (netlist, pattern set) pair whose static diagnosability the DIAG
+/// rules assess before anyone pays for a dictionary build.  The netlist
+/// must be frozen, combinational (full-scan transformed) and levelizable;
+/// `lev` and `logic_sim` must wrap that same netlist.  The delay model is
+/// optional and enables the analytic rank-separability rule (DIAG005).
+struct DiagnosabilitySubject {
+  const netlist::Netlist* netlist = nullptr;
+  const netlist::Levelization* lev = nullptr;
+  const logicsim::BitSimulator* logic_sim = nullptr;
+  std::vector<logicsim::PatternPair> patterns;
+  /// Optional: per-arc delay random variables for the Clark-SSTA analytic
+  /// criticality sweep behind DIAG005.  Null disables that rule.
+  const timing::ArcDelayModel* delay_model = nullptr;
+  /// Rated period for the analytic criticality probabilities.  0 = derive
+  /// from the analytic circuit delay (its 0.9 quantile).
+  double clk = 0.0;
+  /// Analytic defect slowdown used for the DIAG005 signatures.  0 = derive
+  /// as 0.75x the library's mean cell delay (the paper's 0.5-1.0 range).
+  double defect_delta = 0.0;
+  /// DIAG006 warns when the pattern-set coverage ratio is below this.
+  double coverage_threshold = 0.9;
+  /// DIAG005 warns when a group's nearest-neighbour analytic signature L1
+  /// distance is below this.
+  double separability_threshold = 0.05;
+  /// Cap on the ambiguity groups entered into the O(groups^2) analytic
+  /// separability comparison.
+  std::size_t max_separability_groups = 64;
+};
+
 /// Everything one analysis run may inspect.  Null/absent members disable
 /// the rules that need them.
 struct AnalysisInput {
@@ -64,15 +103,16 @@ struct AnalysisInput {
   const timing::ArcDelayModel* delay_model = nullptr;
   const CorrelationSubject* correlation = nullptr;
   const DictionarySubject* dictionary = nullptr;
+  const DiagnosabilitySubject* diagnosability = nullptr;
 };
 
 /// One diagnostic pass.  Implementations must be stateless and thread-safe:
-/// run() may execute concurrently with other rules on the same input.
+/// run() may execute concurrently with other rules on the same context.
 class Rule {
  public:
   virtual ~Rule() = default;
 
-  /// Stable rule id ("NET001", "MOD003", "DICT002", ...).
+  /// Stable rule id ("NET001", "MOD003", "DICT002", "DIAG001", ...).
   virtual std::string_view id() const = 0;
 
   /// Default severity of this rule's findings.
@@ -81,8 +121,10 @@ class Rule {
   /// One-line description of what the rule catches (for --list / docs).
   virtual std::string_view summary() const = 0;
 
-  /// Appends findings for `in` to `out`; no-op when the subject is absent.
-  virtual void run(const AnalysisInput& in, Report& out) const = 0;
+  /// Appends findings for the context's input to `out`; no-op when the
+  /// subject is absent.  Shared facts come from `ctx` (computed at most
+  /// once per run, however many rules ask).
+  virtual void run(const PassContext& ctx, Report& out) const = 0;
 };
 
 }  // namespace sddd::analysis

@@ -160,6 +160,7 @@ void Diagnoser::score_scalar(
   // own accumulators.  Chunking lets one column buffer serve a whole run
   // of suspects instead of heap-allocating per (pattern, suspect).
   std::vector<bool> b_col(n_outputs);
+  std::vector<char> inactive(n_suspects, 0);
   for (std::size_t j = 0; j < patterns.size(); ++j) {
     SDDD_SPAN(span, "diag.pattern");
     span.arg("pattern", static_cast<std::int64_t>(j))
@@ -167,16 +168,45 @@ void Diagnoser::score_scalar(
     const obs::ScopedNsTimer timer(diag_score_ns_counter());
     const PatternSlice slice(*sim_, *logic_sim_, *lev_, patterns[j], clk);
     for (std::size_t i = 0; i < n_outputs; ++i) b_col[i] = B.at(i, j);
+
+    // Equivalence-class collapse: a suspect off every active path of this
+    // pattern has an E column bit-identical to the baseline M column (and
+    // an exactly-zero S column), so one phi of the baseline serves all of
+    // them.  phi values, scores and ranks are unchanged; only the eval
+    // count drops.
+    double collapsed_phi = 0.0;
+    bool any_inactive = false;
+    if (config_.collapse_unobservable) {
+      const paths::TransitionGraph& tg = slice.transition_graph();
+      for (std::size_t s = 0; s < n_suspects; ++s) {
+        inactive[s] = tg.is_active(result.suspects[s]) ? 0 : 1;
+        if (inactive[s]) any_inactive = true;
+      }
+      if (any_inactive) {
+        if (config_.match_on_total_probability) {
+          collapsed_phi = phi(slice.m_column(), b_col);
+        } else {
+          const std::vector<double> zeros(n_outputs, 0.0);
+          collapsed_phi = phi(zeros, b_col);
+        }
+      }
+    }
+
     runtime::parallel_for_chunked(
         n_suspects, 16, [&](std::size_t lo, std::size_t hi) {
           std::vector<double> col;
           for (std::size_t s = lo; s < hi; ++s) {
-            if (config_.match_on_total_probability) {
-              slice.e_column_into(result.suspects[s], sizes[s], col);
+            double phi_j;
+            if (config_.collapse_unobservable && inactive[s]) {
+              phi_j = collapsed_phi;
             } else {
-              slice.signature_column_into(result.suspects[s], sizes[s], col);
+              if (config_.match_on_total_probability) {
+                slice.e_column_into(result.suspects[s], sizes[s], col);
+              } else {
+                slice.signature_column_into(result.suspects[s], sizes[s], col);
+              }
+              phi_j = phi(col, b_col);
             }
-            const double phi_j = phi(col, b_col);
             if (config_.capture_phi) result.phi[s][j] = phi_j;
             for (auto& method_acc : acc) method_acc[s].add_phi(phi_j);
           }
@@ -203,12 +233,68 @@ void Diagnoser::score_kernel_path(
   const std::size_t n_outputs = B.output_count();
   std::vector<const double*> cols;
   std::vector<double> phi_row(n_suspects);
+  std::vector<netlist::ArcId> active_suspects;
+  std::vector<std::size_t> active_pos;
+  std::vector<double> phi_active;
   PackedBColumn b;
   for (std::size_t j = 0; j < patterns.size(); ++j) {
     SDDD_SPAN(span, "diag.kernel.pattern");
     span.arg("pattern", static_cast<std::int64_t>(j))
         .arg("suspects", static_cast<std::int64_t>(n_suspects));
     const obs::ScopedNsTimer timer(diag_score_ns_counter());
+
+    if (config_.collapse_unobservable) {
+      // Equivalence-class collapse, kernel flavor: the cache's per-pattern
+      // collapse slice says which suspects this pattern sensitizes at all;
+      // the rest provably share the baseline column, so they share one
+      // phi_block lane and never build (or even look up) a column.
+      const SignatureCache::CollapseSlice& cs =
+          cache.collapse_slice(patterns[j]);
+      active_suspects.clear();
+      active_pos.clear();
+      for (std::size_t s = 0; s < n_suspects; ++s) {
+        if (cs.active[result.suspects[s]]) {
+          active_suspects.push_back(result.suspects[s]);
+          active_pos.push_back(s);
+        }
+      }
+      const std::size_t n_active = active_suspects.size();
+      const bool any_inactive = n_active < n_suspects;
+      double collapsed_phi = 0.0;
+      {
+        const obs::ScopedNsTimer build_timer(kernel_build_ns_counter());
+        cache.columns(patterns[j], active_suspects, cols);
+        b.pack(B, j);
+      }
+      {
+        const obs::ScopedNsTimer phi_timer(kernel_phi_ns_counter());
+        if (any_inactive) {
+          const double* baseline = cs.baseline.data();
+          phi_block(&baseline, 1, n_outputs, b, &collapsed_phi);
+        }
+        phi_active.resize(n_active);
+        runtime::parallel_for_chunked(
+            n_active, 64, [&](std::size_t lo, std::size_t hi) {
+              phi_block(cols.data() + lo, hi - lo, n_outputs, b,
+                        phi_active.data() + lo);
+            });
+        // Scatter: every suspect gets the same phi value the uncollapsed
+        // run computes for it (phi_block is per-column independent, so
+        // compaction changes nothing), inactive ones the shared baseline.
+        std::fill(phi_row.begin(), phi_row.end(), collapsed_phi);
+        for (std::size_t i = 0; i < n_active; ++i) {
+          phi_row[active_pos[i]] = phi_active[i];
+        }
+        for (std::size_t s = 0; s < n_suspects; ++s) {
+          if (config_.capture_phi) result.phi[s][j] = phi_row[s];
+          for (auto& method_acc : acc) method_acc[s].add_phi(phi_row[s]);
+        }
+      }
+      note_phi_evals(n_active + (any_inactive ? 1 : 0));
+      note_kernel_pattern(n_active);
+      continue;
+    }
+
     {
       const obs::ScopedNsTimer build_timer(kernel_build_ns_counter());
       cache.columns(patterns[j], result.suspects, cols);

@@ -59,6 +59,18 @@ struct DiagnoserConfig {
   /// diagnose() throws on a clk/match mismatch.  Null (default) keeps the
   /// scalar per-chip path.
   const SignatureCache* cache = nullptr;
+  /// When set, suspects the pattern does not sensitize are collapsed onto
+  /// one shared phi evaluation per pattern: an inactive suspect's E column
+  /// provably equals the baseline M column (dynamic_sim falls back to the
+  /// defect-free error vector when the arc is off every active path), and
+  /// its S column is exactly zero - so one phi of the baseline column
+  /// serves every inactive suspect bit-identically.  Scores, keys, ranks
+  /// and captured phi are byte-identical to the uncollapsed run (ci.sh
+  /// compares the result JSONs); only diag.phi_evals and the per-pattern
+  /// column work drop.  The static diagnosability report (sddd_lint
+  /// --diagnosability) predicts exactly which (suspect, pattern) cells
+  /// this collapses.
+  bool collapse_unobservable = false;
 };
 
 /// One ranked candidate.

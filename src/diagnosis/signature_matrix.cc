@@ -111,6 +111,34 @@ SignatureCache::Entry& SignatureCache::entry_for(
   return *bucket.back();
 }
 
+const SignatureCache::CollapseSlice& SignatureCache::collapse_slice(
+    const logicsim::PatternPair& pattern) const {
+  Entry& entry = entry_for(pattern);
+  const std::lock_guard<std::mutex> lock(entry.mu);
+  if (entry.collapse == nullptr) {
+    // One transient PatternSlice: its ternary transition graph yields the
+    // active-arc flags, its baseline error vector the column every
+    // inactive suspect's E column equals (dynamic_sim falls back to
+    // error_vector_into when the arc is off every active path).  Under S
+    // matching that shared column is exactly zero: S = max(M - M, 0).
+    const PatternSlice slice(*sim_, *logic_sim_, *lev_, pattern, clk_);
+    auto cs = std::make_unique<CollapseSlice>();
+    const auto& nl = logic_sim_->netlist();
+    cs->active.resize(nl.arc_count());
+    for (netlist::ArcId a = 0; a < nl.arc_count(); ++a) {
+      cs->active[a] = slice.transition_graph().is_active(a) ? 1 : 0;
+    }
+    if (match_e_) {
+      cs->baseline = slice.m_column();
+    } else {
+      cs->baseline.assign(slice.m_column().size(), 0.0);
+    }
+    n_outputs_.store(cs->baseline.size(), std::memory_order_release);
+    entry.collapse = std::move(cs);
+  }
+  return *entry.collapse;
+}
+
 void SignatureCache::columns(const logicsim::PatternPair& pattern,
                              std::span<const netlist::ArcId> suspects,
                              std::vector<const double*>& out) const {

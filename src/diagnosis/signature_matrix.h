@@ -79,6 +79,22 @@ class SignatureCache {
                std::span<const netlist::ArcId> suspects,
                std::vector<const double*>& out) const;
 
+  /// Per-pattern equivalence-class collapse support (see
+  /// DiagnoserConfig::collapse_unobservable): which arcs the pattern
+  /// sensitizes at all, plus the baseline column every *unsensitized*
+  /// suspect's column provably equals bit-for-bit (the defect-free M
+  /// column under E matching, the exact-zero column under S matching).
+  struct CollapseSlice {
+    std::vector<char> active;      ///< per arc: on some active path
+    std::vector<double> baseline;  ///< |O| doubles; shared inactive column
+  };
+
+  /// The collapse slice of `pattern`, built on first use (one transient
+  /// PatternSlice, amortized across every chip of the experiment).  The
+  /// reference stays valid for the cache's lifetime.
+  const CollapseSlice& collapse_slice(
+      const logicsim::PatternPair& pattern) const;
+
   /// Precomputed per-sample defect sizes of one suspect; sizes()[k] ==
   /// size_model.sample(suspect, k).  The span stays valid for the cache's
   /// lifetime.
@@ -105,6 +121,7 @@ class SignatureCache {
     std::mutex mu;
     std::unordered_map<netlist::ArcId, std::size_t> index;
     std::deque<Column> cols;  ///< deque: growth never moves a column
+    std::unique_ptr<CollapseSlice> collapse;  ///< lazily built, never moved
   };
 
   Entry& entry_for(const logicsim::PatternPair& pattern) const;

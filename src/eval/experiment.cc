@@ -426,6 +426,7 @@ ExperimentResult run_diagnosis_experiment(const Netlist& nl,
   diagnosis::DiagnoserConfig diag_config;
   diag_config.max_suspects = config.max_suspects;
   diag_config.match_on_total_probability = !config.match_on_signature;
+  diag_config.collapse_unobservable = config.collapse_unobservable;
   if (config.use_score_kernel) diag_config.cache = &*S.sig_cache;
   const Diagnoser diagnoser(S.dict_sim, S.logic_sim, S.lev, S.size_model,
                             diag_config);
@@ -625,6 +626,7 @@ introspect::ExplanationReport explain_trial(const Netlist& nl,
   diagnosis::DiagnoserConfig diag_config;
   diag_config.max_suspects = config.max_suspects;
   diag_config.match_on_total_probability = !config.match_on_signature;
+  diag_config.collapse_unobservable = config.collapse_unobservable;
   diag_config.capture_phi = true;
   if (config.use_score_kernel) diag_config.cache = &*S.sig_cache;
   const Diagnoser diagnoser(S.dict_sim, S.logic_sim, S.lev, S.size_model,

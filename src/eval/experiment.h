@@ -91,6 +91,14 @@ struct ExperimentConfig {
   /// same experiment share run_ids/journals and their result JSON is
   /// byte-comparable.  Off = the scalar reference path (`--no-kernel`).
   bool use_score_kernel = true;
+  /// Collapse suspects a pattern does not sensitize onto one shared phi
+  /// evaluation per pattern (DiagnoserConfig::collapse_unobservable).
+  /// Scores, ranks and result JSON are byte-identical either way - the
+  /// collapsed column provably equals the baseline - so, like
+  /// use_score_kernel, this knob is EXCLUDED from experiment_fingerprint()
+  /// and ci.sh byte-compares collapsed vs uncollapsed result files; only
+  /// diag.phi_evals and per-pattern column work drop.  (`--collapse`.)
+  bool collapse_unobservable = false;
   /// Also run the traditional logic-domain baseline (gross-delay 0/1
   /// dictionary, Hamming matching) on every chip, for the paper's
   /// logic-vs-delay-diagnosis contrast.

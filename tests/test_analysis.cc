@@ -264,6 +264,57 @@ TEST(DictionaryRules, ZeroAndDuplicateSignaturesWarn) {
   EXPECT_EQ(report.error_count(), 0u);
 }
 
+// Golden findings for the composite pathological netlist: pins the NET
+// pack's exact output (order, locations, severities - including the
+// self-cycle double-report quirk) across the pass-framework refactor, so
+// any facts-layer change that alters a finding is caught here.
+TEST(NetlistRules, CompositeGoldenFindingsAreStable) {
+  const auto nl = netlist::parse_bench_string(R"(
+INPUT(a)
+INPUT(b)
+INPUT(unused)
+OUTPUT(o)
+OUTPUT(o)
+u = AND(a, w)
+w = OR(u, b)
+o = NAND(u, w)
+dead = XOR(a, b)
+k0 = AND(c0, c0)
+c0 = AND(c0, c0)
+q = DFF(q)
+z = OR(q, k0)
+o2 = NOT(z)
+OUTPUT(o2)
+)");
+  const Report report = run_on_netlist(nl);
+  EXPECT_EQ(report.error_count(), 6u);
+  EXPECT_EQ(report.warning_count(), 3u);
+  const struct {
+    const char* severity;
+    const char* rule;
+    const char* location;
+  } expected[] = {
+      {"error", "NET001", "gate w"},       // cycle u <-> w
+      {"error", "NET001", "gate c0"},      // self-cycle, via k0's fanin
+      {"error", "NET001", "gate c0"},      // self-cycle, via its own fanin
+      {"warning", "NET003", "gate unused"},
+      {"error", "NET003", "gate dead"},
+      {"error", "NET004", "gate o"},       // duplicate PO slot
+      {"warning", "NET005", "gate c0"},
+      {"warning", "NET005", "gate k0"},
+      {"error", "NET007", "gate q"},       // self-feedback DFF
+  };
+  const std::string text = report.to_text();
+  std::size_t pos = 0;
+  for (const auto& e : expected) {
+    const std::string line =
+        std::string(e.severity) + " " + e.rule + " " + e.location + ":";
+    const std::size_t at = text.find(line, pos);
+    ASSERT_NE(at, std::string::npos) << "missing/misordered: " << line;
+    pos = at + line.size();
+  }
+}
+
 TEST(Analyzer, ReportIsIdenticalAcrossThreadCounts) {
   const auto nl = netlist::parse_bench_string(R"(
 INPUT(a)

@@ -17,12 +17,17 @@
 #      byte-identical to the kernel run's, the explain candidates to agree
 #      rank by rank and phi by phi, and the kernel-enabled run's metrics to
 #      show the diag.kernel.* / dict.sig_cache.* counters actually firing;
-#   6. crash/resume smoke: SIGKILL a journaled diagnose mid-trials, resume
+#   6. diagnosability gate: sddd_lint --diagnosability --json on the same
+#      circuit must emit a well-formed machine-readable report (ambiguity
+#      groups, per-suspect coverage, coverage ratio in [0,1]); then re-run
+#      the diagnose with --collapse and require the result JSON to be
+#      byte-identical while diag.phi_evals strictly drops;
+#   7. crash/resume smoke: SIGKILL a journaled diagnose mid-trials, resume
 #      it, and require the resumed result JSON to be byte-identical to an
 #      uninterrupted run's (at both 1 and 2 threads);
-#   7. fault-injection smoke: SDDD_FAULTS poisons two trials; the run must
+#   8. fault-injection smoke: SDDD_FAULTS poisons two trials; the run must
 #      still exit 0 with exactly those trials quarantined in the metrics;
-#   8. clang-tidy profile (skipped automatically when not installed).
+#   9. clang-tidy profile (skipped automatically when not installed).
 #
 #   tools/ci.sh [-jN]
 set -euo pipefail
@@ -31,20 +36,20 @@ cd "$(dirname "$0")/.."
 
 JOBS="${1:--j$(nproc)}"
 
-echo "== [1/8] tier-1 build + tests =="
+echo "== [1/9] tier-1 build + tests =="
 cmake -B build -S .
 cmake --build build "$JOBS"
 ctest --test-dir build --output-on-failure "$JOBS"
 
-echo "== [2/8] smoke tests under ASan+UBSan =="
+echo "== [2/9] smoke tests under ASan+UBSan =="
 cmake -B build-san -S . -DSDDD_ASAN=ON -DSDDD_UBSAN=ON
 cmake --build build-san "$JOBS"
 ctest --test-dir build-san --output-on-failure -L smoke "$JOBS"
 
-echo "== [3/8] sddd_lint on the ISCAS catalog =="
+echo "== [3/9] sddd_lint on the ISCAS catalog =="
 ./build/tools/sddd_lint --dict --catalog c17 s27
 
-echo "== [4/8] observability smoke (trace + metrics round-trip) =="
+echo "== [4/9] observability smoke (trace + metrics round-trip) =="
 OBS_DIR="$(mktemp -d)"
 trap 'rm -rf "$OBS_DIR"' EXIT
 ./build/tools/sddd_cli synth "$OBS_DIR/s1196.bench" \
@@ -117,7 +122,7 @@ if [ -f BENCH_history.jsonl ]; then
   python3 tools/append_bench_history.py --check BENCH_history.jsonl
 fi
 
-echo "== [5/8] scoring-kernel smoke (scalar vs kernel, byte-identical) =="
+echo "== [5/9] scoring-kernel smoke (scalar vs kernel, byte-identical) =="
 # The step-4 runs above used the packed scoring kernel (the default).
 # Re-run both with --no-kernel: use_score_kernel is excluded from the
 # experiment fingerprint, so the scalar result JSON must be byte-identical
@@ -160,7 +165,55 @@ print(f"kernel smoke ok: {len(kc)} candidates identical scalar-vs-kernel, "
       f"{counters['dict.sig_cache.misses']} cache builds")
 EOF
 
-echo "== [6/8] crash/resume smoke (SIGKILL mid-trials, byte-identical) =="
+echo "== [6/9] diagnosability gate (static analysis + suspect collapse) =="
+# The machine-readable diagnosability report on the same circuit: the DIAG
+# pass must produce a well-formed report whose shape downstream tooling
+# can rely on (DESIGN.md section 13 schema).
+./build/tools/sddd_lint --diagnosability --json "$OBS_DIR/s1196.bench" \
+  > "$OBS_DIR/diag_lint.json"
+python3 - "$OBS_DIR/diag_lint.json" <<'EOF'
+import json, sys
+with open(sys.argv[1]) as f:
+    lint = json.load(f)
+diag = lint["circuits"][0]["diagnosability"]
+assert diag["n_arcs"] > 0 and diag["n_patterns"] > 0, diag
+assert 0.0 <= diag["coverage_ratio"] <= 1.0, diag["coverage_ratio"]
+assert len(diag["arc_coverage"]) == diag["n_arcs"], \
+    (len(diag["arc_coverage"]), diag["n_arcs"])
+groups = diag["ambiguity_groups"]
+assert groups, "expected at least one ambiguity group on this circuit"
+for g in groups:
+    assert len(g["arcs"]) >= 2, g
+    assert all(0 <= a < diag["n_arcs"] for a in g["arcs"]), g
+for pair in diag["dominance"]:
+    assert pair["dominated"] != pair["dominator"], pair
+print(f"diagnosability gate ok: {len(groups)} ambiguity groups, "
+      f"coverage {diag['coverage_ratio']:.3f}, "
+      f"{len(diag['dead_arcs'])} dead arcs")
+EOF
+
+# Suspect collapse: per-pattern unsensitized suspects share one phi
+# evaluation.  Like --no-kernel, --collapse is excluded from the experiment
+# fingerprint because the scores are provably bit-identical -- so the
+# result JSON must be byte-identical while diag.phi_evals strictly drops.
+./build/tools/sddd_cli diagnose "$OBS_DIR/s1196.bench" \
+  --chips 2 --samples 60 --threads 2 --collapse \
+  --json "$OBS_DIR/result_collapse.json" \
+  --metrics-out "$OBS_DIR/collapse_metrics.json"
+cmp "$OBS_DIR/result.json" "$OBS_DIR/result_collapse.json"
+python3 - "$OBS_DIR/metrics.json" "$OBS_DIR/collapse_metrics.json" <<'EOF'
+import json, sys
+with open(sys.argv[1]) as f:
+    full = json.load(f)["counters"]
+with open(sys.argv[2]) as f:
+    collapsed = json.load(f)["counters"]
+assert 0 < collapsed["diag.phi_evals"] < full["diag.phi_evals"], \
+    (collapsed["diag.phi_evals"], full["diag.phi_evals"])
+print(f"collapse ok: result JSON byte-identical, phi_evals "
+      f"{full['diag.phi_evals']} -> {collapsed['diag.phi_evals']}")
+EOF
+
+echo "== [7/9] crash/resume smoke (SIGKILL mid-trials, byte-identical) =="
 # Reference: the same experiment, uninterrupted, at two thread counts.
 # The deterministic result JSON must not depend on threads or on how many
 # times the run was killed and resumed.
@@ -186,7 +239,7 @@ wait "$VICTIM" 2>/dev/null || true
 cmp "$OBS_DIR/ref_t1.json" "$OBS_DIR/resumed.json"
 echo "crash/resume smoke ok: resumed JSON byte-identical to reference"
 
-echo "== [7/8] fault-injection smoke (quarantine, exit 0) =="
+echo "== [8/9] fault-injection smoke (quarantine, exit 0) =="
 SDDD_FAULTS="exp.trial@1,3" ./build/tools/sddd_cli diagnose \
   "${DIAG_ARGS[@]}" --threads 2 --metrics-out "$OBS_DIR/fault_metrics.json"
 python3 - "$OBS_DIR/fault_metrics.json" <<'EOF'
@@ -200,7 +253,7 @@ assert counters.get("trial.quarantined") == 2, \
 print("fault smoke ok: 2 faults injected, 2 trials quarantined, exit 0")
 EOF
 
-echo "== [8/8] clang-tidy profile =="
+echo "== [9/9] clang-tidy profile =="
 tools/run_static_checks.sh
 
 echo "ci.sh: all gates passed"

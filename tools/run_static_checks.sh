@@ -1,13 +1,21 @@
 #!/usr/bin/env bash
 # Runs clang-tidy (profile: .clang-tidy) over the library, tool, bench and
-# example sources using a CMake compile database.
+# example sources using a CMake compile database, gated against a warning
+# baseline.
 #
 #   tools/run_static_checks.sh [build-dir]
 #
 # The build dir defaults to build-tidy/ and is configured on demand with
 # CMAKE_EXPORT_COMPILE_COMMANDS=ON.  Exits 0 with a notice when clang-tidy
 # is not installed (the supported toolchain is gcc-only; the tidy pass is
-# an extra layer, not a gate), non-zero when clang-tidy reports warnings.
+# an extra layer, not a hard dependency).
+#
+# Baseline gate: tools/tidy_baseline.txt records the accepted warning
+# count.  The gate fails only when the current count EXCEEDS the baseline,
+# so pre-existing findings never block unrelated work but new code cannot
+# add more.  When the count drops, the script says so - ratchet the
+# baseline down by committing the printed number.  With no baseline file,
+# any warning fails (a clean tree wants a zero gate).
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -20,6 +28,7 @@ if ! command -v "$TIDY" > /dev/null 2>&1; then
 fi
 
 BUILD_DIR="${1:-build-tidy}"
+BASELINE_FILE="tools/tidy_baseline.txt"
 if [ ! -f "$BUILD_DIR/compile_commands.json" ]; then
   cmake -B "$BUILD_DIR" -S . -DCMAKE_EXPORT_COMPILE_COMMANDS=ON
 fi
@@ -29,5 +38,27 @@ fi
 mapfile -t SOURCES < <(find src tools bench examples -name '*.cc' | sort)
 
 echo "run_static_checks: ${#SOURCES[@]} files against $BUILD_DIR"
-"$TIDY" -p "$BUILD_DIR" --quiet "${SOURCES[@]}"
-echo "run_static_checks: clean"
+LOG="$(mktemp)"
+trap 'rm -f "$LOG"' EXIT
+# clang-tidy exits non-zero on warnings; the gate below decides, not it.
+"$TIDY" -p "$BUILD_DIR" --quiet "${SOURCES[@]}" > "$LOG" 2>&1 || true
+
+COUNT="$(grep -c 'warning:' "$LOG" || true)"
+BASELINE=0
+if [ -f "$BASELINE_FILE" ]; then
+  BASELINE="$(tr -dc '0-9' < "$BASELINE_FILE")"
+  BASELINE="${BASELINE:-0}"
+fi
+
+if [ "$COUNT" -gt "$BASELINE" ]; then
+  cat "$LOG"
+  echo "run_static_checks: FAIL - $COUNT warning(s) exceeds baseline" \
+       "$BASELINE ($BASELINE_FILE)"
+  exit 1
+fi
+if [ "$COUNT" -lt "$BASELINE" ]; then
+  echo "run_static_checks: $COUNT warning(s), below baseline $BASELINE -" \
+       "consider ratcheting $BASELINE_FILE down to $COUNT"
+else
+  echo "run_static_checks: $COUNT warning(s), at baseline $BASELINE"
+fi

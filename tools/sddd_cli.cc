@@ -76,6 +76,9 @@ namespace {
       "           [--no-kernel]  score through the scalar reference path\n"
       "                 instead of the cached packed kernel (bit-identical\n"
       "                 results either way; also accepted by explain)\n"
+      "           [--collapse]  collapse suspects a pattern cannot observe\n"
+      "                 onto one shared phi per pattern (bit-identical\n"
+      "                 results, fewer phi evals; also accepted by explain)\n"
       "  explain <netlist> [--chips N] [--samples N] [--seed N] [--trial N]\n"
       "          [--top K] [--out FILE] [--md FILE] [--manifest-out FILE]\n"
       "                 re-run one diagnosis trial and decompose its scores\n"
@@ -323,11 +326,12 @@ eval::ExperimentConfig diagnose_config_from(const Options& opts) {
 }
 
 int cmd_diagnose(const std::filesystem::path& path, const Options& opts,
-                 bool resume, bool no_kernel) {
+                 bool resume, bool no_kernel, bool collapse) {
   auto nl = load(path);
   if (nl.dff_count() > 0) nl = netlist::full_scan_transform(nl);
   eval::ExperimentConfig config = diagnose_config_from(opts);
   config.use_score_kernel = !no_kernel;
+  config.collapse_unobservable = collapse;
   config.checkpoint_path = opts.str("checkpoint");
   config.resume = resume;
   config.deadline_s = opts.get_double("deadline-s", 0.0);
@@ -416,11 +420,12 @@ int cmd_diagnose(const std::filesystem::path& path, const Options& opts,
 }
 
 int cmd_explain(const std::filesystem::path& path, const Options& opts,
-                bool no_kernel) {
+                bool no_kernel, bool collapse) {
   auto nl = load(path);
   if (nl.dff_count() > 0) nl = netlist::full_scan_transform(nl);
   eval::ExperimentConfig config = diagnose_config_from(opts);
   config.use_score_kernel = !no_kernel;
+  config.collapse_unobservable = collapse;
   eval::ExplainRequest request;
   const long trial = opts.get("trial", -1);
   if (trial >= 0) request.trial = static_cast<std::size_t>(trial);
@@ -497,11 +502,14 @@ int main(int argc, char** argv) {
     if (cmd == "diagnose" && argc >= 3) {
       const bool resume = consume_flag(&argc, argv, "--resume");
       const bool no_kernel = consume_flag(&argc, argv, "--no-kernel");
-      return cmd_diagnose(argv[2], Options(argc, argv, 3), resume, no_kernel);
+      const bool collapse = consume_flag(&argc, argv, "--collapse");
+      return cmd_diagnose(argv[2], Options(argc, argv, 3), resume, no_kernel,
+                          collapse);
     }
     if (cmd == "explain" && argc >= 3) {
       const bool no_kernel = consume_flag(&argc, argv, "--no-kernel");
-      return cmd_explain(argv[2], Options(argc, argv, 3), no_kernel);
+      const bool collapse = consume_flag(&argc, argv, "--collapse");
+      return cmd_explain(argv[2], Options(argc, argv, 3), no_kernel, collapse);
     }
   } catch (const sddd::Error& e) {
     // what() already carries the "[<code>] " prefix.

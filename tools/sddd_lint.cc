@@ -6,6 +6,12 @@
 //   --json          emit the report(s) as JSON on stdout
 //   --dict          also build a small probabilistic dictionary for each
 //                   circuit and run the dictionary rule pack (slower)
+//   --diagnosability  run the DIAG static-diagnosability rules on each
+//                   circuit's scan core and (with --json) emit the
+//                   machine-readable diagnosability report: ambiguity
+//                   groups, per-suspect coverage, dead arcs, redundant
+//                   patterns, coverage ratio (DESIGN.md section 13)
+//   --coverage-threshold R  DIAG006 warns below this coverage (0.9)
 //   --catalog       subsequent names are catalog circuits instead of files:
 //                   c17 / s27 (embedded) or a Table I profile stand-in;
 //                   "all" = every Table I circuit
@@ -24,10 +30,13 @@
 #include <cstdlib>
 #include <cstring>
 #include <filesystem>
+#include <memory>
 #include <string>
 #include <vector>
 
+#include "analysis/analysis_graph.h"
 #include "analysis/analyzer.h"
+#include "analysis/pass.h"
 #include "atpg/pdf_atpg.h"
 #include "diagnosis/dictionary.h"
 #include "logicsim/bitsim.h"
@@ -50,6 +59,8 @@ namespace {
 struct LintOptions {
   bool json = false;
   bool dict = false;
+  bool diagnosability = false;
+  double coverage_threshold = 0.9;
   double scale = 0.25;
   std::size_t samples = 120;
   std::size_t patterns = 6;
@@ -64,6 +75,10 @@ void usage() {
       "usage: sddd_lint [options] <netlist file | --catalog NAME> ...\n"
       "  --json       JSON report on stdout\n"
       "  --dict       also audit a small probabilistic dictionary\n"
+      "  --diagnosability  run the DIAG rules (static sensitization) on the\n"
+      "               scan core; with --json, also emit the diagnosability\n"
+      "               report (ambiguity groups, coverage, dead arcs)\n"
+      "  --coverage-threshold R  DIAG006 threshold (default 0.9)\n"
       "  --catalog    following names are catalog circuits\n"
       "               (c17 / s27 / a Table I profile / all)\n"
       "  --scale S    stand-in scale (default 0.25)\n"
@@ -153,20 +168,72 @@ analysis::DictionarySubject build_dictionary_subject(
   return subject;
 }
 
+/// Owns everything a DiagnosabilitySubject points at: the subject holds
+/// const pointers, so the netlist/levelization/simulator/model must
+/// outlive the analyzer run.
+struct DiagnosabilityBundle {
+  netlist::Netlist core;
+  std::unique_ptr<netlist::Levelization> lev;
+  timing::StatisticalCellLibrary lib;
+  std::unique_ptr<timing::ArcDelayModel> model;
+  std::unique_ptr<logicsim::BitSimulator> logic_sim;
+  analysis::DiagnosabilitySubject subject;
+};
+
+DiagnosabilityBundle build_diagnosability_bundle(const netlist::Netlist& nl,
+                                                 const LintOptions& opt) {
+  DiagnosabilityBundle b;
+  b.core = nl.dff_count() > 0 ? netlist::full_scan_transform(nl) : nl;
+  b.lev = std::make_unique<netlist::Levelization>(b.core);
+  b.model = std::make_unique<timing::ArcDelayModel>(b.core, b.lib);
+  b.logic_sim = std::make_unique<logicsim::BitSimulator>(b.core, *b.lev);
+
+  // Same pattern source as the --dict audit, so both rule families judge
+  // one pattern set and DICT005 findings can cross-link to DIAG001 groups.
+  stats::Rng rng(opt.seed + 2);
+  b.subject.netlist = &b.core;
+  b.subject.lev = b.lev.get();
+  b.subject.logic_sim = b.logic_sim.get();
+  b.subject.delay_model = b.model.get();
+  for (std::size_t j = 0; j < opt.patterns; ++j) {
+    b.subject.patterns.push_back(
+        atpg::random_pattern_pair(b.core.inputs().size(), rng));
+  }
+  b.subject.coverage_threshold = opt.coverage_threshold;
+  return b;
+}
+
+/// Lints one netlist; when --diagnosability produced sensitization facts
+/// and `diag_json` is non-null, writes the machine-readable report there.
 analysis::Report lint_one(const netlist::Netlist& raw,
                           const analysis::Analyzer& analyzer,
-                          const LintOptions& opt) {
+                          const LintOptions& opt, std::string* diag_json) {
   analysis::Report report = analysis::lint_netlist(analyzer, raw);
 
-  // Dictionary audit needs a levelizable combinational core; skip it when
-  // structural errors already make that meaningless.
-  if (opt.dict && raw.frozen() && report.error_count() == 0) {
+  // Dictionary audit and diagnosability analysis need a levelizable
+  // combinational core; skip them when structural errors already make
+  // that meaningless.
+  const bool core_usable = raw.frozen() && report.error_count() == 0;
+  if (opt.dict && core_usable) {
     const netlist::Netlist core =
         raw.dff_count() > 0 ? netlist::full_scan_transform(raw) : raw;
     const auto subject = build_dictionary_subject(core, opt);
     analysis::AnalysisInput dict_in;
     dict_in.dictionary = &subject;
     report.merge(analyzer.run(dict_in));
+  }
+  if (opt.diagnosability && core_usable) {
+    const auto bundle = build_diagnosability_bundle(raw, opt);
+    analysis::AnalysisInput diag_in;
+    diag_in.diagnosability = &bundle.subject;
+    // Caller-owned context: the DIAG rules and the JSON report below share
+    // one sensitization-facts computation.
+    const analysis::PassContext ctx(diag_in);
+    report.merge(analyzer.run(ctx));
+    if (diag_json != nullptr) {
+      *diag_json = analysis::diagnosability_report_json(
+          bundle.subject, ctx.sensitization_facts());
+    }
   }
   return report;
 }
@@ -205,6 +272,10 @@ int main(int argc, char** argv) {
       opt.json = true;
     } else if (arg == "--dict") {
       opt.dict = true;
+    } else if (arg == "--diagnosability") {
+      opt.diagnosability = true;
+    } else if (arg == "--coverage-threshold") {
+      opt.coverage_threshold = std::atof(next());
     } else if (arg == "--list") {
       list = true;
     } else if (arg == "--catalog") {
@@ -256,19 +327,28 @@ int main(int argc, char** argv) {
     const auto& [name, is_catalog] = expanded[t];
     analysis::Report report;
     std::string circuit_name = name;
+    std::string diag_json;
     try {
       const auto nl = load_target(name, is_catalog, opt);
       circuit_name = nl.name();
-      report = lint_one(nl, analyzer, opt);
+      report = lint_one(nl, analyzer, opt, opt.json ? &diag_json : nullptr);
     } catch (const std::exception& e) {
       std::fprintf(stderr, "error: %s: %s\n", name.c_str(), e.what());
       return 2;
     }
     total_errors += report.error_count();
     if (opt.json) {
-      std::printf("    {\"name\": \"%s\", \"report\": %s}%s\n",
-                  circuit_name.c_str(), report.to_json().c_str(),
-                  t + 1 < expanded.size() ? "," : "");
+      if (diag_json.empty()) {
+        std::printf("    {\"name\": \"%s\", \"report\": %s}%s\n",
+                    circuit_name.c_str(), report.to_json().c_str(),
+                    t + 1 < expanded.size() ? "," : "");
+      } else {
+        std::printf(
+            "    {\"name\": \"%s\", \"report\": %s, \"diagnosability\": "
+            "%s}%s\n",
+            circuit_name.c_str(), report.to_json().c_str(), diag_json.c_str(),
+            t + 1 < expanded.size() ? "," : "");
+      }
     } else {
       std::printf("== %s ==\n%s", circuit_name.c_str(),
                   report.to_text().c_str());
