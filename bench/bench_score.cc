@@ -46,9 +46,11 @@
 #include "netlist/iscas_catalog.h"
 #include "netlist/levelize.h"
 #include "obs/atomic_file.h"
+#include "obs/ledger.h"
 #include "obs/log.h"
 #include "obs/metrics.h"
 #include "obs/obs.h"
+#include "obs/recorder.h"
 #include "runtime/parallel_for.h"
 #include "stats/rng.h"
 #include "stats/sample_vector.h"
@@ -272,11 +274,18 @@ int main(int argc, char** argv) {
                 cfg.scale, cfg.mc_samples, cfg.n_chips,
                 static_cast<unsigned long long>(cfg.seed), max_threads);
 
+  // One id per invocation: stamped into the JSON artifact, the ledger
+  // record and the flight recorder (see bench_table1 for the rationale).
+  const std::string run_id =
+      obs::new_invocation_run_id("bench_score", git_sha);
+  obs::Recorder::instance().set_run_id(run_id);
+
   const auto t0 = std::chrono::steady_clock::now();
   bool all_identical = true;
   std::ostringstream js;
   js << "{\n"
      << "  \"bench\": \"score\",\n"
+     << "  \"run_id\": \"" << run_id << "\",\n"
      << "  \"git_sha\": \"" << git_sha << "\",\n"
      << "  \"threads\": " << max_threads << ",\n"
      << "  \"scale\": " << cfg.scale << ",\n"
@@ -443,5 +452,32 @@ int main(int argc, char** argv) {
   }
   std::printf("total wall time: %.2fs; bit-identical: %s\n", total_seconds,
               all_identical ? "yes" : "NO");
+
+  if (!obs::ledger_out_path().empty()) {
+    obs::LedgerRecord rec;
+    rec.run_id = run_id;
+    rec.tool = "bench_score";
+    rec.git_sha = git_sha;
+    rec.seed = cfg.seed;
+    rec.threads = max_threads;
+    rec.mc_samples = cfg.mc_samples;
+    rec.n_chips = cfg.n_chips;
+    rec.wall_seconds = total_seconds;
+    for (const auto& name : cfg.circuits) {
+      if (!rec.circuit.empty()) rec.circuit.push_back(',');
+      rec.circuit += name;
+    }
+    rec.counters = obs::MetricsRegistry::instance().snapshot().counters;
+    rec.peak_rss_kb = obs::read_peak_rss_kb();
+    rec.result_path = json_path;
+    rec.unix_ms = static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::milliseconds>(
+            std::chrono::system_clock::now().time_since_epoch())
+            .count());
+    if (obs::append_ledger_record(obs::ledger_out_path(), rec)) {
+      SDDD_LOG_INFO("ledger: appended run %s to %s", rec.run_id.c_str(),
+                    obs::ledger_out_path().c_str());
+    }
+  }
   return all_identical ? 0 : 1;
 }

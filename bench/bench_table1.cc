@@ -31,8 +31,11 @@
 #include <string>
 
 #include "eval/table1.h"
+#include "obs/ledger.h"
 #include "obs/log.h"
+#include "obs/metrics.h"
 #include "obs/obs.h"
+#include "obs/recorder.h"
 #include "runtime/parallel_for.h"
 
 namespace {
@@ -100,6 +103,13 @@ int main(int argc, char** argv) {
     }
   }
 
+  // One id per invocation: stamped into the JSON artifact, the ledger
+  // record and the flight recorder, so a stale BENCH_table1.json can be
+  // told apart from a fresh one.
+  const std::string run_id =
+      sddd::obs::new_invocation_run_id("bench_table1", git_sha);
+  sddd::obs::Recorder::instance().set_run_id(run_id);
+
   SDDD_LOG_INFO("== Table I reproduction ==");
   SDDD_LOG_INFO("scale=%.2f samples=%zu chips=%zu seed=%llu threads=%zu",
                 config.scale, config.base.mc_samples, config.base.n_chips,
@@ -127,7 +137,7 @@ int main(int argc, char** argv) {
 
   if (!json_path.empty() &&
       sddd::eval::write_table1_json_file(json_path, config, result,
-                                         total_seconds, git_sha)) {
+                                         total_seconds, git_sha, run_id)) {
     SDDD_LOG_INFO("timings written to %s", json_path.c_str());
   }
 
@@ -135,6 +145,39 @@ int main(int argc, char** argv) {
     std::ofstream out(csv_path);
     out << result.to_csv();
     SDDD_LOG_INFO("csv written to %s", csv_path.c_str());
+  }
+
+  if (!sddd::obs::ledger_out_path().empty()) {
+    sddd::obs::LedgerRecord rec;
+    rec.run_id = run_id;
+    rec.tool = "bench_table1";
+    rec.git_sha = git_sha;
+    rec.seed = config.base.seed;
+    rec.threads = sddd::runtime::thread_count();
+    rec.mc_samples = config.base.mc_samples;
+    rec.n_chips = config.base.n_chips;
+    rec.wall_seconds = total_seconds;
+    for (const auto& exp : result.experiments) {
+      if (!rec.circuit.empty()) rec.circuit.push_back(',');
+      rec.circuit += exp.circuit_name;
+      rec.phases["setup_s"] += exp.phases.setup_seconds;
+      rec.phases["calibration_s"] += exp.phases.calibration_seconds;
+      rec.phases["trials_s"] += exp.phases.trials_seconds;
+      rec.phases["dict_build_cpu_s"] += exp.phases.dict_build_cpu_seconds;
+      rec.phases["score_cpu_s"] += exp.phases.score_cpu_seconds;
+    }
+    rec.counters =
+        sddd::obs::MetricsRegistry::instance().snapshot().counters;
+    rec.peak_rss_kb = sddd::obs::read_peak_rss_kb();
+    rec.result_path = json_path;
+    rec.unix_ms = static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::milliseconds>(
+            std::chrono::system_clock::now().time_since_epoch())
+            .count());
+    if (sddd::obs::append_ledger_record(sddd::obs::ledger_out_path(), rec)) {
+      SDDD_LOG_INFO("ledger: appended run %s to %s", rec.run_id.c_str(),
+                    sddd::obs::ledger_out_path().c_str());
+    }
   }
   return 0;
 }

@@ -6,6 +6,7 @@
 #include "diagnosis/score_kernel.h"
 #include "diagnosis/signature_matrix.h"
 #include "obs/metrics.h"
+#include "obs/recorder.h"
 #include "obs/trace.h"
 #include "paths/path_enum.h"
 #include "runtime/parallel_for.h"
@@ -35,6 +36,19 @@ obs::Counter& diag_suspects_counter() {
   static obs::Counter& c =
       obs::MetricsRegistry::instance().register_counter("diag.suspects");
   return c;
+}
+
+// Per-diagnosis wall latency shape (one sample per diagnosed chip); the
+// p50/p95/p99 summaries land in the metrics JSON.  Wall-clock valued, so
+// not part of any byte-identity contract.
+obs::Histogram& diag_chip_ms_histogram() {
+  static constexpr double kBoundsMs[] = {0.25, 0.5, 1,    2.5,  5,    10,
+                                         25,   50,  100,  250,  500,  1000,
+                                         2500, 5000};
+  static obs::Histogram& h = obs::MetricsRegistry::instance()
+                                 .register_histogram("diag.chip_ms",
+                                                     kBoundsMs);
+  return h;
 }
 
 }  // namespace
@@ -90,6 +104,7 @@ DiagnosisResult Diagnoser::diagnose(
   if (B.pattern_count() != patterns.size()) {
     throw std::invalid_argument("Diagnoser: behavior/pattern size mismatch");
   }
+  const std::uint64_t t0 = obs::now_ns();
   DiagnosisResult result;
   result.methods.assign(methods.begin(), methods.end());
   result.suspects = extract_suspects(patterns, B);
@@ -130,6 +145,10 @@ DiagnosisResult Diagnoser::diagnose(
       result.keys[m][s] = acc[m][s].ranking_key(n_patterns);
     }
   }
+  diag_chip_ms_histogram().record(static_cast<double>(obs::now_ns() - t0) *
+                                  1e-6);
+  obs::Recorder::instance().record(obs::EventKind::kDiagnose, "",
+                                   B.failure_count(), n_suspects, n_patterns);
   return result;
 }
 

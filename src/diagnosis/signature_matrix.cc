@@ -4,6 +4,7 @@
 #include <new>
 
 #include "obs/metrics.h"
+#include "obs/recorder.h"
 
 namespace sddd::diagnosis {
 
@@ -204,6 +205,13 @@ void SignatureCache::columns(const logicsim::PatternPair& pattern,
   sig_cache_misses_counter().add(built);
   bytes_.fetch_add(built_bytes, std::memory_order_relaxed);
   sig_cache_bytes_counter().add(built_bytes);
+  if (built != 0) {
+    // One breadcrumb per miss *batch*, not per column: which caller built
+    // a shared column is schedule-dependent, so these events are excluded
+    // from the deterministic-merge contract (DESIGN.md section 14).
+    obs::Recorder::instance().record(obs::EventKind::kCacheMiss, "sig", built,
+                                     built_bytes);
+  }
 }
 
 SignatureCache::Stats SignatureCache::stats() const {

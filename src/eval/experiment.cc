@@ -1,6 +1,7 @@
 #include "eval/experiment.h"
 
 #include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <memory>
 #include <optional>
@@ -18,6 +19,8 @@
 #include "obs/faults.h"
 #include "obs/log.h"
 #include "obs/metrics.h"
+#include "obs/obs.h"
+#include "obs/recorder.h"
 #include "obs/trace.h"
 #include "runtime/cancel.h"
 #include "runtime/parallel_for.h"
@@ -172,6 +175,19 @@ obs::Counter& run_resumed_counter() {
   static obs::Counter& c =
       obs::MetricsRegistry::instance().register_counter("run.resumed_trials");
   return c;
+}
+
+// Per-trial wall-clock latency shape; the p50/p95/p99 summaries land in
+// the metrics JSON for `sddd_cli report` to compare.  Wall-clock valued,
+// so deliberately NOT part of any byte-identity contract.
+obs::Histogram& trial_ms_histogram() {
+  static constexpr double kBoundsMs[] = {1,    2.5,   5,     10,    25,
+                                         50,   100,   250,   500,   1000,
+                                         2500, 5000,  10000, 30000};
+  static obs::Histogram& h = obs::MetricsRegistry::instance()
+                                 .register_histogram("exp.trial_ms",
+                                                     kBoundsMs);
+  return h;
 }
 
 /// Everything run_diagnosis_experiment builds before the trial loop: the
@@ -437,6 +453,13 @@ ExperimentResult run_diagnosis_experiment(const Netlist& nl,
   result.circuit_name = nl.name();
   result.clk = S.clk;
 
+  // The run's identity: the same 16-hex fingerprint the checkpoint
+  // journal, result JSON and manifest carry.  Stamp it into the flight
+  // recorder up front so a postmortem dumped mid-run cross-links to the
+  // run's other artifacts.
+  const std::uint64_t fp = experiment_fingerprint(result.circuit_name, config);
+  obs::Recorder::instance().set_run_id(introspect::to_hex64(fp));
+
   // Trials are independent: each one derives its RNG stream purely from
   // (config.seed, trial index) - no shared sequential generator - and
   // writes only its own pre-reserved TrialRecord slot, so the trial order
@@ -453,8 +476,6 @@ ExperimentResult run_diagnosis_experiment(const Netlist& nl,
   std::vector<char> done(config.n_chips, 0);
   std::unique_ptr<CheckpointWriter> journal;
   if (!config.checkpoint_path.empty()) {
-    const std::uint64_t fp =
-        experiment_fingerprint(result.circuit_name, config);
     std::uint64_t valid_bytes = 0;
     bool write_header = true;
     if (config.resume) {
@@ -497,16 +518,21 @@ ExperimentResult run_diagnosis_experiment(const Netlist& nl,
   // never takes the experiment down; a deadline expiry skips trials (not
   // journaled, so --resume re-runs them); only a hard cancel propagates.
   const std::uint64_t trials_t0 = obs::now_ns();
+  std::atomic<bool> deadline_fired{false};
   runtime::parallel_for(config.n_chips, [&](std::size_t trial) {
     if (done[trial]) return;
     TrialRecord record;
     record.rank_of_true.assign(config.methods.size(), -1);
     const runtime::CancelToken* token = runtime::current_cancel_token();
     if (token != nullptr && token->deadline_passed()) {
+      obs::Recorder::instance().record(obs::EventKind::kDeadline, "", trial);
+      deadline_fired.store(true, std::memory_order_relaxed);
       record.status = TrialStatus::kSkipped;
       result.trials[trial] = std::move(record);
       return;
     }
+    obs::Recorder::instance().record(obs::EventKind::kTrialBegin, "", trial);
+    const std::uint64_t trial_t0 = obs::now_ns();
     bool journal_this = journal != nullptr;
     const auto reset_record = [&] {
       record = TrialRecord{};
@@ -524,25 +550,38 @@ ExperimentResult run_diagnosis_experiment(const Netlist& nl,
       reset_record();
       record.status = TrialStatus::kSkipped;
       journal_this = false;
+      obs::Recorder::instance().record(obs::EventKind::kDeadline, "", trial);
+      deadline_fired.store(true, std::memory_order_relaxed);
     } catch (const Error& e) {
       reset_record();
       record.status = TrialStatus::kQuarantined;
       record.error_code = e.code();
       record.error_message = e.what();
       trial_quarantined_counter().add(1);
+      obs::Recorder::instance().record(obs::EventKind::kTrialError,
+                                       error_code_name(e.code()), trial);
       SDDD_LOG_WARN("%s: trial %zu quarantined [%s]: %s", nl.name().c_str(),
                     trial,
                     std::string(error_code_name(e.code())).c_str(),
                     e.what());
+      obs::dump_postmortem("trial_quarantined");
     } catch (const std::exception& e) {
       reset_record();
       record.status = TrialStatus::kQuarantined;
       record.error_code = ErrorCode::kInternal;
       record.error_message = e.what();
       trial_quarantined_counter().add(1);
+      obs::Recorder::instance().record(obs::EventKind::kTrialError, "internal",
+                                       trial);
       SDDD_LOG_WARN("%s: trial %zu quarantined [internal]: %s",
                     nl.name().c_str(), trial, e.what());
+      obs::dump_postmortem("trial_quarantined");
     }
+    trial_ms_histogram().record(
+        static_cast<double>(obs::now_ns() - trial_t0) * 1e-6);
+    obs::Recorder::instance().record(
+        obs::EventKind::kTrialEnd, "", trial,
+        static_cast<std::uint64_t>(record.status));
     result.trials[trial] = std::move(record);
     if (journal_this) {
       try {
@@ -556,6 +595,9 @@ ExperimentResult run_diagnosis_experiment(const Netlist& nl,
     }
   });
   if (journal) journal->flush();
+  if (deadline_fired.load(std::memory_order_relaxed)) {
+    obs::dump_postmortem("deadline");
+  }
   result.degraded = result.skipped_trials() > 0;
   result.wall_seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() -

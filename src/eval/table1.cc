@@ -117,9 +117,11 @@ std::string Table1Result::to_string() const {
 
 void write_table1_json(std::ostream& os, const Table1Config& config,
                        const Table1Result& result, double total_seconds,
-                       const std::string& git_sha) {
+                       const std::string& git_sha,
+                       const std::string& run_id) {
   os << "{\n"
      << "  \"bench\": \"table1\",\n"
+     << "  \"run_id\": \"" << run_id << "\",\n"
      << "  \"git_sha\": \"" << git_sha << "\",\n"
      << "  \"threads\": " << runtime::thread_count() << ",\n"
      << "  \"scale\": " << config.scale << ",\n"
@@ -178,12 +180,13 @@ void write_table1_json(std::ostream& os, const Table1Config& config,
 bool write_table1_json_file(const std::string& path,
                             const Table1Config& config,
                             const Table1Result& result, double total_seconds,
-                            const std::string& git_sha) {
+                            const std::string& git_sha,
+                            const std::string& run_id) {
   // Atomic (temp + rename): a crash or injected fault mid-write leaves
   // either the previous artifact or none - never a truncated JSON that a
   // downstream plot script would half-parse.
   std::ostringstream os;
-  write_table1_json(os, config, result, total_seconds, git_sha);
+  write_table1_json(os, config, result, total_seconds, git_sha, run_id);
   return obs::atomic_write_file(path, os.str());
 }
 

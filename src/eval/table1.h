@@ -63,18 +63,22 @@ struct Table1Result {
 Table1Result run_table1(const Table1Config& config);
 
 /// The one BENCH_table1.json writer: every benchmark record (N-thread and
-/// serial alike) goes through here, so `threads`, `git_sha` and the
-/// per-circuit `phases` object are stamped identically in all of them.
-/// `threads` is read from runtime::thread_count() at call time.
+/// serial alike) goes through here, so `threads`, `git_sha`, `run_id` and
+/// the per-circuit `phases` object are stamped identically in all of them.
+/// `threads` is read from runtime::thread_count() at call time.  `run_id`
+/// is the per-invocation 16-hex id (obs/ledger.h) that lets
+/// append_bench_history.py refuse to double-append a stale artifact.
 void write_table1_json(std::ostream& os, const Table1Config& config,
                        const Table1Result& result, double total_seconds,
-                       const std::string& git_sha);
+                       const std::string& git_sha,
+                       const std::string& run_id = "");
 
 /// write_table1_json into `path`; false (with a warn log) when the file
 /// cannot be opened.
 bool write_table1_json_file(const std::string& path,
                             const Table1Config& config,
                             const Table1Result& result, double total_seconds,
-                            const std::string& git_sha);
+                            const std::string& git_sha,
+                            const std::string& run_id = "");
 
 }  // namespace sddd::eval

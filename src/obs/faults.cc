@@ -9,6 +9,7 @@
 
 #include "obs/error.h"
 #include "obs/metrics.h"
+#include "obs/recorder.h"
 
 namespace sddd::obs {
 
@@ -178,6 +179,10 @@ bool fault_at(std::string_view site, std::uint64_t k) {
   const Selector* sel = spec->find(site);
   if (sel == nullptr || !sel->matches(k)) return false;
   fault_injected_counter().add(1);
+  // Leave a breadcrumb in the flight recorder: the site and occurrence
+  // index are exactly the (schedule-independent) coordinates a postmortem
+  // needs to replay the failure.
+  Recorder::instance().record(EventKind::kFaultInjected, site, k);
   return true;
 }
 

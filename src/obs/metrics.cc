@@ -129,6 +129,37 @@ void write_json_string(std::ostream& os, std::string_view s) {
 
 }  // namespace
 
+std::uint64_t MetricsSnapshot::HistogramData::total() const {
+  std::uint64_t n = 0;
+  for (const std::uint64_t c : counts) n += c;
+  return n;
+}
+
+double MetricsSnapshot::HistogramData::quantile(double q) const {
+  const std::uint64_t n = total();
+  if (n == 0 || counts.empty()) return 0.0;
+  if (q < 0.0) q = 0.0;
+  if (q > 1.0) q = 1.0;
+  const double target = q * static_cast<double>(n);
+  std::uint64_t cumulative = 0;
+  for (std::size_t i = 0; i < counts.size(); ++i) {
+    const std::uint64_t in_bucket = counts[i];
+    if (in_bucket == 0) continue;
+    const double reached = static_cast<double>(cumulative + in_bucket);
+    if (reached >= target) {
+      if (i >= bounds.size()) return bounds.empty() ? 0.0 : bounds.back();
+      const double lo = i == 0 ? 0.0 : bounds[i - 1];
+      const double hi = bounds[i];
+      const double fraction =
+          (target - static_cast<double>(cumulative)) /
+          static_cast<double>(in_bucket);
+      return lo + fraction * (hi - lo);
+    }
+    cumulative += in_bucket;
+  }
+  return bounds.empty() ? 0.0 : bounds.back();
+}
+
 void MetricsSnapshot::write_json(std::ostream& os) const {
   os << "{\n  \"counters\": {";
   bool first = true;
@@ -160,7 +191,9 @@ void MetricsSnapshot::write_json(std::ostream& os) const {
     for (std::size_t i = 0; i < h.counts.size(); ++i) {
       os << (i ? ", " : "") << h.counts[i];
     }
-    os << "]}";
+    os << "], \"total\": " << h.total() << ", \"p50\": " << h.quantile(0.50)
+       << ", \"p95\": " << h.quantile(0.95) << ", \"p99\": " << h.quantile(0.99)
+       << "}";
   }
   os << (first ? "}" : "\n  }") << "\n}\n";
 }

@@ -143,6 +143,16 @@ struct MetricsSnapshot {
   struct HistogramData {
     std::vector<double> bounds;
     std::vector<std::uint64_t> counts;  ///< bounds.size() + 1 entries
+
+    std::uint64_t total() const;  ///< sum of all bucket counts
+
+    /// Bucket-interpolated quantile estimate for q in [0, 1]: walks the
+    /// cumulative counts to the target rank and interpolates linearly
+    /// inside the bucket (the first bucket spans [0, bounds[0]]).  Values
+    /// in the overflow bucket clamp to the last bound, so p99 of a
+    /// histogram whose tail escaped the bounds reads as ">= last bound".
+    /// Returns 0 for an empty histogram.
+    double quantile(double q) const;
   };
 
   std::map<std::string, std::uint64_t> counters;

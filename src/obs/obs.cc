@@ -2,10 +2,14 @@
 
 #include <cstdlib>
 #include <cstring>
+#include <exception>
 #include <string>
+#include <utility>
 
+#include "obs/atomic_file.h"
 #include "obs/log.h"
 #include "obs/metrics.h"
+#include "obs/recorder.h"
 #include "obs/trace.h"
 
 namespace sddd::obs {
@@ -14,7 +18,18 @@ namespace {
 
 std::string g_trace_out;
 std::string g_metrics_out;
+std::string g_ledger_out;
+std::string g_postmortem_out;
 bool g_flushed = false;
+std::terminate_handler g_prev_terminate = nullptr;
+
+/// std::terminate with a postmortem path configured: leave a bundle behind
+/// before dying, so aborts are debuggable after the fact.
+[[noreturn]] void terminate_with_postmortem() {
+  dump_postmortem("terminate");
+  if (g_prev_terminate != nullptr) g_prev_terminate();
+  std::abort();
+}
 
 /// "0"/"" -> off (empty), "1" -> `fallback`, anything else is a path.
 std::string resolve_env_output(const char* var, const char* fallback) {
@@ -42,12 +57,20 @@ void configure_observability_from_args(int* argc, char** argv) {
   std::string trace_out = resolve_env_output("SDDD_TRACE", "sddd_trace.json");
   std::string metrics_out =
       resolve_env_output("SDDD_METRICS", "sddd_metrics.json");
+  std::string ledger_out =
+      resolve_env_output("SDDD_LEDGER", "sddd_ledger.jsonl");
+  std::string postmortem_out =
+      resolve_env_output("SDDD_POSTMORTEM", "sddd_postmortem.json");
 
   for (int i = 1; i < *argc;) {
     if (std::strcmp(argv[i], "--trace-out") == 0) {
       if (const char* v = take_flag_value(argc, argv, i)) trace_out = v;
     } else if (std::strcmp(argv[i], "--metrics-out") == 0) {
       if (const char* v = take_flag_value(argc, argv, i)) metrics_out = v;
+    } else if (std::strcmp(argv[i], "--ledger") == 0) {
+      if (const char* v = take_flag_value(argc, argv, i)) ledger_out = v;
+    } else if (std::strcmp(argv[i], "--postmortem-out") == 0) {
+      if (const char* v = take_flag_value(argc, argv, i)) postmortem_out = v;
     } else if (std::strcmp(argv[i], "--log-level") == 0) {
       const char* v = take_flag_value(argc, argv, i);
       LogLevel level = LogLevel::kInfo;
@@ -64,6 +87,8 @@ void configure_observability_from_args(int* argc, char** argv) {
 
   g_trace_out = std::move(trace_out);
   g_metrics_out = std::move(metrics_out);
+  g_ledger_out = std::move(ledger_out);
+  set_postmortem_out_path(std::move(postmortem_out));
   g_flushed = false;
 
   if (!g_trace_out.empty()) {
@@ -114,12 +139,45 @@ void flush_observability_outputs() {
 
 const std::string& trace_out_path() { return g_trace_out; }
 const std::string& metrics_out_path() { return g_metrics_out; }
+const std::string& ledger_out_path() { return g_ledger_out; }
+const std::string& postmortem_out_path() { return g_postmortem_out; }
+
+void set_ledger_out_path(std::string path) { g_ledger_out = std::move(path); }
+
+void set_postmortem_out_path(std::string path) {
+  g_postmortem_out = std::move(path);
+  if (!g_postmortem_out.empty() && g_prev_terminate == nullptr) {
+    // Touch the singletons the handler needs so they outlive static
+    // destruction ordering (same trick as the atexit flush below).
+    Recorder::instance();
+    MetricsRegistry::instance();
+    g_prev_terminate = std::set_terminate(terminate_with_postmortem);
+  }
+}
+
+bool dump_postmortem(std::string_view reason) {
+  if (g_postmortem_out.empty()) return false;
+  const std::string bundle = Recorder::instance().postmortem_json(reason);
+  if (!atomic_write_file(g_postmortem_out, bundle)) {
+    SDDD_LOG_ERROR("failed to write postmortem to %s",
+                   g_postmortem_out.c_str());
+    return false;
+  }
+  SDDD_LOG_INFO("wrote postmortem (%s) to %s", std::string(reason).c_str(),
+                g_postmortem_out.c_str());
+  return true;
+}
 
 const char* observability_usage() {
   return "  --trace-out FILE    capture a Chrome trace (open in Perfetto)\n"
          "  --metrics-out FILE  write the metrics snapshot JSON at exit\n"
          "  --log-level LEVEL   error | warn | info | debug (default info)\n"
-         "  (env fallbacks: SDDD_TRACE, SDDD_METRICS, SDDD_LOG)\n";
+         "  --ledger FILE       append a run-ledger record (see sddd_cli "
+         "report)\n"
+         "  --postmortem-out FILE  write flight-recorder postmortems on "
+         "quarantine/abort\n"
+         "  (env fallbacks: SDDD_TRACE, SDDD_METRICS, SDDD_LOG, SDDD_LEDGER, "
+         "SDDD_POSTMORTEM)\n";
 }
 
 }  // namespace sddd::obs

@@ -6,13 +6,21 @@
 // environment variables, and registers an atexit flush so a run that
 // returns from main (or std::exit()s) still lands its capture files:
 //
-//   --trace-out FILE     enable the tracer, write Chrome trace JSON to FILE
-//   --metrics-out FILE   write the metrics snapshot JSON to FILE at exit
-//   --log-level LEVEL    error | warn | info | debug
+//   --trace-out FILE      enable the tracer, write Chrome trace JSON to FILE
+//   --metrics-out FILE    write the metrics snapshot JSON to FILE at exit
+//   --log-level LEVEL     error | warn | info | debug
+//   --ledger FILE         append one run-ledger record (obs/ledger.h) to FILE
+//   --postmortem-out FILE write flight-recorder postmortem bundles to FILE
 //
 //   SDDD_TRACE           "0"/"" off; "1" -> sddd_trace.json; else a path
 //   SDDD_METRICS         "0"/"" off; "1" -> sddd_metrics.json; else a path
 //   SDDD_LOG             log threshold (see obs/log.h)
+//   SDDD_LEDGER          "0"/"" off; "1" -> sddd_ledger.jsonl; else a path
+//   SDDD_POSTMORTEM      "0"/"" off; "1" -> sddd_postmortem.json; else a path
+//
+// When a postmortem path is configured, a std::terminate handler is also
+// installed so an uncaught exception or abort still leaves a bundle of the
+// flight recorder's last events behind.
 //
 // Flags win over environment variables.  Asking for a trace in a build
 // compiled with -DSDDD_TRACE=OFF logs a warning instead of silently
@@ -20,6 +28,7 @@
 #pragma once
 
 #include <string>
+#include <string_view>
 
 namespace sddd::obs {
 
@@ -38,6 +47,19 @@ void flush_observability_outputs();
 /// the file in their own output.
 const std::string& trace_out_path();
 const std::string& metrics_out_path();
+const std::string& ledger_out_path();
+const std::string& postmortem_out_path();
+
+/// Overrides for tests and for binaries that pick the paths themselves
+/// (the bench mains).  An empty string disables the output.
+void set_ledger_out_path(std::string path);
+void set_postmortem_out_path(std::string path);
+
+/// Atomically writes Recorder::instance().postmortem_json(reason) to the
+/// configured postmortem path.  Returns false (quietly) when no path is
+/// configured, false (with a log line) when the write fails.  Safe to call
+/// repeatedly -- each call overwrites the bundle with a fresher one.
+bool dump_postmortem(std::string_view reason);
 
 /// The usage text block describing the shared flags, for --help printers.
 const char* observability_usage();

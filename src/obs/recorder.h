@@ -1,0 +1,104 @@
+// recorder.h - The flight recorder: always-on, lock-cheap per-thread ring
+// buffers of small structured events, dumped as a postmortem bundle when
+// something goes wrong (a trial is quarantined, a deadline fires, the
+// process aborts via std::terminate).
+//
+// Design rules:
+//   * Recording must be cheap enough to leave on in benchmarks: one
+//     uncontended per-thread mutex acquire and a 40-byte POD store into a
+//     fixed 512-slot ring (the oldest event is overwritten, never
+//     allocated).  No strings, no formatting on the hot path.
+//   * Events carry only SCHEDULE-INDEPENDENT payloads (trial index, error
+//     code, fault occurrence index, suspect arc id) so the merged event
+//     list is a deterministic function of the run, not of thread count --
+//     as long as no ring overflowed (at >512 events/thread, which ring
+//     kept which events depends on how work was partitioned).
+//   * The merge sorts by (kind, detail, key, a, b): a canonical order that
+//     needs no cross-thread timestamps, keeping the bit-identical-at-any-
+//     thread-count invariant for the bundles the tests compare.
+//
+// The postmortem bundle (see dump_postmortem in obs.h) pairs the merged
+// events with the run_id (cross-linking the run's manifest / result JSON /
+// checkpoint journal) and a full metrics snapshot.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace sddd::obs {
+
+enum class EventKind : std::uint8_t {
+  kTrialBegin = 0,   ///< key = trial index
+  kTrialEnd = 1,     ///< key = trial index, a = TrialStatus
+  kTrialError = 2,   ///< key = trial index, detail = error-taxonomy code
+  kFaultInjected = 3,  ///< detail = fault site, key = occurrence index
+  kCacheMiss = 4,    ///< key = columns built in a signature-cache miss
+  kDeadline = 5,     ///< key = trial index the deadline cut off
+  kDiagnose = 6,     ///< key = failing patterns, a = suspects, b = patterns
+};
+
+/// Stable lower-case dotted name ("trial.begin", "fault.injected", ...).
+const char* event_kind_name(EventKind kind);
+
+struct RecorderEvent {
+  std::uint64_t key = 0;
+  std::uint64_t a = 0;
+  std::uint64_t b = 0;
+  char detail[15] = {};  ///< short NUL-terminated tag; truncated to fit
+  EventKind kind = EventKind::kTrialBegin;
+};
+
+class Recorder {
+ public:
+  /// Slots per thread; older events are overwritten ("last N wins").
+  static constexpr std::size_t kRingCapacity = 512;
+  /// Cap on events embedded in one postmortem bundle (tail of the sorted
+  /// merge; the bundle reports how many were elided).
+  static constexpr std::size_t kMaxPostmortemEvents = 2048;
+
+  static Recorder& instance();
+
+  /// Records one event into the calling thread's ring.  Never throws,
+  /// never allocates after the ring exists.
+  void record(EventKind kind, std::string_view detail, std::uint64_t key,
+              std::uint64_t a = 0, std::uint64_t b = 0) noexcept;
+
+  /// The run_id stamped into postmortem bundles; set by
+  /// run_diagnosis_experiment (and the bench mains) as soon as the
+  /// fingerprint is known.
+  void set_run_id(std::string run_id);
+  std::string run_id() const;
+
+  /// Every live ring's contents in the canonical deterministic order.
+  std::vector<RecorderEvent> merged_events() const;
+
+  /// The merged events rendered as a JSON array (exactly the "events"
+  /// value inside a postmortem bundle) -- handy for byte-equality tests.
+  std::string merged_events_json() const;
+
+  /// The full postmortem bundle: run_id, reason, merged events, drop
+  /// accounting and a metrics snapshot.
+  std::string postmortem_json(std::string_view reason) const;
+
+  std::uint64_t recorded_count() const;  ///< total record() calls
+  std::uint64_t dropped_count() const;   ///< ring slots overwritten
+
+  /// Empties every ring and the counts (tests only; rings stay registered).
+  void clear();
+
+ private:
+  Recorder() = default;
+  struct Ring;
+  Ring& local_ring();
+
+  mutable std::mutex mu_;  ///< guards rings_ registration and iteration
+  std::vector<std::shared_ptr<Ring>> rings_;
+  mutable std::mutex run_id_mu_;
+  std::string run_id_;
+};
+
+}  // namespace sddd::obs

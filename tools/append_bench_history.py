@@ -6,16 +6,23 @@
     append_bench_history.py --check BENCH_history.jsonl
 
 Each history line is one compact JSON object per benchmark run: the git
-SHA under test, the thread count, the workload knobs, the total wall time
-and a per-circuit summary.  bench_table1 records carry per-phase wall
-splits; bench_score records (marked "bench": "score") carry the
-scalar-vs-kernel scoring times and the headline speedup per thread width.
-BENCH_table1.json / BENCH_score.json only ever hold the latest run; the
-history file is what makes the perf trajectory inspectable PR over PR
-(and greppable by git SHA).
+SHA under test, the run_id stamped by the bench binary, the thread count,
+the workload knobs, the total wall time and a per-circuit summary.
+bench_table1 records carry per-phase wall splits; bench_score records
+(marked "bench": "score") carry the scalar-vs-kernel scoring times and the
+headline speedup per thread width.  BENCH_table1.json / BENCH_score.json
+only ever hold the latest run; the history file is what makes the perf
+trajectory inspectable PR over PR (and what tools/check_bench_regression.py
+gates CI on).
 
-Appending is the benchmark harness's job (run_benchmarks.sh); --check is
-the CI gate that keeps the accumulated file parseable.
+Appending is guarded three ways:
+  * the candidate record is schema-validated BEFORE anything is written;
+  * malformed lines already in the history are skipped with a warning (they
+    never poison an append), while --check still fails CI on them;
+  * a candidate whose run_id equals the history tail's run_id is refused
+    (exit 1) -- that is a stale BENCH_*.json being appended twice -- and an
+    exact duplicate of any existing (git_sha, bench, threads) record is
+    skipped quietly (exit 0) instead of double-appending.
 """
 
 import json
@@ -43,6 +50,7 @@ def score_record(score):
     return {
         "bench": "score",
         "bit_identical": score.get("bit_identical"),
+        "run_id": score.get("run_id", ""),
         "git_sha": score.get("git_sha", "unknown"),
         "threads": score.get("threads"),
         "scale": score.get("scale"),
@@ -66,6 +74,7 @@ def history_record(table1):
             "trials_s": ph.get("trials_s"),
         }
     return {
+        "run_id": table1.get("run_id", ""),
         "git_sha": table1.get("git_sha", "unknown"),
         "threads": table1.get("threads"),
         "scale": table1.get("scale"),
@@ -76,10 +85,89 @@ def history_record(table1):
     }
 
 
-def cmd_append(table1_path, history_path):
-    with open(table1_path) as f:
-        table1 = json.load(f)
-    record = history_record(table1)
+def validate_record(record):
+    """Schema problems as a list of strings; empty means appendable."""
+    problems = []
+    for key in REQUIRED_KEYS:
+        if key not in record or record[key] is None:
+            problems.append(f"missing key {key!r}")
+    if not isinstance(record.get("circuits"), dict) or not record["circuits"]:
+        problems.append("circuits must be a non-empty object")
+    for key in ("threads", "samples", "chips"):
+        if key in record and record[key] is not None:
+            if not isinstance(record[key], int) or record[key] < 0:
+                problems.append(f"{key} must be a non-negative integer")
+    for key in ("scale", "total_seconds"):
+        if key in record and record[key] is not None:
+            if not isinstance(record[key], (int, float)):
+                problems.append(f"{key} must be a number")
+    run_id = record.get("run_id", "")
+    if run_id and (len(run_id) != 16
+                   or any(ch not in "0123456789abcdef" for ch in run_id)):
+        problems.append("run_id must be 16 lower-case hex digits")
+    return problems
+
+
+def load_history(history_path):
+    """Valid records from the history; malformed lines warn, never fail."""
+    records = []
+    try:
+        with open(history_path) as f:
+            lines = f.read().splitlines()
+    except FileNotFoundError:
+        return records
+    for lineno, line in enumerate(lines, 1):
+        if not line.strip():
+            continue
+        try:
+            record = json.loads(line)
+        except json.JSONDecodeError as e:
+            print(f"warning: {history_path}:{lineno}: skipping malformed "
+                  f"line ({e})", file=sys.stderr)
+            continue
+        if not isinstance(record, dict):
+            print(f"warning: {history_path}:{lineno}: skipping non-object "
+                  f"line", file=sys.stderr)
+            continue
+        records.append(record)
+    return records
+
+
+def cmd_append(artifact_path, history_path):
+    with open(artifact_path) as f:
+        artifact = json.load(f)
+    record = history_record(artifact)
+    problems = validate_record(record)
+    if problems:
+        for p in problems:
+            print(f"error: {artifact_path}: {p}", file=sys.stderr)
+        print(f"error: refusing to append invalid record to {history_path}",
+              file=sys.stderr)
+        return 1
+
+    existing = load_history(history_path)
+    run_id = record.get("run_id", "")
+    if run_id and existing:
+        tail = existing[-1]
+        if tail.get("run_id", "") == run_id:
+            print(f"error: {artifact_path} run_id {run_id} is already the "
+                  f"tail of {history_path}; looks like a stale artifact "
+                  f"being appended twice -- re-run the benchmark first",
+                  file=sys.stderr)
+            return 1
+    for old in existing:
+        if (old.get("git_sha"), old.get("bench", "table1"),
+                old.get("threads")) != (record.get("git_sha"),
+                                        record.get("bench", "table1"),
+                                        record.get("threads")):
+            continue
+        if old == record or (run_id and old.get("run_id", "") == run_id):
+            print(f"skipping exact duplicate of ({record.get('git_sha')}, "
+                  f"{record.get('bench', 'table1')}, "
+                  f"{record.get('threads')} threads); already in "
+                  f"{history_path}")
+            return 0
+
     with open(history_path, "a") as f:
         f.write(json.dumps(record, sort_keys=True) + "\n")
     print(f"appended {record['git_sha']} ({record['threads']} threads, "

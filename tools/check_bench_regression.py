@@ -1,0 +1,167 @@
+#!/usr/bin/env python3
+"""Perf-regression sentry: gate CI on the benchmark history.
+
+    check_bench_regression.py --history BENCH_history.jsonl [--last K]
+                              [--threshold 1.5] [--window 5]
+                              [--min-baseline 2] [--inject-slowdown F]
+
+The last K history records (default 3: the table1 serial, table1 parallel
+and score runs one run_benchmarks.sh invocation appends) are treated as
+CANDIDATES.  Each candidate is compared against a rolling BASELINE: the
+median total_seconds of up to --window earlier records with the same
+workload shape -- same (bench, threads, scale, samples, chips) tuple --
+so a 4-thread run is never judged against a 1-thread baseline and a
+--scale 1.0 run never against a laptop-scale one.
+
+Exit codes:
+  0  every candidate is within --threshold x its baseline median, or has
+     fewer than --min-baseline comparable prior records (warned, not
+     failed: a brand-new workload shape cannot regress against nothing);
+  1  at least one candidate exceeds threshold x baseline;
+  2  usage or I/O error.
+
+--inject-slowdown F multiplies every candidate's timings by F before
+comparison.  It exists purely so CI can prove the gate actually fires:
+ci.sh runs the sentry once normally (must pass) and once with
+--inject-slowdown 2.0 (must fail).  It is never used on real data.
+"""
+
+import argparse
+import json
+import statistics
+import sys
+
+
+def load_history(path):
+    records = []
+    try:
+        with open(path) as f:
+            lines = f.read().splitlines()
+    except OSError as e:
+        print(f"error: cannot read {path}: {e}", file=sys.stderr)
+        return None
+    for lineno, line in enumerate(lines, 1):
+        if not line.strip():
+            continue
+        try:
+            rec = json.loads(line)
+        except json.JSONDecodeError as e:
+            print(f"warning: {path}:{lineno}: skipping malformed line ({e})",
+                  file=sys.stderr)
+            continue
+        if not isinstance(rec, dict) or not isinstance(
+                rec.get("total_seconds"), (int, float)):
+            print(f"warning: {path}:{lineno}: skipping record without "
+                  f"numeric total_seconds", file=sys.stderr)
+            continue
+        records.append(rec)
+    return records
+
+
+def shape_key(rec):
+    """Workload shape: only like-for-like runs are comparable."""
+    return (rec.get("bench", "table1"), rec.get("threads"),
+            rec.get("scale"), rec.get("samples"), rec.get("chips"))
+
+
+def describe(rec):
+    key = shape_key(rec)
+    run_id = rec.get("run_id") or "-"
+    return (f"{key[0]} @{key[1]} threads (scale={key[2]}, "
+            f"samples={key[3]}, chips={key[4]}, sha={rec.get('git_sha')}, "
+            f"run {run_id})")
+
+
+def circuit_seconds(rec):
+    """{circuit: seconds} for the per-circuit breakdown lines."""
+    out = {}
+    circuits = rec.get("circuits")
+    if isinstance(circuits, dict):
+        for name, c in circuits.items():
+            if isinstance(c, dict) and isinstance(c.get("seconds"),
+                                                  (int, float)):
+                out[name] = c["seconds"]
+    return out
+
+
+def main(argv):
+    ap = argparse.ArgumentParser(
+        description="fail when fresh benchmark runs regress vs the rolling "
+                    "baseline in BENCH_history.jsonl")
+    ap.add_argument("--history", default="BENCH_history.jsonl")
+    ap.add_argument("--last", type=int, default=3, metavar="K",
+                    help="treat the last K records as candidates (default 3)")
+    ap.add_argument("--threshold", type=float, default=1.5,
+                    help="fail when candidate > threshold x baseline median "
+                         "(default 1.5)")
+    ap.add_argument("--window", type=int, default=5,
+                    help="baseline = median of up to this many prior "
+                         "same-shape records (default 5)")
+    ap.add_argument("--min-baseline", type=int, default=2,
+                    help="need at least this many prior same-shape records "
+                         "to judge at all (default 2)")
+    ap.add_argument("--inject-slowdown", type=float, default=1.0, metavar="F",
+                    help="multiply candidate timings by F (CI smoke only)")
+    args = ap.parse_args(argv[1:])
+    if args.last < 1 or args.threshold <= 1.0 or args.window < 1:
+        ap.print_usage(sys.stderr)
+        return 2
+
+    records = load_history(args.history)
+    if records is None:
+        return 2
+    if len(records) <= args.last:
+        print(f"{args.history}: only {len(records)} records, nothing "
+              f"predating the last {args.last} candidates; sentry passes "
+              f"vacuously")
+        return 0
+
+    candidates = records[-args.last:]
+    prior = records[:-args.last]
+    failures = 0
+    judged = 0
+    for cand in candidates:
+        key = shape_key(cand)
+        baseline_pool = [r for r in prior if shape_key(r) == key]
+        baseline_pool = baseline_pool[-args.window:]
+        cand_s = cand["total_seconds"] * args.inject_slowdown
+        if len(baseline_pool) < args.min_baseline:
+            print(f"SKIP  {describe(cand)}: only {len(baseline_pool)} "
+                  f"comparable prior record(s), need {args.min_baseline}")
+            continue
+        judged += 1
+        base = statistics.median(r["total_seconds"] for r in baseline_pool)
+        ratio = cand_s / base if base > 0 else float("inf")
+        verdict = "FAIL" if ratio > args.threshold else "ok"
+        print(f"{verdict:4}  {describe(cand)}: {cand_s:.2f}s vs baseline "
+              f"median {base:.2f}s over {len(baseline_pool)} run(s) "
+              f"(x{ratio:.2f}, limit x{args.threshold:.2f})")
+        if ratio > args.threshold:
+            failures += 1
+            # Per-circuit breakdown so the report names the culprit.
+            base_circ = {}
+            for r in baseline_pool:
+                for name, s in circuit_seconds(r).items():
+                    base_circ.setdefault(name, []).append(s)
+            for name, s in sorted(circuit_seconds(cand).items()):
+                if name in base_circ:
+                    med = statistics.median(base_circ[name])
+                    s_inj = s * args.inject_slowdown
+                    mark = " <-- regressed" if med > 0 and \
+                        s_inj / med > args.threshold else ""
+                    print(f"        {name}: {s_inj:.2f}s vs {med:.2f}s"
+                          f"{mark}")
+    if args.inject_slowdown != 1.0:
+        print(f"note: candidate timings were multiplied by "
+              f"x{args.inject_slowdown} (--inject-slowdown smoke)")
+    if failures:
+        print(f"perf sentry: {failures} of {judged} judged candidate(s) "
+              f"regressed beyond x{args.threshold}", file=sys.stderr)
+        return 1
+    print(f"perf sentry: {judged} candidate(s) within x{args.threshold} of "
+          f"baseline ({len(candidates) - judged} skipped)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -27,7 +27,15 @@
 #      uninterrupted run's (at both 1 and 2 threads);
 #   8. fault-injection smoke: SDDD_FAULTS poisons two trials; the run must
 #      still exit 0 with exactly those trials quarantined in the metrics;
-#   9. clang-tidy profile (skipped automatically when not installed).
+#   9. postmortem + ledger/report smoke: a quarantined trial must leave a
+#      flight-recorder postmortem bundle whose run_id cross-links the run's
+#      manifest; two identical ledgered runs must report "rank stability:
+#      identical" through sddd_cli report (text and JSON);
+#  10. perf sentry gate: the bench-history tooling self-check proves the
+#      regression gate fires on an injected 2x slowdown (and passes an
+#      unmodified rerun); the real BENCH_history.jsonl, when present, is
+#      then checked warn-free against its own rolling baseline;
+#  11. clang-tidy profile (skipped automatically when not installed).
 #
 #   tools/ci.sh [-jN]
 set -euo pipefail
@@ -36,20 +44,20 @@ cd "$(dirname "$0")/.."
 
 JOBS="${1:--j$(nproc)}"
 
-echo "== [1/9] tier-1 build + tests =="
+echo "== [1/11] tier-1 build + tests =="
 cmake -B build -S .
 cmake --build build "$JOBS"
 ctest --test-dir build --output-on-failure "$JOBS"
 
-echo "== [2/9] smoke tests under ASan+UBSan =="
+echo "== [2/11] smoke tests under ASan+UBSan =="
 cmake -B build-san -S . -DSDDD_ASAN=ON -DSDDD_UBSAN=ON
 cmake --build build-san "$JOBS"
 ctest --test-dir build-san --output-on-failure -L smoke "$JOBS"
 
-echo "== [3/9] sddd_lint on the ISCAS catalog =="
+echo "== [3/11] sddd_lint on the ISCAS catalog =="
 ./build/tools/sddd_lint --dict --catalog c17 s27
 
-echo "== [4/9] observability smoke (trace + metrics round-trip) =="
+echo "== [4/11] observability smoke (trace + metrics round-trip) =="
 OBS_DIR="$(mktemp -d)"
 trap 'rm -rf "$OBS_DIR"' EXIT
 ./build/tools/sddd_cli synth "$OBS_DIR/s1196.bench" \
@@ -122,7 +130,7 @@ if [ -f BENCH_history.jsonl ]; then
   python3 tools/append_bench_history.py --check BENCH_history.jsonl
 fi
 
-echo "== [5/9] scoring-kernel smoke (scalar vs kernel, byte-identical) =="
+echo "== [5/11] scoring-kernel smoke (scalar vs kernel, byte-identical) =="
 # The step-4 runs above used the packed scoring kernel (the default).
 # Re-run both with --no-kernel: use_score_kernel is excluded from the
 # experiment fingerprint, so the scalar result JSON must be byte-identical
@@ -165,7 +173,7 @@ print(f"kernel smoke ok: {len(kc)} candidates identical scalar-vs-kernel, "
       f"{counters['dict.sig_cache.misses']} cache builds")
 EOF
 
-echo "== [6/9] diagnosability gate (static analysis + suspect collapse) =="
+echo "== [6/11] diagnosability gate (static analysis + suspect collapse) =="
 # The machine-readable diagnosability report on the same circuit: the DIAG
 # pass must produce a well-formed report whose shape downstream tooling
 # can rely on (DESIGN.md section 13 schema).
@@ -213,7 +221,7 @@ print(f"collapse ok: result JSON byte-identical, phi_evals "
       f"{full['diag.phi_evals']} -> {collapsed['diag.phi_evals']}")
 EOF
 
-echo "== [7/9] crash/resume smoke (SIGKILL mid-trials, byte-identical) =="
+echo "== [7/11] crash/resume smoke (SIGKILL mid-trials, byte-identical) =="
 # Reference: the same experiment, uninterrupted, at two thread counts.
 # The deterministic result JSON must not depend on threads or on how many
 # times the run was killed and resumed.
@@ -239,7 +247,7 @@ wait "$VICTIM" 2>/dev/null || true
 cmp "$OBS_DIR/ref_t1.json" "$OBS_DIR/resumed.json"
 echo "crash/resume smoke ok: resumed JSON byte-identical to reference"
 
-echo "== [8/9] fault-injection smoke (quarantine, exit 0) =="
+echo "== [8/11] fault-injection smoke (quarantine, exit 0) =="
 SDDD_FAULTS="exp.trial@1,3" ./build/tools/sddd_cli diagnose \
   "${DIAG_ARGS[@]}" --threads 2 --metrics-out "$OBS_DIR/fault_metrics.json"
 python3 - "$OBS_DIR/fault_metrics.json" <<'EOF'
@@ -253,7 +261,65 @@ assert counters.get("trial.quarantined") == 2, \
 print("fault smoke ok: 2 faults injected, 2 trials quarantined, exit 0")
 EOF
 
-echo "== [9/9] clang-tidy profile =="
+echo "== [9/11] flight-recorder postmortem + run ledger/report smoke =="
+# A quarantined trial must leave a postmortem bundle behind, and the bundle
+# must cross-link the SAME run_id the manifest carries (the experiment
+# fingerprint), so the crash dump and the run's provenance can be joined.
+SDDD_FAULTS="exp.trial@1" ./build/tools/sddd_cli diagnose \
+  "${DIAG_ARGS[@]}" --threads 2 \
+  --postmortem-out "$OBS_DIR/postmortem.json" \
+  --manifest-out "$OBS_DIR/pm_manifest.json"
+python3 - "$OBS_DIR/postmortem.json" "$OBS_DIR/pm_manifest.json" <<'EOF'
+import json, sys
+with open(sys.argv[1]) as f:
+    pm = json.load(f)
+with open(sys.argv[2]) as f:
+    manifest = json.load(f)
+assert pm["reason"] == "trial_quarantined", pm["reason"]
+assert pm["run_id"] == manifest["run_id"], \
+    (pm["run_id"], manifest["run_id"])
+kinds = {e["kind"] for e in pm["events"]}
+assert "trial.error" in kinds, f"no trial.error event (got {sorted(kinds)})"
+assert "trial.begin" in kinds, f"no trial.begin event (got {sorted(kinds)})"
+assert pm["events_recorded"] > 0
+assert "counters" in pm["metrics"], "postmortem missing metrics snapshot"
+print(f"postmortem smoke ok: {len(pm['events'])} events, run_id "
+      f"{pm['run_id']} cross-links the manifest")
+EOF
+
+# Two identical runs appended to one ledger: the diff must verify the
+# result hashes match ("rank stability: identical") in both renderings.
+./build/tools/sddd_cli diagnose "${DIAG_ARGS[@]}" --threads 2 \
+  --ledger "$OBS_DIR/ledger.jsonl" --json "$OBS_DIR/led_a.json"
+./build/tools/sddd_cli diagnose "${DIAG_ARGS[@]}" --threads 2 \
+  --ledger "$OBS_DIR/ledger.jsonl" --json "$OBS_DIR/led_b.json"
+./build/tools/sddd_cli report --ledger "$OBS_DIR/ledger.jsonl" --last 2 \
+  | grep -q "rank stability: identical"
+./build/tools/sddd_cli report --ledger "$OBS_DIR/ledger.jsonl" --last 2 \
+  --json "$OBS_DIR/report_diff.json" > /dev/null
+python3 - "$OBS_DIR/report_diff.json" <<'EOF'
+import json, sys
+with open(sys.argv[1]) as f:
+    diff = json.load(f)
+assert diff["rank_stability"] == "identical", diff["rank_stability"]
+assert diff["run_a"] == diff["run_b"], (diff["run_a"], diff["run_b"])
+assert diff["phases"] and diff["counters"], "empty diff tables"
+print(f"ledger/report smoke ok: runs {diff['run_a']} vs {diff['run_b']}, "
+      f"{len(diff['counters'])} counters compared")
+EOF
+
+echo "== [10/11] perf sentry gate (must fire on injected slowdown) =="
+# Deterministic proof on a synthetic history: the sentry passes a healthy
+# run and FAILS the same run under --inject-slowdown 2.0.
+python3 tools/selfcheck_bench_tools.py "$OBS_DIR"
+# Then the real history, when present: fresh entries must sit within the
+# rolling baseline (new workload shapes are skipped, not failed).
+if [ -f BENCH_history.jsonl ]; then
+  python3 tools/check_bench_regression.py --history BENCH_history.jsonl \
+    --last 3
+fi
+
+echo "== [11/11] clang-tidy profile =="
 tools/run_static_checks.sh
 
 echo "ci.sh: all gates passed"

@@ -35,6 +35,11 @@ BUILD_DIR="${2:-build-bench}"
 # Stamp the JSON records with the commit under test so the perf trajectory
 # in BENCH_table1.json stays attributable PR over PR.
 GIT_SHA="$(git rev-parse --short HEAD 2>/dev/null || echo unknown)"
+# Every bench invocation also appends one checksummed record to the run
+# ledger (phase walls, counter snapshot, peak RSS, run_id) so any two runs
+# can be diffed afterwards with `sddd_cli report`.  Gitignored; override
+# with SDDD_LEDGER=path, disable with SDDD_LEDGER=0.
+export SDDD_LEDGER="${SDDD_LEDGER:-BENCH_ledger.jsonl}"
 
 echo "== configure + build (Release) =="
 cmake -B "$BUILD_DIR" -S . -DCMAKE_BUILD_TYPE=Release >/dev/null
@@ -97,6 +102,14 @@ python3 tools/append_bench_history.py append \
   BENCH_table1.json BENCH_history.jsonl
 python3 tools/append_bench_history.py append \
   BENCH_score.json BENCH_history.jsonl
+
+# Warn-only perf check against the rolling baseline: the developer sees a
+# regression immediately, but only ci.sh turns the sentry into a hard gate.
+echo
+echo "== perf sentry (warn-only; ci.sh enforces) =="
+python3 tools/check_bench_regression.py --history BENCH_history.jsonl \
+  --last 3 ||
+  echo "warning: perf sentry flagged a regression (see above)" >&2
 
 echo
 serial=$(grep -o '"total_seconds": *[0-9.]*' BENCH_table1.serial.json |

@@ -13,10 +13,14 @@
 //   sddd_cli explain <netlist> [--chips N] [--samples N] [--seed N]
 //                    [--trial N] [--top K] [--out FILE] [--md FILE]
 //                    [--manifest-out FILE]
+//   sddd_cli report [--ledger FILE] [--a RUN_ID --b RUN_ID | --last N]
+//                   [--json FILE]           diff two run-ledger records
 //
 // Netlist format is chosen by extension: .bench / anything else = Verilog.
 // Sequential netlists are full-scan transformed automatically where the
 // command needs a combinational core.
+#include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -32,6 +36,8 @@
 #include "eval/explain.h"
 #include "introspect/manifest.h"
 #include "obs/atomic_file.h"
+#include "obs/ledger.h"
+#include "obs/metrics.h"
 #include "netlist/bench_io.h"
 #include "netlist/iscas_catalog.h"
 #include "netlist/levelize.h"
@@ -79,6 +85,10 @@ namespace {
       "           [--collapse]  collapse suspects a pattern cannot observe\n"
       "                 onto one shared phi per pattern (bit-identical\n"
       "                 results, fewer phi evals; also accepted by explain)\n"
+      "  report [--ledger FILE] [--a RUN_ID --b RUN_ID | --last N]\n"
+      "         [--json FILE]  compare two ledger records: per-phase wall\n"
+      "                 deltas, changed counters, rank stability (run_ids\n"
+      "                 may be unique prefixes; default: the last two)\n"
       "  explain <netlist> [--chips N] [--samples N] [--seed N] [--trial N]\n"
       "          [--top K] [--out FILE] [--md FILE] [--manifest-out FILE]\n"
       "                 re-run one diagnosis trial and decompose its scores\n"
@@ -416,6 +426,108 @@ int cmd_diagnose(const std::filesystem::path& path, const Options& opts,
     introspect::write_manifest(manifest, manifest_out);
     std::printf("wrote %s\n", manifest_out.c_str());
   }
+  if (!obs::ledger_out_path().empty()) {
+    obs::LedgerRecord rec;
+    rec.run_id =
+        introspect::to_hex64(eval::experiment_fingerprint(nl.name(), config));
+    rec.tool = "diagnose";
+    rec.circuit = nl.name();
+    const char* sha = std::getenv("SDDD_GIT_SHA");
+    rec.git_sha = sha != nullptr ? sha : "";
+    rec.seed = config.seed;
+    rec.threads = runtime::thread_count();
+    rec.mc_samples = config.mc_samples;
+    rec.n_chips = config.n_chips;
+    rec.wall_seconds = result.wall_seconds;
+    const eval::PhaseBreakdown& ph = result.phases;
+    rec.phases["setup_s"] = ph.setup_seconds;
+    rec.phases["calibration_s"] = ph.calibration_seconds;
+    rec.phases["trials_s"] = ph.trials_seconds;
+    rec.phases["dict_build_cpu_s"] = ph.dict_build_cpu_seconds;
+    rec.phases["score_cpu_s"] = ph.score_cpu_seconds;
+    rec.counters = obs::MetricsRegistry::instance().snapshot().counters;
+    rec.peak_rss_kb = obs::read_peak_rss_kb();
+    if (!manifest_out.empty()) {
+      rec.manifest_fnv =
+          introspect::to_hex64(introspect::fnv1a_file(manifest_out));
+    }
+    if (!json_path.empty()) {
+      rec.result_path = json_path;
+      rec.result_fnv =
+          introspect::to_hex64(introspect::fnv1a_file(json_path));
+    }
+    rec.unix_ms = static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::milliseconds>(
+            std::chrono::system_clock::now().time_since_epoch())
+            .count());
+    if (obs::append_ledger_record(obs::ledger_out_path(), rec)) {
+      std::printf("ledger: appended run %s to %s\n", rec.run_id.c_str(),
+                  obs::ledger_out_path().c_str());
+    }
+  }
+  return 0;
+}
+
+/// `sddd_cli report`: diff two ledger records.  Run ids may be unique
+/// prefixes; with no --a/--b the last two records are compared (--last N
+/// widens the lookback so `--last 3` compares against two runs ago).
+int cmd_report(const Options& opts) {
+  // --ledger is one of the shared observability flags, so by the time we
+  // run it has already been consumed into ledger_out_path().
+  const std::string ledger_path =
+      !obs::ledger_out_path().empty() ? obs::ledger_out_path()
+                                      : opts.str("ledger", "sddd_ledger.jsonl");
+  const obs::LedgerFile file = obs::load_ledger(ledger_path);
+  if (file.skipped_lines != 0) {
+    std::fprintf(stderr, "warning: %zu malformed line(s) in %s skipped\n",
+                 file.skipped_lines, ledger_path.c_str());
+  }
+  if (file.records.empty()) {
+    std::fprintf(stderr, "no valid records in %s\n", ledger_path.c_str());
+    return 1;
+  }
+  const auto find_by_prefix =
+      [&file](const std::string& prefix) -> const obs::LedgerRecord* {
+    for (auto it = file.records.rbegin(); it != file.records.rend(); ++it) {
+      if (it->run_id.rfind(prefix, 0) == 0) return &*it;
+    }
+    return nullptr;
+  };
+  const obs::LedgerRecord* a = nullptr;
+  const obs::LedgerRecord* b = nullptr;
+  const std::string id_a = opts.str("a");
+  const std::string id_b = opts.str("b");
+  if (!id_a.empty() || !id_b.empty()) {
+    if (id_a.empty() || id_b.empty()) {
+      std::fprintf(stderr, "report: --a and --b must be given together\n");
+      return 2;
+    }
+    a = find_by_prefix(id_a);
+    b = find_by_prefix(id_b);
+    if (a == nullptr || b == nullptr) {
+      std::fprintf(stderr, "report: run id %s not found in %s\n",
+                   (a == nullptr ? id_a : id_b).c_str(), ledger_path.c_str());
+      return 1;
+    }
+  } else {
+    const auto last = static_cast<std::size_t>(opts.get("last", 2));
+    if (last < 2 || file.records.size() < last) {
+      std::fprintf(stderr,
+                   "report: need at least %zu records in %s (have %zu)\n",
+                   std::max<std::size_t>(last, 2), ledger_path.c_str(),
+                   file.records.size());
+      return 1;
+    }
+    a = &file.records[file.records.size() - last];
+    b = &file.records.back();
+  }
+  const obs::LedgerDiff diff = obs::diff_ledger_records(*a, *b);
+  std::fputs(obs::ledger_diff_to_text(diff).c_str(), stdout);
+  const std::string json_path = opts.str("json");
+  if (!json_path.empty()) {
+    obs::atomic_write_file_or_throw(json_path, obs::ledger_diff_to_json(diff));
+    std::printf("wrote %s\n", json_path.c_str());
+  }
   return 0;
 }
 
@@ -505,6 +617,9 @@ int main(int argc, char** argv) {
       const bool collapse = consume_flag(&argc, argv, "--collapse");
       return cmd_diagnose(argv[2], Options(argc, argv, 3), resume, no_kernel,
                           collapse);
+    }
+    if (cmd == "report") {
+      return cmd_report(Options(argc, argv, 2));
     }
     if (cmd == "explain" && argc >= 3) {
       const bool no_kernel = consume_flag(&argc, argv, "--no-kernel");

@@ -1,0 +1,111 @@
+#!/usr/bin/env python3
+"""Self-check for the bench-history tooling: proves the perf gate fires.
+
+    selfcheck_bench_tools.py [SCRATCH_DIR]
+
+Builds a small synthetic BENCH_history.jsonl in SCRATCH_DIR (default: a
+temp dir) and asserts, end to end against the real scripts:
+
+  * append_bench_history.py appends a valid artifact, refuses a stale
+    re-append of the same run_id at the tail (exit 1), refuses an invalid
+    schema (exit 1), and survives a malformed line mid-history;
+  * check_bench_regression.py passes an unmodified rerun (exit 0) and
+    FAILS the same data under --inject-slowdown 2.0 (exit 1) -- the CI
+    proof that the sentry actually gates.
+
+Exit 0 when every scenario behaves; 1 with a message otherwise.  Run by
+ctest (bench_history_tools) and by ci.sh, so the gate's behavior is itself
+under test on every PR.
+"""
+
+import json
+import os
+import subprocess
+import sys
+import tempfile
+
+TOOLS = os.path.dirname(os.path.abspath(__file__))
+
+
+def run(script, *argv):
+    return subprocess.run(
+        [sys.executable, os.path.join(TOOLS, script), *argv],
+        capture_output=True, text=True)
+
+
+def expect(result, want_code, what):
+    if result.returncode != want_code:
+        print(f"FAIL: {what}: expected exit {want_code}, got "
+              f"{result.returncode}\nstdout: {result.stdout}\n"
+              f"stderr: {result.stderr}", file=sys.stderr)
+        sys.exit(1)
+    print(f"ok: {what} (exit {result.returncode})")
+
+
+def table1_artifact(run_id, sha, seconds):
+    return {
+        "run_id": run_id, "git_sha": sha, "threads": 4, "scale": 0.35,
+        "samples": 120, "chips": 8, "total_seconds": seconds,
+        "circuits": [{"name": "s1196", "seconds": seconds,
+                      "phases": {"setup_s": 0.1, "calibration_s": 0.2,
+                                 "trials_s": seconds - 0.3}}],
+    }
+
+
+def main(argv):
+    scratch = argv[1] if len(argv) > 1 else tempfile.mkdtemp()
+    os.makedirs(scratch, exist_ok=True)
+    hist = os.path.join(scratch, "selfcheck_history.jsonl")
+    art = os.path.join(scratch, "selfcheck_artifact.json")
+    if os.path.exists(hist):
+        os.remove(hist)
+
+    # Seed a baseline: four prior runs of the same workload shape.
+    for i, seconds in enumerate([10.0, 10.4, 9.8, 10.2]):
+        with open(art, "w") as f:
+            json.dump(table1_artifact(f"{i:016x}", f"sha{i:04}", seconds), f)
+        expect(run("append_bench_history.py", "append", art, hist), 0,
+               f"append baseline run {i}")
+
+    # Stale re-append of the tail artifact must be refused.
+    expect(run("append_bench_history.py", "append", art, hist), 1,
+           "refuse stale tail re-append")
+
+    # Invalid schema must be refused before anything is written.
+    with open(art, "w") as f:
+        json.dump({"git_sha": "deadbee", "threads": 4}, f)
+    expect(run("append_bench_history.py", "append", art, hist), 1,
+           "refuse invalid schema")
+
+    # A malformed line mid-history must not poison later appends.
+    with open(hist, "a") as f:
+        f.write("{torn line from a crash\n")
+    with open(art, "w") as f:
+        json.dump(table1_artifact("00000000000000ff", "sha0005", 10.1), f)
+    expect(run("append_bench_history.py", "append", art, hist), 0,
+           "append past malformed line")
+
+    # Sentry: the fresh run is within threshold of the rolling median.
+    expect(run("check_bench_regression.py", "--history", hist, "--last", "1"),
+           0, "sentry passes healthy run")
+
+    # Sentry: the SAME data with a 2x injected slowdown must fail -- this
+    # is the proof the CI gate fires when perf regresses.
+    expect(run("check_bench_regression.py", "--history", hist, "--last", "1",
+               "--inject-slowdown", "2.0"),
+           1, "sentry fails 2x injected slowdown")
+
+    # A genuine slow record appended for real must also fail.
+    with open(art, "w") as f:
+        json.dump(table1_artifact("00000000000000aa", "sha0006", 25.0), f)
+    expect(run("append_bench_history.py", "append", art, hist), 0,
+           "append genuinely slow run")
+    expect(run("check_bench_regression.py", "--history", hist, "--last", "1"),
+           1, "sentry fails real 2.5x regression")
+
+    print("bench tooling self-check: all scenarios behaved")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
