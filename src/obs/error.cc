@@ -6,7 +6,7 @@ namespace {
 
 constexpr std::string_view kCodeNames[] = {
     "parse", "model", "numeric", "io", "cancelled", "deadline", "fault",
-    "internal"};
+    "internal", "store"};
 
 std::string with_code_prefix(ErrorCode code, const std::string& message) {
   std::string s = "[";

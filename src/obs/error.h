@@ -23,6 +23,9 @@
 //   deadline   a time budget expired                      CancelToken::poll
 //   fault      deterministically injected test failure    obs::fault_point
 //   internal   anything else caught at a quarantine seam  (foreign exceptions)
+//   store      persistent dictionary store is unusable    store::DictionaryStore
+//              (bad magic/version, checksum mismatch,
+//              truncation, fingerprint mismatch)
 #pragma once
 
 #include <cstddef>
@@ -41,6 +44,7 @@ enum class ErrorCode : int {
   kDeadline = 5,
   kFault = 6,
   kInternal = 7,
+  kStore = 8,
 };
 
 /// Stable lower-case name of a code ("parse", "model", ...).
@@ -111,6 +115,23 @@ class FaultInjectedError : public Error {
  public:
   explicit FaultInjectedError(const std::string& message)
       : Error(ErrorCode::kFault, message) {}
+};
+
+/// A persistent dictionary store failed open-time verification (bad magic,
+/// unsupported format version, per-section checksum mismatch, truncation,
+/// or an experiment-fingerprint mismatch against the caller's stack).
+/// Carries the offending section name ("header", "m", "e", ...) so the
+/// serve path can quarantine precisely and tests can assert blame; empty
+/// when the failure precedes section identification (e.g. open(2) failed).
+class StoreError : public Error {
+ public:
+  StoreError(std::string section, const std::string& message)
+      : Error(ErrorCode::kStore, message), section_(std::move(section)) {}
+
+  const std::string& section() const noexcept { return section_; }
+
+ private:
+  std::string section_;
 };
 
 }  // namespace sddd

@@ -33,6 +33,14 @@
 //   ckpt.write   checkpoint journal append failure       k = trial index
 //   io.open      atomic artifact write: open fails       k = call ordinal
 //   io.short_write  atomic artifact write: short write   k = call ordinal
+//   store.open   dictionary store open(2)/mmap fails     k = open ordinal
+//   store.crc    store section checksum verify fails     k = section verify
+//                                                            ordinal (file
+//                                                            open order x
+//                                                            section order)
+//   serve.accept server drops a connection at accept     k = accept ordinal
+//   serve.write  server response write fails (conn cut)  k = response ordinal
+//   serve.deadline  request treated as deadline-expired  k = request ordinal
 //
 // Every selected injection increments the `fault.injected` counter, so a
 // run can assert exactly how many faults fired.  With no spec configured

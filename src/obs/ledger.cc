@@ -270,6 +270,11 @@ std::string encode_ledger_record(const LedgerRecord& rec) {
   u64_field("threads", rec.threads);
   u64_field("mc_samples", rec.mc_samples);
   u64_field("n_chips", rec.n_chips);
+  if (!rec.bench.empty()) {
+    field("bench", rec.bench);
+    u64_field("clients", rec.clients);
+    u64_field("batch", rec.batch);
+  }
   p.append(",\"wall_seconds\":").append(format_double(rec.wall_seconds));
   p.append(",\"phases\":{");
   bool first = true;
@@ -345,6 +350,12 @@ bool decode_ledger_record(std::string_view line, LedgerRecord* out) {
       ok = parse_number(&c, &d, &rec.mc_samples);
     } else if (key == "n_chips") {
       ok = parse_number(&c, &d, &rec.n_chips);
+    } else if (key == "bench") {
+      ok = parse_string(&c, &rec.bench);
+    } else if (key == "clients") {
+      ok = parse_number(&c, &d, &rec.clients);
+    } else if (key == "batch") {
+      ok = parse_number(&c, &d, &rec.batch);
     } else if (key == "wall_seconds") {
       ok = parse_number(&c, &rec.wall_seconds, &u);
     } else if (key == "phases") {
@@ -473,6 +484,12 @@ LedgerDiff diff_ledger_records(const LedgerRecord& a, const LedgerRecord& b) {
   d.circuit_b = b.circuit;
   d.sha_a = a.git_sha;
   d.sha_b = b.git_sha;
+  d.bench_a = a.bench;
+  d.bench_b = b.bench;
+  d.clients_a = a.clients;
+  d.clients_b = b.clients;
+  d.batch_a = a.batch;
+  d.batch_b = b.batch;
   d.threads_a = a.threads;
   d.threads_b = b.threads;
   d.wall_a = a.wall_seconds;
@@ -535,12 +552,24 @@ std::string pct_change(double a, double b) {
 
 std::string ledger_diff_to_text(const LedgerDiff& d) {
   std::ostringstream os;
+  const auto serve_suffix = [](const std::string& bench, std::uint64_t clients,
+                               std::uint64_t batch) {
+    if (bench.empty()) return std::string();
+    std::string s = ", bench " + bench;
+    if (clients != 0 || batch != 0) {
+      s += ", clients " + std::to_string(clients) + ", batch " +
+           std::to_string(batch);
+    }
+    return s;
+  };
   os << "run A: " << d.run_a << "  (" << d.tool_a << " " << d.circuit_a
      << ", git " << (d.sha_a.empty() ? "?" : d.sha_a) << ", threads "
-     << d.threads_a << ")\n";
+     << d.threads_a << serve_suffix(d.bench_a, d.clients_a, d.batch_a)
+     << ")\n";
   os << "run B: " << d.run_b << "  (" << d.tool_b << " " << d.circuit_b
      << ", git " << (d.sha_b.empty() ? "?" : d.sha_b) << ", threads "
-     << d.threads_b << ")\n\n";
+     << d.threads_b << serve_suffix(d.bench_b, d.clients_b, d.batch_b)
+     << ")\n\n";
   char buf[160];
   std::snprintf(buf, sizeof(buf), "%-22s %12.4f %12.4f %12.4f %10s\n", "wall_s",
                 d.wall_a, d.wall_b, d.wall_b - d.wall_a,
@@ -600,6 +629,14 @@ std::string ledger_diff_to_json(const LedgerDiff& d) {
   append_escaped(&j, d.sha_a);
   j.append(",\n  \"git_sha_b\": ");
   append_escaped(&j, d.sha_b);
+  j.append(",\n  \"bench_a\": ");
+  append_escaped(&j, d.bench_a);
+  j.append(",\n  \"bench_b\": ");
+  append_escaped(&j, d.bench_b);
+  j.append(",\n  \"clients_a\": ").append(std::to_string(d.clients_a));
+  j.append(",\n  \"clients_b\": ").append(std::to_string(d.clients_b));
+  j.append(",\n  \"batch_a\": ").append(std::to_string(d.batch_a));
+  j.append(",\n  \"batch_b\": ").append(std::to_string(d.batch_b));
   j.append(",\n  \"threads_a\": ").append(std::to_string(d.threads_a));
   j.append(",\n  \"threads_b\": ").append(std::to_string(d.threads_b));
   j.append(",\n  \"wall_a\": ").append(format_double(d.wall_a));

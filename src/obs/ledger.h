@@ -46,6 +46,12 @@ struct LedgerRecord {
   std::uint64_t threads = 0;
   std::uint64_t mc_samples = 0;
   std::uint64_t n_chips = 0;
+  /// Bench shape tag ("serve", ...).  Empty for diagnose / table1-style
+  /// records; when empty the three serve fields below are omitted from the
+  /// encoded line entirely, so pre-serve ledgers re-encode byte-identically.
+  std::string bench;
+  std::uint64_t clients = 0;  ///< peak concurrent load-gen clients (serve)
+  std::uint64_t batch = 0;    ///< chips per request frame (serve)
   double wall_seconds = 0.0;
   /// Per-phase wall seconds ("setup_s", "calibration_s", "trials_s", ...).
   std::map<std::string, double> phases;
@@ -117,6 +123,9 @@ struct LedgerDiff {
   std::string tool_a, tool_b;
   std::string circuit_a, circuit_b;
   std::string sha_a, sha_b;
+  std::string bench_a, bench_b;  ///< bench shape tags; "" = non-bench run
+  std::uint64_t clients_a = 0, clients_b = 0;
+  std::uint64_t batch_a = 0, batch_b = 0;
   std::uint64_t threads_a = 0, threads_b = 0;
   double wall_a = 0.0, wall_b = 0.0;
   std::uint64_t rss_a = 0, rss_b = 0;

@@ -1,0 +1,77 @@
+// client.h - Client side of the serve protocol: framing, request
+// rendering, and the retry/backoff discipline the resilience contract
+// asks load generators and replay tools to follow.
+//
+// A ServeClient is one connection; request() sends a frame and blocks for
+// the response.  request_with_retry() adds the recommended policy: on a
+// dead connection (server restarted, injected serve.accept/serve.write
+// fault) it reconnects and replays, and on a typed "overloaded" response
+// it backs off and retries - both up to the attempt budget.  Diagnosis is
+// idempotent (same store + same B -> byte-identical response), so replay
+// is always safe.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "store/query.h"
+
+namespace sddd::store {
+
+class ServeClient {
+ public:
+  /// Connects over unix (`socket_path` non-empty) or TCP (`port` >= 0).
+  /// Throws sddd::IoError when the connection cannot be established.
+  static ServeClient connect(const std::string& socket_path, int port);
+
+  ServeClient(ServeClient&& other) noexcept;
+  ServeClient& operator=(ServeClient&& other) noexcept;
+  ServeClient(const ServeClient&) = delete;
+  ServeClient& operator=(const ServeClient&) = delete;
+  ~ServeClient();
+
+  bool connected() const { return fd_ >= 0; }
+
+  /// One round trip: sends `payload` as a frame, receives one response
+  /// frame.  Throws sddd::IoError when the connection dies mid-exchange
+  /// (the caller's cue to reconnect).
+  std::string request(const std::string& payload);
+
+ private:
+  explicit ServeClient(int fd) : fd_(fd) {}
+  int fd_ = -1;
+};
+
+struct RetryPolicy {
+  std::size_t max_attempts = 6;
+  /// Backoff before attempt n is initial * 2^(n-1), capped.
+  double initial_backoff_s = 0.02;
+  double max_backoff_s = 0.5;
+};
+
+struct RetryStats {
+  std::size_t attempts = 0;    ///< total send attempts (>= 1 on success)
+  std::size_t reconnects = 0;  ///< connections re-established
+  std::size_t sheds = 0;       ///< typed "overloaded" responses absorbed
+};
+
+/// request() with the retry discipline above.  `client` is reconnected in
+/// place as needed (using `socket_path`/`port`).  Returns the first
+/// response that is not a connection failure or an "overloaded" shed;
+/// throws sddd::IoError when the budget is exhausted.
+std::string request_with_retry(ServeClient& client,
+                               const std::string& socket_path, int port,
+                               const std::string& payload,
+                               const RetryPolicy& policy,
+                               RetryStats* stats = nullptr);
+
+/// Renders the canonical diagnose request for a batch of chips.
+/// `store_selector` may be empty (single-store server), a circuit name, a
+/// run_id prefix, or a store path; `deadline_ms` 0 omits the field.
+std::string make_diagnose_request(const std::string& store_selector,
+                                  const std::string& match, std::size_t top_k,
+                                  std::uint64_t deadline_ms,
+                                  std::span<const ChipQuery> chips);
+
+}  // namespace sddd::store

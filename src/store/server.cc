@@ -1,0 +1,536 @@
+#include "store/server.h"
+
+#include <poll.h>
+#include <signal.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+
+#include "obs/error.h"
+#include "obs/faults.h"
+#include "obs/ledger.h"
+#include "obs/log.h"
+#include "obs/metrics.h"
+#include "obs/obs.h"
+#include "runtime/cancel.h"
+#include "runtime/parallel_for.h"
+#include "store/wire.h"
+
+namespace sddd::store {
+
+namespace {
+
+// Seam ordinals (see server.h header comment): process-wide so a fault
+// selector like serve.write@%3 targets a deterministic response sequence
+// regardless of which connection carries it.
+std::atomic<std::uint64_t> g_accept_ordinal{0};
+std::atomic<std::uint64_t> g_request_ordinal{0};
+std::atomic<std::uint64_t> g_response_ordinal{0};
+
+obs::Counter& serve_connections_counter() {
+  static obs::Counter& c =
+      obs::MetricsRegistry::instance().register_counter("serve.connections");
+  return c;
+}
+obs::Counter& serve_requests_counter() {
+  static obs::Counter& c =
+      obs::MetricsRegistry::instance().register_counter("serve.requests");
+  return c;
+}
+obs::Counter& serve_served_counter() {
+  static obs::Counter& c =
+      obs::MetricsRegistry::instance().register_counter("serve.served");
+  return c;
+}
+obs::Counter& serve_shed_counter() {
+  static obs::Counter& c =
+      obs::MetricsRegistry::instance().register_counter("serve.shed");
+  return c;
+}
+obs::Counter& serve_deadline_counter() {
+  static obs::Counter& c =
+      obs::MetricsRegistry::instance().register_counter("serve.deadline_hits");
+  return c;
+}
+obs::Counter& serve_quarantined_counter() {
+  static obs::Counter& c =
+      obs::MetricsRegistry::instance().register_counter("serve.quarantined");
+  return c;
+}
+
+std::string error_json(const std::string& code, const std::string& message) {
+  std::string out = "{\"ok\":false,\"error\":";
+  out.append(json_quote(code));
+  out.append(",\"message\":");
+  out.append(json_quote(message));
+  out.push_back('}');
+  return out;
+}
+
+/// Decrements on scope exit (the in-flight guard's release half).
+struct InflightRelease {
+  std::atomic<std::size_t>* n;
+  ~InflightRelease() { n->fetch_sub(1); }
+};
+
+}  // namespace
+
+DiagnosisServer::DiagnosisServer(ServerConfig config)
+    : config_(std::move(config)) {}
+
+DiagnosisServer::~DiagnosisServer() {
+  // A server destroyed without wait() (start() threw) has no threads.
+  for (const int fd : listen_fds_) ::close(fd);
+}
+
+void DiagnosisServer::start() {
+  start_ns_ = obs::now_ns();
+  for (const std::string& path : config_.store_paths) {
+    LoadedStore loaded;
+    loaded.state.path = path;
+    try {
+      loaded.store = std::make_unique<DictionaryStore>(path);
+      loaded.engine = std::make_unique<StoreQueryEngine>(*loaded.store);
+      loaded.state.run_id = loaded.store->run_id();
+      loaded.state.circuit = loaded.store->circuit();
+    } catch (const Error& e) {
+      // Quarantine, don't die: the health response carries the reason and
+      // every other dictionary keeps serving.
+      loaded.state.quarantined = true;
+      loaded.state.error = e.what();
+      serve_quarantined_counter().add(1);
+      SDDD_LOG_WARN("serve: quarantined %s: %s", path.c_str(), e.what());
+    }
+    stores_.push_back(std::move(loaded));
+  }
+
+  if (!config_.unix_socket.empty()) {
+    const int fd = listen_unix(config_.unix_socket);
+    if (fd < 0) {
+      throw IoError("serve: cannot listen on unix socket " +
+                    config_.unix_socket + ": " + std::strerror(errno));
+    }
+    listen_fds_.push_back(fd);
+  }
+  if (config_.tcp_port >= 0) {
+    const int fd = listen_tcp(config_.tcp_port);
+    if (fd < 0) {
+      throw IoError("serve: cannot listen on tcp port " +
+                    std::to_string(config_.tcp_port) + ": " +
+                    std::strerror(errno));
+    }
+    tcp_port_ = listening_port(fd);
+    listen_fds_.push_back(fd);
+  }
+  if (listen_fds_.empty()) {
+    throw IoError("serve: no listener configured (need --socket or --port)");
+  }
+  for (const int fd : listen_fds_) {
+    accept_threads_.emplace_back([this, fd] { accept_loop(fd); });
+  }
+}
+
+void DiagnosisServer::accept_loop(int listen_fd) {
+  while (!drain_.load()) {
+    pollfd p{listen_fd, POLLIN, 0};
+    const int r = ::poll(&p, 1, 200);
+    if (r <= 0) continue;  // timeout or EINTR: re-check the drain flag
+    const int fd = ::accept(listen_fd, nullptr, nullptr);
+    if (fd < 0) continue;
+    const std::uint64_t k = g_accept_ordinal.fetch_add(1);
+    if (obs::fault_at("serve.accept", k)) {
+      // Injected accept failure: the client sees a dropped connection and
+      // must retry; the server just keeps accepting.
+      ::close(fd);
+      continue;
+    }
+    serve_connections_counter().add(1);
+    std::lock_guard<std::mutex> lock(threads_mu_);
+    if (drain_.load()) {
+      ::close(fd);
+      break;
+    }
+    conn_fds_.push_back(fd);
+    conn_threads_.emplace_back([this, fd] { handle_connection(fd); });
+  }
+  ::close(listen_fd);
+}
+
+void DiagnosisServer::handle_connection(int fd) {
+  std::string frame;
+  while (true) {
+    // Idle connections notice the drain between frames; a request already
+    // being processed below always runs to completion first.
+    pollfd p{fd, POLLIN, 0};
+    const int r = ::poll(&p, 1, 200);
+    if (drain_.load() && r <= 0) break;
+    if (r <= 0) continue;
+    const FrameStatus status =
+        read_frame(fd, config_.max_frame_bytes, &frame);
+    if (status == FrameStatus::kEof || status == FrameStatus::kError) break;
+    std::string response;
+    if (status == FrameStatus::kTooBig) {
+      response = error_json("bad_request",
+                            "frame exceeds " +
+                                std::to_string(config_.max_frame_bytes) +
+                                " bytes");
+    } else {
+      response = handle_request(frame);
+    }
+    const std::uint64_t k = g_response_ordinal.fetch_add(1);
+    if (obs::fault_at("serve.write", k)) {
+      // Injected write failure: drop the connection without responding;
+      // the client's retry path replays against a fresh connection.
+      break;
+    }
+    if (!write_frame(fd, response)) break;
+    if (status == FrameStatus::kTooBig) break;  // framing is unrecoverable
+  }
+  ::shutdown(fd, SHUT_RDWR);
+  ::close(fd);
+  std::lock_guard<std::mutex> lock(threads_mu_);
+  conn_fds_.erase(std::remove(conn_fds_.begin(), conn_fds_.end(), fd),
+                  conn_fds_.end());
+}
+
+std::string DiagnosisServer::handle_request(const std::string& frame) {
+  serve_requests_counter().add(1);
+  JsonValue req;
+  try {
+    req = parse_json(frame);
+  } catch (const Error& e) {
+    return error_json("parse", e.what());
+  }
+  if (!req.is_object()) {
+    return error_json("bad_request", "request must be a JSON object");
+  }
+  const std::string op = req.get_string("op");
+  if (op == "health") return health_json();
+  if (op == "shutdown") {
+    request_drain();
+    return "{\"ok\":true,\"op\":\"shutdown\"}";
+  }
+  if (op == "diagnose") {
+    if (drain_.load()) {
+      return error_json("shutting_down", "server is draining");
+    }
+    return handle_diagnose(req);
+  }
+  return error_json("bad_request", "unknown op '" + op + "'");
+}
+
+DiagnosisServer::LoadedStore* DiagnosisServer::route_store(
+    const std::string& selector, std::string* error) {
+  std::lock_guard<std::mutex> lock(stores_mu_);
+  if (selector.empty()) {
+    LoadedStore* only = nullptr;
+    for (auto& s : stores_) {
+      if (s.state.quarantined) continue;
+      if (only != nullptr) {
+        *error = error_json("bad_request",
+                            "several stores are serving; pass \"store\"");
+        return nullptr;
+      }
+      only = &s;
+    }
+    if (only == nullptr) {
+      *error = error_json("store_quarantined", "no healthy store is serving");
+    }
+    return only;
+  }
+  LoadedStore* match = nullptr;
+  for (auto& s : stores_) {
+    const bool hit =
+        s.state.circuit == selector || s.state.path == selector ||
+        (selector.size() >= 4 && s.state.run_id.rfind(selector, 0) == 0);
+    if (hit) {
+      match = &s;
+      break;
+    }
+  }
+  if (match == nullptr) {
+    *error = error_json("unknown_store", "no store matches '" + selector +
+                                             "'");
+    return nullptr;
+  }
+  if (match->state.quarantined) {
+    *error = error_json("store_quarantined",
+                        match->state.path + ": " + match->state.error);
+    return nullptr;
+  }
+  return match;
+}
+
+std::string DiagnosisServer::handle_diagnose(const JsonValue& req) {
+  // Bounded backpressure: admission is a single fetch_add against the
+  // budget - there is no queue to grow without bound, an overloaded
+  // server answers instantly with a typed shed.
+  if (inflight_.fetch_add(1) >= config_.max_inflight) {
+    inflight_.fetch_sub(1);
+    serve_shed_counter().add(1);
+    return error_json("overloaded",
+                      "in-flight budget (" +
+                          std::to_string(config_.max_inflight) +
+                          ") exhausted; retry with backoff");
+  }
+  const InflightRelease release{&inflight_};
+
+  std::string route_error;
+  LoadedStore* loaded = route_store(req.get_string("store"), &route_error);
+  if (loaded == nullptr) return route_error;
+
+  const std::string match = req.get_string("match", "e");
+  if (match != "e" && match != "s") {
+    return error_json("bad_request", "match must be \"e\" or \"s\"");
+  }
+  const auto top_k = static_cast<std::size_t>(std::max(
+      0.0, req.get_number("top", static_cast<double>(config_.default_top_k))));
+  const double deadline_ms = req.get_number(
+      "deadline_ms", static_cast<double>(config_.default_deadline_ms));
+
+  const std::uint64_t request_k = g_request_ordinal.fetch_add(1);
+  runtime::CancelToken token;
+  if (obs::fault_at("serve.deadline", request_k)) {
+    token.set_deadline_ns(1);  // already expired: the deadline path, forced
+  } else if (deadline_ms > 0.0) {
+    token.set_deadline_after_seconds(deadline_ms / 1000.0);
+  }
+
+  try {
+    const runtime::ScopedCancelToken ambient(&token);
+    if (config_.test_hold_seconds > 0.0) {
+      const std::uint64_t until =
+          obs::now_ns() +
+          static_cast<std::uint64_t>(config_.test_hold_seconds * 1e9);
+      while (obs::now_ns() < until) {
+        token.poll();
+        std::this_thread::sleep_for(std::chrono::milliseconds(2));
+      }
+    }
+    token.poll();
+
+    const JsonValue* chips_json = req.get("chips");
+    if (chips_json == nullptr || !chips_json->is_array()) {
+      return error_json("bad_request", "missing \"chips\" array");
+    }
+    const DictionaryStore& st = *loaded->store;
+    std::vector<ChipQuery> chips;
+    chips.reserve(chips_json->array.size());
+    for (std::size_t c = 0; c < chips_json->array.size(); ++c) {
+      const JsonValue& chip = chips_json->array[c];
+      ChipQuery q;
+      q.id = chip.get_string("id", std::to_string(c));
+      const JsonValue* rows_json = chip.get("b");
+      if (rows_json == nullptr || !rows_json->is_array()) {
+        return error_json("bad_request",
+                          "chip " + q.id + ": missing \"b\" rows");
+      }
+      std::vector<std::string> rows;
+      rows.reserve(rows_json->array.size());
+      for (const JsonValue& row : rows_json->array) {
+        if (!row.is_string()) {
+          return error_json("bad_request",
+                            "chip " + q.id + ": \"b\" rows must be strings");
+        }
+        rows.push_back(row.string);
+      }
+      q.B = behavior_from_rows(rows, st.n_outputs(), st.n_patterns());
+      chips.push_back(std::move(q));
+    }
+
+    const std::string response =
+        diagnose_batch_json(*loaded->engine, chips, match == "e", top_k);
+    serve_served_counter().add(1);
+    return response;
+  } catch (const DeadlineError& e) {
+    serve_deadline_counter().add(1);
+    return error_json("deadline", e.what());
+  } catch (const CancelledError& e) {
+    return error_json("shutting_down", e.what());
+  } catch (const ParseError& e) {
+    return error_json("bad_request", e.what());
+  } catch (const StoreError& e) {
+    // A store that turns bad mid-flight (should be impossible after the
+    // open-time sweep, but classified anyway): quarantine it.  The
+    // mapping stays alive - another thread may be mid-read - only the
+    // routing state flips.
+    {
+      std::lock_guard<std::mutex> lock(stores_mu_);
+      if (!loaded->state.quarantined) {
+        loaded->state.quarantined = true;
+        loaded->state.error = e.what();
+        serve_quarantined_counter().add(1);
+      }
+    }
+    return error_json("store_quarantined", e.what());
+  } catch (const Error& e) {
+    return error_json("internal", e.what());
+  } catch (const std::exception& e) {
+    return error_json("internal", e.what());
+  }
+}
+
+std::string DiagnosisServer::health_json() const {
+  std::lock_guard<std::mutex> lock(stores_mu_);
+  bool degraded = false;
+  std::string out = "{\"ok\":true,\"op\":\"health\",\"stores\":[";
+  for (std::size_t i = 0; i < stores_.size(); ++i) {
+    const StoreState& s = stores_[i].state;
+    if (s.quarantined) degraded = true;
+    if (i > 0) out.push_back(',');
+    out.append("{\"path\":").append(json_quote(s.path));
+    out.append(",\"run_id\":").append(json_quote(s.run_id));
+    out.append(",\"circuit\":").append(json_quote(s.circuit));
+    out.append(",\"state\":")
+        .append(s.quarantined ? "\"quarantined\"" : "\"serving\"");
+    out.append(",\"error\":").append(json_quote(s.error));
+    out.push_back('}');
+  }
+  out.append("],\"degraded\":").append(degraded ? "true" : "false");
+  out.append(",\"draining\":").append(drain_.load() ? "true" : "false");
+  out.append(",\"inflight\":").append(std::to_string(inflight_.load()));
+  out.append(",\"counters\":{");
+  out.append("\"serve.connections\":")
+      .append(std::to_string(serve_connections_counter().value()));
+  out.append(",\"serve.requests\":")
+      .append(std::to_string(serve_requests_counter().value()));
+  out.append(",\"serve.served\":")
+      .append(std::to_string(serve_served_counter().value()));
+  out.append(",\"serve.shed\":")
+      .append(std::to_string(serve_shed_counter().value()));
+  out.append(",\"serve.deadline_hits\":")
+      .append(std::to_string(serve_deadline_counter().value()));
+  out.append(",\"serve.quarantined\":")
+      .append(std::to_string(serve_quarantined_counter().value()));
+  out.append("}}");
+  return out;
+}
+
+std::vector<StoreState> DiagnosisServer::store_states() const {
+  std::lock_guard<std::mutex> lock(stores_mu_);
+  std::vector<StoreState> out;
+  out.reserve(stores_.size());
+  for (const auto& s : stores_) out.push_back(s.state);
+  return out;
+}
+
+void DiagnosisServer::request_drain() {
+  bool expected = false;
+  if (!drain_.compare_exchange_strong(expected, true)) return;
+  {
+    // Kick connections blocked mid-read; their loops then observe drain_.
+    std::lock_guard<std::mutex> lock(threads_mu_);
+    for (const int fd : conn_fds_) ::shutdown(fd, SHUT_RD);
+  }
+  drain_cv_.notify_all();
+}
+
+void DiagnosisServer::wait() {
+  {
+    std::unique_lock<std::mutex> lock(drain_mu_);
+    drain_cv_.wait(lock, [this] { return drain_.load(); });
+  }
+  for (std::thread& t : accept_threads_) t.join();
+  // Accept loops are gone, so conn_threads_ is stable now.
+  for (std::thread& t : conn_threads_) t.join();
+  listen_fds_.clear();
+  if (!config_.unix_socket.empty()) ::unlink(config_.unix_socket.c_str());
+
+  const double wall_seconds =
+      static_cast<double>(obs::now_ns() - start_ns_) * 1e-9;
+  if (!obs::ledger_out_path().empty()) {
+    obs::LedgerRecord rec;
+    rec.run_id = obs::new_invocation_run_id("serve", config_.git_sha);
+    rec.tool = "serve";
+    std::string circuits;
+    for (const auto& s : stores_) {
+      if (s.state.circuit.empty()) continue;
+      if (!circuits.empty()) circuits.push_back(',');
+      circuits.append(s.state.circuit);
+    }
+    rec.circuit = circuits;
+    rec.git_sha = config_.git_sha;
+    rec.threads = runtime::thread_count();
+    rec.n_chips = serve_served_counter().value();
+    rec.wall_seconds = wall_seconds;
+    rec.counters = obs::MetricsRegistry::instance().snapshot().counters;
+    rec.peak_rss_kb = obs::read_peak_rss_kb();
+    obs::append_ledger_record(obs::ledger_out_path(), rec);
+  }
+  obs::dump_postmortem("serve.drain");
+  SDDD_LOG_INFO("serve: drained after %.1fs (%llu served, %llu shed)",
+                wall_seconds,
+                static_cast<unsigned long long>(serve_served_counter().value()),
+                static_cast<unsigned long long>(serve_shed_counter().value()));
+}
+
+// ---------------------------------------------------------------------------
+// serve_main
+
+namespace {
+
+int g_signal_pipe_wr = -1;
+
+void drain_signal_handler(int) {
+  if (g_signal_pipe_wr >= 0) {
+    const char byte = 1;
+    [[maybe_unused]] const ssize_t r = ::write(g_signal_pipe_wr, &byte, 1);
+  }
+}
+
+}  // namespace
+
+int serve_main(const ServerConfig& config) {
+  int pipe_fds[2];
+  if (::pipe(pipe_fds) != 0) {
+    SDDD_LOG_ERROR("serve: pipe failed: %s", std::strerror(errno));
+    return 1;
+  }
+  g_signal_pipe_wr = pipe_fds[1];
+  struct sigaction sa{};
+  sa.sa_handler = drain_signal_handler;
+  ::sigaction(SIGTERM, &sa, nullptr);
+  ::sigaction(SIGINT, &sa, nullptr);
+
+  DiagnosisServer server(config);
+  try {
+    server.start();
+  } catch (const Error& e) {
+    SDDD_LOG_ERROR("%s", e.what());
+    return 1;
+  }
+  std::size_t quarantined = 0;
+  for (const StoreState& s : server.store_states()) {
+    if (s.quarantined) ++quarantined;
+  }
+  std::printf("serve: ready unix=%s tcp_port=%d stores=%zu quarantined=%zu\n",
+              config.unix_socket.empty() ? "-" : config.unix_socket.c_str(),
+              server.tcp_port(), server.store_states().size(), quarantined);
+  std::fflush(stdout);
+
+  // Watch for SIGTERM/SIGINT (self-pipe) until someone requests a drain -
+  // the signal, or a "shutdown" op served by a worker thread.
+  std::thread signal_watcher([&server, read_fd = pipe_fds[0]] {
+    while (!server.drain_requested()) {
+      pollfd p{read_fd, POLLIN, 0};
+      const int r = ::poll(&p, 1, 200);
+      if (r > 0) {
+        server.request_drain();
+        break;
+      }
+    }
+  });
+  server.wait();
+  signal_watcher.join();
+  ::close(pipe_fds[0]);
+  ::close(pipe_fds[1]);
+  g_signal_pipe_wr = -1;
+  return 0;
+}
+
+}  // namespace sddd::store

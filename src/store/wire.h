@@ -1,0 +1,86 @@
+// wire.h - The serve transport: length-prefixed JSON frames over a unix
+// or TCP stream socket, plus the minimal JSON reader the server and
+// clients share.
+//
+// Framing: every message is `u32 length (big-endian) | length bytes of
+// UTF-8 JSON`.  The prefix makes request boundaries explicit (no
+// sniffing for balanced braces on a hostile stream) and lets the server
+// reject oversized frames BEFORE buffering them - the max_frame_bytes
+// backstop in ServerConfig.
+//
+// The JSON reader is deliberately small: objects, arrays, strings (with
+// the escapes diagnose_batch_json emits), doubles, bools, null.  It
+// exists so the serve path has zero external dependencies; it is not a
+// general-purpose validator (e.g. it accepts trailing garbage after the
+// top-level value, which framing already excludes).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace sddd::store {
+
+// ---------------------------------------------------------------------------
+// JSON
+
+class JsonValue {
+ public:
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Kind kind = Kind::kNull;
+  bool boolean = false;
+  double number = 0.0;
+  std::string string;
+  std::vector<JsonValue> array;
+  std::map<std::string, JsonValue> object;
+
+  bool is_object() const { return kind == Kind::kObject; }
+  bool is_array() const { return kind == Kind::kArray; }
+  bool is_string() const { return kind == Kind::kString; }
+  bool is_number() const { return kind == Kind::kNumber; }
+
+  /// Member lookup; nullptr when absent or not an object.
+  const JsonValue* get(const std::string& key) const;
+  /// String member with default.
+  std::string get_string(const std::string& key,
+                         const std::string& fallback = "") const;
+  /// Numeric member with default (also accepts integral-valued doubles).
+  double get_number(const std::string& key, double fallback = 0.0) const;
+};
+
+/// Parses one JSON document.  Throws sddd::ParseError on malformed input.
+JsonValue parse_json(std::string_view text);
+
+// ---------------------------------------------------------------------------
+// Frames
+
+enum class FrameStatus {
+  kOk,
+  kEof,      ///< clean close before any prefix byte
+  kTooBig,   ///< prefix exceeds the caller's limit (connection is dead)
+  kError,    ///< short read / IO error mid-frame
+};
+
+/// Reads one frame into `out` (replaced).  Never throws.
+FrameStatus read_frame(int fd, std::size_t max_bytes, std::string* out);
+
+/// Writes one frame; false on any short write / error.  Never throws.
+bool write_frame(int fd, std::string_view payload);
+
+// ---------------------------------------------------------------------------
+// Sockets (all return -1 and set errno on failure; never throw)
+
+/// Bound + listening unix stream socket at `path` (unlinked first).
+int listen_unix(const std::string& path);
+/// Bound + listening TCP socket on 127.0.0.1:`port` (0 = ephemeral).
+int listen_tcp(int port);
+/// The local port a TCP listener actually bound (for port 0).
+int listening_port(int fd);
+int connect_unix(const std::string& path);
+int connect_tcp(const std::string& host, int port);
+
+}  // namespace sddd::store

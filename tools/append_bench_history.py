@@ -30,6 +30,47 @@ import sys
 
 REQUIRED_KEYS = ("git_sha", "threads", "scale", "samples", "chips",
                  "total_seconds", "circuits")
+# Serve-bench records measure socket throughput, so their workload shape
+# is (clients, batch) on top of the common keys; scale/samples are still
+# present (they size the store under test) and validated when given.
+SERVE_REQUIRED_KEYS = ("git_sha", "threads", "clients", "batch", "chips",
+                       "total_seconds", "circuits")
+
+
+def required_keys(record):
+    return (SERVE_REQUIRED_KEYS if record.get("bench") == "serve"
+            else REQUIRED_KEYS)
+
+
+def serve_record(serve):
+    circuits = {}
+    for c in serve.get("circuits", []):
+        runs = {}
+        for r in c.get("runs", []):
+            runs[str(r.get("clients"))] = {
+                "wall_s": r.get("wall_s"),
+                "chips_per_s": r.get("chips_per_s"),
+                "sheds": r.get("sheds"),
+                "reconnects": r.get("reconnects"),
+            }
+        circuits[c["name"]] = {
+            "seconds": c.get("seconds"),
+            "runs": runs,
+        }
+    return {
+        "bench": "serve",
+        "bit_identical": serve.get("bit_identical"),
+        "run_id": serve.get("run_id", ""),
+        "git_sha": serve.get("git_sha", "unknown"),
+        "threads": serve.get("threads"),
+        "scale": serve.get("scale"),
+        "samples": serve.get("samples"),
+        "clients": serve.get("clients"),
+        "batch": serve.get("batch"),
+        "chips": serve.get("chips"),
+        "total_seconds": serve.get("total_seconds"),
+        "circuits": circuits,
+    }
 
 
 def score_record(score):
@@ -62,6 +103,8 @@ def score_record(score):
 
 
 def history_record(table1):
+    if table1.get("bench") == "serve":
+        return serve_record(table1)
     if table1.get("bench") == "score":
         return score_record(table1)
     circuits = {}
@@ -88,12 +131,12 @@ def history_record(table1):
 def validate_record(record):
     """Schema problems as a list of strings; empty means appendable."""
     problems = []
-    for key in REQUIRED_KEYS:
+    for key in required_keys(record):
         if key not in record or record[key] is None:
             problems.append(f"missing key {key!r}")
     if not isinstance(record.get("circuits"), dict) or not record["circuits"]:
         problems.append("circuits must be a non-empty object")
-    for key in ("threads", "samples", "chips"):
+    for key in ("threads", "samples", "chips", "clients", "batch"):
         if key in record and record[key] is not None:
             if not isinstance(record[key], int) or record[key] < 0:
                 problems.append(f"{key} must be a non-negative integer")
@@ -185,7 +228,7 @@ def cmd_check(history_path):
             print(f"{history_path}:{lineno}: not valid JSON: {e}",
                   file=sys.stderr)
             return 1
-        missing = [k for k in REQUIRED_KEYS if k not in record]
+        missing = [k for k in required_keys(record) if k not in record]
         if missing:
             print(f"{history_path}:{lineno}: missing keys {missing}",
                   file=sys.stderr)

@@ -31,11 +31,19 @@
 #      flight-recorder postmortem bundle whose run_id cross-links the run's
 #      manifest; two identical ledgered runs must report "rank stability:
 #      identical" through sddd_cli report (text and JSON);
-#  10. perf sentry gate: the bench-history tooling self-check proves the
+#  10. store/serve crash-replay smoke: build a dictionary store twice
+#      (byte-identical), SIGKILL `sddd_cli serve` mid-batch, restart it on
+#      the same store, replay the batch, and require the socket responses
+#      byte-identical to the in-process dict-query render;
+#  11. store corruption smoke: SDDD_FAULTS=store.crc@... poisons one of two
+#      stores at open; the server must quarantine it, report degraded
+#      health, keep answering from the healthy store, and drain with
+#      exit 0 on SIGTERM;
+#  12. perf sentry gate: the bench-history tooling self-check proves the
 #      regression gate fires on an injected 2x slowdown (and passes an
 #      unmodified rerun); the real BENCH_history.jsonl, when present, is
 #      then checked warn-free against its own rolling baseline;
-#  11. clang-tidy profile (skipped automatically when not installed).
+#  13. clang-tidy profile (skipped automatically when not installed).
 #
 #   tools/ci.sh [-jN]
 set -euo pipefail
@@ -44,20 +52,20 @@ cd "$(dirname "$0")/.."
 
 JOBS="${1:--j$(nproc)}"
 
-echo "== [1/11] tier-1 build + tests =="
+echo "== [1/13] tier-1 build + tests =="
 cmake -B build -S .
 cmake --build build "$JOBS"
 ctest --test-dir build --output-on-failure "$JOBS"
 
-echo "== [2/11] smoke tests under ASan+UBSan =="
+echo "== [2/13] smoke tests under ASan+UBSan =="
 cmake -B build-san -S . -DSDDD_ASAN=ON -DSDDD_UBSAN=ON
 cmake --build build-san "$JOBS"
 ctest --test-dir build-san --output-on-failure -L smoke "$JOBS"
 
-echo "== [3/11] sddd_lint on the ISCAS catalog =="
+echo "== [3/13] sddd_lint on the ISCAS catalog =="
 ./build/tools/sddd_lint --dict --catalog c17 s27
 
-echo "== [4/11] observability smoke (trace + metrics round-trip) =="
+echo "== [4/13] observability smoke (trace + metrics round-trip) =="
 OBS_DIR="$(mktemp -d)"
 trap 'rm -rf "$OBS_DIR"' EXIT
 ./build/tools/sddd_cli synth "$OBS_DIR/s1196.bench" \
@@ -130,7 +138,7 @@ if [ -f BENCH_history.jsonl ]; then
   python3 tools/append_bench_history.py --check BENCH_history.jsonl
 fi
 
-echo "== [5/11] scoring-kernel smoke (scalar vs kernel, byte-identical) =="
+echo "== [5/13] scoring-kernel smoke (scalar vs kernel, byte-identical) =="
 # The step-4 runs above used the packed scoring kernel (the default).
 # Re-run both with --no-kernel: use_score_kernel is excluded from the
 # experiment fingerprint, so the scalar result JSON must be byte-identical
@@ -173,7 +181,7 @@ print(f"kernel smoke ok: {len(kc)} candidates identical scalar-vs-kernel, "
       f"{counters['dict.sig_cache.misses']} cache builds")
 EOF
 
-echo "== [6/11] diagnosability gate (static analysis + suspect collapse) =="
+echo "== [6/13] diagnosability gate (static analysis + suspect collapse) =="
 # The machine-readable diagnosability report on the same circuit: the DIAG
 # pass must produce a well-formed report whose shape downstream tooling
 # can rely on (DESIGN.md section 13 schema).
@@ -221,7 +229,7 @@ print(f"collapse ok: result JSON byte-identical, phi_evals "
       f"{full['diag.phi_evals']} -> {collapsed['diag.phi_evals']}")
 EOF
 
-echo "== [7/11] crash/resume smoke (SIGKILL mid-trials, byte-identical) =="
+echo "== [7/13] crash/resume smoke (SIGKILL mid-trials, byte-identical) =="
 # Reference: the same experiment, uninterrupted, at two thread counts.
 # The deterministic result JSON must not depend on threads or on how many
 # times the run was killed and resumed.
@@ -247,7 +255,7 @@ wait "$VICTIM" 2>/dev/null || true
 cmp "$OBS_DIR/ref_t1.json" "$OBS_DIR/resumed.json"
 echo "crash/resume smoke ok: resumed JSON byte-identical to reference"
 
-echo "== [8/11] fault-injection smoke (quarantine, exit 0) =="
+echo "== [8/13] fault-injection smoke (quarantine, exit 0) =="
 SDDD_FAULTS="exp.trial@1,3" ./build/tools/sddd_cli diagnose \
   "${DIAG_ARGS[@]}" --threads 2 --metrics-out "$OBS_DIR/fault_metrics.json"
 python3 - "$OBS_DIR/fault_metrics.json" <<'EOF'
@@ -261,7 +269,7 @@ assert counters.get("trial.quarantined") == 2, \
 print("fault smoke ok: 2 faults injected, 2 trials quarantined, exit 0")
 EOF
 
-echo "== [9/11] flight-recorder postmortem + run ledger/report smoke =="
+echo "== [9/13] flight-recorder postmortem + run ledger/report smoke =="
 # A quarantined trial must leave a postmortem bundle behind, and the bundle
 # must cross-link the SAME run_id the manifest carries (the experiment
 # fingerprint), so the crash dump and the run's provenance can be joined.
@@ -308,7 +316,105 @@ print(f"ledger/report smoke ok: runs {diff['run_a']} vs {diff['run_b']}, "
       f"{len(diff['counters'])} counters compared")
 EOF
 
-echo "== [10/11] perf sentry gate (must fire on injected slowdown) =="
+echo "== [10/13] store/serve crash-replay smoke (SIGKILL, byte-identical) =="
+CLI=./build/tools/sddd_cli
+# Build the store twice: a store build is a pure function of (netlist,
+# config), so the two files must be byte-identical.
+"$CLI" dict build "$OBS_DIR/s1196.bench" "$OBS_DIR/s1196.dict" --samples 60
+"$CLI" dict build "$OBS_DIR/s1196.bench" "$OBS_DIR/s1196b.dict" --samples 60
+cmp "$OBS_DIR/s1196.dict" "$OBS_DIR/s1196b.dict"
+"$CLI" dict verify "$OBS_DIR/s1196.dict"
+
+# Draw a batch of failing chips and render the in-process reference
+# response -- the bytes every socket replay below must reproduce exactly.
+"$CLI" dict chips "$OBS_DIR/s1196.bench" "$OBS_DIR/s1196.dict" \
+  --chips 4 --out "$OBS_DIR/serve_req.json"
+"$CLI" dict query "$OBS_DIR/s1196.dict" --request "$OBS_DIR/serve_req.json" \
+  --out "$OBS_DIR/serve_ref.json"
+
+wait_ready() { # log_file
+  for _ in $(seq 1 100); do
+    grep -q "serve: ready" "$1" 2>/dev/null && return 0
+    sleep 0.1
+  done
+  echo "error: server never became ready ($1)" >&2
+  cat "$1" >&2
+  return 1
+}
+
+# First server: answer the batch once, then SIGKILL it mid-request (the
+# --hold-s stall guarantees a request is in flight when the kill lands).
+"$CLI" serve "$OBS_DIR/s1196.dict" --socket "$OBS_DIR/serve.sock" \
+  --hold-s 0.5 > "$OBS_DIR/serve1.log" 2>&1 &
+SERVE_PID=$!
+wait_ready "$OBS_DIR/serve1.log"
+"$CLI" dict query - --request "$OBS_DIR/serve_req.json" \
+  --socket "$OBS_DIR/serve.sock" --out "$OBS_DIR/serve_resp1.json"
+cmp "$OBS_DIR/serve_ref.json" "$OBS_DIR/serve_resp1.json"
+"$CLI" dict query - --request "$OBS_DIR/serve_req.json" \
+  --socket "$OBS_DIR/serve.sock" --out "$OBS_DIR/serve_orphan.json" \
+  > /dev/null 2>&1 &
+KILLED_CLIENT=$!
+sleep 0.2
+kill -9 "$SERVE_PID" 2>/dev/null || true
+wait "$SERVE_PID" 2>/dev/null || true
+wait "$KILLED_CLIENT" 2>/dev/null || true
+
+# Restart on the same store file and replay the same batch: the mmap'd
+# store survived the SIGKILL untouched and diagnosis is idempotent, so the
+# replayed response must be byte-identical to the in-process reference.
+SDDD_LEDGER="$OBS_DIR/serve_ledger.jsonl" \
+  "$CLI" serve "$OBS_DIR/s1196.dict" --socket "$OBS_DIR/serve.sock" \
+  > "$OBS_DIR/serve2.log" 2>&1 &
+SERVE_PID=$!
+wait_ready "$OBS_DIR/serve2.log"
+"$CLI" dict query - --request "$OBS_DIR/serve_req.json" \
+  --socket "$OBS_DIR/serve.sock" --out "$OBS_DIR/serve_resp2.json"
+cmp "$OBS_DIR/serve_ref.json" "$OBS_DIR/serve_resp2.json"
+kill -TERM "$SERVE_PID"
+wait "$SERVE_PID"
+grep -q '"tool":"serve"' "$OBS_DIR/serve_ledger.jsonl"
+echo "serve crash-replay ok: responses byte-identical across SIGKILL+restart"
+
+echo "== [11/13] store corruption smoke (quarantine + degraded health) =="
+# A second store from a different circuit, then poison the FIRST store's
+# header checksum verify at open (store.crc ordinal 0).  The server must
+# come up degraded, keep serving the healthy store, and drain with exit 0.
+./build/tools/sddd_cli synth "$OBS_DIR/alt.bench" \
+  --inputs 10 --outputs 6 --gates 60 --depth 8 --seed 3
+"$CLI" dict build "$OBS_DIR/alt.bench" "$OBS_DIR/alt.dict" --samples 60
+"$CLI" dict chips "$OBS_DIR/alt.bench" "$OBS_DIR/alt.dict" \
+  --chips 2 --out "$OBS_DIR/alt_req.json"
+"$CLI" dict query "$OBS_DIR/alt.dict" --request "$OBS_DIR/alt_req.json" \
+  --out "$OBS_DIR/alt_ref.json"
+printf '{"op":"health"}' > "$OBS_DIR/health_req.json"
+
+SDDD_FAULTS="store.crc@0" \
+  "$CLI" serve "$OBS_DIR/s1196.dict" "$OBS_DIR/alt.dict" \
+  --socket "$OBS_DIR/serve.sock" > "$OBS_DIR/serve3.log" 2>&1 &
+SERVE_PID=$!
+wait_ready "$OBS_DIR/serve3.log"
+grep -q "quarantined=1" "$OBS_DIR/serve3.log"
+"$CLI" dict query - --request "$OBS_DIR/health_req.json" \
+  --socket "$OBS_DIR/serve.sock" --out "$OBS_DIR/health.json"
+python3 - "$OBS_DIR/health.json" <<'PYEOF'
+import json, sys
+with open(sys.argv[1]) as f:
+    health = json.load(f)
+assert health["ok"] and health["degraded"], health
+states = {s["path"].rsplit("/", 1)[-1]: s["state"] for s in health["stores"]}
+assert states["s1196.dict"] == "quarantined", states
+assert states["alt.dict"] == "serving", states
+print(f"health ok: degraded=true, {states}")
+PYEOF
+"$CLI" dict query - --request "$OBS_DIR/alt_req.json" \
+  --socket "$OBS_DIR/serve.sock" --out "$OBS_DIR/alt_resp.json"
+cmp "$OBS_DIR/alt_ref.json" "$OBS_DIR/alt_resp.json"
+kill -TERM "$SERVE_PID"
+wait "$SERVE_PID"
+echo "corruption smoke ok: quarantined store isolated, healthy store served, exit 0"
+
+echo "== [12/13] perf sentry gate (must fire on injected slowdown) =="
 # Deterministic proof on a synthetic history: the sentry passes a healthy
 # run and FAILS the same run under --inject-slowdown 2.0.
 python3 tools/selfcheck_bench_tools.py "$OBS_DIR"
@@ -319,7 +425,7 @@ if [ -f BENCH_history.jsonl ]; then
     --last 3
 fi
 
-echo "== [11/11] clang-tidy profile =="
+echo "== [13/13] clang-tidy profile =="
 tools/run_static_checks.sh
 
 echo "ci.sh: all gates passed"

@@ -18,6 +18,11 @@
 #                            1 and N threads (bench_score; the run fails
 #                            unless kernel results are bit-identical to the
 #                            scalar reference).
+#   BENCH_serve.json         diagnosis-server throughput over the unix
+#                            socket at 1 and N concurrent clients
+#                            (bench_serve; fails unless every socket
+#                            response is byte-identical to the in-process
+#                            render of the same batch).
 #   bench_dictionary console output for both widths.
 #
 # A failing bench run fails the script before any JSON is interpreted: the
@@ -44,12 +49,12 @@ export SDDD_LEDGER="${SDDD_LEDGER:-BENCH_ledger.jsonl}"
 echo "== configure + build (Release) =="
 cmake -B "$BUILD_DIR" -S . -DCMAKE_BUILD_TYPE=Release >/dev/null
 cmake --build "$BUILD_DIR" -j "$(nproc)" --target bench_table1 \
-  bench_dictionary bench_score
+  bench_dictionary bench_score bench_serve
 
 # No stale outputs: if a bench binary dies below, these files are gone, not
 # silently left over from the previous run.
 rm -f BENCH_table1.json BENCH_table1.serial.json BENCH_table1.trace.json \
-  BENCH_score.json
+  BENCH_score.json BENCH_serve.json
 
 run_or_die() {
   local label="$1"
@@ -81,6 +86,15 @@ run_or_die "bench_score" \
   --git-sha "$GIT_SHA" --json BENCH_score.json
 
 echo
+echo "== bench_serve (socket throughput, 1 and $N_THREADS clients) =="
+# bench_serve boots the diagnosis server in-process, replays one batch
+# from 1 and N concurrent clients, and exits non-zero if any response
+# diverges from the offline dict-query bytes.
+run_or_die "bench_serve" \
+  "$BUILD_DIR/bench/bench_serve" --clients "$N_THREADS" \
+  --git-sha "$GIT_SHA" --json BENCH_serve.json
+
+echo
 echo "== bench_table1, 1 thread =="
 run_or_die "bench_table1 (1 thread)" \
   "$BUILD_DIR/bench/bench_table1" --threads 1 --scale 0.35 --samples 120 \
@@ -102,6 +116,8 @@ python3 tools/append_bench_history.py append \
   BENCH_table1.json BENCH_history.jsonl
 python3 tools/append_bench_history.py append \
   BENCH_score.json BENCH_history.jsonl
+python3 tools/append_bench_history.py append \
+  BENCH_serve.json BENCH_history.jsonl
 
 # Warn-only perf check against the rolling baseline: the developer sees a
 # regression immediately, but only ci.sh turns the sentry into a hard gate.
@@ -123,3 +139,6 @@ kernel_speedup=$(grep -o '"speedup_scoring": *[0-9.]*' BENCH_score.json |
   tail -1 | grep -o '[0-9.]*$')
 echo "scoring kernel speedup (warm cache, ${N_THREADS} threads):" \
   "${kernel_speedup}x"
+serve_rate=$(grep -o '"chips_per_s": *[0-9.]*' BENCH_serve.json |
+  tail -1 | grep -o '[0-9.]*$')
+echo "serve throughput (${N_THREADS} clients): ${serve_rate} chips/s"

@@ -48,6 +48,11 @@
 #include "netlist/verilog_io.h"
 #include "paths/transition_graph.h"
 #include "runtime/parallel_for.h"
+#include "store/client.h"
+#include "store/query.h"
+#include "store/server.h"
+#include "store/store.h"
+#include "store/wire.h"
 #include "timing/celllib.h"
 #include "timing/clark_ssta.h"
 #include "timing/delay_field.h"
@@ -85,6 +90,31 @@ namespace {
       "           [--collapse]  collapse suspects a pattern cannot observe\n"
       "                 onto one shared phi per pattern (bit-identical\n"
       "                 results, fewer phi evals; also accepted by explain)\n"
+      "  dict build <netlist> <out.store> [--samples N] [--seed N]\n"
+      "             [--pattern-sites N] [--max-patterns N] [--clk X]\n"
+      "             [--max-suspects N] [--calibration-sites N]\n"
+      "             [--quantile Q]  freeze the probabilistic dictionary\n"
+      "                 into a checksummed, mmappable store file (atomic\n"
+      "                 write; pure function of netlist + flags, so equal\n"
+      "                 args => byte-identical files)\n"
+      "  dict verify <store>      full integrity sweep (checksums, sizes);\n"
+      "                 exit 0 serving-grade, 1 corrupt (section named)\n"
+      "  dict info <store>        header + section table summary\n"
+      "  dict chips <netlist> <store> [--chips N] [--match e|s] [--top K]\n"
+      "             [--deadline-ms N] [--out FILE]  draw failing chips\n"
+      "                 from the instance Monte-Carlo world and render the\n"
+      "                 canonical diagnose request (the serve wire format)\n"
+      "  dict query <store> --request FILE [--out FILE]\n"
+      "             [--socket PATH | --port N]  answer a diagnose request\n"
+      "                 in-process from the store, or (with an endpoint)\n"
+      "                 relay it to a running server with retry/backoff -\n"
+      "                 both transports produce byte-identical responses\n"
+      "  serve <store...> [--socket PATH] [--port N (0 = ephemeral)]\n"
+      "        [--max-inflight N] [--deadline-ms N] [--top K]\n"
+      "                 long-running batch diagnosis server: mmaps the\n"
+      "                 stores once, quarantines corrupt ones (keeps\n"
+      "                 serving the rest), sheds load past the in-flight\n"
+      "                 budget, drains cleanly on SIGTERM\n"
       "  report [--ledger FILE] [--a RUN_ID --b RUN_ID | --last N]\n"
       "         [--json FILE]  compare two ledger records: per-phase wall\n"
       "                 deltas, changed counters, rank stability (run_ids\n"
@@ -585,6 +615,204 @@ int cmd_explain(const std::filesystem::path& path, const Options& opts,
   return 0;
 }
 
+// The local store() writer above shadows the sddd::store namespace, so
+// the dictionary-store commands reach it through an alias.
+namespace dstore = sddd::store;
+
+netlist::Netlist load_combinational(const std::filesystem::path& path) {
+  auto nl = load(path);
+  if (nl.dff_count() > 0) nl = netlist::full_scan_transform(nl);
+  return nl;
+}
+
+dstore::StoreBuildConfig dict_build_config_from(const Options& opts) {
+  dstore::StoreBuildConfig config;
+  config.mc_samples = static_cast<std::size_t>(opts.get("samples", 250));
+  config.seed = static_cast<std::uint64_t>(opts.get("seed", 2003));
+  config.pattern_sites =
+      static_cast<std::size_t>(opts.get("pattern-sites", 6));
+  config.max_patterns = static_cast<std::size_t>(opts.get("max-patterns", 24));
+  config.max_suspects =
+      static_cast<std::size_t>(opts.get("max-suspects", 300));
+  config.calibration_sites =
+      static_cast<std::size_t>(opts.get("calibration-sites", 16));
+  config.clk_site_quantile = opts.get_double("quantile", 0.7);
+  config.clk_override = opts.get_double("clk", 0.0);
+  return config;
+}
+
+int cmd_dict_build(const std::filesystem::path& netlist_path,
+                   const std::string& out_path, const Options& opts) {
+  const auto nl = load_combinational(netlist_path);
+  const auto info =
+      dstore::build_dictionary_store(nl, dict_build_config_from(opts), out_path);
+  std::printf("wrote %s: run %s, clk=%.1f, %zu patterns x %zu outputs x "
+              "%zu arcs, %llu bytes\n",
+              out_path.c_str(), info.run_id.c_str(), info.clk,
+              info.n_patterns, info.n_outputs, info.n_arcs,
+              static_cast<unsigned long long>(info.bytes));
+  return 0;
+}
+
+int cmd_dict_verify(const std::string& path) {
+  const dstore::StoreVerifyReport report = dstore::verify_store_file(path);
+  if (report.ok) {
+    std::printf("%s: ok\n", path.c_str());
+    return 0;
+  }
+  std::printf("%s: CORRUPT (section %s): %s\n", path.c_str(),
+              report.bad_section.c_str(), report.message.c_str());
+  return 1;
+}
+
+int cmd_dict_info(const std::string& path) {
+  const dstore::DictionaryStore st(path);
+  std::printf("%s\n", path.c_str());
+  std::printf("  run %s  circuit %s  seed %llu\n", st.run_id().c_str(),
+              st.circuit().c_str(),
+              static_cast<unsigned long long>(st.build_seed()));
+  std::printf("  clk %.4f  %zu MC samples  %zu patterns  %zu inputs  "
+              "%zu outputs  %zu arcs  max_suspects %zu\n",
+              st.clk(), st.mc_samples(), st.n_patterns(), st.n_inputs(),
+              st.n_outputs(), st.n_arcs(), st.max_suspects());
+  std::printf("  %llu bytes, sections:\n",
+              static_cast<unsigned long long>(st.file_bytes()));
+  for (const auto& sec : st.sections()) {
+    std::printf("    %-8s  offset %8llu  %10llu bytes  crc %016llx\n",
+                sec.name.c_str(), static_cast<unsigned long long>(sec.offset),
+                static_cast<unsigned long long>(sec.bytes),
+                static_cast<unsigned long long>(sec.crc));
+  }
+  return 0;
+}
+
+int cmd_dict_chips(const std::filesystem::path& netlist_path,
+                   const std::string& store_path, const Options& opts) {
+  const auto nl = load_combinational(netlist_path);
+  const dstore::DictionaryStore st(store_path);
+  const auto n_chips = static_cast<std::size_t>(opts.get("chips", 8));
+  const auto sampled = dstore::sample_failing_chips(nl, st, n_chips);
+  std::vector<dstore::ChipQuery> chips;
+  chips.reserve(sampled.size());
+  for (std::size_t t = 0; t < sampled.size(); ++t) {
+    chips.push_back(dstore::ChipQuery{"chip" + std::to_string(t),
+                                     sampled[t].B});
+  }
+  const std::string request = dstore::make_diagnose_request(
+      st.run_id(), opts.str("match", "e"),
+      static_cast<std::size_t>(opts.get("top", 10)),
+      static_cast<std::uint64_t>(opts.get("deadline-ms", 0)), chips);
+  const std::string out_path = opts.str("out");
+  if (out_path.empty()) {
+    std::printf("%s\n", request.c_str());
+    return 0;
+  }
+  obs::atomic_write_file_or_throw(out_path, request);
+  std::printf("wrote %s: %zu failing chips against run %s\n",
+              out_path.c_str(), chips.size(), st.run_id().c_str());
+  for (std::size_t t = 0; t < sampled.size(); ++t) {
+    std::printf("  chip%zu: arc %u size %.4f (sample %zu, %zu failing "
+                "cells)\n",
+                t, sampled[t].chip.defect_arc, sampled[t].chip.defect_size,
+                sampled[t].chip.sample_index, sampled[t].B.failure_count());
+  }
+  return 0;
+}
+
+int cmd_dict_query(const std::string& store_path, const Options& opts) {
+  const std::string request_path = opts.str("request");
+  if (request_path.empty()) {
+    std::fprintf(stderr, "dict query: need --request FILE\n");
+    return 2;
+  }
+  std::ifstream in(request_path, std::ios::binary);
+  if (!in) {
+    std::fprintf(stderr, "dict query: cannot read %s\n",
+                 request_path.c_str());
+    return 1;
+  }
+  std::string request_text((std::istreambuf_iterator<char>(in)),
+                           std::istreambuf_iterator<char>());
+
+  const std::string socket_path = opts.str("socket");
+  const auto port = static_cast<int>(opts.get("port", -1));
+  std::string response;
+  if (!socket_path.empty() || port >= 0) {
+    // Relay mode: the request bytes go to the server verbatim, so the
+    // response is byte-identical to the in-process path below.
+    dstore::ServeClient client = dstore::ServeClient::connect(socket_path, port);
+    dstore::RetryStats stats;
+    response = dstore::request_with_retry(client, socket_path, port,
+                                         request_text, dstore::RetryPolicy{},
+                                         &stats);
+    if (stats.reconnects > 0 || stats.sheds > 0) {
+      std::fprintf(stderr,
+                   "dict query: %zu attempts, %zu reconnects, %zu sheds\n",
+                   stats.attempts, stats.reconnects, stats.sheds);
+    }
+  } else {
+    const dstore::DictionaryStore st(store_path);
+    const dstore::StoreQueryEngine engine(st);
+    const dstore::JsonValue req = dstore::parse_json(request_text);
+    const dstore::JsonValue* chips_json = req.get("chips");
+    if (chips_json == nullptr || !chips_json->is_array()) {
+      std::fprintf(stderr, "dict query: request has no \"chips\" array\n");
+      return 1;
+    }
+    std::vector<dstore::ChipQuery> chips;
+    for (std::size_t c = 0; c < chips_json->array.size(); ++c) {
+      const dstore::JsonValue& chip = chips_json->array[c];
+      std::vector<std::string> rows;
+      const dstore::JsonValue* rows_json = chip.get("b");
+      if (rows_json == nullptr || !rows_json->is_array()) {
+        std::fprintf(stderr, "dict query: chip %zu has no \"b\" rows\n", c);
+        return 1;
+      }
+      for (const auto& row : rows_json->array) rows.push_back(row.string);
+      chips.push_back(dstore::ChipQuery{
+          chip.get_string("id", std::to_string(c)),
+          dstore::behavior_from_rows(rows, st.n_outputs(), st.n_patterns())});
+    }
+    const std::string match =
+        opts.str("match", req.get_string("match", "e"));
+    const auto top_k = static_cast<std::size_t>(
+        opts.get("top", static_cast<long>(req.get_number("top", 10))));
+    response = dstore::diagnose_batch_json(engine, chips, match == "e", top_k);
+  }
+
+  const std::string out_path = opts.str("out");
+  if (out_path.empty()) {
+    std::printf("%s\n", response.c_str());
+  } else {
+    obs::atomic_write_file_or_throw(out_path, response);
+    std::printf("wrote %s (%zu bytes)\n", out_path.c_str(), response.size());
+  }
+  return 0;
+}
+
+int cmd_serve(const Options& opts) {
+  dstore::ServerConfig config;
+  config.store_paths = opts.positional();
+  if (config.store_paths.empty()) {
+    std::fprintf(stderr, "serve: need at least one store file\n");
+    return 2;
+  }
+  config.unix_socket = opts.str("socket");
+  config.tcp_port = static_cast<int>(opts.get("port", -1));
+  if (config.unix_socket.empty() && config.tcp_port < 0) {
+    std::fprintf(stderr, "serve: need --socket PATH and/or --port N\n");
+    return 2;
+  }
+  config.max_inflight = static_cast<std::size_t>(opts.get("max-inflight", 4));
+  config.default_deadline_ms =
+      static_cast<std::uint64_t>(opts.get("deadline-ms", 0));
+  config.default_top_k = static_cast<std::size_t>(opts.get("top", 10));
+  config.test_hold_seconds = opts.get_double("hold-s", 0.0);
+  const char* sha = std::getenv("SDDD_GIT_SHA");
+  config.git_sha = sha != nullptr ? sha : "";
+  return dstore::serve_main(config);
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -626,6 +854,19 @@ int main(int argc, char** argv) {
       const bool collapse = consume_flag(&argc, argv, "--collapse");
       return cmd_explain(argv[2], Options(argc, argv, 3), no_kernel, collapse);
     }
+    if (cmd == "dict" && argc >= 4) {
+      const std::string sub = argv[2];
+      if (sub == "build" && argc >= 5) {
+        return cmd_dict_build(argv[3], argv[4], Options(argc, argv, 5));
+      }
+      if (sub == "verify") return cmd_dict_verify(argv[3]);
+      if (sub == "info") return cmd_dict_info(argv[3]);
+      if (sub == "chips" && argc >= 5) {
+        return cmd_dict_chips(argv[3], argv[4], Options(argc, argv, 5));
+      }
+      if (sub == "query") return cmd_dict_query(argv[3], Options(argc, argv, 4));
+    }
+    if (cmd == "serve" && argc >= 3) return cmd_serve(Options(argc, argv, 2));
   } catch (const sddd::Error& e) {
     // what() already carries the "[<code>] " prefix.
     std::fprintf(stderr, "error: %s\n", e.what());

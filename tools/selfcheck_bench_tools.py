@@ -52,6 +52,22 @@ def table1_artifact(run_id, sha, seconds):
     }
 
 
+def serve_artifact(run_id, sha, seconds):
+    return {
+        "bench": "serve", "bit_identical": True,
+        "run_id": run_id, "git_sha": sha, "threads": 4, "scale": 0.35,
+        "samples": 120, "clients": 4, "batch": 6, "chips": 6,
+        "total_seconds": seconds,
+        "circuits": [{"name": "s9234", "seconds": seconds,
+                      "runs": [{"clients": 1, "wall_s": 0.2,
+                                "chips_per_s": 30.0, "sheds": 0,
+                                "reconnects": 0},
+                               {"clients": 4, "wall_s": 0.3,
+                                "chips_per_s": 80.0, "sheds": 0,
+                                "reconnects": 0}]}],
+    }
+
+
 def main(argv):
     scratch = argv[1] if len(argv) > 1 else tempfile.mkdtemp()
     os.makedirs(scratch, exist_ok=True)
@@ -102,6 +118,26 @@ def main(argv):
            "append genuinely slow run")
     expect(run("check_bench_regression.py", "--history", hist, "--last", "1"),
            1, "sentry fails real 2.5x regression")
+
+    # Serve-shape records ("bench": "serve", clients/batch instead of a
+    # scale/samples-only shape) must append and survive --check (on a
+    # clean history: the torn line above still fails --check by design).
+    serve_hist = os.path.join(scratch, "selfcheck_serve_history.jsonl")
+    if os.path.exists(serve_hist):
+        os.remove(serve_hist)
+    with open(art, "w") as f:
+        json.dump(serve_artifact("00000000000000bb", "sha0007", 3.0), f)
+    expect(run("append_bench_history.py", "append", art, serve_hist), 0,
+           "append serve-bench record")
+    expect(run("append_bench_history.py", "--check", serve_hist), 0,
+           "--check accepts serve-bench record")
+    # A serve artifact missing its shape fields must be refused.
+    broken = serve_artifact("00000000000000cc", "sha0008", 3.0)
+    del broken["clients"]
+    with open(art, "w") as f:
+        json.dump(broken, f)
+    expect(run("append_bench_history.py", "append", art, serve_hist), 1,
+           "refuse serve record without clients")
 
     print("bench tooling self-check: all scenarios behaved")
     return 0
