@@ -49,6 +49,7 @@
 #include "store/query.h"
 #include "store/server.h"
 #include "store/store.h"
+#include "store/wire.h"
 
 using namespace sddd;
 
@@ -101,7 +102,9 @@ WidthResult run_width(const std::string& socket_path, std::size_t clients,
             client, socket_path, -1, request, store::RetryPolicy{}, &stats);
         sheds += stats.sheds;
         reconnects += stats.reconnects;
-        if (response != expected) identical = false;
+        // The scored payload inside the trace envelope is the
+        // byte-identity surface; the envelope itself carries the id.
+        if (store::response_payload(response) != expected) identical = false;
       }
     });
   }
@@ -232,6 +235,31 @@ int main(int argc, char** argv) {
                   name.c_str(), r.clients, r.wall_s, r.chips_per_s, r.sheds,
                   r.reconnects, r.identical ? "" : "  RESPONSES DIVERGED");
     }
+    // Server-reported request latency: ask the live server's `stats` op
+    // (the production observability surface) before draining it.
+    double p50_ms = 0.0, p95_ms = 0.0, p99_ms = 0.0;
+    {
+      store::ServeClient sc =
+          store::ServeClient::connect(server_cfg.unix_socket, -1);
+      const std::string stats_payload =
+          store::response_payload(sc.request("{\"op\":\"stats\"}"));
+      const store::JsonValue stats_json = store::parse_json(stats_payload);
+      const store::JsonValue* window = stats_json.get("window");
+      const store::JsonValue* hists =
+          window != nullptr ? window->get("histograms") : nullptr;
+      const store::JsonValue* hist =
+          hists != nullptr ? hists->get("serve.request_us") : nullptr;
+      if (hist == nullptr || hist->get_number("total") <= 0.0) {
+        std::fprintf(stderr,
+                     "bench_serve: stats response has no serve.request_us "
+                     "latency histogram\n");
+        return 1;
+      }
+      p50_ms = hist->get_number("p50") / 1000.0;
+      p95_ms = hist->get_number("p95") / 1000.0;
+      p99_ms = hist->get_number("p99") / 1000.0;
+    }
+
     server.request_drain();
     server.wait();
 
@@ -239,7 +267,10 @@ int main(int argc, char** argv) {
         std::chrono::duration<double>(std::chrono::steady_clock::now() - c0)
             .count();
     circuits_js << "    {\"name\": \"" << name << "\", \"seconds\": "
-                << circuit_s << ",\n      \"runs\": [\n";
+                << circuit_s << ",\n      \"latency_p50_ms\": " << p50_ms
+                << ", \"latency_p95_ms\": " << p95_ms
+                << ", \"latency_p99_ms\": " << p99_ms << ",\n"
+                << "      \"runs\": [\n";
     for (std::size_t ri = 0; ri < runs.size(); ++ri) {
       const auto& r = runs[ri];
       circuits_js << "      {\"clients\": " << r.clients
@@ -256,6 +287,25 @@ int main(int argc, char** argv) {
       std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
           .count();
 
+  // Headline latency across every circuit and width: the cumulative
+  // serve.request_us histogram all in-process servers recorded into (the
+  // same one the serve ledger records at drain).
+  double lat_p50_ms = 0.0, lat_p95_ms = 0.0, lat_p99_ms = 0.0;
+  {
+    const obs::MetricsSnapshot snap =
+        obs::MetricsRegistry::instance().snapshot();
+    const auto it = snap.histograms.find("serve.request_us");
+    if (it == snap.histograms.end() || it->second.total() == 0) {
+      std::fprintf(stderr,
+                   "bench_serve: cumulative serve.request_us histogram is "
+                   "empty\n");
+      return 1;
+    }
+    lat_p50_ms = it->second.quantile(0.50) / 1000.0;
+    lat_p95_ms = it->second.quantile(0.95) / 1000.0;
+    lat_p99_ms = it->second.quantile(0.99) / 1000.0;
+  }
+
   std::ostringstream js;
   js << "{\n"
      << "  \"bench\": \"serve\",\n"
@@ -269,6 +319,9 @@ int main(int argc, char** argv) {
      << "  \"batch\": " << cfg.batch << ",\n"
      << "  \"requests\": " << cfg.requests << ",\n"
      << "  \"chips\": " << cfg.batch << ",\n"
+     << "  \"latency_p50_ms\": " << lat_p50_ms << ",\n"
+     << "  \"latency_p95_ms\": " << lat_p95_ms << ",\n"
+     << "  \"latency_p99_ms\": " << lat_p99_ms << ",\n"
      << "  \"total_seconds\": " << total_seconds << ",\n"
      << "  \"circuits\": [\n"
      << circuits_js.str() << "  ]\n}\n";
@@ -278,6 +331,8 @@ int main(int argc, char** argv) {
   }
   std::printf("total wall time: %.2fs; bit-identical: %s\n", total_seconds,
               all_identical ? "yes" : "NO");
+  std::printf("server-reported latency: p50 %.2fms, p95 %.2fms, p99 %.2fms\n",
+              lat_p50_ms, lat_p95_ms, lat_p99_ms);
 
   if (!obs::ledger_out_path().empty()) {
     obs::LedgerRecord rec;
@@ -297,6 +352,9 @@ int main(int argc, char** argv) {
       rec.circuit += name;
     }
     rec.counters = obs::MetricsRegistry::instance().snapshot().counters;
+    rec.phases["latency_p50_ms"] = lat_p50_ms;
+    rec.phases["latency_p95_ms"] = lat_p95_ms;
+    rec.phases["latency_p99_ms"] = lat_p99_ms;
     rec.peak_rss_kb = obs::read_peak_rss_kb();
     rec.result_path = json_path;
     rec.unix_ms = static_cast<std::uint64_t>(

@@ -41,6 +41,8 @@
 //   serve.accept server drops a connection at accept     k = accept ordinal
 //   serve.write  server response write fails (conn cut)  k = response ordinal
 //   serve.deadline  request treated as deadline-expired  k = request ordinal
+//   serve.store  diagnose throws StoreError mid-flight   k = request ordinal
+//                (exercises the quarantine-on-serve path)
 //
 // Every selected injection increments the `fault.injected` counter, so a
 // run can assert exactly how many faults fired.  With no spec configured

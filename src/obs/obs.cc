@@ -144,6 +144,11 @@ const std::string& postmortem_out_path() { return g_postmortem_out; }
 
 void set_ledger_out_path(std::string path) { g_ledger_out = std::move(path); }
 
+void set_metrics_out_path(std::string path) {
+  g_metrics_out = std::move(path);
+  g_flushed = false;  // a fresh configuration gets a fresh flush
+}
+
 void set_postmortem_out_path(std::string path) {
   g_postmortem_out = std::move(path);
   if (!g_postmortem_out.empty() && g_prev_terminate == nullptr) {

@@ -52,8 +52,12 @@ const std::string& postmortem_out_path();
 
 /// Overrides for tests and for binaries that pick the paths themselves
 /// (the bench mains).  An empty string disables the output.
+/// set_metrics_out_path re-arms the write-once flush guard, so a test can
+/// point metrics at a fresh file and flush again (the server's drain path
+/// relies on the same re-arm to land a complete snapshot at SIGTERM).
 void set_ledger_out_path(std::string path);
 void set_postmortem_out_path(std::string path);
+void set_metrics_out_path(std::string path);
 
 /// Atomically writes Recorder::instance().postmortem_json(reason) to the
 /// configured postmortem path.  Returns false (quietly) when no path is

@@ -26,6 +26,8 @@ const char* event_kind_name(EventKind kind) {
       return "deadline";
     case EventKind::kDiagnose:
       return "diagnose";
+    case EventKind::kServeRequest:
+      return "serve.request";
   }
   return "unknown";
 }

@@ -39,6 +39,8 @@ enum class EventKind : std::uint8_t {
   kCacheMiss = 4,    ///< key = columns built in a signature-cache miss
   kDeadline = 5,     ///< key = trial index the deadline cut off
   kDiagnose = 6,     ///< key = failing patterns, a = suspects, b = patterns
+  kServeRequest = 7,  ///< key = trace key, a = batch, b = request ordinal;
+                      ///< detail = outcome ("ok", "deadline", ...)
 };
 
 /// Stable lower-case dotted name ("trial.begin", "fault.injected", ...).

@@ -1,0 +1,175 @@
+// window.h - Rolling-window metrics: what happened in the last minute.
+//
+// The cumulative registry (metrics.h) answers "how much work has this
+// process done since it started"; a live server also needs "what is the
+// request rate / p95 latency RIGHT NOW".  This layer provides that as
+// time-windowed counters and histograms over a fixed ring of 1-second
+// buckets spanning a 60-second horizon:
+//
+//   RollingCounter    add() lands in the bucket for the current second;
+//                     total() sums the buckets still inside the horizon.
+//   RollingHistogram  record(value_us) increments the (second, latency
+//                     bucket) cell and a per-second sum, so a window
+//                     snapshot yields bucket counts, a Prometheus-style
+//                     _sum, and interpolated quantiles.
+//
+// Design rules (shared with metrics.h and the flight recorder):
+//   * Lock-cheap writers: 16 cache-line-independent shards, one
+//     uncontended per-shard mutex acquire per event, no allocation after
+//     registration.  Parallel request handlers never contend on one line.
+//   * Deterministic merge: buckets are keyed by the ABSOLUTE second stamp,
+//     and a snapshot sums integer cells across shards - so for a given
+//     set of (second, value) events the merged snapshot is byte-identical
+//     at any thread count.
+//   * Injectable clock: a WindowRegistry takes a seconds clock at
+//     construction (like the `serve.deadline` fault seam makes deadline
+//     tests wall-clock-free); tests drive bucket rotation by stepping a
+//     fake clock, never by sleeping.
+//
+// A WindowRegistry is an instance, not a process singleton: each
+// DiagnosisServer owns one, so a test can run two servers with two fake
+// clocks in one process.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "obs/metrics.h"
+
+namespace sddd::obs {
+
+/// Absolute seconds (monotonic).  The registry's time base; tests inject
+/// a fake, production defaults to now_ns() / 1e9.
+using WindowClock = std::function<std::uint64_t()>;
+
+/// Ring slots per shard.  Must exceed the horizon so a slot is never
+/// reused while still inside the window.
+inline constexpr std::size_t kWindowSlots = 64;
+/// Seconds a bucket stays visible in snapshots.
+inline constexpr std::uint64_t kWindowHorizonSeconds = 60;
+
+class WindowRegistry;
+
+class RollingCounter {
+ public:
+  RollingCounter(const RollingCounter&) = delete;
+  RollingCounter& operator=(const RollingCounter&) = delete;
+
+  /// Adds `delta` to the current second's bucket (one shard mutex).
+  void add(std::uint64_t delta = 1) noexcept;
+
+  /// Sum over every bucket still inside the horizon.
+  std::uint64_t total_in_window() const noexcept;
+
+  const std::string& name() const { return name_; }
+
+ private:
+  friend class WindowRegistry;
+  RollingCounter(std::string name, const WindowRegistry* owner)
+      : name_(std::move(name)), owner_(owner) {}
+
+  struct alignas(64) Shard {
+    mutable std::mutex mu;
+    std::array<std::uint64_t, kWindowSlots> stamp{};  ///< second + 1; 0 = empty
+    std::array<std::uint64_t, kWindowSlots> count{};
+  };
+
+  std::string name_;
+  const WindowRegistry* owner_;
+  std::array<Shard, kMetricShards> shards_{};
+};
+
+class RollingHistogram {
+ public:
+  RollingHistogram(const RollingHistogram&) = delete;
+  RollingHistogram& operator=(const RollingHistogram&) = delete;
+
+  /// Records one value (the serve path records integer microseconds) in
+  /// the current second's bucket row.
+  void record(std::uint64_t value) noexcept;
+
+  const std::string& name() const { return name_; }
+  const std::vector<double>& bounds() const { return bounds_; }
+
+ private:
+  friend class WindowRegistry;
+  RollingHistogram(std::string name, std::span<const double> upper_bounds,
+                   const WindowRegistry* owner);
+
+  struct Shard {
+    mutable std::mutex mu;
+    std::array<std::uint64_t, kWindowSlots> stamp{};  ///< second + 1; 0 = empty
+    std::array<std::uint64_t, kWindowSlots> sum{};    ///< per-second value sum
+    std::vector<std::uint64_t> counts;  ///< kWindowSlots x (bounds + overflow)
+  };
+
+  std::size_t bucket_for(std::uint64_t value) const noexcept;
+
+  std::string name_;
+  std::vector<double> bounds_;
+  const WindowRegistry* owner_;
+  std::array<Shard, kMetricShards> shards_;
+};
+
+/// One windowed histogram as a snapshot sees it: merged bucket counts plus
+/// the value sum (the Prometheus `_sum` companion).
+struct WindowHistogramData {
+  std::vector<double> bounds;
+  std::vector<std::uint64_t> counts;  ///< bounds.size() + 1 entries
+  std::uint64_t sum = 0;
+
+  std::uint64_t total() const;
+  /// Bucket-interpolated quantile (same algorithm as the cumulative
+  /// histograms - see MetricsSnapshot::HistogramData::quantile).
+  double quantile(double q) const;
+};
+
+/// Point-in-time merge of a registry, keyed (therefore ordered) by name.
+/// For a fixed set of recorded (second, value) events the rendered JSON is
+/// byte-identical regardless of how many threads produced them.
+struct WindowSnapshot {
+  std::uint64_t now_s = 0;
+  std::uint64_t horizon_s = kWindowHorizonSeconds;
+  std::map<std::string, std::uint64_t> counters;
+  std::map<std::string, WindowHistogramData> histograms;
+
+  std::string to_json() const;
+};
+
+class WindowRegistry {
+ public:
+  /// `clock` returns absolute seconds; a null clock means wall time.
+  explicit WindowRegistry(WindowClock clock = nullptr);
+
+  WindowRegistry(const WindowRegistry&) = delete;
+  WindowRegistry& operator=(const WindowRegistry&) = delete;
+
+  std::uint64_t now_seconds() const;
+
+  /// Get-or-create (unlike the strict cumulative registry: windowed names
+  /// include runtime labels like "store.<circuit>", so late registration
+  /// is the normal case).  References stay valid for the registry's life.
+  RollingCounter& counter(std::string_view name);
+  RollingHistogram& histogram(std::string_view name,
+                              std::span<const double> upper_bounds);
+
+  WindowSnapshot snapshot() const;
+
+ private:
+  WindowClock clock_;
+  mutable std::mutex mu_;  ///< guards the metric maps, not the hot paths
+  std::map<std::string, std::unique_ptr<RollingCounter>, std::less<>>
+      counters_;
+  std::map<std::string, std::unique_ptr<RollingHistogram>, std::less<>>
+      histograms_;
+};
+
+}  // namespace sddd::obs

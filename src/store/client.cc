@@ -2,6 +2,7 @@
 
 #include <unistd.h>
 
+#include <atomic>
 #include <cerrno>
 #include <chrono>
 #include <cstring>
@@ -9,6 +10,8 @@
 #include <utility>
 
 #include "obs/error.h"
+#include "obs/expo.h"
+#include "obs/metrics.h"
 #include "store/wire.h"
 
 namespace sddd::store {
@@ -66,10 +69,58 @@ std::string ServeClient::request(const std::string& payload) {
   return response;
 }
 
+std::string mint_client_trace_id() {
+  static std::atomic<std::uint64_t> counter{0};
+  // FNV-1a over (pid, now, counter): unique enough across concurrent load
+  // generators, and never needs coordination.
+  std::uint64_t h = 1469598103934665603ULL;
+  const auto mix = [&h](std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      h ^= (v >> (i * 8)) & 0xff;
+      h *= 1099511628211ULL;
+    }
+  };
+  mix(static_cast<std::uint64_t>(::getpid()));
+  mix(obs::now_ns());
+  mix(counter.fetch_add(1));
+  return obs::hex16(h);
+}
+
+std::string payload_with_trace_id(const std::string& payload,
+                                  const std::string& trace_id) {
+  if (payload.empty() || payload.front() != '{') return payload;
+  if (payload.find("\"trace_id\"") != std::string::npos) return payload;
+  std::string member = "\"trace_id\":\"" + trace_id + "\"";
+  // "{}" needs no comma; "{...}" does.
+  if (payload.size() > 2) member.push_back(',');
+  std::string out = payload;
+  out.insert(1, member);
+  return out;
+}
+
 std::string request_with_retry(ServeClient& client,
                                const std::string& socket_path, int port,
                                const std::string& payload,
                                const RetryPolicy& policy, RetryStats* stats) {
+  // One identity for the whole exchange: stamp the payload ONCE, before
+  // the loop, so reconnect replays carry the same trace id and the server
+  // sees a retried request as the same request.
+  std::string trace_id;
+  const std::size_t id_pos = payload.find("\"trace_id\":\"");
+  if (id_pos != std::string::npos) {
+    const std::size_t begin = id_pos + 12;
+    const std::size_t end = payload.find('"', begin);
+    if (end != std::string::npos) {
+      trace_id = payload.substr(begin, end - begin);
+    }
+  }
+  std::string stamped = payload;
+  if (trace_id.empty()) {
+    trace_id = mint_client_trace_id();
+    stamped = payload_with_trace_id(payload, trace_id);
+  }
+  if (stats != nullptr) stats->trace_id = trace_id;
+
   double backoff_s = policy.initial_backoff_s;
   std::string last_error;
   for (std::size_t attempt = 1; attempt <= policy.max_attempts; ++attempt) {
@@ -83,7 +134,7 @@ std::string request_with_retry(ServeClient& client,
         if (stats != nullptr) ++stats->reconnects;
       }
       if (stats != nullptr) ++stats->attempts;
-      std::string response = client.request(payload);
+      std::string response = client.request(stamped);
       // A typed shed is the server asking for backoff; everything else
       // (success or a non-retryable error) is the caller's to interpret.
       if (response.find("\"error\":\"overloaded\"") != std::string::npos) {
@@ -103,8 +154,12 @@ std::string request_with_retry(ServeClient& client,
 std::string make_diagnose_request(const std::string& store_selector,
                                   const std::string& match, std::size_t top_k,
                                   std::uint64_t deadline_ms,
-                                  std::span<const ChipQuery> chips) {
+                                  std::span<const ChipQuery> chips,
+                                  const std::string& trace_id) {
   std::string out = "{\"op\":\"diagnose\"";
+  if (!trace_id.empty()) {
+    out.append(",\"trace_id\":").append(json_quote(trace_id));
+  }
   if (!store_selector.empty()) {
     out.append(",\"store\":").append(json_quote(store_selector));
   }

@@ -54,12 +54,30 @@ struct RetryStats {
   std::size_t attempts = 0;    ///< total send attempts (>= 1 on success)
   std::size_t reconnects = 0;  ///< connections re-established
   std::size_t sheds = 0;       ///< typed "overloaded" responses absorbed
+  /// The trace id the request carried (client-minted when the payload had
+  /// none) - constant across every retry, so server-side slow-request and
+  /// flight-recorder entries show ONE identity for the whole exchange.
+  std::string trace_id;
 };
 
+/// A fresh client-minted trace id (16 lowercase hex; hashed from pid,
+/// time and a process counter, so concurrent load generators stay
+/// distinct).
+std::string mint_client_trace_id();
+
+/// `payload` with a `"trace_id":"<id>"` member injected after the opening
+/// brace; returned unchanged when it already carries one (or is not a
+/// JSON object).
+std::string payload_with_trace_id(const std::string& payload,
+                                  const std::string& trace_id);
+
 /// request() with the retry discipline above.  `client` is reconnected in
-/// place as needed (using `socket_path`/`port`).  Returns the first
-/// response that is not a connection failure or an "overloaded" shed;
-/// throws sddd::IoError when the budget is exhausted.
+/// place as needed (using `socket_path`/`port`).  The payload is stamped
+/// with a trace id (minted unless it already has one) that stays the same
+/// across every reconnect/replay; the id used is reported via
+/// `stats->trace_id`.  Returns the first response that is not a
+/// connection failure or an "overloaded" shed; throws sddd::IoError when
+/// the budget is exhausted.
 std::string request_with_retry(ServeClient& client,
                                const std::string& socket_path, int port,
                                const std::string& payload,
@@ -68,10 +86,12 @@ std::string request_with_retry(ServeClient& client,
 
 /// Renders the canonical diagnose request for a batch of chips.
 /// `store_selector` may be empty (single-store server), a circuit name, a
-/// run_id prefix, or a store path; `deadline_ms` 0 omits the field.
+/// run_id prefix, or a store path; `deadline_ms` 0 omits the field;
+/// `trace_id` empty omits the field (request_with_retry will mint one).
 std::string make_diagnose_request(const std::string& store_selector,
                                   const std::string& match, std::size_t top_k,
                                   std::uint64_t deadline_ms,
-                                  std::span<const ChipQuery> chips);
+                                  std::span<const ChipQuery> chips,
+                                  const std::string& trace_id = "");
 
 }  // namespace sddd::store

@@ -21,24 +21,38 @@
 //                             postmortem land, exit 0.
 //
 // Protocol ops: "diagnose" (chips -> diagnose_batch_json bytes, identical
-// to `sddd_cli dict query`), "health", "shutdown".  See DESIGN.md
-// section 15 for the full request/response grammar.
+// to `sddd_cli dict query`), "health", "stats", "shutdown".  See DESIGN.md
+// sections 15 and 16 for the full request/response grammar.
+//
+// Live observability (DESIGN.md section 16): every response is wrapped in
+// a trace envelope ({"trace_id":...,"payload":<bytes>}, wire.h) - the
+// payload stays byte-identical to the offline path; requests may carry
+// their own "trace_id", absent ones get a server-minted id.  Per-request
+// phase latencies (parse / queue / score / render / write) land in a
+// rolling 60-second window (obs/window.h) plus a slow-request ring, both
+// exposed by the budget-free "stats" op (obs/expo.h) and dumped by
+// SIGUSR1 without draining.
 //
 // Fault seams (obs/faults.h): `serve.accept` (k = accept ordinal) drops
 // a just-accepted connection; `serve.write` (k = response ordinal) kills
 // the connection instead of writing the response; `serve.deadline`
-// (k = request ordinal) forces that request's deadline already expired.
+// (k = request ordinal) forces that request's deadline already expired;
+// `serve.store` (k = request ordinal) throws a StoreError mid-diagnose,
+// exercising the quarantine-on-serve path.
 #pragma once
 
 #include <atomic>
 #include <condition_variable>
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "obs/expo.h"
+#include "obs/window.h"
 #include "store/query.h"
 #include "store/store.h"
 
@@ -58,6 +72,11 @@ struct ServerConfig {
   /// Test-only: hold every diagnose request this long before scoring so
   /// tests can force deterministic overlap (backpressure, deadlines).
   double test_hold_seconds = 0.0;
+  /// Seconds clock for the rolling metrics window; null = wall time.
+  /// Tests inject a fake so bucket rotation never sleeps.
+  std::function<std::uint64_t()> window_clock;
+  /// Slowest requests the `stats` op remembers.
+  std::size_t slow_ring_capacity = 32;
 };
 
 /// One dictionary as the server sees it.
@@ -98,6 +117,11 @@ class DiagnosisServer {
   std::vector<StoreState> store_states() const;
   bool drain_requested() const { return drain_.load(); }
 
+  /// The `stats` op's payload (also what SIGUSR1 prints): cumulative
+  /// serve.* counters, the rolling-window merge, and the slow-request
+  /// ring.  `format` "prom" wraps the Prometheus text exposition instead.
+  std::string stats_json(const std::string& format = "") const;
+
  private:
   struct LoadedStore {
     StoreState state;
@@ -105,15 +129,36 @@ class DiagnosisServer {
     std::unique_ptr<StoreQueryEngine> engine;  ///< null when quarantined
   };
 
+  /// Per-request observability context, threaded from the connection loop
+  /// through dispatch so phases and identity survive the error ladder.
+  struct RequestTrace {
+    std::string trace_id;  ///< client-supplied or server-minted
+    std::string op;
+    std::string outcome;  ///< "ok", "shed", "deadline", "quarantine", ...
+    std::string circuit;  ///< which store served a diagnose
+    std::uint64_t batch = 0;  ///< chips in a diagnose request
+    std::uint64_t parse_us = 0;
+    std::uint64_t queue_us = 0;
+    std::uint64_t score_us = 0;
+    std::uint64_t render_us = 0;
+    std::uint64_t write_us = 0;
+  };
+
   void accept_loop(int listen_fd);
   void handle_connection(int fd);
-  /// Routes + executes one request, returns the response payload.
-  std::string handle_request(const std::string& frame);
-  std::string handle_diagnose(const class JsonValue& req);
+  /// Routes + executes one request, returns the response payload (the
+  /// caller wraps it in the trace envelope).
+  std::string handle_request(const std::string& frame, RequestTrace* rt);
+  std::string handle_diagnose(const class JsonValue& req, RequestTrace* rt);
   std::string health_json() const;
   LoadedStore* route_store(const std::string& selector, std::string* error);
+  /// Lands one finished diagnose in the window histograms, the cumulative
+  /// latency histogram, and the slow-request ring.
+  void observe_request(const RequestTrace& rt, std::uint64_t total_us);
 
   ServerConfig config_;
+  obs::WindowRegistry windows_;
+  obs::SlowRequestRing slow_ring_;
   std::vector<LoadedStore> stores_;
   mutable std::mutex stores_mu_;  ///< guards quarantine transitions
 
@@ -132,12 +177,13 @@ class DiagnosisServer {
   std::condition_variable drain_cv_;
 };
 
-/// The `sddd_cli serve` body: installs SIGTERM/SIGINT drain handlers,
-/// starts the server, prints one machine-readable ready line to stdout
-/// ("serve: ready unix=... tcp_port=... stores=N quarantined=M"), and
-/// blocks until drained.  Returns the process exit code (0 on a clean
-/// drain, including under quarantined stores - degradation is not
-/// failure).
+/// The `sddd_cli serve` body: installs SIGTERM/SIGINT drain handlers and
+/// a SIGUSR1 stats handler (prints the stats payload and dumps a
+/// flight-recorder postmortem WITHOUT draining), starts the server,
+/// prints one machine-readable ready line to stdout ("serve: ready
+/// unix=... tcp_port=... stores=N quarantined=M"), and blocks until
+/// drained.  Returns the process exit code (0 on a clean drain,
+/// including under quarantined stores - degradation is not failure).
 int serve_main(const ServerConfig& config);
 
 }  // namespace sddd::store

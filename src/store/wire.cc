@@ -288,6 +288,55 @@ JsonValue parse_json(std::string_view text) {
 }
 
 // ---------------------------------------------------------------------------
+// Trace envelope
+
+namespace {
+constexpr std::string_view kEnvelopePrefix = "{\"trace_id\":\"";
+constexpr std::string_view kEnvelopePayload = "\",\"payload\":";
+}  // namespace
+
+std::string wrap_response_envelope(std::string_view trace_id,
+                                   std::string_view payload) {
+  std::string out;
+  out.reserve(kEnvelopePrefix.size() + trace_id.size() +
+              kEnvelopePayload.size() + payload.size() + 1);
+  out.append(kEnvelopePrefix);
+  out.append(trace_id);  // restricted charset: no escaping needed
+  out.append(kEnvelopePayload);
+  out.append(payload);
+  out.push_back('}');
+  return out;
+}
+
+bool split_response_envelope(const std::string& response,
+                             std::string* trace_id, std::string* payload) {
+  if (response.rfind(kEnvelopePrefix, 0) != 0) return false;
+  const std::size_t id_begin = kEnvelopePrefix.size();
+  const std::size_t id_end = response.find('"', id_begin);
+  if (id_end == std::string::npos) return false;
+  if (response.compare(id_end, kEnvelopePayload.size(), kEnvelopePayload) !=
+      0) {
+    return false;
+  }
+  const std::size_t body_begin = id_end + kEnvelopePayload.size();
+  if (response.size() <= body_begin || response.back() != '}') return false;
+  if (trace_id != nullptr) {
+    *trace_id = response.substr(id_begin, id_end - id_begin);
+  }
+  if (payload != nullptr) {
+    *payload = response.substr(body_begin,
+                               response.size() - body_begin - 1);
+  }
+  return true;
+}
+
+std::string response_payload(const std::string& response) {
+  std::string payload;
+  if (split_response_envelope(response, nullptr, &payload)) return payload;
+  return response;
+}
+
+// ---------------------------------------------------------------------------
 // Frames
 
 FrameStatus read_frame(int fd, std::size_t max_bytes, std::string* out) {

@@ -56,6 +56,33 @@ class JsonValue {
 JsonValue parse_json(std::string_view text);
 
 // ---------------------------------------------------------------------------
+// Trace envelope
+//
+// Every server response is wrapped as
+//
+//   {"trace_id":"<id>","payload":<payload>}
+//
+// with the payload bytes embedded VERBATIM (raw JSON nesting, not a
+// quoted string).  That keeps the scored diagnose payload byte-identical
+// to the offline `dict query` path - the determinism contract - while
+// giving every response a request identity.  Trace ids are restricted to
+// [A-Za-z0-9._-] (valid_trace_id in obs/expo.h), so the envelope prefix
+// is unambiguous and splitting is exact textual surgery, no re-parse.
+
+/// Renders the envelope around `payload`.
+std::string wrap_response_envelope(std::string_view trace_id,
+                                   std::string_view payload);
+
+/// Splits an envelope; false when `response` is not one (old server).
+/// On success `*trace_id` and `*payload` receive the parts.
+bool split_response_envelope(const std::string& response,
+                             std::string* trace_id, std::string* payload);
+
+/// The payload inside an envelope, or `response` itself when it is not
+/// enveloped - what byte-compare consumers feed to cmp.
+std::string response_payload(const std::string& response);
+
+// ---------------------------------------------------------------------------
 // Frames
 
 enum class FrameStatus {

@@ -5,6 +5,7 @@
 // over a real unix socket.
 #include <gtest/gtest.h>
 
+#include <cctype>
 #include <filesystem>
 #include <fstream>
 #include <string>
@@ -158,6 +159,47 @@ TEST(Serve, BackpressureShedsWithTypedOverload) {
   server.wait();
 }
 
+TEST(Serve, WireBackwardCompatAndTraceEcho) {
+  std::string request, expected;
+  const std::string path =
+      build_store_and_request("servecompat", 67, &request, &expected);
+
+  store::ServerConfig cfg;
+  cfg.store_paths = {path};
+  cfg.unix_socket = temp_path("servecompat.sock").string();
+  store::DiagnosisServer server(cfg);
+  server.start();
+
+  auto client = store::ServeClient::connect(cfg.unix_socket, -1);
+
+  // Pre-tracing request (no trace_id member): the server mints a
+  // canonical 16-hex id and the scored payload is byte-identical to the
+  // offline diagnose bytes.
+  std::string id1, payload1;
+  ASSERT_TRUE(
+      store::split_response_envelope(client.request(request), &id1, &payload1));
+  EXPECT_EQ(payload1, expected);
+  ASSERT_EQ(id1.size(), 16u) << id1;
+  for (char c : id1) {
+    EXPECT_TRUE(std::isxdigit(static_cast<unsigned char>(c))) << id1;
+  }
+
+  // A client-supplied trace id is echoed verbatim, an unknown request
+  // field is ignored, and the payload bytes do not change.
+  std::string stamped = store::payload_with_trace_id(request, "load-gen.7");
+  const auto pos = stamped.find(",\"chips\":");
+  ASSERT_NE(pos, std::string::npos);
+  stamped.insert(pos, ",\"x_experiment\":\"ignored\"");
+  std::string id2, payload2;
+  ASSERT_TRUE(
+      store::split_response_envelope(client.request(stamped), &id2, &payload2));
+  EXPECT_EQ(id2, "load-gen.7");
+  EXPECT_EQ(payload2, expected);
+
+  server.request_drain();
+  server.wait();
+}
+
 TEST(Serve, CorruptStoreIsQuarantinedHealthyOnesServe) {
   std::string good_request, expected;
   const std::string good_path = build_store_and_request(
@@ -188,9 +230,14 @@ TEST(Serve, CorruptStoreIsQuarantinedHealthyOnesServe) {
   EXPECT_NE(health.find("\"degraded\":true"), std::string::npos) << health;
   EXPECT_NE(health.find("\"quarantined\""), std::string::npos) << health;
 
-  // The healthy store answers exactly the offline dict-query bytes.
+  // The healthy store answers exactly the offline dict-query bytes: the
+  // envelope carries a server-minted trace id, the payload is verbatim.
   const std::string response = client.request(good_request);
-  EXPECT_EQ(response, expected);
+  std::string trace_id, payload;
+  ASSERT_TRUE(store::split_response_envelope(response, &trace_id, &payload))
+      << response;
+  EXPECT_FALSE(trace_id.empty());
+  EXPECT_EQ(payload, expected);
 
   // Targeting the quarantined store (by path: its header never parsed,
   // so it has no circuit name) is a typed error, not a crash.

@@ -34,7 +34,8 @@ REQUIRED_KEYS = ("git_sha", "threads", "scale", "samples", "chips",
 # is (clients, batch) on top of the common keys; scale/samples are still
 # present (they size the store under test) and validated when given.
 SERVE_REQUIRED_KEYS = ("git_sha", "threads", "clients", "batch", "chips",
-                       "total_seconds", "circuits")
+                       "total_seconds", "circuits",
+                       "latency_p50_ms", "latency_p95_ms", "latency_p99_ms")
 
 
 def required_keys(record):
@@ -55,6 +56,9 @@ def serve_record(serve):
             }
         circuits[c["name"]] = {
             "seconds": c.get("seconds"),
+            "latency_p50_ms": c.get("latency_p50_ms"),
+            "latency_p95_ms": c.get("latency_p95_ms"),
+            "latency_p99_ms": c.get("latency_p99_ms"),
             "runs": runs,
         }
     return {
@@ -69,6 +73,9 @@ def serve_record(serve):
         "batch": serve.get("batch"),
         "chips": serve.get("chips"),
         "total_seconds": serve.get("total_seconds"),
+        "latency_p50_ms": serve.get("latency_p50_ms"),
+        "latency_p95_ms": serve.get("latency_p95_ms"),
+        "latency_p99_ms": serve.get("latency_p99_ms"),
         "circuits": circuits,
     }
 
@@ -140,7 +147,8 @@ def validate_record(record):
         if key in record and record[key] is not None:
             if not isinstance(record[key], int) or record[key] < 0:
                 problems.append(f"{key} must be a non-negative integer")
-    for key in ("scale", "total_seconds"):
+    for key in ("scale", "total_seconds",
+                "latency_p50_ms", "latency_p95_ms", "latency_p99_ms"):
         if key in record and record[key] is not None:
             if not isinstance(record[key], (int, float)):
                 problems.append(f"{key} must be a number")

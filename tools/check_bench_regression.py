@@ -13,6 +13,15 @@ workload shape -- same (bench, threads, scale, samples, chips) tuple --
 so a 4-thread run is never judged against a 1-thread baseline and a
 --scale 1.0 run never against a laptop-scale one.
 
+Serve-bench candidates ("bench": "serve") are additionally gated on the
+server-reported request-latency percentiles (latency_p50_ms /
+latency_p95_ms / latency_p99_ms, measured by the server's own rolling
+histogram and read back over the stats op): each percentile is judged
+against the baseline median of the same key over the same-shape window,
+with the same --threshold.  Prior records that predate the latency keys
+simply don't contribute to that baseline, so the gate arms itself once
+enough history carries them.
+
 Exit codes:
   0  every candidate is within --threshold x its baseline median, or has
      fewer than --min-baseline comparable prior records (warned, not
@@ -70,6 +79,20 @@ def describe(rec):
     return (f"{key[0]} @{key[1]} threads (scale={key[2]}, "
             f"samples={key[3]}, chips={key[4]}, sha={rec.get('git_sha')}, "
             f"run {run_id})")
+
+
+LATENCY_KEYS = ("latency_p50_ms", "latency_p95_ms", "latency_p99_ms")
+
+
+def latency_values(rec):
+    """{key: ms} for the serve latency percentiles present on a record."""
+    out = {}
+    if rec.get("bench") != "serve":
+        return out
+    for key in LATENCY_KEYS:
+        if isinstance(rec.get(key), (int, float)):
+            out[key] = rec[key]
+    return out
 
 
 def circuit_seconds(rec):
@@ -136,8 +159,8 @@ def main(argv):
         print(f"{verdict:4}  {describe(cand)}: {cand_s:.2f}s vs baseline "
               f"median {base:.2f}s over {len(baseline_pool)} run(s) "
               f"(x{ratio:.2f}, limit x{args.threshold:.2f})")
-        if ratio > args.threshold:
-            failures += 1
+        cand_failed = ratio > args.threshold
+        if cand_failed:
             # Per-circuit breakdown so the report names the culprit.
             base_circ = {}
             for r in baseline_pool:
@@ -151,6 +174,31 @@ def main(argv):
                         s_inj / med > args.threshold else ""
                     print(f"        {name}: {s_inj:.2f}s vs {med:.2f}s"
                           f"{mark}")
+        # Serve candidates are also held to their request-latency
+        # percentiles; a throughput-neutral change that doubles tail
+        # latency should still trip the gate.
+        for lat_key, cand_ms in sorted(latency_values(cand).items()):
+            pool = [r[lat_key] for r in baseline_pool
+                    if isinstance(r.get(lat_key), (int, float))]
+            if len(pool) < args.min_baseline:
+                print(f"SKIP  {describe(cand)} {lat_key}: only {len(pool)} "
+                      f"comparable prior value(s), need {args.min_baseline}")
+                continue
+            cand_ms *= args.inject_slowdown
+            base_ms = statistics.median(pool)
+            if base_ms > 0:
+                lat_ratio = cand_ms / base_ms
+            else:
+                lat_ratio = 1.0 if cand_ms <= 0 else float("inf")
+            verdict = "FAIL" if lat_ratio > args.threshold else "ok"
+            print(f"{verdict:4}  {describe(cand)} {lat_key}: "
+                  f"{cand_ms:.3f}ms vs baseline median {base_ms:.3f}ms over "
+                  f"{len(pool)} run(s) (x{lat_ratio:.2f}, limit "
+                  f"x{args.threshold:.2f})")
+            if lat_ratio > args.threshold:
+                cand_failed = True
+        if cand_failed:
+            failures += 1
     if args.inject_slowdown != 1.0:
         print(f"note: candidate timings were multiplied by "
               f"x{args.inject_slowdown} (--inject-slowdown smoke)")

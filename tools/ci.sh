@@ -39,11 +39,20 @@
 #      stores at open; the server must quarantine it, report degraded
 #      health, keep answering from the healthy store, and drain with
 #      exit 0 on SIGTERM;
-#  12. perf sentry gate: the bench-history tooling self-check proves the
+#  12. live observability smoke: serve with metrics + postmortem wired,
+#      fire a concurrent dict-query batch, then assert the stats surface
+#      end to end -- JSON stats carry non-zero per-phase latency
+#      histograms and a trace-id-bearing slow-request ring, the
+#      Prometheus rendering parses line by line with cumulative buckets,
+#      SIGUSR1 dumps live stats without dropping the server, a
+#      serve.store fault quarantines with a postmortem whose event key
+#      matches the client's trace id, and a SIGTERM drain leaves a
+#      complete metrics snapshot on disk;
+#  13. perf sentry gate: the bench-history tooling self-check proves the
 #      regression gate fires on an injected 2x slowdown (and passes an
 #      unmodified rerun); the real BENCH_history.jsonl, when present, is
 #      then checked warn-free against its own rolling baseline;
-#  13. clang-tidy profile (skipped automatically when not installed).
+#  14. clang-tidy profile (skipped automatically when not installed).
 #
 #   tools/ci.sh [-jN]
 set -euo pipefail
@@ -52,20 +61,20 @@ cd "$(dirname "$0")/.."
 
 JOBS="${1:--j$(nproc)}"
 
-echo "== [1/13] tier-1 build + tests =="
+echo "== [1/14] tier-1 build + tests =="
 cmake -B build -S .
 cmake --build build "$JOBS"
 ctest --test-dir build --output-on-failure "$JOBS"
 
-echo "== [2/13] smoke tests under ASan+UBSan =="
+echo "== [2/14] smoke tests under ASan+UBSan =="
 cmake -B build-san -S . -DSDDD_ASAN=ON -DSDDD_UBSAN=ON
 cmake --build build-san "$JOBS"
 ctest --test-dir build-san --output-on-failure -L smoke "$JOBS"
 
-echo "== [3/13] sddd_lint on the ISCAS catalog =="
+echo "== [3/14] sddd_lint on the ISCAS catalog =="
 ./build/tools/sddd_lint --dict --catalog c17 s27
 
-echo "== [4/13] observability smoke (trace + metrics round-trip) =="
+echo "== [4/14] observability smoke (trace + metrics round-trip) =="
 OBS_DIR="$(mktemp -d)"
 trap 'rm -rf "$OBS_DIR"' EXIT
 ./build/tools/sddd_cli synth "$OBS_DIR/s1196.bench" \
@@ -138,7 +147,7 @@ if [ -f BENCH_history.jsonl ]; then
   python3 tools/append_bench_history.py --check BENCH_history.jsonl
 fi
 
-echo "== [5/13] scoring-kernel smoke (scalar vs kernel, byte-identical) =="
+echo "== [5/14] scoring-kernel smoke (scalar vs kernel, byte-identical) =="
 # The step-4 runs above used the packed scoring kernel (the default).
 # Re-run both with --no-kernel: use_score_kernel is excluded from the
 # experiment fingerprint, so the scalar result JSON must be byte-identical
@@ -181,7 +190,7 @@ print(f"kernel smoke ok: {len(kc)} candidates identical scalar-vs-kernel, "
       f"{counters['dict.sig_cache.misses']} cache builds")
 EOF
 
-echo "== [6/13] diagnosability gate (static analysis + suspect collapse) =="
+echo "== [6/14] diagnosability gate (static analysis + suspect collapse) =="
 # The machine-readable diagnosability report on the same circuit: the DIAG
 # pass must produce a well-formed report whose shape downstream tooling
 # can rely on (DESIGN.md section 13 schema).
@@ -229,7 +238,7 @@ print(f"collapse ok: result JSON byte-identical, phi_evals "
       f"{full['diag.phi_evals']} -> {collapsed['diag.phi_evals']}")
 EOF
 
-echo "== [7/13] crash/resume smoke (SIGKILL mid-trials, byte-identical) =="
+echo "== [7/14] crash/resume smoke (SIGKILL mid-trials, byte-identical) =="
 # Reference: the same experiment, uninterrupted, at two thread counts.
 # The deterministic result JSON must not depend on threads or on how many
 # times the run was killed and resumed.
@@ -255,7 +264,7 @@ wait "$VICTIM" 2>/dev/null || true
 cmp "$OBS_DIR/ref_t1.json" "$OBS_DIR/resumed.json"
 echo "crash/resume smoke ok: resumed JSON byte-identical to reference"
 
-echo "== [8/13] fault-injection smoke (quarantine, exit 0) =="
+echo "== [8/14] fault-injection smoke (quarantine, exit 0) =="
 SDDD_FAULTS="exp.trial@1,3" ./build/tools/sddd_cli diagnose \
   "${DIAG_ARGS[@]}" --threads 2 --metrics-out "$OBS_DIR/fault_metrics.json"
 python3 - "$OBS_DIR/fault_metrics.json" <<'EOF'
@@ -269,7 +278,7 @@ assert counters.get("trial.quarantined") == 2, \
 print("fault smoke ok: 2 faults injected, 2 trials quarantined, exit 0")
 EOF
 
-echo "== [9/13] flight-recorder postmortem + run ledger/report smoke =="
+echo "== [9/14] flight-recorder postmortem + run ledger/report smoke =="
 # A quarantined trial must leave a postmortem bundle behind, and the bundle
 # must cross-link the SAME run_id the manifest carries (the experiment
 # fingerprint), so the crash dump and the run's provenance can be joined.
@@ -316,7 +325,7 @@ print(f"ledger/report smoke ok: runs {diff['run_a']} vs {diff['run_b']}, "
       f"{len(diff['counters'])} counters compared")
 EOF
 
-echo "== [10/13] store/serve crash-replay smoke (SIGKILL, byte-identical) =="
+echo "== [10/14] store/serve crash-replay smoke (SIGKILL, byte-identical) =="
 CLI=./build/tools/sddd_cli
 # Build the store twice: a store build is a pure function of (netlist,
 # config), so the two files must be byte-identical.
@@ -376,7 +385,7 @@ wait "$SERVE_PID"
 grep -q '"tool":"serve"' "$OBS_DIR/serve_ledger.jsonl"
 echo "serve crash-replay ok: responses byte-identical across SIGKILL+restart"
 
-echo "== [11/13] store corruption smoke (quarantine + degraded health) =="
+echo "== [11/14] store corruption smoke (quarantine + degraded health) =="
 # A second store from a different circuit, then poison the FIRST store's
 # header checksum verify at open (store.crc ordinal 0).  The server must
 # come up degraded, keep serving the healthy store, and drain with exit 0.
@@ -414,7 +423,165 @@ kill -TERM "$SERVE_PID"
 wait "$SERVE_PID"
 echo "corruption smoke ok: quarantined store isolated, healthy store served, exit 0"
 
-echo "== [12/13] perf sentry gate (must fire on injected slowdown) =="
+echo "== [12/14] live observability smoke (stats, tracing, drain flush) =="
+# A server with the full observability surface wired: concurrent clients,
+# then the stats op in both renderings, a SIGUSR1 live dump, and a
+# SIGTERM drain that must leave a complete metrics snapshot behind.
+SDDD_METRICS="$OBS_DIR/serve_metrics.json" \
+  "$CLI" serve "$OBS_DIR/s1196.dict" --socket "$OBS_DIR/serve.sock" \
+  > "$OBS_DIR/serve4.log" 2>&1 &
+SERVE_PID=$!
+wait_ready "$OBS_DIR/serve4.log"
+CLIENT_PIDS=()
+for i in 1 2 3; do
+  "$CLI" dict query - --request "$OBS_DIR/serve_req.json" \
+    --socket "$OBS_DIR/serve.sock" --out "$OBS_DIR/obs_resp_$i.json" \
+    > /dev/null 2>&1 &
+  CLIENT_PIDS+=($!)
+done
+for pid in "${CLIENT_PIDS[@]}"; do wait "$pid"; done
+for i in 1 2 3; do
+  cmp "$OBS_DIR/serve_ref.json" "$OBS_DIR/obs_resp_$i.json"
+done
+
+./build/tools/sddd_cli stats --socket "$OBS_DIR/serve.sock" --json \
+  > "$OBS_DIR/stats.json"
+./build/tools/sddd_cli stats --socket "$OBS_DIR/serve.sock" --prom \
+  > "$OBS_DIR/stats.prom"
+python3 - "$OBS_DIR/stats.json" "$OBS_DIR/stats.prom" <<'EOF'
+import json, re, sys
+with open(sys.argv[1]) as f:
+    stats = json.load(f)
+assert stats["ok"] and stats["op"] == "stats", stats
+assert stats["uptime_s"] > 0 and not stats["draining"], stats
+win = stats["window"]
+hists = win["histograms"]
+# Every request phase was measured: the rolling histograms are non-empty
+# and internally consistent (bucket counts sum to the total).
+for phase in ("parse_us", "queue_us", "score_us", "render_us", "write_us"):
+    h = hists[f"serve.phase.{phase}"]
+    assert h["total"] >= 3, f"serve.phase.{phase} total {h['total']}"
+    assert sum(h["counts"]) == h["total"], f"serve.phase.{phase} counts"
+    assert len(h["counts"]) == len(h["bounds"]) + 1
+req = hists["serve.request_us"]
+assert req["total"] >= 3 and req["p50"] > 0 and req["p99"] >= req["p50"]
+assert win["counters"]["serve.served"] >= 3
+assert win["counters"]["serve.requests"] >= 3
+assert stats["counters"]["serve.served"] >= 3, "cumulative family missing"
+# The slow ring carries the slowest requests, slowest first, each with a
+# well-formed trace id and the full phase breakdown.
+slow = stats["slow"]
+assert slow, "slow-request ring is empty"
+totals = [s["total_us"] for s in slow]
+assert totals == sorted(totals, reverse=True), totals
+for s in slow:
+    assert re.fullmatch(r"[A-Za-z0-9._-]{1,64}", s["trace_id"]), s
+    assert set(s["phases"]) == {"parse_us", "queue_us", "score_us",
+                                "render_us", "write_us"}, s["phases"]
+# Prometheus rendering: every line is a comment or `name[{labels}] value`
+# with a parseable value; the phase histograms expose CUMULATIVE buckets
+# whose +Inf count equals _count.
+name_re = re.compile(r"[a-zA-Z_][a-zA-Z0-9_]*(\{[^{}]*\})?")
+buckets, bucket_count = [], None
+with open(sys.argv[2]) as f:
+    prom = f.read().splitlines()
+assert prom, "empty Prometheus exposition"
+for line in prom:
+    if not line or line.startswith("#"):
+        continue
+    name, _, value = line.rpartition(" ")
+    assert name_re.fullmatch(name), f"bad series name: {line!r}"
+    float(value)  # must parse (raises on garbage)
+    if name.startswith('sddd_win_serve_phase_parse_us_bucket{'):
+        buckets.append(float(value))
+    if name == "sddd_win_serve_phase_parse_us_count":
+        bucket_count = float(value)
+assert buckets == sorted(buckets), f"buckets not cumulative: {buckets}"
+assert bucket_count is not None and buckets[-1] == bucket_count
+assert any(l.startswith("sddd_win_serve_served") for l in prom), prom
+assert any(l.startswith("# TYPE sddd_") for l in prom)
+print(f"stats ok: {req['total']} requests windowed, p50 {req['p50']:.0f}us, "
+      f"{len(slow)} slow entries, {len(prom)} Prometheus lines")
+EOF
+
+# SIGUSR1: the server prints a live stats snapshot and keeps serving.
+kill -USR1 "$SERVE_PID"
+for _ in $(seq 1 50); do
+  grep -q '"op":"stats"' "$OBS_DIR/serve4.log" && break
+  sleep 0.1
+done
+grep -q '"op":"stats"' "$OBS_DIR/serve4.log"
+"$CLI" dict query - --request "$OBS_DIR/serve_req.json" \
+  --socket "$OBS_DIR/serve.sock" --out "$OBS_DIR/obs_resp_after.json"
+cmp "$OBS_DIR/serve_ref.json" "$OBS_DIR/obs_resp_after.json"
+
+# SIGTERM drain: the metrics snapshot must be flushed by the drain path
+# itself (complete JSON on disk the moment the process exits).
+kill -TERM "$SERVE_PID"
+wait "$SERVE_PID"
+python3 - "$OBS_DIR/serve_metrics.json" <<'EOF'
+import json, sys
+with open(sys.argv[1]) as f:
+    metrics = json.load(f)
+counters = metrics["counters"]
+assert counters.get("serve.requests", 0) >= 4, counters.get("serve.requests")
+assert counters.get("serve.served", 0) >= 4, counters.get("serve.served")
+assert "serve.request_us" in metrics["histograms"], "no latency histogram"
+print(f"drain flush ok: {counters['serve.requests']} requests in the "
+      f"flushed snapshot")
+EOF
+
+# serve.store fault: the first diagnose quarantines mid-flight; the
+# postmortem bundle must carry the offending request's trace id (the
+# serve.request event key is the parsed canonical id).
+SDDD_FAULTS="serve.store@0" SDDD_POSTMORTEM="$OBS_DIR/quar_pm.json" \
+  "$CLI" serve "$OBS_DIR/s1196.dict" --socket "$OBS_DIR/serve.sock" \
+  > "$OBS_DIR/serve5.log" 2>&1 &
+SERVE_PID=$!
+wait_ready "$OBS_DIR/serve5.log"
+python3 - "$OBS_DIR/serve.sock" "$OBS_DIR/serve_req.json" <<'EOF'
+import json, socket, struct, sys
+with open(sys.argv[2]) as f:
+    req = json.load(f)
+req["trace_id"] = "deadbeefcafe0001"
+payload = json.dumps(req, separators=(",", ":")).encode()
+s = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+s.connect(sys.argv[1])
+s.sendall(struct.pack(">I", len(payload)) + payload)
+def read_exact(n):
+    buf = b""
+    while len(buf) < n:
+        chunk = s.recv(n - len(buf))
+        assert chunk, "server closed mid-frame"
+        buf += chunk
+    return buf
+(length,) = struct.unpack(">I", read_exact(4))
+resp = json.loads(read_exact(length))
+assert resp["trace_id"] == "deadbeefcafe0001", resp.get("trace_id")
+assert resp["payload"]["error"] == "store_quarantined", resp["payload"]
+print("quarantine response ok: trace id echoed through the envelope")
+EOF
+# Read the bundle BEFORE draining: the drain path writes its own
+# postmortem over the same file.
+python3 - "$OBS_DIR/quar_pm.json" <<'EOF'
+import json, sys
+with open(sys.argv[1]) as f:
+    pm = json.load(f)
+assert pm["reason"] == "serve.quarantine", pm["reason"]
+events = [e for e in pm["events"]
+          if e["kind"] == "serve.request" and e.get("detail") == "quarantine"]
+assert events, f"no quarantine serve.request event in {pm['reason']}"
+want = int("deadbeefcafe0001", 16)
+assert any(e["key"] == want for e in events), \
+    [hex(e["key"]) for e in events]
+print(f"quarantine postmortem ok: event key {hex(want)} matches the "
+      f"client trace id")
+EOF
+kill -TERM "$SERVE_PID"
+wait "$SERVE_PID" || true
+echo "live observability smoke ok"
+
+echo "== [13/14] perf sentry gate (must fire on injected slowdown) =="
 # Deterministic proof on a synthetic history: the sentry passes a healthy
 # run and FAILS the same run under --inject-slowdown 2.0.
 python3 tools/selfcheck_bench_tools.py "$OBS_DIR"
@@ -425,7 +592,7 @@ if [ -f BENCH_history.jsonl ]; then
     --last 3
 fi
 
-echo "== [13/13] clang-tidy profile =="
+echo "== [14/14] clang-tidy profile =="
 tools/run_static_checks.sh
 
 echo "ci.sh: all gates passed"

@@ -28,6 +28,7 @@
 #include <fstream>
 #include <map>
 #include <string>
+#include <thread>
 
 #include "analysis/analyzer.h"
 #include "atpg/diag_patterns.h"
@@ -114,7 +115,13 @@ namespace {
       "                 long-running batch diagnosis server: mmaps the\n"
       "                 stores once, quarantines corrupt ones (keeps\n"
       "                 serving the rest), sheds load past the in-flight\n"
-      "                 budget, drains cleanly on SIGTERM\n"
+      "                 budget, drains cleanly on SIGTERM; SIGUSR1 prints\n"
+      "                 live stats + postmortem without draining\n"
+      "  stats [--socket PATH | --port N] [--watch S] [--prom | --json]\n"
+      "                 one stats snapshot from a running server (rolling\n"
+      "                 60s window, per-phase latency histograms, slow\n"
+      "                 requests); --watch S re-polls every S seconds,\n"
+      "                 --prom prints the Prometheus text exposition\n"
       "  report [--ledger FILE] [--a RUN_ID --b RUN_ID | --last N]\n"
       "         [--json FILE]  compare two ledger records: per-phase wall\n"
       "                 deltas, changed counters, rank stability (run_ids\n"
@@ -738,17 +745,25 @@ int cmd_dict_query(const std::string& store_path, const Options& opts) {
   const auto port = static_cast<int>(opts.get("port", -1));
   std::string response;
   if (!socket_path.empty() || port >= 0) {
-    // Relay mode: the request bytes go to the server verbatim, so the
-    // response is byte-identical to the in-process path below.
+    // Relay mode: the request bytes go to the server (stamped with a
+    // trace id); unwrapping the trace envelope yields payload bytes
+    // byte-identical to the in-process path below.
     dstore::ServeClient client = dstore::ServeClient::connect(socket_path, port);
     dstore::RetryStats stats;
     response = dstore::request_with_retry(client, socket_path, port,
                                          request_text, dstore::RetryPolicy{},
                                          &stats);
+    std::string echoed_id;
+    std::string payload;
+    if (dstore::split_response_envelope(response, &echoed_id, &payload)) {
+      response = std::move(payload);
+    }
     if (stats.reconnects > 0 || stats.sheds > 0) {
       std::fprintf(stderr,
-                   "dict query: %zu attempts, %zu reconnects, %zu sheds\n",
-                   stats.attempts, stats.reconnects, stats.sheds);
+                   "dict query: %zu attempts, %zu reconnects, %zu sheds "
+                   "(trace %s)\n",
+                   stats.attempts, stats.reconnects, stats.sheds,
+                   echoed_id.c_str());
     }
   } else {
     const dstore::DictionaryStore st(store_path);
@@ -813,6 +828,36 @@ int cmd_serve(const Options& opts) {
   return dstore::serve_main(config);
 }
 
+int cmd_stats(const Options& opts, bool prom) {
+  const std::string socket_path = opts.str("socket");
+  const auto port = static_cast<int>(opts.get("port", -1));
+  if (socket_path.empty() && port < 0) {
+    std::fprintf(stderr, "stats: need --socket PATH or --port N\n");
+    return 2;
+  }
+  const double watch_s = opts.get_double("watch", 0.0);
+  const std::string request =
+      prom ? "{\"op\":\"stats\",\"format\":\"prom\"}" : "{\"op\":\"stats\"}";
+  dstore::ServeClient client = dstore::ServeClient::connect(socket_path, port);
+  while (true) {
+    dstore::RetryStats stats;
+    const std::string response = dstore::request_with_retry(
+        client, socket_path, port, request, dstore::RetryPolicy{}, &stats);
+    const std::string payload = dstore::response_payload(response);
+    if (prom) {
+      // The prom payload quotes the exposition text; print it raw.
+      const dstore::JsonValue v = dstore::parse_json(payload);
+      std::printf("%s", v.get_string("text").c_str());
+    } else {
+      std::printf("%s\n", payload.c_str());
+    }
+    std::fflush(stdout);
+    if (watch_s <= 0.0) break;
+    std::this_thread::sleep_for(std::chrono::duration<double>(watch_s));
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -867,6 +912,11 @@ int main(int argc, char** argv) {
       if (sub == "query") return cmd_dict_query(argv[3], Options(argc, argv, 4));
     }
     if (cmd == "serve" && argc >= 3) return cmd_serve(Options(argc, argv, 2));
+    if (cmd == "stats") {
+      const bool prom = consume_flag(&argc, argv, "--prom");
+      consume_flag(&argc, argv, "--json");  // the default rendering
+      return cmd_stats(Options(argc, argv, 2), prom);
+    }
   } catch (const sddd::Error& e) {
     // what() already carries the "[<code>] " prefix.
     std::fprintf(stderr, "error: %s\n", e.what());

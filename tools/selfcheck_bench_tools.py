@@ -52,13 +52,19 @@ def table1_artifact(run_id, sha, seconds):
     }
 
 
-def serve_artifact(run_id, sha, seconds):
+def serve_artifact(run_id, sha, seconds, p95_ms=2.5):
     return {
         "bench": "serve", "bit_identical": True,
         "run_id": run_id, "git_sha": sha, "threads": 4, "scale": 0.35,
         "samples": 120, "clients": 4, "batch": 6, "chips": 6,
         "total_seconds": seconds,
+        "latency_p50_ms": p95_ms * 0.4,
+        "latency_p95_ms": p95_ms,
+        "latency_p99_ms": p95_ms * 2.0,
         "circuits": [{"name": "s9234", "seconds": seconds,
+                      "latency_p50_ms": p95_ms * 0.4,
+                      "latency_p95_ms": p95_ms,
+                      "latency_p99_ms": p95_ms * 2.0,
                       "runs": [{"clients": 1, "wall_s": 0.2,
                                 "chips_per_s": 30.0, "sheds": 0,
                                 "reconnects": 0},
@@ -138,6 +144,36 @@ def main(argv):
         json.dump(broken, f)
     expect(run("append_bench_history.py", "append", art, serve_hist), 1,
            "refuse serve record without clients")
+    # ... and so must one without its latency percentiles (the serve
+    # schema carries the server-reported p50/p95/p99 since the stats op
+    # landed).
+    broken = serve_artifact("00000000000000cd", "sha0008", 3.0)
+    del broken["latency_p95_ms"]
+    with open(art, "w") as f:
+        json.dump(broken, f)
+    expect(run("append_bench_history.py", "append", art, serve_hist), 1,
+           "refuse serve record without latency_p95_ms")
+
+    # Latency gate: seed a serve baseline, then append a run whose WALL
+    # time is healthy but whose tail latency tripled -- the sentry must
+    # fail on the percentile alone.
+    for i, p95 in enumerate([2.4, 2.6, 2.5, 2.5]):
+        with open(art, "w") as f:
+            json.dump(serve_artifact(f"{i + 16:016x}", f"sha01{i:02}", 3.0,
+                                     p95_ms=p95), f)
+        expect(run("append_bench_history.py", "append", art, serve_hist), 0,
+               f"append serve latency baseline run {i}")
+    expect(run("check_bench_regression.py", "--history", serve_hist,
+               "--last", "1"),
+           0, "sentry passes healthy serve latency")
+    with open(art, "w") as f:
+        json.dump(serve_artifact("00000000000000ee", "sha0109", 3.0,
+                                 p95_ms=7.5), f)
+    expect(run("append_bench_history.py", "append", art, serve_hist), 0,
+           "append serve run with 3x tail latency")
+    expect(run("check_bench_regression.py", "--history", serve_hist,
+               "--last", "1"),
+           1, "sentry fails serve tail-latency regression")
 
     print("bench tooling self-check: all scenarios behaved")
     return 0
